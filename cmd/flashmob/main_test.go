@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIEndToEnd builds the fmgen and flashmob binaries and drives the
+// full command-line workflow: generate a graph, walk it in memory, then
+// walk it out of core.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short")
+	}
+	dir := t.TempDir()
+	fmgen := filepath.Join(dir, "fmgen")
+	flashmob := filepath.Join(dir, "flashmob")
+	for bin, pkg := range map[string]string{fmgen: "flashmob/cmd/fmgen", flashmob: "flashmob/cmd/flashmob"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	graphPath := filepath.Join(dir, "g.bin")
+	out, err := exec.Command(fmgen, "-preset", "YT", "-scalediv", "200", "-o", graphPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("fmgen: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "|V|=") {
+		t.Errorf("fmgen output missing summary: %s", out)
+	}
+	if _, err := os.Stat(graphPath); err != nil {
+		t.Fatalf("graph file not written: %v", err)
+	}
+
+	out, err = exec.Command(flashmob, "-graph", graphPath, "-steps", "5").CombinedOutput()
+	if err != nil {
+		t.Fatalf("flashmob: %v\n%s", err, out)
+	}
+	for _, want := range []string{"plan:", "per-step:"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("flashmob output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = exec.Command(flashmob, "-graph", graphPath, "-ooc", "-steps", "5", "-oocbudget", "65536").CombinedOutput()
+	if err != nil {
+		t.Fatalf("flashmob -ooc: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "streamed") {
+		t.Errorf("ooc output missing stream stats:\n%s", out)
+	}
+
+	// Output artifacts: corpus, edge stream, plan JSON.
+	corpus := filepath.Join(dir, "walks.txt")
+	stream := filepath.Join(dir, "edges.bin")
+	planJSON := filepath.Join(dir, "plan.json")
+	out, err = exec.Command(flashmob, "-graph", graphPath, "-steps", "3", "-walkers", "100",
+		"-corpus", corpus, "-edgestream", stream, "-saveplan", planJSON).CombinedOutput()
+	if err != nil {
+		t.Fatalf("flashmob with outputs: %v\n%s", err, out)
+	}
+	for _, p := range []string{corpus, stream, planJSON} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("output %s missing or empty (%v)", p, err)
+		}
+	}
+	corpusBytes, err := os.ReadFile(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(corpusBytes), "\n"); lines != 100 {
+		t.Errorf("corpus has %d lines, want 100", lines)
+	}
+
+	// Error paths exit nonzero.
+	if _, err := exec.Command(flashmob, "-graph", filepath.Join(dir, "missing.bin")).CombinedOutput(); err == nil {
+		t.Error("missing graph accepted")
+	}
+	if _, err := exec.Command(flashmob, "-preset", "YT", "-algo", "bogus").CombinedOutput(); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}

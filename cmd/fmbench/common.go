@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/core"
+	"flashmob/internal/gen"
+	"flashmob/internal/graph"
+	"flashmob/internal/mem"
+	"flashmob/internal/part"
+	"flashmob/internal/profile"
+)
+
+// presetNames lists the paper's datasets in Table 4 order.
+var presetNames = []string{"YT", "TW", "FS", "UK", "YH"}
+
+// presetGraph generates the scaled, degree-sorted stand-in for a preset.
+// Generated graphs are already degree-sorted (VID 0 = max degree).
+func presetGraph(name string, cfg benchConfig) (*graph.CSR, error) {
+	return presetGraphSized(name, cfg, 0)
+}
+
+// presetGraphSized generates a preset stand-in with at least minBytes of
+// CSR footprint (and at least cfg.TargetV vertices). Wall-clock
+// experiments that contrast cache-resident toys with "huge" graphs pass
+// cfg.MinCSR so the stand-ins stay DRAM-resident on the host.
+func presetGraphSized(name string, cfg benchConfig, minBytes uint64) (*graph.CSR, error) {
+	p, err := gen.PresetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	v := cfg.TargetV
+	if minBytes > 0 {
+		perVertex := 8 + 4*p.AvgDegree
+		if need := uint32(float64(minBytes) / perVertex); need > v {
+			v = need
+		}
+	}
+	if v > p.FullVertices {
+		v = p.FullVertices
+	}
+	div := p.FullVertices / v
+	if div == 0 {
+		div = 1
+	}
+	return p.Generate(div, cfg.Seed)
+}
+
+// simModel returns the analytical cost model matched to the scaled
+// simulation geometry, so MCKP plans fit the simulated caches.
+func simModel(cfg benchConfig) (mem.Geometry, profile.CostModel) {
+	geom := mem.ScaledGeometry(cfg.GeomScale)
+	return geom, profile.NewAnalyticalModel(geom)
+}
+
+// simModelFor prices partitions for an arbitrary geometry.
+func simModelFor(geom mem.Geometry) profile.CostModel {
+	return profile.NewAnalyticalModel(geom)
+}
+
+// hostModel returns the analytical model on the full paper geometry, used
+// for real wall-clock runs.
+func hostModel() profile.CostModel {
+	return profile.NewAnalyticalModel(mem.PaperGeometry())
+}
+
+// flashMobEngine builds a default MCKP-planned engine for wall-clock runs.
+func flashMobEngine(g *graph.CSR, spec algo.Spec, cfg benchConfig, extra func(*core.Config)) (*core.Engine, error) {
+	ecfg := core.Config{
+		Workers: cfg.Workers,
+		Seed:    cfg.Seed,
+		Model:   hostModel(),
+	}
+	if extra != nil {
+		extra(&ecfg)
+	}
+	return core.New(g, spec, ecfg)
+}
+
+// planFor builds the MCKP plan for a graph under the scaled simulation
+// geometry.
+func planFor(g *graph.CSR, walkers uint64, model profile.CostModel) (*part.Plan, error) {
+	return part.PlanMCKP(g, part.Config{Walkers: walkers, Model: model})
+}
+
+// row prints a fixed-width table row; long cells widen their column
+// rather than colliding with the next one.
+func row(w io.Writer, label string, cells ...string) {
+	fmt.Fprintf(w, "%-26s", label)
+	for _, c := range cells {
+		fmt.Fprintf(w, "%18s", c)
+	}
+	fmt.Fprintln(w)
+}
+
+func ns(v float64) string   { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string  { return fmt.Sprintf("%.1f%%", 100*v) }
+func mb(v uint64) string    { return fmt.Sprintf("%.1fMB", float64(v)/(1<<20)) }
+func cnt(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func big(v uint64) string   { return fmt.Sprintf("%d", v) }
+func f2(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func degS(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// deepWalk is a shorthand for tests and experiments.
+func deepWalk() algo.Spec { return algo.DeepWalk() }

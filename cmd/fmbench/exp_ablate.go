@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"flashmob/internal/mem"
+	"flashmob/internal/sim"
+)
+
+// expAblate quantifies three design choices the paper discusses, via
+// trace simulation on the FS preset:
+//
+//  1. Exclusive (Skylake) vs inclusive (Broadwell) LLC (§2.3): the large
+//     private L2 should capture more of FlashMob's traffic.
+//  2. The hardware stream prefetcher: disabling it must push FlashMob's
+//     sequential passes to DRAM latency.
+//  3. Regular direct indexing for uniform-degree DS partitions (§4.2,
+//     §5.2): falling back to CSR offset reads adds accesses and misses.
+func expAblate(w io.Writer, cfg benchConfig) error {
+	g, err := presetGraph("FS", cfg)
+	if err != nil {
+		return err
+	}
+	walkers := int(g.NumVertices())
+	steps := 3
+
+	scale := func(geom mem.Geometry) mem.Geometry {
+		geom.L1.SizeBytes /= cfg.GeomScale
+		geom.L2.SizeBytes /= cfg.GeomScale
+		geom.L3.SizeBytes /= cfg.GeomScale
+		return geom
+	}
+	run := func(geom mem.Geometry, mutate func(*sim.FlashMobSim)) (*sim.Report, error) {
+		geomModel := simModelFor(geom)
+		plan, err := planFor(g, uint64(walkers), geomModel)
+		if err != nil {
+			return nil, err
+		}
+		fm, err := sim.NewFlashMobSim(g, plan, geom, cfg.Seed, sim.NumaNone)
+		if err != nil {
+			return nil, err
+		}
+		if mutate != nil {
+			mutate(fm)
+		}
+		return fm.Run(walkers, steps)
+	}
+
+	row(w, "configuration", "bound-ns/step", "L2-hit/step", "DRAM-acc/step", "accesses/step")
+	print := func(label string, rep *sim.Report) {
+		row(w, label,
+			ns(rep.TotalBoundNSPerStep()),
+			cnt(rep.HitsPerStep(mem.LocL2)),
+			cnt(rep.HitsPerStep(mem.LocLocalMem)),
+			cnt(float64(rep.Stats.Accesses)/float64(rep.TotalSteps)))
+	}
+
+	sky, err := run(scale(mem.PaperGeometry()), nil)
+	if err != nil {
+		return err
+	}
+	print("exclusive LLC (Skylake)", sky)
+
+	bdw, err := run(scale(mem.BroadwellGeometry()), nil)
+	if err != nil {
+		return err
+	}
+	print("inclusive LLC (Broadwell)", bdw)
+
+	noPF := scale(mem.PaperGeometry())
+	noPF.PrefetchDepth = 0
+	pf, err := run(noPF, nil)
+	if err != nil {
+		return err
+	}
+	print("no prefetcher", pf)
+
+	irr, err := run(scale(mem.PaperGeometry()), func(fm *sim.FlashMobSim) {
+		fm.DisableRegularIndexing()
+	})
+	if err != nil {
+		return err
+	}
+	print("no regular DS indexing", irr)
+
+	fmt.Fprintln(w, "\nexpected: the first row wins every column it should (fewer DRAM accesses than")
+	fmt.Fprintln(w, "no-prefetcher, fewer accesses than no-regular-indexing, ≥ private hits vs inclusive)")
+	return nil
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"flashmob/internal/mem"
+	"flashmob/internal/profile"
+	"flashmob/internal/sim"
+)
+
+// expTable1 reproduces Table 1 twice: measured on the host with the three
+// micro-kernels (sequential / independent-random / pointer-chase over
+// cache-sized working sets), and the paper's reference numbers for its
+// Xeon Gold 6126. Expected shape: Seq ≪ Rand ≪ Chase, gaps widening down
+// the hierarchy.
+func expTable1(w io.Writer, cfg benchConfig) error {
+	geom := mem.PaperGeometry()
+	sets := []struct {
+		name string
+		ws   uint64
+	}{
+		{"L1C", geom.L1.SizeBytes / 2},
+		{"L2C", geom.L2.SizeBytes / 2},
+		{"L3C", geom.L3.SizeBytes / 2},
+		{"LocalMem", geom.L3.SizeBytes * 16},
+	}
+	fmt.Fprintln(w, "measured on this host:")
+	row(w, "access/location", "L1C", "L2C", "L3C", "LocalMem")
+	var seq, rnd, chase []string
+	for _, s := range sets {
+		r := profile.MeasureLatency(s.ws, cfg.MinSteps, cfg.Seed)
+		seq = append(seq, ns(r.SeqNS))
+		rnd = append(rnd, ns(r.RandNS))
+		chase = append(chase, ns(r.ChaseNS))
+	}
+	row(w, "Sequential read (ns)", seq...)
+	row(w, "Random read (ns)", rnd...)
+	row(w, "Pointer-chasing (ns)", chase...)
+
+	fmt.Fprintln(w, "\npaper reference (Xeon Gold 6126, incl. RemoteMem):")
+	row(w, "access/location", "L1C", "L2C", "L3C", "LocalMem", "RemoteMem")
+	for k, name := range map[mem.AccessKind]string{
+		mem.Seq: "Sequential read (ns)", mem.Rand: "Random read (ns)", mem.Chase: "Pointer-chasing (ns)",
+	} {
+		cells := make([]string, 0, 5)
+		for loc := mem.LocL1; loc <= mem.LocRemoteMem; loc++ {
+			cells = append(cells, ns(mem.PaperLatency[k][loc]))
+		}
+		row(w, name, cells...)
+	}
+	return nil
+}
+
+// expFig1b reproduces Figure 1b: per-step cache miss counts at each level
+// for KnightKing vs FlashMob on the YT and YH presets, via trace-driven
+// simulation with proportionally scaled caches. Expected shape: FlashMob
+// collapses the L2 and L3 miss rates.
+func expFig1b(w io.Writer, cfg benchConfig) error {
+	geom, model := simModel(cfg)
+	row(w, "graph/system", "L1-miss/step", "L2-miss/step", "L3-miss/step")
+	for _, name := range []string{"YT", "YH"} {
+		g, err := presetGraph(name, cfg)
+		if err != nil {
+			return err
+		}
+		walkers := int(g.NumVertices())
+		steps := 3
+
+		kkRep, err := sim.NewKnightKingSim(g, geom, cfg.Seed).Run(walkers, steps)
+		if err != nil {
+			return err
+		}
+		plan, err := planFor(g, uint64(walkers), model)
+		if err != nil {
+			return err
+		}
+		fm, err := sim.NewFlashMobSim(g, plan, geom, cfg.Seed, sim.NumaNone)
+		if err != nil {
+			return err
+		}
+		fmRep, err := fm.Run(walkers, steps)
+		if err != nil {
+			return err
+		}
+		for label, rep := range map[string]*sim.Report{"KnightKing": kkRep, "FlashMob": fmRep} {
+			row(w, name+"/"+label,
+				cnt(rep.MissesPerStep(mem.LocL1)),
+				cnt(rep.MissesPerStep(mem.LocL2)),
+				cnt(rep.MissesPerStep(mem.LocL3)))
+		}
+	}
+	return nil
+}
+
+// expTable5 reproduces Table 5: the full memory-hierarchy case study on
+// the FS and UK presets — per-step hits/misses at each level, estimated
+// bound time and its share, and DRAM traffic per step. Expected shape:
+// FlashMob's misses are caught by L2, its DRAM-bound share collapses, and
+// its traffic per step drops.
+func expTable5(w io.Writer, cfg benchConfig) error {
+	geom, model := simModel(cfg)
+	for _, name := range []string{"FS", "UK"} {
+		g, err := presetGraph(name, cfg)
+		if err != nil {
+			return err
+		}
+		walkers := int(g.NumVertices())
+		steps := 3
+		kkRep, err := sim.NewKnightKingSim(g, geom, cfg.Seed).Run(walkers, steps)
+		if err != nil {
+			return err
+		}
+		plan, err := planFor(g, uint64(walkers), model)
+		if err != nil {
+			return err
+		}
+		fmSim, err := sim.NewFlashMobSim(g, plan, geom, cfg.Seed, sim.NumaNone)
+		if err != nil {
+			return err
+		}
+		fmRep, err := fmSim.Run(walkers, steps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "--- %s ---\n", name)
+		row(w, "metric", "KnightKing", "FlashMob")
+		printCaseStudy(w, kkRep, fmRep)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func printCaseStudy(w io.Writer, kk, fm *sim.Report) {
+	levels := []struct {
+		name string
+		loc  mem.Location
+	}{{"L1", mem.LocL1}, {"L2", mem.LocL2}, {"L3", mem.LocL3}}
+	for _, l := range levels {
+		row(w, l.name+"-hit|miss /step",
+			fmt.Sprintf("%s | %s", cnt(kk.HitsPerStep(l.loc)), cnt(kk.MissesPerStep(l.loc))),
+			fmt.Sprintf("%s | %s", cnt(fm.HitsPerStep(l.loc)), cnt(fm.MissesPerStep(l.loc))))
+	}
+	for _, l := range []struct {
+		name string
+		loc  mem.Location
+	}{{"L1-bound", mem.LocL1}, {"L2-bound", mem.LocL2}, {"L3-bound", mem.LocL3}, {"DRAM-bound", mem.LocLocalMem}} {
+		row(w, l.name+" ns/step", ns(kk.BoundNSPerStep(l.loc)), ns(fm.BoundNSPerStep(l.loc)))
+	}
+	row(w, "total data-bound ns/step", ns(kk.TotalBoundNSPerStep()), ns(fm.TotalBoundNSPerStep()))
+	row(w, "DRAM traffic B/step", ns(kk.DRAMBytesPerStep()), ns(fm.DRAMBytesPerStep()))
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/graph"
+	"flashmob/internal/ooc"
+)
+
+// expOOC exercises the paper's future-work direction quantified in §5.4:
+// walking a disk-resident graph by streaming its edge blocks through a
+// small DRAM window. For each preset it compares the in-memory engine
+// with the out-of-core engine under a tight block budget, and reports the
+// effective streaming bandwidth (the paper estimates a full-size run
+// needs ~5GB/s, within NVMe range).
+func expOOC(w io.Writer, cfg benchConfig) error {
+	row(w, "graph", "in-mem ns/step", "ooc ns/step", "stream MB/s", "io-wait")
+	dir, err := os.MkdirTemp("", "fmbench-ooc")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	for _, name := range presetNames {
+		g, err := presetGraphSized(name, cfg, cfg.MinCSR)
+		if err != nil {
+			return err
+		}
+		inMem, err := timeFlashMob(g, algo.DeepWalk(), cfg, nil)
+		if err != nil {
+			return err
+		}
+
+		path := filepath.Join(dir, name+".bin")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := graph.WriteBinary(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		gf, err := graph.OpenFile(path)
+		if err != nil {
+			return err
+		}
+		// Budget: 1/8 of the graph resident at a time, floored so the
+		// largest single adjacency list still fits a (double-buffered)
+		// block.
+		budget := g.SizeBytes() / 8
+		if floor := uint64(g.MaxDegree()) * 4 * 4; budget < floor {
+			budget = floor
+		}
+		e, err := ooc.New(gf, ooc.Config{
+			BlockBudget: budget,
+			Seed:        cfg.Seed,
+			Workers:     cfg.Workers,
+		})
+		if err != nil {
+			gf.Close()
+			return err
+		}
+		res, err := e.Run(0, cfg.Steps)
+		gf.Close()
+		if err != nil {
+			return err
+		}
+		row(w, name, ns(inMem), ns(res.PerStepNS()),
+			fmt.Sprintf("%.0f", res.StreamBandwidth()/(1<<20)),
+			pct(res.IOWait.Seconds()/res.Duration.Seconds()))
+	}
+	return nil
+}

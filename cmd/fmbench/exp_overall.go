@@ -1,0 +1,399 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/baseline"
+	"flashmob/internal/core"
+	"flashmob/internal/gen"
+	"flashmob/internal/graph"
+	"flashmob/internal/mem"
+	"flashmob/internal/part"
+	"flashmob/internal/rng"
+	"flashmob/internal/sim"
+)
+
+// expFig1a reproduces Figure 1a: KnightKing's per-step time on toy graphs
+// sized to L1/L2/L3 plus YT and YH, against FlashMob on YT and YH.
+// Expected shape: KnightKing degrades as the graph outgrows each level;
+// FlashMob on the big graphs lands near KnightKing's small-toy speeds.
+func expFig1a(w io.Writer, cfg benchConfig) error {
+	geom := mem.PaperGeometry()
+	toys := []struct {
+		name   string
+		budget uint64
+	}{
+		{"toy-L1", geom.L1.SizeBytes * 3 / 4},
+		{"toy-L2", geom.L2.SizeBytes * 3 / 4},
+		{"toy-L3", geom.L3.SizeBytes * 3 / 4},
+	}
+	row(w, "graph", "system", "ns/step")
+	for _, toy := range toys {
+		g, _, err := gen.ToyForCacheBytes(toy.budget, 16, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		nsStep, err := timeKnightKing(g, algo.DeepWalk(), cfg)
+		if err != nil {
+			return err
+		}
+		row(w, toy.name, "KnightKing", ns(nsStep))
+	}
+	for _, name := range []string{"YT", "YH"} {
+		g, err := presetGraphSized(name, cfg, cfg.MinCSR)
+		if err != nil {
+			return err
+		}
+		kk, err := timeKnightKing(g, algo.DeepWalk(), cfg)
+		if err != nil {
+			return err
+		}
+		row(w, name, "KnightKing", ns(kk))
+	}
+	for _, name := range []string{"YT", "YH"} {
+		g, err := presetGraphSized(name, cfg, cfg.MinCSR)
+		if err != nil {
+			return err
+		}
+		fm, err := timeFlashMob(g, algo.DeepWalk(), cfg, nil)
+		if err != nil {
+			return err
+		}
+		row(w, name, "FlashMob", ns(fm))
+	}
+	return nil
+}
+
+// expFig8a reproduces Figure 8a: DeepWalk per-step time across all five
+// graphs for GraphVite, KnightKing, and FlashMob. Expected shape:
+// FlashMob ≪ KnightKing < GraphVite, with FlashMob nearly flat across
+// graph sizes.
+func expFig8a(w io.Writer, cfg benchConfig) error {
+	row(w, "graph", "GraphVite", "KnightKing", "FlashMob", "speedup-vs-KK")
+	for _, name := range presetNames {
+		g, err := presetGraphSized(name, cfg, cfg.MinCSR)
+		if err != nil {
+			return err
+		}
+		gv, err := timeGraphVite(g, algo.DeepWalk(), cfg)
+		if err != nil {
+			return err
+		}
+		kk, err := timeKnightKing(g, algo.DeepWalk(), cfg)
+		if err != nil {
+			return err
+		}
+		fm, err := timeFlashMob(g, algo.DeepWalk(), cfg, nil)
+		if err != nil {
+			return err
+		}
+		row(w, name, ns(gv), ns(kk), ns(fm), fmt.Sprintf("%.1fx", kk/fm))
+	}
+	return nil
+}
+
+// expFig8b reproduces Figure 8b: node2vec per-step time for KnightKing vs
+// FlashMob (GraphVite omitted, as in the paper).
+func expFig8b(w io.Writer, cfg benchConfig) error {
+	spec := algo.Node2Vec(2, 0.5)
+	row(w, "graph", "KnightKing", "FlashMob", "speedup")
+	for _, name := range presetNames {
+		g, err := presetGraphSized(name, cfg, cfg.MinCSR)
+		if err != nil {
+			return err
+		}
+		kk, err := timeKnightKing(g, spec, cfg)
+		if err != nil {
+			return err
+		}
+		fm, err := timeFlashMob(g, spec, cfg, nil)
+		if err != nil {
+			return err
+		}
+		row(w, name, ns(kk), ns(fm), fmt.Sprintf("%.1fx", kk/fm))
+	}
+	return nil
+}
+
+// expFig9a reproduces Figure 9a: FlashMob's per-graph time split between
+// the sample stage, shuffle stage, and everything else.
+func expFig9a(w io.Writer, cfg benchConfig) error {
+	row(w, "graph", "sample", "shuffle", "other", "total-ns/step")
+	for _, name := range presetNames {
+		g, err := presetGraphSized(name, cfg, cfg.MinCSR)
+		if err != nil {
+			return err
+		}
+		e, err := flashMobEngine(g, algo.DeepWalk(), cfg, nil)
+		if err != nil {
+			return err
+		}
+		res, err := e.Run(0, cfg.Steps)
+		if err != nil {
+			return err
+		}
+		tot := float64(res.Duration)
+		row(w, name,
+			pct(float64(res.SampleTime)/tot),
+			pct(float64(res.ShuffleTime)/tot),
+			pct(float64(res.OtherTime)/tot),
+			ns(res.PerStepNS()))
+	}
+	return nil
+}
+
+// expFig9b reproduces Figure 9b: the MCKP DP plan against Uniform-PS,
+// Uniform-DS, and the manual heuristic. Expected shape: DP at least ties
+// every alternative on every graph.
+func expFig9b(w io.Writer, cfg benchConfig) error {
+	planners := []struct {
+		name string
+		kind core.PlannerKind
+	}{
+		{"DP(MCKP)", core.PlannerMCKP},
+		{"Uniform-PS", core.PlannerUniformPS},
+		{"Uniform-DS", core.PlannerUniformDS},
+		{"Manual", core.PlannerManual},
+	}
+	row(w, "graph", "DP(MCKP)", "Uniform-PS", "Uniform-DS", "Manual")
+	for _, name := range presetNames {
+		g, err := presetGraphSized(name, cfg, cfg.MinCSR)
+		if err != nil {
+			return err
+		}
+		cells := make([]string, 0, len(planners))
+		for _, p := range planners {
+			nsStep, err := timeFlashMob(g, algo.DeepWalk(), cfg, func(c *core.Config) {
+				c.Planner = p.kind
+			})
+			if err != nil {
+				return err
+			}
+			cells = append(cells, ns(nsStep))
+		}
+		row(w, name, cells...)
+	}
+	return nil
+}
+
+// expFig11a reproduces Figure 11a: FlashMob's per-step time as |V| grows
+// over synthetic graphs with the YahooWeb degree distribution. Expected
+// shape: slow, sub-linear growth.
+func expFig11a(w io.Writer, cfg benchConfig) error {
+	yh, err := gen.PresetByName("YH")
+	if err != nil {
+		return err
+	}
+	row(w, "|V|", "|E|", "CSR", "ns/step")
+	for _, mul := range []uint32{1, 2, 4, 8} {
+		n := cfg.TargetV * mul
+		g, err := gen.PowerLaw(gen.PowerLawConfig{
+			NumVertices: n,
+			AvgDegree:   yh.AvgDegree,
+			Alpha:       gen.FitAlpha(n, yh.AvgDegree, 1, 0.01, yh.Top1EdgeShare),
+			MinDegree:   1,
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		nsStep, err := timeFlashMob(g, algo.DeepWalk(), cfg, nil)
+		if err != nil {
+			return err
+		}
+		row(w, big(uint64(n)), big(g.NumEdges()), mb(g.SizeBytes()), ns(nsStep))
+	}
+	return nil
+}
+
+// expFig11b reproduces Figure 11b: per-step cost versus walker density on
+// the TW preset. Expected shape: cost falls as density rises, then
+// plateaus around 8|V| walkers.
+func expFig11b(w io.Writer, cfg benchConfig) error {
+	g, err := presetGraphSized("TW", cfg, cfg.MinCSR)
+	if err != nil {
+		return err
+	}
+	row(w, "walkers", "density(w/edge)", "sample-ns/step", "total-ns/step")
+	for _, mul := range []uint64{1, 2, 4, 8, 16} {
+		walkers := uint64(g.NumVertices()) * mul
+		e, err := flashMobEngine(g, algo.DeepWalk(), cfg, func(c *core.Config) {
+			c.Part = part.Config{Walkers: walkers}
+		})
+		if err != nil {
+			return err
+		}
+		res, err := e.Run(walkers, cfg.Steps)
+		if err != nil {
+			return err
+		}
+		density := float64(walkers) / float64(g.NumEdges())
+		row(w, fmt.Sprintf("%d|V|", mul), f2(density),
+			ns(float64(res.SampleTime.Nanoseconds())/float64(res.TotalSteps)),
+			ns(res.PerStepNS()))
+	}
+	return nil
+}
+
+// expFig12 reproduces Figure 12: FlashMob-P (partitioned) vs FlashMob-R
+// (replicated) NUMA modes. Wall-clock per-step times come from the real
+// engine under each mode's walker budget (replication halves the DRAM
+// available for walkers); remote-access rates come from the trace
+// simulator. Expected shape: similar speeds, with P sustaining about
+// twice R's walker density and a tiny remote access rate.
+func expFig12(w io.Writer, cfg benchConfig) error {
+	geom, model := simModel(cfg)
+	row(w, "graph", "P-ns/step", "R-ns/step", "P-density", "R-density", "P-remote/step")
+	for _, name := range presetNames {
+		g, err := presetGraphSized(name, cfg, cfg.MinCSR)
+		if err != nil {
+			return err
+		}
+		// The walker budget: P holds one graph copy, R holds two, in the
+		// same (synthetic) DRAM envelope sized at 4 graph copies.
+		budget := 4 * g.SizeBytes()
+		pWalkers := (budget - g.SizeBytes()) / 12
+		rWalkers := (budget - 2*g.SizeBytes()) / 12 / 2 // per instance
+
+		pNS, err := timeFlashMobN(g, cfg, pWalkers)
+		if err != nil {
+			return err
+		}
+		rNS, err := timeFlashMobN(g, cfg, rWalkers)
+		if err != nil {
+			return err
+		}
+
+		plan, err := planFor(g, pWalkers, model)
+		if err != nil {
+			return err
+		}
+		fm, err := sim.NewFlashMobSim(g, plan, geom, cfg.Seed, sim.NumaPartitioned)
+		if err != nil {
+			return err
+		}
+		simWalkers := int(g.NumVertices())
+		rep, err := fm.Run(simWalkers, 2)
+		if err != nil {
+			return err
+		}
+		row(w, name, ns(pNS), ns(rNS),
+			f2(float64(pWalkers)/float64(g.NumEdges())),
+			f2(float64(rWalkers)/float64(g.NumEdges())),
+			fmt.Sprintf("%.4f", rep.RemoteAccessesPerStep()))
+	}
+	return nil
+}
+
+// expPrep reproduces the §5.2 pre-processing measurements: the O(|V|)
+// counting sort and the MCKP planning time against the walk time of the
+// standard workload (10 episodes × |V| walkers × 80 steps, extrapolated
+// from the measured per-step speed). The paper excludes CSR construction
+// from all systems' timings, so only the rank computation is timed here.
+func expPrep(w io.Writer, cfg benchConfig) error {
+	row(w, "graph", "sort", "plan(DP)", "walk(10x80step)", "prep-share")
+	for _, name := range presetNames {
+		g, err := presetGraphSized(name, cfg, cfg.MinCSR)
+		if err != nil {
+			return err
+		}
+		// Shuffle vertex order first so the sort has real work (generated
+		// graphs are born sorted).
+		n := g.NumVertices()
+		fwd := make([]graph.VID, n)
+		rng.Perm(rng.NewXorShift64Star(cfg.Seed), fwd)
+		bwd := make([]graph.VID, n)
+		for i, p := range fwd {
+			bwd[p] = graph.VID(i)
+		}
+		shuffled := graph.Relabel(g, fwd, bwd)
+
+		t0 := time.Now()
+		graph.DegreeRank(shuffled)
+		sortTime := time.Since(t0)
+
+		t0 = time.Now()
+		_, err = part.PlanMCKP(g, part.Config{
+			Walkers: uint64(n), Model: hostModel(),
+		})
+		if err != nil {
+			return err
+		}
+		planTime := time.Since(t0)
+
+		e, err := flashMobEngine(g, algo.DeepWalk(), cfg, nil)
+		if err != nil {
+			return err
+		}
+		res, err := e.Run(0, cfg.Steps)
+		if err != nil {
+			return err
+		}
+		// Extrapolate the measured per-step speed to the paper's standard
+		// workload: 10|V| walkers × 80 steps.
+		walk := time.Duration(res.PerStepNS() * float64(n) * 10 * 80)
+		prep := sortTime + planTime
+		row(w, name, sortTime.Round(time.Microsecond).String(),
+			planTime.Round(time.Microsecond).String(),
+			walk.Round(time.Millisecond).String(),
+			pct(float64(prep)/float64(walk+prep)))
+	}
+	return nil
+}
+
+// timeKnightKing returns ns/step for the KnightKing baseline.
+func timeKnightKing(g *graph.CSR, spec algo.Spec, cfg benchConfig) (float64, error) {
+	k, err := baseline.NewKnightKing(g, spec, baseline.Config{Workers: cfg.Workers, Seed: cfg.Seed})
+	if err != nil {
+		return 0, err
+	}
+	res, err := k.Run(0, cfg.Steps)
+	if err != nil {
+		return 0, err
+	}
+	return res.PerStepNS(), nil
+}
+
+// timeGraphVite returns ns/step for the GraphVite baseline.
+func timeGraphVite(g *graph.CSR, spec algo.Spec, cfg benchConfig) (float64, error) {
+	gv, err := baseline.NewGraphVite(g, spec, baseline.Config{Workers: cfg.Workers, Seed: cfg.Seed})
+	if err != nil {
+		return 0, err
+	}
+	res, err := gv.Run(0, cfg.Steps)
+	if err != nil {
+		return 0, err
+	}
+	return res.PerStepNS(), nil
+}
+
+// timeFlashMob returns ns/step for the FlashMob engine with |V| walkers.
+func timeFlashMob(g *graph.CSR, spec algo.Spec, cfg benchConfig, extra func(*core.Config)) (float64, error) {
+	e, err := flashMobEngine(g, spec, cfg, extra)
+	if err != nil {
+		return 0, err
+	}
+	res, err := e.Run(0, cfg.Steps)
+	if err != nil {
+		return 0, err
+	}
+	return res.PerStepNS(), nil
+}
+
+// timeFlashMobN runs FlashMob with an explicit walker count.
+func timeFlashMobN(g *graph.CSR, cfg benchConfig, walkers uint64) (float64, error) {
+	e, err := flashMobEngine(g, algo.DeepWalk(), cfg, func(c *core.Config) {
+		c.Part = part.Config{Walkers: walkers}
+	})
+	if err != nil {
+		return 0, err
+	}
+	res, err := e.Run(walkers, cfg.Steps)
+	if err != nil {
+		return 0, err
+	}
+	return res.PerStepNS(), nil
+}

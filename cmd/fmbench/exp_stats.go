@@ -1,0 +1,263 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/core"
+	"flashmob/internal/gen"
+	"flashmob/internal/mem"
+	"flashmob/internal/part"
+	"flashmob/internal/profile"
+	"flashmob/internal/stats"
+)
+
+// paperTable2 holds the paper's measured shares for reference output:
+// per graph, per bucket, {avg degree, edge share, visit share}.
+var paperTable2 = map[string][4][3]float64{
+	"YT": {{338.4, .390, .390}, {38.0, .219, .219}, {8.5, .243, .243}, {1.2, .149, .149}},
+	"TW": {{3463.0, .491, .491}, {291.2, .207, .206}, {50.5, .179, .179}, {7.9, .123, .123}},
+	"FS": {{1027.6, .187, .187}, {296.4, .269, .269}, {90.8, .412, .412}, {6.6, .132, .132}},
+	"UK": {{3874.8, .464, .568}, {264.8, .158, .129}, {69.4, .208, .177}, {12.9, .170, .126}},
+	"YH": {{856.7, .465, .530}, {78.0, .169, .147}, {22.0, .238, .213}, {3.1, .128, .109}},
+}
+
+// expTable2 reproduces Table 2: DeepWalk visit statistics by degree group
+// (average degree, edge share, walker-visit share) with |V| walkers
+// initialized uniformly over edges. Expected shape: visit share tracks
+// edge share, with the top 5% of vertices drawing roughly half the
+// traffic.
+func expTable2(w io.Writer, cfg benchConfig) error {
+	for _, name := range presetNames {
+		g, err := presetGraph(name, cfg)
+		if err != nil {
+			return err
+		}
+		e, err := flashMobEngine(g, algo.DeepWalk(), cfg, func(c *core.Config) {
+			c.Init = core.InitEdgeUniform
+			c.RecordHistory = true
+		})
+		if err != nil {
+			return err
+		}
+		res, err := e.Run(0, cfg.Steps)
+		if err != nil {
+			return err
+		}
+		visits := res.History.VisitCounts(g.NumVertices())
+		groups, err := stats.DegreeGroups(g, visits)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "--- %s (paper values in parentheses) ---\n", name)
+		ref := paperTable2[name]
+		row(w, "bucket", "<1%", "1%~5%", "5%~25%", "25%~100%")
+		line := func(label string, f func(stats.GroupStats) string, refIdx int) {
+			cells := make([]string, 0, 4)
+			for i, grp := range groups {
+				cell := f(grp)
+				if i < 4 {
+					switch refIdx {
+					case 0:
+						cell += fmt.Sprintf(" (%.1f)", ref[i][0])
+					case 1:
+						cell += fmt.Sprintf(" (%.0f%%)", 100*ref[i][1])
+					case 2:
+						cell += fmt.Sprintf(" (%.0f%%)", 100*ref[i][2])
+					}
+				}
+				cells = append(cells, cell)
+			}
+			row(w, label, cells...)
+		}
+		line("avg degree", func(g stats.GroupStats) string { return degS(g.AvgDegree) }, 0)
+		line("edge share", func(g stats.GroupStats) string { return pct(g.EdgeShare) }, 1)
+		line("visit share", func(g stats.GroupStats) string { return pct(g.VisitShare) }, 2)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// expTable4 reproduces Table 4: the datasets. Synthetic stand-ins are
+// listed with their scaled sizes alongside the paper's full-size values.
+func expTable4(w io.Writer, cfg benchConfig) error {
+	row(w, "graph", "|V|", "|E|", "CSR", "paper-|V|", "paper-CSR")
+	paperCSR := map[string]string{
+		"YT": "50.8MB", "TW": "11.4GB", "FS": "14.2GB", "UK": "42.5GB", "YH": "57.5GB",
+	}
+	for _, name := range presetNames {
+		p, err := gen.PresetByName(name)
+		if err != nil {
+			return err
+		}
+		g, err := presetGraph(name, cfg)
+		if err != nil {
+			return err
+		}
+		row(w, name, big(uint64(g.NumVertices())), big(g.NumEdges()), mb(g.SizeBytes()),
+			big(uint64(p.FullVertices)), paperCSR[name])
+	}
+	return nil
+}
+
+// expFig6 reproduces Figure 6: measured per-step sample cost for PS and
+// DS with working sets sized to L1/L2/L3/DRAM, degrees 16-1024, densities
+// 1 and 0.25. Expected shape: every level step down costs more; PS
+// improves with degree; PS-DRAM is the worst series. Cells the host's
+// memory budget cannot realize honestly (high-degree PS at DRAM scale
+// needs the paper's 296GB platform) print "-".
+func expFig6(w io.Writer, cfg benchConfig) error {
+	geom := mem.PaperGeometry()
+	levels := []string{"L1", "L2", "L3", "DRAM"}
+	wss := []uint64{
+		geom.L1.SizeBytes * 3 / 4,
+		geom.L2.SizeBytes * 3 / 4,
+		geom.L3.SizeBytes * 3 / 4,
+		geom.L3.SizeBytes * 8,
+	}
+	degrees := []uint32{16, 64, 256, 1024}
+	for _, density := range []float64{1, 0.25} {
+		fmt.Fprintf(w, "--- density %.2f walkers/edge (ns per walker-step) ---\n", density)
+		hdr := []string{}
+		for _, d := range degrees {
+			hdr = append(hdr, fmt.Sprintf("deg=%d", d))
+		}
+		row(w, "policy@level", hdr...)
+		for li, ws := range wss {
+			// One MeasureProfile call per working-set target, so every
+			// returned point belongs to this level.
+			tab, err := core.MeasureProfile(core.ProfilerConfig{
+				Degrees:     degrees,
+				Densities:   []float64{density},
+				WorkingSets: []uint64{ws},
+				MinSteps:    cfg.MinSteps,
+				MaxEdges:    cfg.ProfMaxEdges,
+				Seed:        cfg.Seed,
+			}, geom)
+			if err != nil {
+				return err
+			}
+			for _, pol := range []profile.Policy{profile.PS, profile.DS} {
+				cells := []string{}
+				for _, d := range degrees {
+					found := "-"
+					for _, pt := range tab.Points {
+						if pt.Policy == pol && pt.AvgDegree == float64(d) {
+							found = ns(pt.StepNS)
+							break
+						}
+					}
+					cells = append(cells, found)
+				}
+				row(w, fmt.Sprintf("%v@%s", pol, levels[li]), cells...)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// expFig10 reproduces Figure 10: the DP-identified layout. For each graph
+// it prints the per-group VP sizes and policies along the sorted vertex
+// array (10a) and the share of vertices and walker-steps under each
+// (policy, cache-fit) class (10b). Expected shape: high-degree head in
+// small PS partitions, low-degree tail in large DS partitions.
+func expFig10(w io.Writer, cfg benchConfig) error {
+	model := hostModel()
+	geom := mem.PaperGeometry()
+	fit := func(pol profile.Policy, verts uint64, avgDeg float64) string {
+		ws := profile.WorkingSetBytes(pol, profile.VPShape{Vertices: verts, AvgDegree: avgDeg}, 64)
+		switch {
+		case float64(ws) <= 0.75*float64(geom.L1.SizeBytes):
+			return "L1"
+		case float64(ws) <= 0.75*float64(geom.L2.SizeBytes):
+			return "L2"
+		case float64(ws) <= 0.75*float64(geom.L3.SizeBytes):
+			return "L3"
+		default:
+			return "DRAM"
+		}
+	}
+	for _, name := range presetNames {
+		// Planning is cheap, so fig10 can afford far larger stand-ins than
+		// the walking experiments — partition sizes only become realistic
+		// (L2-scale VPs) when groups hold hundreds of thousands of
+		// vertices, as on the paper's full graphs.
+		g, err := presetGraphSized(name, cfg, cfg.MinCSR*8)
+		if err != nil {
+			return err
+		}
+		plan, err := part.PlanMCKP(g, part.Config{Walkers: uint64(g.NumVertices()), Model: model})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "--- %s: %d groups, %d VPs, %d bins ---\n",
+			name, len(plan.Groups), plan.NumVPs(), plan.Weight())
+		// 10a-style bars along the sorted vertex array: the top bar gives
+		// each VP equal width (the paper's rendering), the bottom weights
+		// VPs by walker-steps (∝ edges). Letters: cache-fit class under
+		// the chosen policy, upper case = PS, lower case = DS
+		// (1=L1, 2=L2, 3=L3, D=DRAM).
+		letter := func(vp part.VP) byte {
+			edges := g.Offsets[vp.End] - g.Offsets[vp.Start]
+			verts := uint64(vp.End - vp.Start)
+			f := fit(vp.Policy, verts, float64(edges)/float64(verts))
+			ch := map[string]byte{"L1": '1', "L2": '2', "L3": '3', "DRAM": 'D'}[f]
+			if vp.Policy == profile.DS {
+				ch = map[string]byte{"L1": 'a', "L2": 'b', "L3": 'c', "DRAM": 'd'}[f]
+			}
+			return ch
+		}
+		const width = 100
+		byVP := make([]byte, width)
+		for i := range byVP {
+			vp := plan.VPs[i*plan.NumVPs()/width]
+			byVP[i] = letter(vp)
+		}
+		bySteps := make([]byte, width)
+		total := g.NumEdges()
+		vpIdx := 0
+		var acc uint64
+		for i := range bySteps {
+			target := uint64(i) * total / width
+			for vpIdx < plan.NumVPs()-1 && acc < target {
+				vp := plan.VPs[vpIdx]
+				acc += g.Offsets[vp.End] - g.Offsets[vp.Start]
+				vpIdx++
+			}
+			bySteps[i] = letter(plan.VPs[vpIdx])
+		}
+		fmt.Fprintf(w, "per-VP:     [%s]\n", byVP)
+		fmt.Fprintf(w, "per-step:   [%s]\n", bySteps)
+		fmt.Fprintln(w, "            (PS: 1/2/3/D = fits L1/L2/L3/DRAM; DS: a/b/c/d)")
+		// 10b-style summary: shares by (policy, fit class).
+		type key struct {
+			pol profile.Policy
+			fit string
+		}
+		vertShare := map[key]uint64{}
+		stepShare := map[key]uint64{}
+		for _, vp := range plan.VPs {
+			edges := g.Offsets[vp.End] - g.Offsets[vp.Start]
+			verts := uint64(vp.End - vp.Start)
+			k := key{vp.Policy, fit(vp.Policy, verts, float64(edges)/float64(verts))}
+			vertShare[k] += verts
+			stepShare[k] += edges // walker-steps ∝ edges under Table 2
+		}
+		row(w, "class", "vertex-share", "walkerstep-share")
+		for _, pol := range []profile.Policy{profile.PS, profile.DS} {
+			for _, f := range []string{"L1", "L2", "L3", "DRAM"} {
+				k := key{pol, f}
+				if vertShare[k] == 0 {
+					continue
+				}
+				row(w, fmt.Sprintf("%v@%s", pol, f),
+					pct(float64(vertShare[k])/float64(g.NumVertices())),
+					pct(float64(stepShare[k])/float64(g.NumEdges())))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig makes every experiment finish in seconds.
+func tinyConfig() benchConfig {
+	return benchConfig{
+		TargetV:   8000,
+		Steps:     4,
+		Seed:      7,
+		Workers:   2,
+		GeomScale: 64,
+		MinSteps:  5_000, ProfMaxEdges: 1 << 20,
+	}
+}
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests skipped in -short")
+	}
+	cfg := tinyConfig()
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.run(&buf, cfg); err != nil {
+				t.Fatalf("%s: %v", e.name, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.name)
+			}
+		})
+	}
+}
+
+func TestFig8aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test skipped in -short")
+	}
+	// The headline result: on every graph FlashMob must beat KnightKing,
+	// which must beat GraphVite. The ordering only exists when the graph
+	// is DRAM-resident (cache-resident graphs are fast under any engine),
+	// so force the CSR well past any plausible LLC.
+	cfg := tinyConfig()
+	cfg.Steps = 6
+	cfg.MinCSR = 48 << 20
+	for _, name := range []string{"YT", "FS"} {
+		g, err := presetGraphSized(name, cfg, cfg.MinCSR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wall-clock ordering is noisy when the test binary runs the rest
+		// of the suite in parallel: accept if any of three attempts shows
+		// the expected strict ordering.
+		ok := false
+		for attempt := 0; attempt < 3 && !ok; attempt++ {
+			gv, err := timeGraphVite(g, deepWalk(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kk, err := timeKnightKing(g, deepWalk(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fm, err := timeFlashMob(g, deepWalk(), cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s attempt %d: GraphVite %.1f, KnightKing %.1f, FlashMob %.1f ns/step",
+				name, attempt, gv, kk, fm)
+			ok = fm < kk && kk < gv
+		}
+		if !ok {
+			t.Errorf("%s: expected FlashMob < KnightKing < GraphVite in 3 attempts", name)
+		}
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	if _, ok := findExperiment("fig8a"); !ok {
+		t.Error("fig8a missing")
+	}
+	if _, ok := findExperiment("nope"); ok {
+		t.Error("bogus experiment found")
+	}
+}
+
+func TestTable2OutputMentionsAllGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	var buf bytes.Buffer
+	if err := expTable2(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range presetNames {
+		if !strings.Contains(out, "--- "+name) {
+			t.Errorf("table2 output missing %s", name)
+		}
+	}
+}

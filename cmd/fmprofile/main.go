@@ -1,0 +1,100 @@
+// Command fmprofile runs the paper's offline profiling (§4.4) on the host
+// machine: micro-benchmarks over a grid of (VP size, degree, density,
+// policy) measuring per-walker-step sample cost, plus the per-level
+// shuffle cost. The result is a JSON cost table that the planner can use
+// in place of the built-in analytical model. Profiling is
+// machine-dependent but graph-independent — run it once per machine.
+//
+// Usage:
+//
+//	fmprofile -o host.profile.json
+//	fmprofile -latency            # also print a Table 1-style latency matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashmob/internal/core"
+	"flashmob/internal/mem"
+	"flashmob/internal/profile"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output JSON path (default stdout)")
+		minSteps = flag.Uint64("minsteps", 500_000, "minimum timed walker-steps per grid point")
+		label    = flag.String("label", "", "machine label recorded in the table")
+		latency  = flag.Bool("latency", false, "also measure and print the Table 1 latency matrix")
+		seed     = flag.Uint64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	if *latency {
+		printLatencyTable(*seed)
+	}
+
+	geom := mem.PaperGeometry()
+	fmt.Fprintln(os.Stderr, "fmprofile: measuring sample-cost grid (this takes a minute or two)...")
+	tab, err := core.MeasureProfile(core.ProfilerConfig{
+		MinSteps:     *minSteps,
+		Seed:         *seed,
+		MachineLabel: *label,
+	}, geom)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fmprofile: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fmprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tab.Write(w); err != nil {
+		fmt.Fprintf(os.Stderr, "fmprofile: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fmprofile: %d points, shuffle %.2f ns/step\n", len(tab.Points), tab.ShuffleNS)
+}
+
+// printLatencyTable reproduces the paper's Table 1 on the host: per-load
+// latency for sequential, random, and pointer-chasing access across
+// working sets sized for each cache level and DRAM.
+func printLatencyTable(seed uint64) {
+	geom := mem.PaperGeometry()
+	sets := []struct {
+		name string
+		ws   uint64
+	}{
+		{"L1C", geom.L1.SizeBytes / 2},
+		{"L2C", geom.L2.SizeBytes / 2},
+		{"L3C", geom.L3.SizeBytes / 2},
+		{"LocalMem", geom.L3.SizeBytes * 16},
+	}
+	fmt.Printf("%-18s", "Location")
+	for _, s := range sets {
+		fmt.Printf("%12s", s.name)
+	}
+	fmt.Println()
+	rows := [][]float64{{}, {}, {}}
+	for _, s := range sets {
+		r := profile.MeasureLatency(s.ws, 1<<20, seed)
+		rows[0] = append(rows[0], r.SeqNS)
+		rows[1] = append(rows[1], r.RandNS)
+		rows[2] = append(rows[2], r.ChaseNS)
+	}
+	for i, name := range []string{"Sequential read", "Random read", "Pointer-chasing"} {
+		fmt.Printf("%-18s", name)
+		for _, v := range rows[i] {
+			fmt.Printf("%10.2fns", v)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,77 @@
+package flashmob_test
+
+import (
+	"fmt"
+	"log"
+
+	"flashmob"
+)
+
+// Example demonstrates the minimal walk workflow: generate (or load) a
+// graph, build a System (which sorts, partitions, and plans), and walk.
+func Example() {
+	g, err := flashmob.Generate("YT", 2000, 42) // ~570-vertex YouTube-shaped graph
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := flashmob.New(g, flashmob.Options{
+		Algorithm:   flashmob.DeepWalk(),
+		Seed:        42,
+		RecordPaths: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Walk(100, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paths, err := res.Paths()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(paths), "paths of length", len(paths[0]))
+	// Output: 100 paths of length 6
+}
+
+// ExampleOptions_edgeStream shows the streaming output mode: sampled edges
+// are delivered step by step instead of retaining history.
+func ExampleOptions_edgeStream() {
+	g, err := flashmob.Generate("YT", 2000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var edges int
+	sys, err := flashmob.New(g, flashmob.Options{
+		Seed: 7,
+		EdgeStream: func(step int, cur, next []flashmob.VID) {
+			edges += len(cur)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Walk(50, 4); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(edges, "edges streamed")
+	// Output: 200 edges streamed
+}
+
+// ExampleSystem_Plan inspects the MCKP auto-configuration.
+func ExampleSystem_Plan() {
+	g, err := flashmob.Generate("TW", 20000, 3) // heavy-tailed graph
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := flashmob.New(g, flashmob.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := sys.Plan()
+	fmt.Println(p.PSVertices+p.DSVertices == g.NumVertices())
+	fmt.Println(p.Bins <= 2048)
+	// Output:
+	// true
+	// true
+}

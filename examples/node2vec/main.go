@@ -1,0 +1,97 @@
+// node2vec demo: the second-order walk's p/q hyper-parameters interpolate
+// between BFS-like and DFS-like exploration (Grover & Leskovec 2016). This
+// example runs FlashMob's node2vec at both extremes and measures the
+// walks' behaviour: return rate (how often a walker revisits its
+// predecessor) and exploration (distinct vertices per walk).
+//
+//	go run ./examples/node2vec
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashmob"
+)
+
+func main() {
+	dir, err := flashmob.Generate("FS", 2000, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// node2vec's return (1/p) and common-neighbour weights only matter
+	// when edges are reciprocal, so symmetrize the generated graph (the
+	// paper's social-network datasets are undirected).
+	g, err := symmetrize(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges (symmetrized)\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("%-28s %12s %14s %12s\n", "configuration", "return-rate", "distinct/walk", "ns/step")
+
+	for _, c := range []struct {
+		name string
+		p, q float64
+	}{
+		{"BFS-like (p=0.25, q=4)", 0.25, 4},
+		{"balanced (p=1, q=1)", 1, 1},
+		{"DFS-like (p=4, q=0.25)", 4, 0.25},
+	} {
+		ret, distinct, nsStep, err := run(g, c.p, c.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %11.1f%% %14.1f %12.1f\n", c.name, 100*ret, distinct, nsStep)
+	}
+	fmt.Println("\nexpected: BFS-like maximizes returns; DFS-like maximizes distinct vertices")
+}
+
+// symmetrize rebuilds a directed graph with every edge reciprocated.
+func symmetrize(g *flashmob.Graph) (*flashmob.Graph, error) {
+	edges := make([]flashmob.Edge, 0, g.NumEdges())
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			edges = append(edges, flashmob.Edge{Src: v, Dst: w})
+		}
+	}
+	return flashmob.BuildGraph(edges, true)
+}
+
+func run(g *flashmob.Graph, p, q float64) (returnRate, distinctPerWalk, nsStep float64, err error) {
+	sys, err := flashmob.New(g, flashmob.Options{
+		Algorithm:   flashmob.Node2Vec(p, q),
+		Seed:        11,
+		RecordPaths: true,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	res, err := sys.Walk(2000, 40)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	paths, err := res.Paths()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var returns, moves, distinct int
+	seen := map[flashmob.VID]bool{}
+	for _, path := range paths {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for i, v := range path {
+			seen[v] = true
+			if i >= 2 {
+				if v == path[i-2] {
+					returns++
+				}
+				moves++
+			}
+		}
+		distinct += len(seen)
+	}
+	return float64(returns) / float64(moves),
+		float64(distinct) / float64(len(paths)),
+		res.PerStepNS(), nil
+}

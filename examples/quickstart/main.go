@@ -1,0 +1,68 @@
+// Quickstart: generate a synthetic social graph, run DeepWalk on it with
+// FlashMob's auto-configured pipeline, and inspect the results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashmob"
+)
+
+func main() {
+	// A YouTube-shaped synthetic graph at 1/200 scale (~5.7k vertices).
+	g, err := flashmob.Generate("YT", 200, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, %.1f KB CSR\n",
+		g.NumVertices(), g.NumEdges(), float64(g.SizeBytes())/1024)
+
+	// New sorts the graph by degree, profiles candidate partitions, and
+	// solves the MCKP to pick partition sizes and sampling policies.
+	sys, err := flashmob.New(g, flashmob.Options{
+		Algorithm:   flashmob.DeepWalk(),
+		Seed:        42,
+		RecordPaths: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := sys.Plan()
+	fmt.Printf("plan: %d partitions in %d groups (%d shuffle bins); PS covers %d vertices, DS %d\n",
+		plan.NumVPs, plan.NumGroups, plan.Bins, plan.PSVertices, plan.DSVertices)
+
+	// |V| walkers, 80 steps each — the DeepWalk convention.
+	res, err := sys.Walk(0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm := res.Timing()
+	fmt.Printf("walked %d walkers × %d steps in %v (%.1f ns/step)\n",
+		res.Walkers(), res.Steps(), tm.Total.Round(1e6), res.PerStepNS())
+	fmt.Printf("stage split: sample %v, shuffle %v, other %v\n",
+		tm.Sample.Round(1e6), tm.Shuffle.Round(1e6), tm.Other.Round(1e6))
+
+	paths, err := res.Paths()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first walker's first 10 hops: %v\n", paths[0][:11])
+
+	// Visit counts confirm the degree-proportional traffic the paper's
+	// Table 2 documents.
+	visits, err := res.VisitCounts()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hub flashmob.VID
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if visits[v] > visits[hub] {
+			hub = v
+		}
+	}
+	fmt.Printf("most visited vertex: %d (degree %d, %d visits)\n",
+		hub, g.Degree(hub), visits[hub])
+}

@@ -1,0 +1,274 @@
+// Package flashmob is a cache-efficient graph random-walk engine, a
+// from-scratch Go reproduction of "Random Walks on Huge Graphs at Cache
+// Efficiency" (Yang, Ma, Thirumuruganathan, Chen, Wu — SOSP 2021).
+//
+// Random walks look like the canonical random-access workload, but
+// FlashMob shows they hide substantial locality: sort vertices by degree,
+// cut them into cache-sized partitions, process all walkers on one
+// partition at a time, and shuffle walkers between steps. Popular
+// (high-degree) partitions additionally pre-sample batches of edges so
+// co-located walkers consume full cache lines. Partition sizes and
+// per-partition policies are chosen optimally by reducing the decision to
+// a Multiple-Choice Knapsack Problem solved with dynamic programming.
+//
+// Quick start:
+//
+//	g, _ := flashmob.Generate("YT", 100, 42)       // synthetic YouTube-shaped graph
+//	sys, _ := flashmob.New(g, flashmob.Options{
+//		Algorithm:   flashmob.DeepWalk(),
+//		RecordPaths: true,
+//	})
+//	res, _ := sys.Walk(0, 0)                       // |V| walkers × 80 steps
+//	fmt.Printf("%.1f ns/step\n", res.PerStepNS())
+//	paths := res.Paths()                           // original vertex IDs
+//
+// The deeper machinery is exposed through the internal packages for the
+// benchmark harness: internal/core (engine), internal/part (MCKP
+// planner), internal/mem + internal/sim (cache-hierarchy simulation),
+// internal/baseline (KnightKing/GraphVite-style comparison engines).
+package flashmob
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/core"
+	"flashmob/internal/gen"
+	"flashmob/internal/graph"
+	"flashmob/internal/part"
+	"flashmob/internal/profile"
+)
+
+// VID is a vertex identifier.
+type VID = graph.VID
+
+// Graph is the CSR adjacency structure all engines consume.
+type Graph = graph.CSR
+
+// Algorithm describes the random-walk process to run.
+type Algorithm = algo.Spec
+
+// DeepWalk returns the first-order uniform walk (80 steps).
+func DeepWalk() Algorithm { return algo.DeepWalk() }
+
+// Node2Vec returns the second-order biased walk with return parameter p
+// and in-out parameter q (40 steps).
+func Node2Vec(p, q float64) Algorithm { return algo.Node2Vec(p, q) }
+
+// PageRankWalk returns a first-order walk with restart probability
+// 1-damping, the Monte-Carlo PageRank estimator.
+func PageRankWalk(damping float64) Algorithm { return algo.PageRankWalk(damping) }
+
+// Planner selects the partitioning strategy.
+type Planner = core.PlannerKind
+
+// Planner choices.
+const (
+	PlannerMCKP      = core.PlannerMCKP
+	PlannerUniformPS = core.PlannerUniformPS
+	PlannerUniformDS = core.PlannerUniformDS
+	PlannerManual    = core.PlannerManual
+)
+
+// Options configures a System.
+type Options struct {
+	// Algorithm is the walk to run (default DeepWalk).
+	Algorithm Algorithm
+	// Workers is the thread count (default GOMAXPROCS).
+	Workers int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Planner selects the partitioning strategy (default MCKP).
+	Planner Planner
+	// TargetGroups and MaxBins are the paper's G and P hyper-parameters
+	// (defaults 128 and 2048).
+	TargetGroups, MaxBins int
+	// MemoryBudget caps walker-array bytes per episode (0 = unlimited).
+	MemoryBudget uint64
+	// RecordPaths keeps full walk histories so Paths() works.
+	RecordPaths bool
+	// EdgeUniformInit places walkers proportionally to degree instead of
+	// one per vertex.
+	EdgeUniformInit bool
+	// CostModel overrides the partition-cost model (default: analytical
+	// model of the paper's Xeon Gold 6126 cache geometry). Use a measured
+	// profile.Table for host-tuned planning.
+	CostModel profile.CostModel
+	// EdgeStream, when non-nil, receives each step's sampled edges in
+	// walker order (cur[j] → next[j]): the streaming output mode for
+	// feeding downstream consumers (e.g. embedding training) without
+	// retaining history. Vertex IDs are in the internal degree-sorted
+	// numbering; slices are reused and must be copied if kept.
+	EdgeStream func(step int, cur, next []VID)
+}
+
+// System is a ready-to-walk FlashMob instance: the graph has been
+// degree-sorted, partitioned, and assigned sampling policies.
+type System struct {
+	engine  *core.Engine
+	reorder *graph.Reordering
+}
+
+// New prepares a System for g. The input graph is not modified: New
+// creates a degree-sorted internal copy (the pre-processing step the paper
+// measures at O(|V|) via counting sort) and plans partitions on it.
+func New(g *Graph, opt Options) (*System, error) {
+	if g == nil {
+		return nil, fmt.Errorf("flashmob: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("flashmob: %w", err)
+	}
+	if opt.Algorithm.Order == 0 {
+		opt.Algorithm = DeepWalk()
+	}
+	reorder := graph.SortByDegreeDesc(g)
+	cfg := core.Config{
+		Workers:       opt.Workers,
+		Seed:          opt.Seed,
+		Planner:       opt.Planner,
+		Model:         opt.CostModel,
+		MemoryBudget:  opt.MemoryBudget,
+		RecordHistory: opt.RecordPaths,
+		Part: part.Config{
+			TargetGroups: opt.TargetGroups,
+			MaxBins:      opt.MaxBins,
+		},
+	}
+	if opt.EdgeUniformInit {
+		cfg.Init = core.InitEdgeUniform
+	}
+	cfg.StepSink = opt.EdgeStream
+	engine, err := core.New(reorder.Graph, opt.Algorithm, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("flashmob: %w", err)
+	}
+	return &System{engine: engine, reorder: reorder}, nil
+}
+
+// Walk advances walkers (0 = |V|) for steps steps (0 = the algorithm's
+// default) and returns the result.
+func (s *System) Walk(walkers uint64, steps int) (*Result, error) {
+	res, err := s.engine.Run(walkers, steps)
+	if err != nil {
+		return nil, fmt.Errorf("flashmob: %w", err)
+	}
+	return &Result{inner: res, reorder: s.reorder}, nil
+}
+
+// PlanSummary describes the partitioning decision in effect.
+type PlanSummary struct {
+	// NumVPs is the total vertex-partition count.
+	NumVPs int
+	// NumGroups is the MCKP class count.
+	NumGroups int
+	// Bins is the outer-shuffle bin count (the MCKP weight).
+	Bins int
+	// PSVertices and DSVertices count vertices under each policy.
+	PSVertices, DSVertices uint32
+}
+
+// Plan returns a summary of the active partitioning.
+func (s *System) Plan() PlanSummary {
+	p := s.engine.Plan()
+	sum := PlanSummary{
+		NumVPs:    p.NumVPs(),
+		NumGroups: len(p.Groups),
+		Bins:      p.Weight(),
+	}
+	for _, vp := range p.VPs {
+		if vp.Policy == profile.PS {
+			sum.PSVertices += vp.Vertices()
+		} else {
+			sum.DSVertices += vp.Vertices()
+		}
+	}
+	return sum
+}
+
+// Generate builds a synthetic stand-in for one of the paper's datasets
+// ("YT", "TW", "FS", "UK", "YH"), downscaled by scaleDiv (1 = full size —
+// beware memory). The degree distribution matches the paper's Table 2
+// shape at the generated size.
+func Generate(preset string, scaleDiv uint32, seed uint64) (*Graph, error) {
+	p, err := gen.PresetByName(preset)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(scaleDiv, seed)
+}
+
+// BuildGraph assembles a CSR from an edge list. Set undirected to insert
+// reverse edges (the convention for the paper's social graphs).
+func BuildGraph(edges []graph.Edge, undirected bool) (*Graph, error) {
+	res, err := graph.Build(edges, graph.BuildOptions{
+		Undirected:      undirected,
+		RemoveSelfLoops: true,
+		Dedup:           true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Graph, nil
+}
+
+// Edge is one input edge for BuildGraph.
+type Edge = graph.Edge
+
+// LoadEdgeList reads a SNAP-style text edge list and builds a graph.
+func LoadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
+	edges, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return BuildGraph(edges, undirected)
+}
+
+// LoadFile loads a graph from a file: binary CSR (written by SaveFile) or
+// text edge list, chosen by probing the binary magic.
+func LoadFile(path string, undirected bool) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if g, err := graph.ReadBinary(f); err == nil {
+		return g, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return LoadEdgeList(f, undirected)
+}
+
+// SaveFile writes g in the binary CSR format.
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return graph.WriteBinary(f, g)
+}
+
+// PlanJSON serializes the active partition plan (internal degree-sorted
+// vertex numbering) for inspection or caching.
+func (s *System) PlanJSON(w io.Writer) error {
+	return s.engine.Plan().WriteJSON(w)
+}
+
+// PlanDescription returns a human-readable layout summary (the paper's
+// Figure 10a view).
+func (s *System) PlanDescription() string {
+	return s.engine.Plan().Summary()
+}
+
+// SelfAvoiding returns an order-(window+1) walk that suppresses
+// revisiting vertices seen within the last `window` steps — an example of
+// the engine's general order-k transition support (see algo.HigherOrder
+// for fully custom history-dependent walks).
+func SelfAvoiding(window, steps int, eps float64) Algorithm {
+	return algo.SelfAvoiding(window, steps, eps)
+}

@@ -1,0 +1,3 @@
+module flashmob
+
+go 1.22

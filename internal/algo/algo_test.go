@@ -1,0 +1,225 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+)
+
+func lineGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	// 0 ↔ 1 ↔ 2 ↔ 3, plus chord 1 ↔ 3.
+	res, err := graph.Build([]graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 1, Dst: 3},
+	}, graph.BuildOptions{Undirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+func TestSpecValidate(t *testing.T) {
+	for _, s := range []Spec{DeepWalk(), Node2Vec(1, 1), Node2Vec(0.25, 4), PageRankWalk(0.85)} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	bad := []Spec{
+		{Order: 3, Steps: 1},
+		{Order: 1, Steps: 0},
+		{Order: 2, Steps: 10, P: 0, Q: 1},
+		{Order: 2, Steps: 10, P: 1, Q: -1},
+		{Order: 1, Steps: 10, StopProb: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	if s := DeepWalk(); s.Steps != 80 || s.Order != 1 {
+		t.Errorf("DeepWalk defaults wrong: %+v", s)
+	}
+	if s := Node2Vec(2, 0.5); s.Steps != 40 || s.Order != 2 || s.P != 2 || s.Q != 0.5 {
+		t.Errorf("Node2Vec defaults wrong: %+v", s)
+	}
+	if s := PageRankWalk(0.85); math.Abs(s.StopProb-0.15) > 1e-12 {
+		t.Errorf("PageRank stop prob: %v", s.StopProb)
+	}
+}
+
+func TestNextFirstOrderUniform(t *testing.T) {
+	g := lineGraph(t)
+	src := rng.NewXorShift64Star(1)
+	counts := map[graph.VID]int{}
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		counts[NextFirstOrder(g, 1, src)]++
+	}
+	// Vertex 1 has neighbours 0, 2, 3 — each ~1/3.
+	for _, v := range []graph.VID{0, 2, 3} {
+		share := float64(counts[v]) / draws
+		if math.Abs(share-1.0/3) > 0.02 {
+			t.Errorf("neighbour %d share %.3f, want ≈1/3", v, share)
+		}
+	}
+}
+
+func TestNextFirstOrderDeadEnd(t *testing.T) {
+	// Vertex 1 has no out-edges.
+	res, err := graph.Build([]graph.Edge{{Src: 0, Dst: 1}}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewXorShift64Star(2)
+	if got := NextFirstOrder(res.Graph, 1, src); got != 1 {
+		t.Errorf("dead-end walker moved to %d, want stay at 1", got)
+	}
+}
+
+func TestNode2VecWeight(t *testing.T) {
+	g := lineGraph(t)
+	p, q := 2.0, 0.5
+	// From u=2 with predecessor s=1: returning to 1 costs 1/p; vertex 3 is
+	// a neighbour of 1 → weight 1.
+	if w := Node2VecWeight(g, 1, 1, p, q); w != 0.5 {
+		t.Errorf("return weight %v, want 0.5", w)
+	}
+	if w := Node2VecWeight(g, 1, 3, p, q); w != 1 {
+		t.Errorf("common-neighbour weight %v, want 1", w)
+	}
+	// From u=1 with s=0: vertex 2 is not adjacent to 0 → 1/q.
+	if w := Node2VecWeight(g, 0, 2, p, q); w != 2 {
+		t.Errorf("far weight %v, want 2", w)
+	}
+}
+
+func TestNode2VecRejectionMatchesExact(t *testing.T) {
+	g := lineGraph(t)
+	for _, pq := range [][2]float64{{1, 1}, {0.25, 4}, {4, 0.25}, {2, 0.5}} {
+		p, q := pq[0], pq[1]
+		s, u := graph.VID(0), graph.VID(1)
+		const draws = 80000
+		rej := map[graph.VID]float64{}
+		exact := map[graph.VID]float64{}
+		srcA := rng.NewXorShift64Star(7)
+		srcB := rng.NewXorShift64Star(8)
+		for i := 0; i < draws; i++ {
+			rej[NextNode2Vec(g, s, u, p, q, srcA)]++
+			exact[NextNode2VecExact(g, s, u, p, q, srcB)]++
+		}
+		for _, x := range g.Neighbors(u) {
+			a, b := rej[x]/draws, exact[x]/draws
+			if math.Abs(a-b) > 0.015 {
+				t.Errorf("p=%v q=%v: candidate %d rejection %.3f vs exact %.3f", p, q, x, a, b)
+			}
+		}
+	}
+}
+
+func TestNode2VecBFSDFSBias(t *testing.T) {
+	g := lineGraph(t)
+	s, u := graph.VID(0), graph.VID(1)
+	src := rng.NewXorShift64Star(3)
+	const draws = 50000
+	// Low q (DFS-like): prefer far vertex 2 (not adjacent to 0) over
+	// returning.
+	var far, ret int
+	for i := 0; i < draws; i++ {
+		switch NextNode2Vec(g, s, u, 4, 0.25, src) {
+		case 2:
+			far++
+		case 0:
+			ret++
+		}
+	}
+	if far <= ret*2 {
+		t.Errorf("DFS bias missing: far=%d return=%d", far, ret)
+	}
+	// High q, low p (BFS-like): returning dominates far hops.
+	far, ret = 0, 0
+	for i := 0; i < draws; i++ {
+		switch NextNode2Vec(g, s, u, 0.25, 4, src) {
+		case 2:
+			far++
+		case 0:
+			ret++
+		}
+	}
+	if ret <= far*2 {
+		t.Errorf("BFS bias missing: far=%d return=%d", far, ret)
+	}
+}
+
+func TestNode2VecDeadEnd(t *testing.T) {
+	res, err := graph.Build([]graph.Edge{{Src: 0, Dst: 1}}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewXorShift64Star(4)
+	if got := NextNode2Vec(res.Graph, 0, 1, 1, 1, src); got != 1 {
+		t.Errorf("dead-end node2vec moved to %d", got)
+	}
+}
+
+func TestWeightedSampler(t *testing.T) {
+	res, err := graph.Build([]graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 0, Dst: 2, Weight: 3},
+	}, graph.BuildOptions{Weighted: true, NumVertices: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := NewWeightedSampler(res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewXorShift64Star(5)
+	var to2 int
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		if ws.Next(0, src) == 2 {
+			to2++
+		}
+	}
+	if share := float64(to2) / draws; math.Abs(share-0.75) > 0.02 {
+		t.Errorf("weighted share to heavy edge %.3f, want ≈0.75", share)
+	}
+	// Dead end stays put.
+	if ws.Next(2, src) != 2 {
+		t.Error("weighted dead-end moved")
+	}
+}
+
+func TestWeightedSamplerRequiresWeights(t *testing.T) {
+	g := lineGraph(t)
+	if _, err := NewWeightedSampler(g); err == nil {
+		t.Fatal("unweighted graph accepted")
+	}
+}
+
+func TestWeightedSamplerZeroWeightsFallback(t *testing.T) {
+	res, err := graph.Build([]graph.Edge{
+		{Src: 0, Dst: 1, Weight: 0},
+		{Src: 0, Dst: 2, Weight: 0},
+	}, graph.BuildOptions{Weighted: true, NumVertices: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := NewWeightedSampler(res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewXorShift64Star(6)
+	seen := map[graph.VID]bool{}
+	for i := 0; i < 100; i++ {
+		seen[ws.Next(0, src)] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Error("zero-weight fallback not uniform over neighbours")
+	}
+}

@@ -1,0 +1,124 @@
+package algo
+
+import (
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+)
+
+// Transition defines an application-specific second-order walk: an
+// arbitrary unnormalized weight over candidate next vertices, sampled by
+// rejection exactly as KnightKing's application-agnostic engine does.
+// Every engine in this repository (FlashMob, the baselines, the
+// distributed engine) accepts a Spec carrying one, so custom applications
+// — SimRank-style pair walks, backtrack-averse explorations, metapath
+// walks on typed graphs — run on the same cache-efficient machinery.
+type Transition struct {
+	// Weight returns the unnormalized probability weight of stepping from
+	// cur (reached from prev) to candidate cand, which is always an
+	// out-neighbour of cur. It must be non-negative and must not exceed
+	// MaxWeight. A weight of 0 rejects the candidate outright.
+	Weight func(g *graph.CSR, prev, cur, cand graph.VID) float64
+	// MaxWeight is the rejection-sampling bound: expected tries per step
+	// are MaxWeight divided by the mean candidate weight.
+	MaxWeight float64
+}
+
+// Custom returns a second-order spec driven by the given transition.
+func Custom(name string, steps int, tr *Transition) Spec {
+	return Spec{Name: name, Order: 2, Steps: steps, P: 1, Q: 1, Custom: tr}
+}
+
+// NoBacktrack returns a walk that suppresses immediate backtracking: the
+// predecessor is re-selected with relative weight eps (0 forbids it
+// entirely unless it is the only neighbour — the walk then stalls one
+// round and retries, so use a small positive eps on graphs with leaves).
+func NoBacktrack(steps int, eps float64) Spec {
+	return Custom("no-backtrack", steps, &Transition{
+		MaxWeight: 1,
+		Weight: func(g *graph.CSR, prev, cur, cand graph.VID) float64 {
+			if cand == prev {
+				return eps
+			}
+			return 1
+		},
+	})
+}
+
+// NextCustom advances a custom second-order walk one step by rejection
+// sampling over uniform neighbour candidates.
+func NextCustom(g *graph.CSR, tr *Transition, prev, cur graph.VID, src rng.Source) graph.VID {
+	d := g.Degree(cur)
+	if d == 0 {
+		return cur
+	}
+	adj := g.Neighbors(cur)
+	if d == 1 {
+		// Single neighbour: rejection would loop forever on weight 0.
+		return adj[0]
+	}
+	for {
+		x := adj[rng.Uint32n(src, d)]
+		w := tr.Weight(g, prev, cur, x)
+		if w >= tr.MaxWeight || rng.Float64(src)*tr.MaxWeight < w {
+			return x
+		}
+	}
+}
+
+// KTransition defines an order-k walk (the paper's general
+// p(v | u, t, s, ...) form, §2.1): the transition weight may inspect a
+// bounded window of the walker's history. history[0] is the immediate
+// predecessor, history[1] the vertex before it, and so on.
+type KTransition struct {
+	// Window is the number of predecessors carried (k-1 for an order-k
+	// walk).
+	Window int
+	// MaxWeight bounds Weight for rejection sampling.
+	MaxWeight float64
+	// Weight returns the unnormalized weight of stepping from cur to
+	// cand, which is always an out-neighbour of cur.
+	Weight func(g *graph.CSR, history []graph.VID, cur, cand graph.VID) float64
+}
+
+// HigherOrder returns an order-(window+1) spec driven by tr.
+func HigherOrder(name string, steps int, tr *KTransition) Spec {
+	return Spec{Name: name, Order: tr.Window + 1, Steps: steps, P: 1, Q: 1, History: tr}
+}
+
+// SelfAvoiding returns a walk that suppresses revisiting any vertex seen
+// in the last `window` steps (relative weight eps for recently visited
+// candidates) — a simple, testable order-k application.
+func SelfAvoiding(window, steps int, eps float64) Spec {
+	return HigherOrder("self-avoiding", steps, &KTransition{
+		Window:    window,
+		MaxWeight: 1,
+		Weight: func(g *graph.CSR, history []graph.VID, cur, cand graph.VID) float64 {
+			for _, h := range history {
+				if cand == h {
+					return eps
+				}
+			}
+			return 1
+		},
+	})
+}
+
+// NextHigherOrder advances an order-k walk one step by rejection sampling
+// over uniform neighbour candidates.
+func NextHigherOrder(g *graph.CSR, tr *KTransition, history []graph.VID, cur graph.VID, src rng.Source) graph.VID {
+	d := g.Degree(cur)
+	if d == 0 {
+		return cur
+	}
+	adj := g.Neighbors(cur)
+	if d == 1 {
+		return adj[0] // single continuation: weight 0 must not spin
+	}
+	for {
+		x := adj[rng.Uint32n(src, d)]
+		w := tr.Weight(g, history, cur, x)
+		if w >= tr.MaxWeight || rng.Float64(src)*tr.MaxWeight < w {
+			return x
+		}
+	}
+}

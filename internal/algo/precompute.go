@@ -1,0 +1,104 @@
+package algo
+
+import (
+	"fmt"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+)
+
+// Node2VecPrecomputed materializes one alias table per directed edge
+// (s → u), covering the full second-order transition distribution out of u
+// given predecessor s. This is the classical pre-processing approach the
+// paper's related work attributes to Spark-Node2Vec-style systems: O(1)
+// sampling per step, but O(Σ_u d(u)·d̄(in)) memory and build time, which
+// is why rejection sampling (NextNode2Vec) replaced it at scale — the
+// tests and benchmarks here quantify that trade-off.
+type Node2VecPrecomputed struct {
+	g *graph.CSR
+	// tables[edgeIdx] is the alias table for walks arriving via
+	// Targets[edgeIdx] — i.e. predecessor = source of edge, current =
+	// target. Indexed by the incoming edge's position in CSR order.
+	tables []*rng.AliasTable
+	p, q   float64
+}
+
+// NewNode2VecPrecomputed builds all per-edge tables. maxEntries bounds the
+// total alias-table entries (Σ over edges of d(target)); building stops
+// with an error beyond it, making the memory blow-up explicit rather than
+// silent.
+func NewNode2VecPrecomputed(g *graph.CSR, p, q float64, maxEntries uint64) (*Node2VecPrecomputed, error) {
+	if p <= 0 || q <= 0 {
+		return nil, fmt.Errorf("algo: node2vec requires positive p and q")
+	}
+	// Pre-flight the entry count so we fail before allocating.
+	var entries uint64
+	for s := uint32(0); s < g.NumVertices(); s++ {
+		for _, u := range g.Neighbors(s) {
+			entries += uint64(g.Degree(u))
+		}
+	}
+	if entries > maxEntries {
+		return nil, fmt.Errorf("algo: precomputed node2vec needs %d alias entries (≈%dMB), budget is %d",
+			entries, entries*12/(1<<20), maxEntries)
+	}
+	pc := &Node2VecPrecomputed{
+		g:      g,
+		tables: make([]*rng.AliasTable, g.NumEdges()),
+		p:      p,
+		q:      q,
+	}
+	weights := make([]float64, 0, 64)
+	for s := uint32(0); s < g.NumVertices(); s++ {
+		adjS := g.Neighbors(s)
+		base := g.Offsets[s]
+		for i, u := range adjS {
+			adjU := g.Neighbors(u)
+			if len(adjU) == 0 {
+				continue
+			}
+			weights = weights[:0]
+			for _, x := range adjU {
+				weights = append(weights, Node2VecWeight(g, s, x, p, q))
+			}
+			pc.tables[base+uint64(i)] = rng.NewAliasTable(weights)
+		}
+	}
+	return pc, nil
+}
+
+// EntryCount returns the total alias-table entries held (the memory-cost
+// driver).
+func (pc *Node2VecPrecomputed) EntryCount() uint64 {
+	var n uint64
+	for _, t := range pc.tables {
+		if t != nil {
+			n += uint64(t.Len())
+		}
+	}
+	return n
+}
+
+// Next samples the next vertex for a walker at u that arrived via the
+// edge with CSR index incomingEdge (so its predecessor is that edge's
+// source). O(1) per step.
+func (pc *Node2VecPrecomputed) Next(u graph.VID, incomingEdge uint64, src rng.Source) (graph.VID, uint64) {
+	t := pc.tables[incomingEdge]
+	if t == nil {
+		return u, incomingEdge // dead end: stay
+	}
+	k := t.Sample(src)
+	return pc.g.Neighbors(u)[k], pc.g.Offsets[u] + uint64(k)
+}
+
+// FirstEdge picks a uniform first step out of start, returning the next
+// vertex and the edge index taken (the state Next needs).
+func (pc *Node2VecPrecomputed) FirstEdge(start graph.VID, src rng.Source) (graph.VID, uint64, bool) {
+	d := pc.g.Degree(start)
+	if d == 0 {
+		return start, 0, false
+	}
+	k := rng.Uint32n(src, d)
+	idx := pc.g.Offsets[start] + uint64(k)
+	return pc.g.Targets[idx], idx, true
+}

@@ -1,0 +1,127 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+)
+
+func TestPrecomputedMatchesRejection(t *testing.T) {
+	g := lineGraph(t)
+	p, q := 2.0, 0.5
+	pc, err := NewNode2VecPrecomputed(g, p, q, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walker at u=1 arrived from s=0: find the edge index 0→1.
+	var incoming uint64
+	found := false
+	for i, x := range g.Neighbors(0) {
+		if x == 1 {
+			incoming = g.Offsets[0] + uint64(i)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("edge 0→1 missing")
+	}
+	const draws = 80000
+	srcA := rng.NewXorShift64Star(1)
+	srcB := rng.NewXorShift64Star(2)
+	pcCounts := map[graph.VID]float64{}
+	rejCounts := map[graph.VID]float64{}
+	for i := 0; i < draws; i++ {
+		nx, _ := pc.Next(1, incoming, srcA)
+		pcCounts[nx]++
+		rejCounts[NextNode2Vec(g, 0, 1, p, q, srcB)]++
+	}
+	for _, x := range g.Neighbors(1) {
+		a, b := pcCounts[x]/draws, rejCounts[x]/draws
+		if math.Abs(a-b) > 0.015 {
+			t.Errorf("candidate %d: precomputed %.3f vs rejection %.3f", x, a, b)
+		}
+	}
+}
+
+func TestPrecomputedFullWalkValid(t *testing.T) {
+	g := lineGraph(t)
+	pc, err := NewNode2VecPrecomputed(g, 1, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewXorShift64Star(3)
+	for w := 0; w < 200; w++ {
+		cur := graph.VID(uint32(w) % g.NumVertices())
+		next, edge, ok := pc.FirstEdge(cur, src)
+		if !ok {
+			continue
+		}
+		if !g.HasEdge(cur, next) {
+			t.Fatalf("first step %d→%d not an edge", cur, next)
+		}
+		cur = next
+		for s := 0; s < 20; s++ {
+			nx, nedge := pc.Next(cur, edge, src)
+			if nx == cur && g.Degree(cur) == 0 {
+				break // dead end stays
+			}
+			if !g.HasEdge(cur, nx) {
+				t.Fatalf("step %d→%d not an edge", cur, nx)
+			}
+			cur, edge = nx, nedge
+		}
+	}
+}
+
+func TestPrecomputedMemoryGuard(t *testing.T) {
+	g := lineGraph(t)
+	if _, err := NewNode2VecPrecomputed(g, 1, 1, 1); err == nil {
+		t.Fatal("budget of 1 entry accepted")
+	}
+	if _, err := NewNode2VecPrecomputed(g, 0, 1, 100); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestPrecomputedEntryCount(t *testing.T) {
+	g := lineGraph(t)
+	pc, err := NewNode2VecPrecomputed(g, 1, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entries = Σ over edges (s→u) of d(u).
+	var want uint64
+	for s := uint32(0); s < g.NumVertices(); s++ {
+		for _, u := range g.Neighbors(s) {
+			want += uint64(g.Degree(u))
+		}
+	}
+	if got := pc.EntryCount(); got != want {
+		t.Errorf("EntryCount = %d, want %d", got, want)
+	}
+}
+
+func BenchmarkNode2VecRejection(b *testing.B) {
+	g := lineGraph(b)
+	src := rng.NewXorShift64Star(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NextNode2Vec(g, 0, 1, 2, 0.5, src)
+	}
+}
+
+func BenchmarkNode2VecPrecomputed(b *testing.B) {
+	g := lineGraph(b)
+	pc, err := NewNode2VecPrecomputed(g, 2, 0.5, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	incoming := g.Offsets[0] // first edge out of 0
+	src := rng.NewXorShift64Star(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc.Next(1, incoming, src)
+	}
+}

@@ -1,0 +1,143 @@
+// Package apps implements classical random-walk applications from the
+// paper's introduction — aggregate estimation over graphs reachable only
+// by sampling (Gjoka et al. 2010, Massoulié et al. 2006, Katzir et al.)
+// and SimRank similarity (Jeh & Widom 2002) — as Monte-Carlo estimators on
+// top of the walk engines. They demonstrate the substrate end to end and
+// double as statistical integration tests: each estimator converges to a
+// quantity computable exactly on small graphs.
+package apps
+
+import (
+	"fmt"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+)
+
+// sampleStationary runs one long uniform walk with burn-in and returns
+// every post-burn-in visit — degree-biased (stationary) samples on an
+// undirected graph, the standard access model for estimating properties
+// of graphs that can only be crawled.
+func sampleStationary(g *graph.CSR, samples, burnIn int, seed uint64) ([]graph.VID, error) {
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("apps: empty graph")
+	}
+	if samples <= 0 {
+		return nil, fmt.Errorf("apps: need a positive sample count")
+	}
+	src := rng.NewXorShift1024Star(seed)
+	cur := graph.VID(rng.Uint32n(src, g.NumVertices()))
+	out := make([]graph.VID, 0, samples)
+	for i := 0; i < burnIn+samples; i++ {
+		cur = algo.NextFirstOrder(g, cur, src)
+		if i >= burnIn {
+			out = append(out, cur)
+		}
+	}
+	return out, nil
+}
+
+// EstimateAvgDegree estimates |E|/|V| of an undirected graph from
+// stationary walk samples, correcting the degree bias with the harmonic
+// mean: under π(v) ∝ deg(v), E[1/deg] = |V| / 2|E|, so the harmonic mean
+// of visited degrees is the average degree (Gjoka et al.'s re-weighted
+// estimator).
+func EstimateAvgDegree(g *graph.CSR, samples int, seed uint64) (float64, error) {
+	visits, err := sampleStationary(g, samples, samples/10+100, seed)
+	if err != nil {
+		return 0, err
+	}
+	var invSum float64
+	for _, v := range visits {
+		d := g.Degree(v)
+		if d == 0 {
+			continue
+		}
+		invSum += 1 / float64(d)
+	}
+	if invSum == 0 {
+		return 0, fmt.Errorf("apps: all sampled vertices were dead ends")
+	}
+	return float64(len(visits)) / invSum, nil
+}
+
+// EstimateNumVertices estimates |V| of an undirected graph from stationary
+// samples using Katzir, Liberty & Somekh's collision estimator:
+// n̂ = (Σ 1/deg)(Σ deg) / (number of sample collisions), computed over all
+// ordered sample pairs.
+func EstimateNumVertices(g *graph.CSR, samples int, seed uint64) (float64, error) {
+	visits, err := sampleStationary(g, samples, samples/10+100, seed)
+	if err != nil {
+		return 0, err
+	}
+	var sumDeg, sumInv float64
+	counts := make(map[graph.VID]int, len(visits))
+	for _, v := range visits {
+		d := float64(g.Degree(v))
+		if d == 0 {
+			continue
+		}
+		sumDeg += d
+		sumInv += 1 / d
+		counts[v]++
+	}
+	// Collisions: ordered pairs of identical samples.
+	var collisions float64
+	for _, c := range counts {
+		collisions += float64(c) * float64(c-1)
+	}
+	if collisions == 0 {
+		return 0, fmt.Errorf("apps: no sample collisions — increase the sample count")
+	}
+	return sumDeg * sumInv / collisions, nil
+}
+
+// SimRank estimates the SimRank similarity s(a, b) with decay c by
+// Monte-Carlo: two independent reverse walks from a and b; s(a,b) =
+// E[c^T] with T the step at which they first meet (0 if they never meet
+// within maxSteps). The reverse graph is the transpose; pass the graph
+// itself for undirected graphs.
+type SimRank struct {
+	rev   *graph.CSR
+	c     float64
+	steps int
+}
+
+// NewSimRank prepares an estimator over g with decay c (typically 0.6–0.8)
+// and a per-walk step bound.
+func NewSimRank(g *graph.CSR, c float64, maxSteps int) (*SimRank, error) {
+	if c <= 0 || c >= 1 {
+		return nil, fmt.Errorf("apps: SimRank decay must be in (0,1), got %v", c)
+	}
+	if maxSteps <= 0 {
+		return nil, fmt.Errorf("apps: SimRank needs a positive step bound")
+	}
+	return &SimRank{rev: graph.Transpose(g), c: c, steps: maxSteps}, nil
+}
+
+// Estimate runs `pairs` walk pairs from (a, b) and returns the mean
+// decayed first-meeting indicator. s(a,a) is 1 by definition.
+func (s *SimRank) Estimate(a, b graph.VID, pairs int, seed uint64) float64 {
+	if a == b {
+		return 1
+	}
+	src := rng.NewXorShift1024Star(seed)
+	var sum float64
+	for i := 0; i < pairs; i++ {
+		x, y := a, b
+		for t := 1; t <= s.steps; t++ {
+			x = algo.NextFirstOrder(s.rev, x, src)
+			y = algo.NextFirstOrder(s.rev, y, src)
+			if x == y {
+				pow := 1.0
+				for k := 0; k < t; k++ {
+					pow *= s.c
+				}
+				sum += pow
+				break
+			}
+		}
+	}
+	return sum / float64(pairs)
+}

@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"flashmob/internal/gen"
+	"flashmob/internal/graph"
+)
+
+func undirected(t *testing.T, n uint32, seed uint64) *graph.CSR {
+	t.Helper()
+	dir, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: n, AvgDegree: 6, Alpha: 0.7, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []graph.Edge
+	for v := uint32(0); v < dir.NumVertices(); v++ {
+		for _, w := range dir.Neighbors(v) {
+			if v != w {
+				edges = append(edges, graph.Edge{Src: v, Dst: w})
+			}
+		}
+	}
+	res, err := graph.Build(edges, graph.BuildOptions{Undirected: true, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+func TestEstimateAvgDegree(t *testing.T) {
+	g := undirected(t, 2000, 1)
+	got, err := EstimateAvgDegree(g, 200000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.AvgDegree()
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("estimated avg degree %.2f, true %.2f", got, want)
+	}
+}
+
+func TestEstimateNumVertices(t *testing.T) {
+	g := undirected(t, 1500, 3)
+	got, err := EstimateNumVertices(g, 120000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(g.NumVertices())
+	if math.Abs(got-want)/want > 0.2 {
+		t.Errorf("estimated |V| %.0f, true %.0f", got, want)
+	}
+}
+
+func TestEstimatorErrors(t *testing.T) {
+	g := undirected(t, 100, 5)
+	if _, err := EstimateAvgDegree(g, 0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+	empty := &graph.CSR{Offsets: []uint64{0}}
+	if _, err := EstimateAvgDegree(empty, 10, 1); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+// simRankExact computes SimRank by fixed-point iteration for reference.
+func simRankExact(g *graph.CSR, c float64, iters int) [][]float64 {
+	tr := graph.Transpose(g)
+	n := int(g.NumVertices())
+	s := make([][]float64, n)
+	next := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		next[i] = make([]float64, n)
+		s[i][i] = 1
+	}
+	for it := 0; it < iters; it++ {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					next[a][b] = 1
+					continue
+				}
+				ia, ib := tr.Neighbors(uint32(a)), tr.Neighbors(uint32(b))
+				if len(ia) == 0 || len(ib) == 0 {
+					next[a][b] = 0
+					continue
+				}
+				var sum float64
+				for _, x := range ia {
+					for _, y := range ib {
+						sum += s[x][y]
+					}
+				}
+				next[a][b] = c * sum / float64(len(ia)*len(ib))
+			}
+		}
+		s, next = next, s
+	}
+	return s
+}
+
+func TestSimRankMatchesExact(t *testing.T) {
+	// A small directed graph with clear structural similarity: vertices 1
+	// and 2 are both pointed at by 0 and 3.
+	res, err := graph.Build([]graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2},
+		{Src: 3, Dst: 1}, {Src: 3, Dst: 2},
+		{Src: 1, Dst: 4}, {Src: 2, Dst: 4},
+		{Src: 4, Dst: 0}, {Src: 4, Dst: 3},
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	const c = 0.6
+	exact := simRankExact(g, c, 15)
+	sr, err := NewSimRank(g, c, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]graph.VID{{1, 2}, {0, 3}, {0, 4}} {
+		got := sr.Estimate(pair[0], pair[1], 60000, 7)
+		want := exact[pair[0]][pair[1]]
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("s(%d,%d) = %.3f, exact %.3f", pair[0], pair[1], got, want)
+		}
+	}
+	if sr.Estimate(2, 2, 10, 8) != 1 {
+		t.Error("s(a,a) must be 1")
+	}
+}
+
+func TestSimRankErrors(t *testing.T) {
+	g := undirected(t, 50, 9)
+	if _, err := NewSimRank(g, 0, 10); err == nil {
+		t.Error("decay 0 accepted")
+	}
+	if _, err := NewSimRank(g, 1, 10); err == nil {
+		t.Error("decay 1 accepted")
+	}
+	if _, err := NewSimRank(g, 0.5, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestTransposeAndInDegrees(t *testing.T) {
+	res, err := graph.Build([]graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 2, Dst: 1},
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	tr := graph.Transpose(g)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.HasEdge(1, 0) || !tr.HasEdge(2, 0) || !tr.HasEdge(1, 2) {
+		t.Error("transpose missing reversed edges")
+	}
+	if tr.HasEdge(0, 1) {
+		t.Error("transpose kept a forward edge")
+	}
+	in := graph.InDegrees(g)
+	if in[1] != 2 || in[0] != 0 || in[2] != 1 {
+		t.Errorf("in-degrees = %v", in)
+	}
+	if graph.IsUndirected(g) {
+		t.Error("directed graph reported undirected")
+	}
+	u := undirected(t, 100, 10)
+	if !graph.IsUndirected(u) {
+		t.Error("undirected graph reported directed")
+	}
+}

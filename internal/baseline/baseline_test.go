@@ -1,0 +1,228 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/gen"
+	"flashmob/internal/graph"
+)
+
+func testGraph(t *testing.T, n uint32, seed uint64) *graph.CSR {
+	t.Helper()
+	dir, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: n, AvgDegree: 6, Alpha: 0.7, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []graph.Edge
+	for v := uint32(0); v < dir.NumVertices(); v++ {
+		for _, w := range dir.Neighbors(v) {
+			if v != w {
+				edges = append(edges, graph.Edge{Src: v, Dst: w})
+			}
+		}
+	}
+	res, err := graph.Build(edges, graph.BuildOptions{Undirected: true, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+func TestKnightKingValidWalks(t *testing.T) {
+	g := testGraph(t, 500, 1)
+	k, err := NewKnightKing(g, algo.DeepWalk(), Config{Workers: 4, Seed: 2, RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Run(1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSteps != 10000 {
+		t.Fatalf("TotalSteps = %d", res.TotalSteps)
+	}
+	h := res.History
+	for j := 0; j < h.NumWalkers(); j++ {
+		for i := 0; i+1 < h.NumSteps(); i++ {
+			u, v := h.At(i, j), h.At(i+1, j)
+			if u == v && g.Degree(u) == 0 {
+				continue
+			}
+			if !g.HasEdge(u, v) {
+				t.Fatalf("walker %d step %d: %d→%d not an edge", j, i, u, v)
+			}
+		}
+	}
+	if res.PerStepNS() <= 0 {
+		t.Error("PerStepNS not positive")
+	}
+}
+
+func TestGraphViteValidWalks(t *testing.T) {
+	g := testGraph(t, 400, 3)
+	gv, err := NewGraphVite(g, algo.DeepWalk(), Config{Workers: 2, Seed: 4, RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gv.Run(500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.History
+	for j := 0; j < h.NumWalkers(); j++ {
+		for i := 0; i+1 < h.NumSteps(); i++ {
+			u, v := h.At(i, j), h.At(i+1, j)
+			if u == v && g.Degree(u) == 0 {
+				continue
+			}
+			if !g.HasEdge(u, v) {
+				t.Fatalf("GraphVite walker %d step %d: %d→%d not an edge", j, i, u, v)
+			}
+		}
+	}
+}
+
+func TestBaselinesMatchStationaryDistribution(t *testing.T) {
+	// Both baselines implement the same process: final-position shares of
+	// high-degree vertices must approach deg/Σdeg.
+	g := testGraph(t, 200, 5)
+	k, _ := NewKnightKing(g, algo.DeepWalk(), Config{Workers: 4, Seed: 6, RecordHistory: true})
+	res, err := k.Run(40000, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.History
+	counts := make([]float64, g.NumVertices())
+	last := h.NumSteps() - 1
+	for j := 0; j < h.NumWalkers(); j++ {
+		counts[h.At(last, j)]++
+	}
+	sumDeg := float64(g.NumEdges())
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		want := float64(g.Degree(v)) / sumDeg
+		got := counts[v] / float64(h.NumWalkers())
+		if want > 0.01 && math.Abs(got-want) > 0.25*want {
+			t.Errorf("vertex %d: share %.4f, stationary %.4f", v, got, want)
+		}
+	}
+}
+
+func TestKnightKingNode2Vec(t *testing.T) {
+	g := testGraph(t, 300, 7)
+	k, err := NewKnightKing(g, algo.Node2Vec(0.5, 2), Config{Workers: 2, Seed: 8, RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Run(500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.History
+	for j := 0; j < h.NumWalkers(); j++ {
+		for i := 0; i+1 < h.NumSteps(); i++ {
+			u, v := h.At(i, j), h.At(i+1, j)
+			if u == v && g.Degree(u) == 0 {
+				continue
+			}
+			if !g.HasEdge(u, v) {
+				t.Fatalf("node2vec %d→%d not an edge", u, v)
+			}
+		}
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	g := testGraph(t, 100, 9)
+	if _, err := NewKnightKing(g, algo.Spec{Order: 9, Steps: 1}, Config{}); err == nil {
+		t.Error("bad spec accepted")
+	}
+	spec := algo.DeepWalk()
+	spec.Weighted = true
+	if _, err := NewKnightKing(g, spec, Config{}); err == nil {
+		t.Error("weighted on unweighted accepted")
+	}
+	if _, err := NewGraphVite(g, spec, Config{}); err == nil {
+		t.Error("GraphVite weighted on unweighted accepted")
+	}
+	k, _ := NewKnightKing(g, algo.DeepWalk(), Config{})
+	if _, err := k.Run(10, -2); err == nil {
+		t.Error("negative steps accepted")
+	}
+}
+
+func TestBaselineDefaults(t *testing.T) {
+	g := testGraph(t, 100, 10)
+	k, _ := NewKnightKing(g, algo.DeepWalk(), Config{Workers: 1, Seed: 11})
+	res, err := k.Run(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Walkers != uint64(g.NumVertices()) || res.Steps != 80 {
+		t.Errorf("defaults: walkers=%d steps=%d", res.Walkers, res.Steps)
+	}
+}
+
+func TestBaselineStopProbRestarts(t *testing.T) {
+	g := testGraph(t, 150, 12)
+	spec := algo.PageRankWalk(0.5) // high restart rate
+	k, _ := NewKnightKing(g, spec, Config{Workers: 1, Seed: 13, RecordHistory: true})
+	res, err := k.Run(200, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With restart probability 0.5, many transitions are teleports
+	// (non-edges).
+	h := res.History
+	teleports := 0
+	for j := 0; j < h.NumWalkers(); j++ {
+		for i := 0; i+1 < h.NumSteps(); i++ {
+			if !g.HasEdge(h.At(i, j), h.At(i+1, j)) {
+				teleports++
+			}
+		}
+	}
+	if teleports < int(res.TotalSteps)/4 {
+		t.Errorf("only %d/%d teleports with stop prob 0.5", teleports, res.TotalSteps)
+	}
+}
+
+func TestKnightKingOrderK(t *testing.T) {
+	g := testGraph(t, 300, 30)
+	k, err := NewKnightKing(g, algo.SelfAvoiding(3, 10, 0.001), Config{
+		Workers: 2, Seed: 31, RecordHistory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Run(2000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.History
+	var revisits, moves int
+	for j := 0; j < h.NumWalkers(); j++ {
+		for i := 4; i < h.NumSteps(); i++ {
+			u, v := h.At(i-1, j), h.At(i, j)
+			if u == v && g.Degree(u) == 0 {
+				continue
+			}
+			if !g.HasEdge(u, v) {
+				t.Fatalf("%d→%d not an edge", u, v)
+			}
+			for back := 1; back <= 3; back++ {
+				if v == h.At(i-back, j) {
+					revisits++
+					break
+				}
+			}
+			moves++
+		}
+	}
+	if rate := float64(revisits) / float64(moves); rate > 0.05 {
+		t.Errorf("baseline self-avoiding revisit rate %.4f too high", rate)
+	}
+}

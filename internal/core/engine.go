@@ -1,0 +1,283 @@
+// Package core implements the FlashMob engine: the paper's two-stage
+// sample/shuffle random-walk pipeline over a degree-sorted, partitioned
+// graph, with per-partition pre-sampling (PS) or direct sampling (DS)
+// policies chosen by the MCKP planner (§4).
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/graph"
+	"flashmob/internal/mem"
+	"flashmob/internal/part"
+	"flashmob/internal/profile"
+	"flashmob/internal/rng"
+)
+
+// PlannerKind selects how the engine partitions the graph.
+type PlannerKind int
+
+const (
+	// PlannerMCKP is the paper's DP-optimized planner (default).
+	PlannerMCKP PlannerKind = iota
+	// PlannerUniformPS cuts equal VPs, all pre-sampling.
+	PlannerUniformPS
+	// PlannerUniformDS cuts equal VPs, all direct sampling.
+	PlannerUniformDS
+	// PlannerManual applies the authors' pre-MCKP heuristic.
+	PlannerManual
+)
+
+// InitMode selects walker start placement.
+type InitMode int
+
+const (
+	// InitVertexSequential starts walker j at vertex j mod |V| — the
+	// DeepWalk/node2vec convention of one walk per vertex.
+	InitVertexSequential InitMode = iota
+	// InitEdgeUniform places walkers proportionally to degree (uniform
+	// over edges), the initialization of the paper's Table 2 profiling.
+	InitEdgeUniform
+	// InitVertexUniform places walkers uniformly over vertices.
+	InitVertexUniform
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Workers is the sampling/shuffling thread count (default
+	// GOMAXPROCS).
+	Workers int
+	// Seed drives all engine randomness.
+	Seed uint64
+	// Planner picks the partitioning strategy (default MCKP).
+	Planner PlannerKind
+	// Plan, if non-nil, overrides the planner entirely.
+	Plan *part.Plan
+	// Model prices partitions for the planner (default: analytical model
+	// on the paper's cache geometry).
+	Model profile.CostModel
+	// Part carries planner parameters (bins, groups, sizes); Walkers and
+	// Model fields inside are filled by the engine.
+	Part part.Config
+	// Init chooses walker start placement.
+	Init InitMode
+	// MemoryBudget caps the walker-array bytes per episode; 0 means
+	// unlimited. The engine splits a large request into episodes, as the
+	// paper does based on DRAM capacity (§5.1).
+	MemoryBudget uint64
+	// RecordHistory keeps every W_i array so paths can be produced.
+	RecordHistory bool
+	// StepSink, when non-nil, receives every iteration's sampled edges in
+	// walker order: cur[j] → next[j] is walker j's transition at the
+	// given step. This is the paper's streaming output mode (§4.3:
+	// "stream the sampled edges to the GPU performing graph embedding
+	// training") — no history is retained for the caller. The slices are
+	// reused across steps; the sink must copy anything it keeps.
+	StepSink func(step int, cur, next []graph.VID)
+}
+
+// Engine runs FlashMob walks over one graph with one algorithm spec.
+type Engine struct {
+	g    *graph.CSR
+	spec algo.Spec
+	cfg  Config
+	plan *part.Plan
+
+	// regularDeg[i] is the uniform degree of VP i when all its vertices
+	// share one degree (the simplified direct-indexing fast path of §4.2),
+	// or -1 for mixed-degree partitions.
+	regularDeg []int64
+
+	// Pre-sampling state, indexed by VP (nil for DS partitions).
+	ps []*psState
+
+	// weighted is the alias-table sampler for weighted walks (nil
+	// otherwise).
+	weighted *algo.WeightedSampler
+}
+
+// psState holds one PS partition's pre-sampled edge buffers: vertex v in
+// the VP owns buf[off(v):off(v)+d(v)], refilled in batch when drained
+// (§4.2). Offsets reuse the CSR's, rebased to the VP start.
+type psState struct {
+	start graph.VID // first vertex of the VP
+	base  uint64    // g.Offsets[start]
+	buf   []graph.VID
+	// remaining[v-start] counts unconsumed samples of v's buffer.
+	remaining []uint32
+}
+
+// New builds an engine. The graph must be degree-sorted (descending); use
+// graph.SortByDegreeDesc first (the public facade does this
+// automatically).
+func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	if !graph.IsDegreeSorted(g) {
+		return nil, fmt.Errorf("core: graph must be sorted by descending degree (see graph.SortByDegreeDesc)")
+	}
+	if spec.Weighted && g.Weights == nil {
+		return nil, fmt.Errorf("core: weighted walk on unweighted graph")
+	}
+	if spec.Weighted && spec.Order == 2 {
+		return nil, fmt.Errorf("core: weighted second-order walks are not supported (rejection sampling assumes uniform candidates)")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Model == nil {
+		cfg.Model = profile.NewAnalyticalModel(mem.PaperGeometry())
+	}
+	e := &Engine{g: g, spec: spec, cfg: cfg}
+
+	if spec.Weighted {
+		ws, err := algo.NewWeightedSampler(g)
+		if err != nil {
+			return nil, err
+		}
+		e.weighted = ws
+	}
+
+	plan := cfg.Plan
+	if plan == nil {
+		pcfg := cfg.Part
+		pcfg.Model = cfg.Model
+		if pcfg.Walkers == 0 {
+			pcfg.Walkers = uint64(g.NumVertices())
+		}
+		var err error
+		switch cfg.Planner {
+		case PlannerMCKP:
+			plan, err = part.PlanMCKP(g, pcfg)
+		case PlannerUniformPS:
+			plan, err = part.PlanUniform(g, pcfg, profile.PS)
+		case PlannerUniformDS:
+			plan, err = part.PlanUniform(g, pcfg, profile.DS)
+		case PlannerManual:
+			plan, err = part.ManualHeuristic{}.PlanManual(g, pcfg)
+		default:
+			err = fmt.Errorf("core: unknown planner %d", cfg.Planner)
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("core: supplied plan invalid: %w", err)
+	}
+	if plan.V != g.NumVertices() {
+		return nil, fmt.Errorf("core: plan covers %d vertices, graph has %d", plan.V, g.NumVertices())
+	}
+	e.plan = plan
+
+	// Classify partitions and allocate PS buffers.
+	e.regularDeg = make([]int64, plan.NumVPs())
+	e.ps = make([]*psState, plan.NumVPs())
+	for i, vp := range plan.VPs {
+		first := g.Degree(vp.Start)
+		last := g.Degree(vp.End - 1)
+		if first == last {
+			e.regularDeg[i] = int64(first)
+		} else {
+			e.regularDeg[i] = -1
+		}
+		if vp.Policy == profile.PS {
+			edges := g.Offsets[vp.End] - g.Offsets[vp.Start]
+			e.ps[i] = &psState{
+				start:     vp.Start,
+				base:      g.Offsets[vp.Start],
+				buf:       make([]graph.VID, edges),
+				remaining: make([]uint32, vp.End-vp.Start),
+			}
+		}
+	}
+	return e, nil
+}
+
+// Plan returns the partitioning decision in effect.
+func (e *Engine) Plan() *part.Plan { return e.plan }
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.CSR { return e.g }
+
+// Spec returns the walk specification.
+func (e *Engine) Spec() algo.Spec { return e.spec }
+
+// auxChannels returns the number of per-walker predecessor channels the
+// walk carries: k-1 for order-k walks (1 for node2vec), 0 for first-order
+// walks.
+func (e *Engine) auxChannels() int {
+	if e.spec.History != nil {
+		return e.spec.History.Window
+	}
+	if e.spec.Order == 2 {
+		return 1
+	}
+	return 0
+}
+
+// bytesPerWalker is the walker-array footprint per walker: W, SW, Wnext
+// (4B each) plus the aux channel triples for higher-order walks.
+func (e *Engine) bytesPerWalker() uint64 {
+	return uint64(12) + uint64(12*e.auxChannels())
+}
+
+// EpisodeWalkers returns how many walkers fit one episode under the
+// memory budget (at least 1) for a requested total.
+func (e *Engine) EpisodeWalkers(total uint64) uint64 {
+	if total == 0 {
+		total = uint64(e.g.NumVertices())
+	}
+	if e.cfg.MemoryBudget == 0 {
+		return total
+	}
+	fit := e.cfg.MemoryBudget / e.bytesPerWalker()
+	if fit == 0 {
+		fit = 1
+	}
+	if fit > total {
+		return total
+	}
+	return fit
+}
+
+// initWalkers fills w with start positions per the configured mode.
+func (e *Engine) initWalkers(w []graph.VID, src rng.Source) {
+	n := e.g.NumVertices()
+	switch e.cfg.Init {
+	case InitVertexSequential:
+		for j := range w {
+			w[j] = graph.VID(uint32(j) % n)
+		}
+	case InitVertexUniform:
+		for j := range w {
+			w[j] = graph.VID(rng.Uint32n(src, n))
+		}
+	case InitEdgeUniform:
+		total := e.g.NumEdges()
+		for j := range w {
+			x := rng.Uint64n(src, total)
+			w[j] = vertexOfEdge(e.g, x)
+		}
+	}
+}
+
+// vertexOfEdge maps a uniform edge index to its source vertex by binary
+// search over the CSR offsets — degree-proportional vertex sampling.
+func vertexOfEdge(g *graph.CSR, x uint64) graph.VID {
+	lo, hi := 0, int(g.NumVertices())
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if g.Offsets[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return graph.VID(lo)
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/graph"
+	"flashmob/internal/part"
+	"flashmob/internal/profile"
+)
+
+// planWithExtraShuffle hand-builds a plan whose first group uses the
+// internal second shuffle level, exercising the multi-level path inside
+// the full engine.
+func planWithExtraShuffle(t *testing.T, g *graph.CSR) *part.Plan {
+	t.Helper()
+	n := g.NumVertices()
+	groupLog := part.GroupSizeLogFor(n, 8)
+	groupSize := uint32(1) << groupLog
+	plan := &part.Plan{V: n, GroupSizeLog: groupLog}
+	gi := 0
+	for start := uint32(0); start < n; start += groupSize {
+		end := start + groupSize
+		if end > n {
+			end = n
+		}
+		vpLog := groupLog - 2 // 4 VPs per full group
+		if groupLog < 2 {
+			vpLog = 0
+		}
+		nvp := int((uint64(end-start) + (1 << vpLog) - 1) >> vpLog)
+		pols := make([]profile.Policy, nvp)
+		for i := range pols {
+			if gi%2 == 0 {
+				pols[i] = profile.PS
+			} else {
+				pols[i] = profile.DS
+			}
+		}
+		plan.Groups = append(plan.Groups, part.GroupPlan{
+			Start: start, End: end, VPSizeLog: vpLog,
+			ExtraShuffle: gi == 0 && nvp > 1,
+			Policies:     pols,
+		})
+		gi++
+	}
+	if err := part.Finalize(plan); err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestEngineWithExtraShufflePlan(t *testing.T) {
+	g := undirectedTestGraph(t, 1024, 21)
+	plan := planWithExtraShuffle(t, g)
+	hasExtra := false
+	for _, b := range plan.Bins() {
+		if b.Extra {
+			hasExtra = true
+		}
+	}
+	if !hasExtra {
+		t.Fatal("test plan has no extra-shuffle bin")
+	}
+	e, err := New(g, algo.DeepWalk(), Config{
+		Workers: 3, Seed: 23, RecordHistory: true, Plan: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(4000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPathsAreWalks(t, g, res.History)
+}
+
+func TestEngineWithExtraShuffleStationary(t *testing.T) {
+	// Multi-level shuffling must not perturb the walk distribution.
+	g := undirectedTestGraph(t, 512, 22)
+	plan := planWithExtraShuffle(t, g)
+	e, err := New(g, algo.DeepWalk(), Config{
+		Workers: 2, Seed: 24, RecordHistory: true, Plan: plan, Init: InitEdgeUniform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(40000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, g.NumVertices())
+	h := res.History
+	last := h.NumSteps() - 1
+	for j := 0; j < h.NumWalkers(); j++ {
+		counts[h.At(last, j)]++
+	}
+	sumDeg := float64(g.NumEdges())
+	for v := uint32(0); v < 10; v++ {
+		want := float64(g.Degree(v)) / sumDeg
+		got := counts[v] / float64(h.NumWalkers())
+		if want > 0.005 && math.Abs(got-want) > 0.25*want {
+			t.Errorf("vertex %d: share %.4f, stationary %.4f", v, got, want)
+		}
+	}
+}
+
+func TestEngineWeightedPSBuffers(t *testing.T) {
+	// Force PS on a weighted graph: pre-sampled buffers must be refilled
+	// through the weighted sampler, preserving the edge-weight
+	// distribution.
+	res, err := graph.Build([]graph.Edge{
+		{Src: 0, Dst: 1, Weight: 9}, {Src: 0, Dst: 2, Weight: 1},
+		{Src: 1, Dst: 0, Weight: 1}, {Src: 2, Dst: 0, Weight: 1},
+	}, graph.BuildOptions{Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.SortByDegreeDesc(res.Graph).Graph
+	plan, err := part.PlanUniform(g, part.Config{MaxBins: 4}, profile.PS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := algo.DeepWalk()
+	spec.Weighted = true
+	e, err := New(g, spec, Config{Workers: 1, Seed: 25, RecordHistory: true, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(30000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.History
+	var hub graph.VID
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) == 2 {
+			hub = v
+		}
+	}
+	adj := g.Neighbors(hub)
+	wts := g.EdgeWeights(hub)
+	heavyTarget := adj[0]
+	if wts[1] > wts[0] {
+		heavyTarget = adj[1]
+	}
+	heavy, total := 0, 0
+	for j := 0; j < h.NumWalkers(); j++ {
+		for i := 0; i+1 < h.NumSteps(); i++ {
+			if h.At(i, j) == hub {
+				total++
+				if h.At(i+1, j) == heavyTarget {
+					heavy++
+				}
+			}
+		}
+	}
+	if total < 1000 {
+		t.Fatalf("too few observations: %d", total)
+	}
+	if share := float64(heavy) / float64(total); math.Abs(share-0.9) > 0.03 {
+		t.Errorf("PS weighted heavy share %.3f, want ≈0.9", share)
+	}
+}
+
+func TestEngineDeterministicSingleWorker(t *testing.T) {
+	g := undirectedTestGraph(t, 600, 26)
+	run := func() []graph.VID {
+		e, err := New(g, algo.DeepWalk(), Config{
+			Workers: 1, Seed: 77, RecordHistory: true,
+			Part: part.Config{TargetGroups: 8},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(500, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]graph.VID, 0, 500*7)
+		h := res.History
+		for j := 0; j < h.NumWalkers(); j++ {
+			out = append(out, h.Path(j)...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("single-worker runs diverged at %d", i)
+		}
+	}
+}
+
+func TestEnginePSBuffersDrainAndRefill(t *testing.T) {
+	// Run enough steps that every PS buffer refills several times; all
+	// transitions must stay valid edges (i.e., refill never corrupts
+	// buffers).
+	g := undirectedTestGraph(t, 64, 27)
+	plan, err := part.PlanUniform(g, part.Config{MaxBins: 8}, profile.PS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, algo.DeepWalk(), Config{Workers: 1, Seed: 28, RecordHistory: true, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(2000, 40) // 80k steps over ~400 edges: many refills
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPathsAreWalks(t, g, res.History)
+}
+
+func TestStepSinkStreamsEdges(t *testing.T) {
+	// The streaming sink must deliver exactly the transitions the history
+	// records, in walker order, step by step.
+	g := undirectedTestGraph(t, 300, 30)
+	type edgeRec struct {
+		step     int
+		from, to graph.VID
+	}
+	var streamed []edgeRec
+	e, err := New(g, algo.DeepWalk(), Config{
+		Workers: 2, Seed: 31, RecordHistory: true,
+		Part: part.Config{TargetGroups: 8},
+		StepSink: func(step int, cur, next []graph.VID) {
+			for j := range cur {
+				streamed = append(streamed, edgeRec{step, cur[j], next[j]})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const walkers, steps = 500, 4
+	res, err := e.Run(walkers, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != walkers*steps {
+		t.Fatalf("streamed %d edges, want %d", len(streamed), walkers*steps)
+	}
+	h := res.History
+	k := 0
+	for s := 0; s < steps; s++ {
+		for j := 0; j < walkers; j++ {
+			rec := streamed[k]
+			k++
+			if rec.step != s || rec.from != h.At(s, j) || rec.to != h.At(s+1, j) {
+				t.Fatalf("streamed edge %d = %+v, history says step %d: %d→%d",
+					k-1, rec, s, h.At(s, j), h.At(s+1, j))
+			}
+		}
+	}
+}
+
+func TestEngineCustomTransition(t *testing.T) {
+	// A no-backtrack custom walk through the full engine: return rate
+	// must collapse versus the uniform walk, and paths stay valid.
+	g := undirectedTestGraph(t, 500, 33)
+	spec := algo.NoBacktrack(8, 0.001)
+	e, err := New(g, spec, Config{
+		Workers: 2, Seed: 34, RecordHistory: true,
+		Part: part.Config{TargetGroups: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(5000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPathsAreWalks(t, g, res.History)
+	h := res.History
+	var returns, moves int
+	for j := 0; j < h.NumWalkers(); j++ {
+		for i := 2; i < h.NumSteps(); i++ {
+			if h.At(i, j) == h.At(i-2, j) && g.Degree(h.At(i-1, j)) > 1 {
+				returns++
+			}
+			moves++
+		}
+	}
+	if rate := float64(returns) / float64(moves); rate > 0.02 {
+		t.Errorf("no-backtrack return rate %.4f through engine, want < 0.02", rate)
+	}
+}
+
+func TestEngineOrderKSelfAvoiding(t *testing.T) {
+	// Order-4 self-avoiding walk through the full engine: revisits within
+	// the 3-step window must nearly vanish versus the uniform walk, and
+	// paths must stay valid.
+	g := undirectedTestGraph(t, 600, 44)
+	revisitRate := func(spec algo.Spec) float64 {
+		e, err := New(g, spec, Config{
+			Workers: 2, Seed: 45, RecordHistory: true,
+			Part: part.Config{TargetGroups: 8},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(3000, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPathsAreWalks(t, g, res.History)
+		h := res.History
+		var revisits, moves int
+		for j := 0; j < h.NumWalkers(); j++ {
+			for i := 4; i < h.NumSteps(); i++ {
+				cur := h.At(i, j)
+				for back := 1; back <= 3; back++ {
+					if cur == h.At(i-back, j) {
+						revisits++
+						break
+					}
+				}
+				moves++
+			}
+		}
+		return float64(revisits) / float64(moves)
+	}
+	uniformSpec := algo.DeepWalk()
+	avoiding := algo.SelfAvoiding(3, 12, 0.001)
+	uni := revisitRate(uniformSpec)
+	avoid := revisitRate(avoiding)
+	t.Logf("window-3 revisit rate: uniform %.4f, self-avoiding %.4f", uni, avoid)
+	if avoid > uni/5 {
+		t.Errorf("self-avoiding rate %.4f not well below uniform %.4f", avoid, uni)
+	}
+}
+
+func TestEpisodeWalkersMath(t *testing.T) {
+	g := undirectedTestGraph(t, 200, 50)
+	e, err := New(g, algo.DeepWalk(), Config{
+		Workers: 1, Seed: 51, MemoryBudget: 120, // 10 walkers per episode (12B each)
+		Part: part.Config{TargetGroups: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.EpisodeWalkers(100); got != 10 {
+		t.Errorf("EpisodeWalkers(100) = %d, want 10", got)
+	}
+	if got := e.EpisodeWalkers(4); got != 4 {
+		t.Errorf("EpisodeWalkers(4) = %d, want 4 (below budget)", got)
+	}
+	// Second-order walks carry an aux triple per walker: half as many fit.
+	e2, err := New(g, algo.Node2Vec(1, 1), Config{
+		Workers: 1, Seed: 52, MemoryBudget: 120,
+		Part: part.Config{TargetGroups: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.EpisodeWalkers(100); got != 5 {
+		t.Errorf("order-2 EpisodeWalkers(100) = %d, want 5", got)
+	}
+	// Order-4 carries three channels.
+	e4, err := New(g, algo.SelfAvoiding(3, 5, 0.01), Config{
+		Workers: 1, Seed: 53, MemoryBudget: 480,
+		Part: part.Config{TargetGroups: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e4.EpisodeWalkers(100); got != 10 {
+		t.Errorf("order-4 EpisodeWalkers(100) = %d, want 10 (48B/walker)", got)
+	}
+}
+
+func TestEngineOrderKWithEpisodes(t *testing.T) {
+	// Order-k state must be consistent within each episode even when the
+	// memory budget splits the run.
+	g := undirectedTestGraph(t, 300, 54)
+	e, err := New(g, algo.SelfAvoiding(2, 6, 0.001), Config{
+		Workers: 2, Seed: 55, RecordHistory: true,
+		MemoryBudget: 36 * 100, // 100 walkers per episode (order-3: 36B each)
+		Part:         part.Config{TargetGroups: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Episodes != 5 {
+		t.Fatalf("episodes = %d, want 5", res.Episodes)
+	}
+	// History holds the last episode; validate its walks.
+	checkPathsAreWalks(t, g, res.History)
+}
+
+func TestEngineStepSinkWithEpisodes(t *testing.T) {
+	// The sink must observe every episode's steps, not just the last.
+	g := undirectedTestGraph(t, 200, 56)
+	var edges int
+	e, err := New(g, algo.DeepWalk(), Config{
+		Workers: 1, Seed: 57, MemoryBudget: 12 * 50, // 50 walkers/episode
+		Part: part.Config{TargetGroups: 8},
+		StepSink: func(step int, cur, next []graph.VID) {
+			edges += len(cur)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Episodes != 4 {
+		t.Fatalf("episodes = %d, want 4", res.Episodes)
+	}
+	if edges != 200*4 {
+		t.Errorf("sink observed %d edges, want 800 across all episodes", edges)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"flashmob/internal/mem"
+	"flashmob/internal/profile"
+)
+
+func TestMeasureProfileSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling micro-benchmarks skipped in -short")
+	}
+	geom := mem.ScaledGeometry(8)
+	tab, err := MeasureProfile(ProfilerConfig{
+		Degrees:      []uint32{16, 128},
+		Densities:    []float64{1},
+		WorkingSets:  []uint64{geom.L2.SizeBytes * 3 / 4},
+		MinSteps:     20_000,
+		Seed:         1,
+		MachineLabel: "test",
+	}, geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Points) == 0 {
+		t.Fatal("no profile points measured")
+	}
+	if tab.ShuffleNS <= 0 {
+		t.Errorf("shuffle cost %v not positive", tab.ShuffleNS)
+	}
+	for _, p := range tab.Points {
+		if p.StepNS <= 0 || p.StepNS > 10_000 {
+			t.Errorf("implausible measured cost %+v", p)
+		}
+	}
+	// The table is a usable CostModel.
+	c := tab.SampleStepNS(profile.DS, profile.VPShape{Vertices: 1000, AvgDegree: 16, Density: 1})
+	if c <= 0 {
+		t.Errorf("table lookup returned %v", c)
+	}
+}
+
+func TestVPVerticesForInvertsWorkingSet(t *testing.T) {
+	for _, pol := range []profile.Policy{profile.PS, profile.DS} {
+		for _, d := range []uint32{2, 16, 256} {
+			target := uint64(512 << 10)
+			n := vpVerticesFor(pol, target, d)
+			if n == 0 {
+				t.Fatalf("%v d=%d: zero vertices", pol, d)
+			}
+			got := profile.WorkingSetBytes(pol, profile.VPShape{Vertices: n, AvgDegree: float64(d)}, 64)
+			if got > target || got < target/2 {
+				t.Errorf("%v d=%d: working set %d for target %d", pol, d, got, target)
+			}
+		}
+	}
+}

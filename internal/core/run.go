@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+	"flashmob/internal/walk"
+)
+
+// Result reports a run's outcome and stage timing breakdown (the split the
+// paper shows in Figure 9a).
+type Result struct {
+	// Walkers is the total number of walkers advanced.
+	Walkers uint64
+	// Steps is the walk length used.
+	Steps int
+	// TotalSteps is Walkers × Steps.
+	TotalSteps uint64
+	// Episodes is how many memory-budgeted rounds the run took.
+	Episodes int
+	// Duration is total wall time; SampleTime and ShuffleTime are the
+	// stage splits, OtherTime the remainder (init, output).
+	Duration, SampleTime, ShuffleTime, OtherTime time.Duration
+	// History holds the recorded W_i arrays of the last episode when
+	// Config.RecordHistory is set.
+	History *walk.History
+	// VPSteps[i] counts walker-steps sampled in partition i, for the
+	// Figure 10b walker-step weighting.
+	VPSteps []uint64
+}
+
+// PerStepNS returns the headline metric: average wall nanoseconds per
+// walker-step.
+func (r *Result) PerStepNS() float64 {
+	if r.TotalSteps == 0 {
+		return 0
+	}
+	return float64(r.Duration.Nanoseconds()) / float64(r.TotalSteps)
+}
+
+// Run advances totalWalkers walkers (0 means |V|) for the given number of
+// steps (0 means the spec's default), splitting into episodes under the
+// memory budget.
+func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
+	if totalWalkers == 0 {
+		totalWalkers = uint64(e.g.NumVertices())
+	}
+	if steps == 0 {
+		steps = e.spec.Steps
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("core: negative step count")
+	}
+	res := &Result{Steps: steps, VPSteps: make([]uint64, e.plan.NumVPs())}
+	start := time.Now()
+	remaining := totalWalkers
+	for remaining > 0 {
+		ep := e.EpisodeWalkers(remaining)
+		if err := e.runEpisode(int(ep), steps, res); err != nil {
+			return nil, err
+		}
+		remaining -= ep
+		res.Episodes++
+		res.Walkers += ep
+	}
+	res.TotalSteps = res.Walkers * uint64(steps)
+	res.Duration = time.Since(start)
+	res.OtherTime = res.Duration - res.SampleTime - res.ShuffleTime
+	return res, nil
+}
+
+// runEpisode executes one memory-resident round of the pipeline:
+//
+//	W --forward shuffle--> SW --sample (in place)--> SW' --reverse--> W'
+//
+// appending each W_i to the history when recording.
+func (e *Engine) runEpisode(walkers, steps int, res *Result) error {
+	w := make([]graph.VID, walkers)
+	sw := make([]graph.VID, walkers)
+	wNext := make([]graph.VID, walkers)
+	// One aux channel per carried predecessor: 1 for node2vec, k-1 for
+	// order-k history transitions, 0 otherwise.
+	channels := e.auxChannels()
+	var auxW, auxSW, auxNext [][]graph.VID
+	for c := 0; c < channels; c++ {
+		auxW = append(auxW, make([]graph.VID, walkers))
+		auxSW = append(auxSW, make([]graph.VID, walkers))
+		auxNext = append(auxNext, make([]graph.VID, walkers))
+	}
+
+	initSrc := rng.NewXorShift1024Star(e.cfg.Seed ^ 0x9e3779b97f4a7c15)
+	e.initWalkers(w, initSrc)
+	for c := range auxW {
+		// Predecessors start as the walker's own start vertex, which makes
+		// the first higher-order step uniform over neighbours.
+		copy(auxW[c], w)
+	}
+
+	if e.cfg.RecordHistory {
+		res.History = walk.NewHistory(walkers)
+		if err := res.History.Append(w); err != nil {
+			return err
+		}
+	}
+
+	shuffler, err := walk.NewShuffler(e.plan, walkers, e.cfg.Workers)
+	if err != nil {
+		return err
+	}
+
+	// Per-worker RNG streams and scratch buffers, stable across the
+	// episode.
+	srcs := make([]*rng.XorShift1024Star, e.cfg.Workers)
+	scratches := make([]*order2Scratch, e.cfg.Workers)
+	for i := range srcs {
+		srcs[i] = rng.NewXorShift1024Star(e.cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1)
+		scratches[i] = &order2Scratch{}
+	}
+
+	for step := 0; step < steps; step++ {
+		t0 := time.Now()
+		if err := shuffler.ForwardMulti(w, sw, auxW, auxSW); err != nil {
+			return err
+		}
+		t1 := time.Now()
+		e.sampleAll(shuffler.VPStart(), sw, auxSW, srcs, scratches, res.VPSteps)
+		t2 := time.Now()
+		if err := shuffler.ReverseMulti(w, sw, wNext, auxSW, auxNext); err != nil {
+			return err
+		}
+		t3 := time.Now()
+		res.ShuffleTime += t1.Sub(t0) + t3.Sub(t2)
+		res.SampleTime += t2.Sub(t1)
+
+		if e.cfg.StepSink != nil {
+			e.cfg.StepSink(step, w, wNext)
+		}
+		w, wNext = wNext, w
+		auxW, auxNext = auxNext, auxW
+		if e.cfg.RecordHistory {
+			if err := res.History.Append(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sampleAll runs the sample stage: workers pull partitions from a shared
+// counter; each partition's walker chunk is private to the worker that
+// claims it, so the stage needs no locks (§4.3).
+func (e *Engine) sampleAll(vpStart []uint64, sw []graph.VID, auxSW [][]graph.VID, srcs []*rng.XorShift1024Star, scratches []*order2Scratch, vpSteps []uint64) {
+	numVPs := e.plan.NumVPs()
+	if e.cfg.Workers == 1 {
+		for vp := 0; vp < numVPs; vp++ {
+			chunk := sw[vpStart[vp]:vpStart[vp+1]]
+			aux := sliceAux(auxSW, vpStart[vp], vpStart[vp+1], &scratches[0].auxView)
+			e.sampleVPScratch(vp, chunk, aux, srcs[0], scratches[0])
+			vpSteps[vp] += uint64(len(chunk))
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for wk := 0; wk < e.cfg.Workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			src := srcs[wk]
+			scr := scratches[wk]
+			for {
+				vp := int(atomic.AddInt64(&next, 1))
+				if vp >= numVPs {
+					return
+				}
+				chunk := sw[vpStart[vp]:vpStart[vp+1]]
+				aux := sliceAux(auxSW, vpStart[vp], vpStart[vp+1], &scr.auxView)
+				e.sampleVPScratch(vp, chunk, aux, src, scr)
+				atomic.AddUint64(&vpSteps[vp], uint64(len(chunk)))
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// sliceAux views each aux channel's [lo, hi) range, reusing the worker's
+// view buffer to avoid per-partition allocations.
+func sliceAux(aux [][]graph.VID, lo, hi uint64, buf *[][]graph.VID) [][]graph.VID {
+	if len(aux) == 0 {
+		return nil
+	}
+	views := (*buf)[:0]
+	for c := range aux {
+		views = append(views, aux[c][lo:hi])
+	}
+	*buf = views
+	return views
+}

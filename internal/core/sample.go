@@ -1,0 +1,298 @@
+package core
+
+import (
+	"slices"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+)
+
+// drawEdge samples one out-edge target of v according to the walk's
+// first-order distribution (uniform or weight-proportional), reading the
+// adjacency list directly. Degree must be nonzero.
+func (e *Engine) drawEdge(v graph.VID, src rng.Source) graph.VID {
+	if e.weighted != nil {
+		return e.weighted.Next(v, src)
+	}
+	adj := e.g.Neighbors(v)
+	return adj[rng.Uint32n(src, uint32(len(adj)))]
+}
+
+// refill repopulates v's pre-sampled edge buffer with d(v) fresh samples —
+// the PS production step (§4.2): random reads confined to one adjacency
+// list, one sequential write stream into the buffer.
+func (e *Engine) refill(st *psState, v graph.VID, d uint32, src rng.Source) {
+	off := e.g.Offsets[v] - st.base
+	buf := st.buf[off : off+uint64(d)]
+	if e.weighted != nil {
+		for k := range buf {
+			buf[k] = e.weighted.Next(v, src)
+		}
+	} else {
+		adj := e.g.Neighbors(v)
+		for k := range buf {
+			buf[k] = adj[rng.Uint32n(src, d)]
+		}
+	}
+	st.remaining[v-st.start] = d
+}
+
+// nextPS consumes one pre-sampled edge of v, refilling the buffer when
+// drained — the PS consumption step. Degree must be nonzero.
+func (e *Engine) nextPS(st *psState, v graph.VID, src rng.Source) graph.VID {
+	idx := v - st.start
+	d := e.g.Degree(v)
+	if st.remaining[idx] == 0 {
+		e.refill(st, v, d, src)
+	}
+	off := e.g.Offsets[v] - st.base
+	sample := st.buf[off+uint64(d-st.remaining[idx])]
+	st.remaining[idx]--
+	return sample
+}
+
+// sampleFirst advances a first-order walker at v within partition vpIdx.
+func (e *Engine) sampleFirst(vpIdx int, v graph.VID, src rng.Source) graph.VID {
+	if st := e.ps[vpIdx]; st != nil {
+		if e.g.Degree(v) == 0 {
+			return v
+		}
+		return e.nextPS(st, v, src)
+	}
+	// DS: uniform-degree partitions use pure-arithmetic indexing into the
+	// partition's contiguous edge block (the compact storage of §4.2);
+	// mixed-degree partitions fall back to CSR.
+	if reg := e.regularDeg[vpIdx]; reg >= 0 && e.weighted == nil {
+		if reg == 0 {
+			return v
+		}
+		vp := e.plan.VPs[vpIdx]
+		base := e.g.Offsets[vp.Start]
+		d := uint32(reg)
+		return e.g.Targets[base+uint64(v-vp.Start)*uint64(d)+uint64(rng.Uint32n(src, d))]
+	}
+	if e.g.Degree(v) == 0 {
+		return v
+	}
+	return e.drawEdge(v, src)
+}
+
+// sampleSecond advances a node2vec walker at v (predecessor prev) via
+// rejection sampling; candidates come from the pre-sampled buffer on PS
+// partitions, batching candidate generation as §5.2 describes.
+func (e *Engine) sampleSecond(vpIdx int, v, prev graph.VID, src rng.Source) graph.VID {
+	d := e.g.Degree(v)
+	if d == 0 {
+		return v
+	}
+	maxW := e.maxWeight()
+	if d == 1 {
+		// A single neighbour is the walk's only continuation; custom
+		// weights of 0 must not spin forever.
+		return e.g.Neighbors(v)[0]
+	}
+	st := e.ps[vpIdx]
+	for {
+		var x graph.VID
+		if st != nil {
+			x = e.nextPS(st, v, src)
+		} else {
+			x = e.sampleFirst(vpIdx, v, src)
+		}
+		w := e.secondOrderWeight(prev, v, x)
+		if w >= maxW || rng.Float64(src)*maxW < w {
+			return x
+		}
+	}
+}
+
+// maxWeight returns the rejection bound of the active second-order walk.
+func (e *Engine) maxWeight() float64 {
+	if tr := e.spec.Custom; tr != nil {
+		return tr.MaxWeight
+	}
+	maxW := 1.0
+	if 1/e.spec.P > maxW {
+		maxW = 1 / e.spec.P
+	}
+	if 1/e.spec.Q > maxW {
+		maxW = 1 / e.spec.Q
+	}
+	return maxW
+}
+
+// secondOrderWeight evaluates the active walk's transition weight.
+func (e *Engine) secondOrderWeight(prev, cur, x graph.VID) float64 {
+	if tr := e.spec.Custom; tr != nil {
+		return tr.Weight(e.g, prev, cur, x)
+	}
+	switch {
+	case x == prev:
+		return 1 / e.spec.P
+	case e.g.HasEdge(prev, x):
+		return 1
+	default:
+		return 1 / e.spec.Q
+	}
+}
+
+// order2Scratch holds per-worker reusable buffers for the batched
+// second-order sample path. pending packs (predecessor VID << 32 | walker
+// index) so grouping by predecessor is a flat uint64 sort.
+type order2Scratch struct {
+	cand    []graph.VID
+	pending []uint64
+	auxView [][]graph.VID
+	hist    []graph.VID
+}
+
+// batchThreshold is the chunk size above which second-order sampling
+// switches to the batched connectivity-lookup path.
+const batchThreshold = 64
+
+// sampleVP advances every walker in one partition's shuffled chunk, in
+// place (§4.2): a single sequential scan of the walker chunk, with all
+// random accesses confined to the partition's working set.
+func (e *Engine) sampleVP(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src rng.Source) {
+	e.sampleVPScratch(vpIdx, chunk, aux, src, &order2Scratch{})
+}
+
+func (e *Engine) sampleVPScratch(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src rng.Source, scr *order2Scratch) {
+	stop := e.spec.StopProb
+	if e.spec.History != nil {
+		e.sampleVPHistory(vpIdx, chunk, aux, src, scr)
+		return
+	}
+	order2 := e.spec.Order == 2
+	if order2 && stop == 0 && scr != nil && len(chunk) >= batchThreshold {
+		e.sampleVPSecondBatched(vpIdx, chunk, aux[0], src, scr)
+		return
+	}
+	n := e.g.NumVertices()
+	for j := range chunk {
+		if stop > 0 && rng.Float64(src) < stop {
+			// Stochastic termination with restart: the walker teleports to
+			// a uniformly random vertex (Monte-Carlo PageRank semantics).
+			nv := graph.VID(rng.Uint32n(src, n))
+			chunk[j] = nv
+			if order2 {
+				aux[0][j] = nv
+			}
+			continue
+		}
+		v := chunk[j]
+		if order2 {
+			next := e.sampleSecond(vpIdx, v, aux[0][j], src)
+			aux[0][j] = v
+			chunk[j] = next
+		} else {
+			chunk[j] = e.sampleFirst(vpIdx, v, src)
+		}
+	}
+}
+
+// sampleVPHistory advances order-k walkers: candidates come from the
+// partition's PS/DS machinery, acceptance from the history transition,
+// and every walker's predecessor window shifts by one.
+func (e *Engine) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src rng.Source, scr *order2Scratch) {
+	tr := e.spec.History
+	if cap(scr.hist) < tr.Window {
+		scr.hist = make([]graph.VID, tr.Window)
+	}
+	hist := scr.hist[:tr.Window]
+	for j := range chunk {
+		v := chunk[j]
+		for c := 0; c < tr.Window; c++ {
+			hist[c] = aux[c][j]
+		}
+		var next graph.VID
+		switch d := e.g.Degree(v); {
+		case d == 0:
+			next = v
+		case d == 1:
+			// Single continuation: rejection must not spin on weight 0.
+			next = e.g.Neighbors(v)[0]
+		default:
+			for {
+				x := e.sampleFirst(vpIdx, v, src)
+				w := tr.Weight(e.g, hist, v, x)
+				if w >= tr.MaxWeight || rng.Float64(src)*tr.MaxWeight < w {
+					next = x
+					break
+				}
+			}
+		}
+		for c := tr.Window - 1; c > 0; c-- {
+			aux[c][j] = aux[c-1][j]
+		}
+		aux[0][j] = v
+		chunk[j] = next
+	}
+}
+
+// sampleVPSecondBatched is the batched node2vec sample path (§5.2: "though
+// FlashMob again batches such lookups"): it decouples candidate generation
+// (confined to the partition, PS/DS as usual) from the connectivity checks
+// against each walker's predecessor, and groups the checks by predecessor
+// so lookups into the same out-of-partition adjacency list run
+// back-to-back and hit cache. Rejected walkers redraw in subsequent
+// rounds; acceptance probability is bounded below by min(1, 1/p, 1/q)/maxW
+// so rounds terminate quickly.
+func (e *Engine) sampleVPSecondBatched(vpIdx int, chunk, aux []graph.VID, src rng.Source, scr *order2Scratch) {
+	maxW := e.maxWeight()
+	n := len(chunk)
+	if cap(scr.cand) < n {
+		scr.cand = make([]graph.VID, n)
+		scr.pending = make([]uint64, 0, n)
+	}
+	cand := scr.cand[:n]
+	pending := scr.pending[:0]
+	for i := range chunk {
+		switch e.g.Degree(chunk[i]) {
+		case 0:
+			aux[i] = chunk[i] // dead end: stay, predecessor becomes self
+			continue
+		case 1:
+			// Only continuation: take it unconditionally (rejection could
+			// spin forever on custom weight 0).
+			next := e.g.Neighbors(chunk[i])[0]
+			aux[i] = chunk[i]
+			chunk[i] = next
+			continue
+		}
+		pending = append(pending, uint64(aux[i])<<32|uint64(uint32(i)))
+	}
+	// Group the connectivity checks by predecessor once up front:
+	// consecutive lookups then share the predecessor's adjacency list in
+	// cache, and the walk over predecessors is monotone in VID (hubs
+	// first, matching the degree-sorted layout).
+	slices.Sort(pending)
+	for len(pending) > 0 {
+		// Candidate generation: local to the partition (pre-sampled
+		// buffers or direct reads), one sequential pass.
+		for _, key := range pending {
+			i := uint32(key)
+			if st := e.ps[vpIdx]; st != nil {
+				cand[i] = e.nextPS(st, chunk[i], src)
+			} else {
+				cand[i] = e.sampleFirst(vpIdx, chunk[i], src)
+			}
+		}
+		next := pending[:0]
+		for _, key := range pending {
+			i := uint32(key)
+			prev, x := graph.VID(key>>32), cand[i]
+			w := e.secondOrderWeight(prev, chunk[i], x)
+			if w >= maxW || rng.Float64(src)*maxW < w {
+				aux[i] = chunk[i]
+				chunk[i] = x
+			} else {
+				next = append(next, key)
+			}
+		}
+		// Rejected keys keep their sorted order, so no re-sort is needed
+		// between rounds.
+		pending = next
+	}
+	scr.pending = pending[:0]
+}

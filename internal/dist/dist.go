@@ -1,0 +1,279 @@
+// Package dist implements a KnightKing-style distributed random-walk
+// engine (Yang et al., SOSP 2019) over in-process partitions: the graph is
+// range-partitioned, each partition owns the walkers currently on its
+// vertices, and walkers migrate between partitions as messages in BSP
+// supersteps. KnightKing's locality optimization — "moves a walker as much
+// as possible before it leaves the local graph partition" (§2.2 of the
+// FlashMob paper) — is implemented and can be toggled off to quantify its
+// message savings.
+//
+// The paper evaluates KnightKing's single-node build; this package
+// supplies the engine's native distributed structure so the reproduction
+// covers the comparison system as described in its own paper, and provides
+// message/locality counters for analysis.
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+)
+
+// Config tunes the distributed engine.
+type Config struct {
+	// Partitions is the number of graph partitions ("nodes"). Default 4.
+	Partitions int
+	// Seed drives sampling.
+	Seed uint64
+	// RecordPaths keeps each walker's full path.
+	RecordPaths bool
+	// DisableLocalChaining turns off KnightKing's walk-until-you-leave
+	// optimization: every step then costs one message when the walker is
+	// remote-bound, and supersteps advance one step at a time.
+	DisableLocalChaining bool
+}
+
+// Result reports a distributed run.
+type Result struct {
+	Walkers    uint64
+	Steps      int
+	TotalSteps uint64
+	Duration   time.Duration
+	// Supersteps is the number of BSP rounds until all walkers finished.
+	Supersteps int
+	// Messages counts walker migrations between partitions.
+	Messages uint64
+	// LocalMoves counts steps taken without leaving the partition.
+	LocalMoves uint64
+	// Paths holds per-walker paths when recorded (walker-major).
+	Paths [][]graph.VID
+}
+
+// MessageRate returns migrations per walker-step.
+func (r *Result) MessageRate() float64 {
+	if r.TotalSteps == 0 {
+		return 0
+	}
+	return float64(r.Messages) / float64(r.TotalSteps)
+}
+
+// walkerMsg is one in-flight walker.
+type walkerMsg struct {
+	id        uint32
+	cur, prev graph.VID
+	remaining uint16
+}
+
+// node is one partition's state.
+type node struct {
+	index      int
+	start, end graph.VID
+	inbox      []walkerMsg
+	// outboxes[d] collects walkers leaving for partition d this
+	// superstep.
+	outboxes [][]walkerMsg
+	src      *rng.XorShift1024Star
+
+	localMoves uint64
+	finished   []walkerMsg
+}
+
+// Engine runs distributed walks on one graph.
+type Engine struct {
+	g     *graph.CSR
+	spec  algo.Spec
+	cfg   Config
+	nodes []*node
+	// partOf maps a vertex to its owning partition by range arithmetic.
+	perPart uint32
+}
+
+// New builds the engine, range-partitioning the vertex space evenly.
+func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Weighted {
+		return nil, fmt.Errorf("dist: weighted walks not supported")
+	}
+	if spec.History != nil {
+		return nil, fmt.Errorf("dist: order-k history walks not supported (walker messages carry one predecessor)")
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("dist: empty graph")
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 4
+	}
+	if uint32(cfg.Partitions) > n {
+		cfg.Partitions = int(n)
+	}
+	e := &Engine{g: g, spec: spec, cfg: cfg}
+	e.perPart = (n + uint32(cfg.Partitions) - 1) / uint32(cfg.Partitions)
+	for i := 0; i < cfg.Partitions; i++ {
+		start := graph.VID(i) * e.perPart
+		end := start + e.perPart
+		if end > n {
+			end = n
+		}
+		nd := &node{
+			index: i,
+			start: start,
+			end:   end,
+			src:   rng.NewXorShift1024Star(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 11),
+		}
+		nd.outboxes = make([][]walkerMsg, cfg.Partitions)
+		e.nodes = append(e.nodes, nd)
+	}
+	return e, nil
+}
+
+// partOf returns the owning partition of v.
+func (e *Engine) partOf(v graph.VID) int {
+	p := int(v / e.perPart)
+	if p >= len(e.nodes) {
+		p = len(e.nodes) - 1
+	}
+	return p
+}
+
+// Run walks totalWalkers walkers (0 = |V|) for steps steps (0 = spec
+// default).
+func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
+	if totalWalkers == 0 {
+		totalWalkers = uint64(e.g.NumVertices())
+	}
+	if steps == 0 {
+		steps = e.spec.Steps
+	}
+	if steps <= 0 || steps > 1<<16-1 {
+		return nil, fmt.Errorf("dist: steps %d out of range [1, 65535]", steps)
+	}
+	res := &Result{Walkers: totalWalkers, Steps: steps, TotalSteps: totalWalkers * uint64(steps)}
+
+	var paths [][]graph.VID
+	var pathMu sync.Mutex
+	if e.cfg.RecordPaths {
+		paths = make([][]graph.VID, totalWalkers)
+	}
+
+	// Seed walkers at vertex (id mod |V|), delivered to their owners.
+	n := e.g.NumVertices()
+	for _, nd := range e.nodes {
+		nd.inbox = nd.inbox[:0]
+		nd.finished = nd.finished[:0]
+		nd.localMoves = 0
+	}
+	for id := uint64(0); id < totalWalkers; id++ {
+		v := graph.VID(uint32(id) % n)
+		nd := e.nodes[e.partOf(v)]
+		nd.inbox = append(nd.inbox, walkerMsg{
+			id: uint32(id), cur: v, prev: v, remaining: uint16(steps),
+		})
+		if e.cfg.RecordPaths {
+			p := make([]graph.VID, 0, steps+1)
+			paths[id] = append(p, v)
+		}
+	}
+
+	start := time.Now()
+	active := totalWalkers
+	for active > 0 {
+		res.Supersteps++
+		var wg sync.WaitGroup
+		for _, nd := range e.nodes {
+			wg.Add(1)
+			go func(nd *node) {
+				defer wg.Done()
+				e.processSuperstep(nd, paths, &pathMu)
+			}(nd)
+		}
+		wg.Wait()
+
+		// Exchange: deliver outboxes, counting messages; collect finished.
+		for _, nd := range e.nodes {
+			nd.inbox = nd.inbox[:0]
+		}
+		for _, nd := range e.nodes {
+			active -= uint64(len(nd.finished))
+			nd.finished = nd.finished[:0]
+			for d, out := range nd.outboxes {
+				if d != nd.index {
+					// Self re-enqueues (chaining disabled) are not
+					// network messages.
+					res.Messages += uint64(len(out))
+				}
+				e.nodes[d].inbox = append(e.nodes[d].inbox, out...)
+				nd.outboxes[d] = out[:0]
+			}
+		}
+	}
+	res.Duration = time.Since(start)
+	for _, nd := range e.nodes {
+		res.LocalMoves += nd.localMoves
+	}
+	res.Paths = paths
+	return res, nil
+}
+
+// processSuperstep advances every walker in the node's inbox: with local
+// chaining the walker keeps stepping while its current vertex stays in
+// the partition; otherwise it takes exactly one step.
+func (e *Engine) processSuperstep(nd *node, paths [][]graph.VID, pathMu *sync.Mutex) {
+	var recorded []walkerMsg // steps taken this superstep, for path recording
+	for _, w := range nd.inbox {
+		for w.remaining > 0 {
+			next := e.step(w.prev, w.cur, nd.src)
+			w.prev, w.cur = w.cur, next
+			w.remaining--
+			nd.localMoves++
+			if e.cfg.RecordPaths {
+				recorded = append(recorded, w)
+			}
+			owner := e.partOf(w.cur)
+			if owner != nd.index {
+				nd.localMoves-- // crossing steps are message-borne, not local
+				if w.remaining > 0 {
+					nd.outboxes[owner] = append(nd.outboxes[owner], w)
+				} else {
+					nd.finished = append(nd.finished, w)
+				}
+				break
+			}
+			if e.cfg.DisableLocalChaining && w.remaining > 0 {
+				// One step per superstep: re-enqueue locally (no message).
+				nd.outboxes[nd.index] = append(nd.outboxes[nd.index], w)
+				break
+			}
+		}
+		if w.remaining == 0 && e.partOf(w.cur) == nd.index {
+			nd.finished = append(nd.finished, w)
+		}
+	}
+	if e.cfg.RecordPaths && len(recorded) > 0 {
+		pathMu.Lock()
+		for _, w := range recorded {
+			paths[w.id] = append(paths[w.id], w.cur)
+		}
+		pathMu.Unlock()
+	}
+}
+
+// step advances one walker one step under the spec.
+func (e *Engine) step(prev, cur graph.VID, src rng.Source) graph.VID {
+	if e.spec.StopProb > 0 && rng.Float64(src) < e.spec.StopProb {
+		return graph.VID(rng.Uint32n(src, e.g.NumVertices()))
+	}
+	if e.spec.Order == 2 {
+		if e.spec.Custom != nil {
+			return algo.NextCustom(e.g, e.spec.Custom, prev, cur, src)
+		}
+		return algo.NextNode2Vec(e.g, prev, cur, e.spec.P, e.spec.Q, src)
+	}
+	return algo.NextFirstOrder(e.g, cur, src)
+}

@@ -1,0 +1,218 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/gen"
+	"flashmob/internal/graph"
+)
+
+func testGraph(t *testing.T, n uint32, seed uint64) *graph.CSR {
+	t.Helper()
+	dir, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: n, AvgDegree: 6, Alpha: 0.7, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []graph.Edge
+	for v := uint32(0); v < dir.NumVertices(); v++ {
+		for _, w := range dir.Neighbors(v) {
+			if v != w {
+				edges = append(edges, graph.Edge{Src: v, Dst: w})
+			}
+		}
+	}
+	res, err := graph.Build(edges, graph.BuildOptions{Undirected: true, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+func TestDistValidWalks(t *testing.T) {
+	g := testGraph(t, 1000, 1)
+	for _, parts := range []int{1, 3, 8} {
+		e, err := New(g, algo.DeepWalk(), Config{Partitions: parts, Seed: 2, RecordPaths: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(500, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalSteps != 6000 {
+			t.Fatalf("parts=%d: TotalSteps = %d", parts, res.TotalSteps)
+		}
+		for id, p := range res.Paths {
+			if len(p) != 13 {
+				t.Fatalf("parts=%d walker %d: path length %d, want 13", parts, id, len(p))
+			}
+			for i := 0; i+1 < len(p); i++ {
+				if p[i] == p[i+1] && g.Degree(p[i]) == 0 {
+					continue
+				}
+				if !g.HasEdge(p[i], p[i+1]) {
+					t.Fatalf("parts=%d walker %d: %d→%d not an edge", parts, id, p[i], p[i+1])
+				}
+			}
+		}
+	}
+}
+
+func TestDistStationaryDistribution(t *testing.T) {
+	g := testGraph(t, 250, 3)
+	e, err := New(g, algo.DeepWalk(), Config{Partitions: 5, Seed: 4, RecordPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(40000, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, g.NumVertices())
+	for _, p := range res.Paths {
+		counts[p[len(p)-1]]++
+	}
+	sumDeg := float64(g.NumEdges())
+	for v := uint32(0); v < 10; v++ {
+		want := float64(g.Degree(v)) / sumDeg
+		got := counts[v] / float64(len(res.Paths))
+		if want > 0.01 && math.Abs(got-want) > 0.25*want {
+			t.Errorf("vertex %d: share %.4f, stationary %.4f", v, got, want)
+		}
+	}
+}
+
+func TestDistStepAccounting(t *testing.T) {
+	g := testGraph(t, 800, 5)
+	e, err := New(g, algo.DeepWalk(), Config{Partitions: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every step is either local or message-borne (finishing cross-steps
+	// carry no message, so allow up to one un-messaged step per walker).
+	total := res.LocalMoves + res.Messages
+	if total > res.TotalSteps {
+		t.Errorf("accounted %d steps > total %d", total, res.TotalSteps)
+	}
+	if total < res.TotalSteps-res.Walkers {
+		t.Errorf("accounted %d steps, want ≥ %d", total, res.TotalSteps-res.Walkers)
+	}
+	if res.Messages == 0 {
+		t.Error("no migrations on a 4-partition graph?")
+	}
+}
+
+func TestDistSinglePartitionNoMessages(t *testing.T) {
+	g := testGraph(t, 300, 7)
+	e, err := New(g, algo.DeepWalk(), Config{Partitions: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 0 {
+		t.Errorf("single partition sent %d messages", res.Messages)
+	}
+	if res.Supersteps != 1 {
+		t.Errorf("single partition took %d supersteps, want 1 (full chaining)", res.Supersteps)
+	}
+}
+
+func TestDistLocalChainingReducesSupersteps(t *testing.T) {
+	// KnightKing's optimization: with chaining, walkers burn many steps
+	// per superstep; without it, supersteps == walk length.
+	g := testGraph(t, 600, 9)
+	run := func(disable bool) *Result {
+		e, err := New(g, algo.DeepWalk(), Config{
+			Partitions: 4, Seed: 10, DisableLocalChaining: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(500, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	chained := run(false)
+	naive := run(true)
+	if naive.Supersteps != 20 {
+		t.Errorf("unchained supersteps = %d, want 20", naive.Supersteps)
+	}
+	if chained.Supersteps >= naive.Supersteps {
+		t.Errorf("chaining did not reduce supersteps: %d vs %d", chained.Supersteps, naive.Supersteps)
+	}
+	if chained.LocalMoves == 0 {
+		t.Error("chaining recorded no local moves")
+	}
+}
+
+func TestDistNode2Vec(t *testing.T) {
+	g := testGraph(t, 400, 11)
+	e, err := New(g, algo.Node2Vec(0.5, 2), Config{Partitions: 3, Seed: 12, RecordPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(300, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Paths {
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] == p[i+1] && g.Degree(p[i]) == 0 {
+				continue
+			}
+			if !g.HasEdge(p[i], p[i+1]) {
+				t.Fatalf("node2vec %d→%d not an edge", p[i], p[i+1])
+			}
+		}
+	}
+}
+
+func TestDistErrors(t *testing.T) {
+	g := testGraph(t, 100, 13)
+	if _, err := New(g, algo.Spec{Order: 7, Steps: 1}, Config{}); err == nil {
+		t.Error("bad spec accepted")
+	}
+	spec := algo.DeepWalk()
+	spec.Weighted = true
+	if _, err := New(g, spec, Config{}); err == nil {
+		t.Error("weighted accepted")
+	}
+	e, err := New(g, algo.DeepWalk(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(10, 1<<17); err == nil {
+		t.Error("oversized step count accepted")
+	}
+}
+
+func TestDistMoreParticipantsMoreMessages(t *testing.T) {
+	g := testGraph(t, 1200, 14)
+	rate := func(parts int) float64 {
+		e, err := New(g, algo.DeepWalk(), Config{Partitions: parts, Seed: 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(2000, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MessageRate()
+	}
+	if r2, r16 := rate(2), rate(16); r16 <= r2 {
+		t.Errorf("16 partitions message rate %.3f not above 2 partitions %.3f", r16, r2)
+	}
+}

@@ -1,0 +1,293 @@
+// Package emb trains node embeddings from random-walk corpora with
+// skip-gram and negative sampling (SGNS) — the downstream computation the
+// paper's walks feed (§1, §2.1): DeepWalk/node2vec paths in, vectors whose
+// geometry reflects neighbourhood similarity out.
+//
+// The trainer is deliberately small and dependency-free: single-threaded
+// SGD (deterministic given a seed), degree-proportional negative sampling
+// (word2vec's unigram analogue), and frequent-vertex subsampling — which
+// matters more on graphs than on text, since Table 2 of the paper shows
+// hub vertices dominating walk corpora.
+package emb
+
+import (
+	"fmt"
+	"math"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+)
+
+// Config tunes training.
+type Config struct {
+	// Dim is the embedding dimensionality (default 64).
+	Dim int
+	// Window is the skip-gram context radius (default 5).
+	Window int
+	// Negatives is the number of negative samples per positive pair
+	// (default 5).
+	Negatives int
+	// Epochs is the number of SGD passes over the corpus (default 3).
+	Epochs int
+	// LearnRate is the initial SGD step size, decayed per epoch
+	// (default 0.025).
+	LearnRate float64
+	// Subsample is the word2vec frequent-token threshold t: a vertex
+	// with corpus frequency f is kept with probability √(t/f) when
+	// f > t. 0 disables (default 1e-3).
+	Subsample float64
+	// Seed drives initialization, negatives, and subsampling.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 64
+	}
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.Negatives <= 0 {
+		c.Negatives = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 3
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 0.025
+	}
+	if c.Subsample == 0 {
+		c.Subsample = 1e-3
+	}
+	return c
+}
+
+// Model holds trained embeddings.
+type Model struct {
+	// Dim is the vector dimensionality.
+	Dim int
+	// Vectors[v] is vertex v's embedding.
+	Vectors [][]float32
+}
+
+// Train runs SGNS over the walk corpus. Paths use the graph's vertex IDs;
+// the graph supplies the degree-proportional negative distribution.
+func Train(g *graph.CSR, paths [][]graph.VID, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("emb: empty corpus")
+	}
+	n := int(g.NumVertices())
+	if n == 0 {
+		return nil, fmt.Errorf("emb: empty graph")
+	}
+	for _, p := range paths {
+		for _, v := range p {
+			if int(v) >= n {
+				return nil, fmt.Errorf("emb: corpus vertex %d outside graph (|V|=%d)", v, n)
+			}
+		}
+	}
+	src := rng.NewXorShift1024Star(cfg.Seed)
+	dim := cfg.Dim
+	flat := make([]float32, 2*n*dim)
+	in := make([][]float32, n)
+	out := make([][]float32, n)
+	for v := 0; v < n; v++ {
+		in[v] = flat[v*dim : (v+1)*dim]
+		out[v] = flat[(n+v)*dim : (n+v+1)*dim]
+		for d := 0; d < dim; d++ {
+			in[v][d] = (float32(rng.Float64(src)) - 0.5) / float32(dim)
+		}
+	}
+
+	// Subsampling keep-probabilities from corpus frequencies.
+	keep := keepProbs(paths, n, cfg.Subsample)
+
+	sampleNeg := negSampler(g)
+	lr := float32(cfg.LearnRate)
+	grad := make([]float32, dim)
+	kept := make([]graph.VID, 0, 128)
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		for _, path := range paths {
+			kept = kept[:0]
+			for _, v := range path {
+				if keep == nil || keep[v] >= 1 || rng.Float64(src) < keep[v] {
+					kept = append(kept, v)
+				}
+			}
+			for i, center := range kept {
+				lo := max(0, i-cfg.Window)
+				hi := min(len(kept)-1, i+cfg.Window)
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					sgdPair(in[center], out[kept[j]], 1, lr, grad)
+					for k := 0; k < cfg.Negatives; k++ {
+						sgdPair(in[center], out[sampleNeg(src)], 0, lr, grad)
+					}
+				}
+			}
+		}
+		lr *= 0.75
+	}
+	return &Model{Dim: dim, Vectors: in}, nil
+}
+
+// keepProbs computes per-vertex subsampling keep probabilities, or nil
+// when subsampling is disabled.
+func keepProbs(paths [][]graph.VID, n int, t float64) []float64 {
+	if t <= 0 {
+		return nil
+	}
+	freq := make([]float64, n)
+	var total float64
+	for _, p := range paths {
+		for _, v := range p {
+			freq[v]++
+			total++
+		}
+	}
+	keep := make([]float64, n)
+	for v := range keep {
+		f := freq[v] / total
+		keep[v] = 1
+		if f > t {
+			keep[v] = math.Sqrt(t / f)
+		}
+	}
+	return keep
+}
+
+// negSampler draws vertices proportionally to degree via binary search on
+// the CSR offsets.
+func negSampler(g *graph.CSR) func(rng.Source) graph.VID {
+	total := g.NumEdges()
+	return func(src rng.Source) graph.VID {
+		x := rng.Uint64n(src, total)
+		lo, hi := 0, int(g.NumVertices())
+		for lo < hi-1 {
+			mid := (lo + hi) / 2
+			if g.Offsets[mid] <= x {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return graph.VID(lo)
+	}
+}
+
+// sgdPair applies one SGNS gradient step for (input, context) with the
+// given label (1 positive, 0 negative).
+func sgdPair(in, out []float32, label, lr float32, grad []float32) {
+	var dot float32
+	for d := range in {
+		dot += in[d] * out[d]
+	}
+	pred := float32(1 / (1 + math.Exp(-float64(dot))))
+	g := lr * (label - pred)
+	for d := range in {
+		grad[d] = g * out[d]
+		out[d] += g * in[d]
+	}
+	for d := range in {
+		in[d] += grad[d]
+	}
+}
+
+// Cosine returns the cosine similarity of two vertices' embeddings.
+func (m *Model) Cosine(u, v graph.VID) float64 {
+	return cosine(m.Vectors[u], m.Vectors[v])
+}
+
+func cosine(a, b []float32) float64 {
+	var dot, na, nb float64
+	for d := range a {
+		dot += float64(a[d]) * float64(b[d])
+		na += float64(a[d]) * float64(a[d])
+		nb += float64(b[d]) * float64(b[d])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// MostSimilar returns the k vertices most cosine-similar to u (excluding
+// u itself), by exhaustive scan.
+func (m *Model) MostSimilar(u graph.VID, k int) []graph.VID {
+	type scored struct {
+		v graph.VID
+		s float64
+	}
+	best := make([]scored, 0, k+1)
+	for v := range m.Vectors {
+		if graph.VID(v) == u {
+			continue
+		}
+		s := m.Cosine(u, graph.VID(v))
+		pos := len(best)
+		for pos > 0 && best[pos-1].s < s {
+			pos--
+		}
+		if pos < k {
+			best = append(best, scored{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = scored{graph.VID(v), s}
+			if len(best) > k {
+				best = best[:k]
+			}
+		}
+	}
+	out := make([]graph.VID, len(best))
+	for i, b := range best {
+		out[i] = b.v
+	}
+	return out
+}
+
+// LinkSeparation measures embedding quality: the mean cosine similarity
+// of sampled connected pairs minus that of sampled random pairs. Positive
+// values mean the embedding separates neighbours from non-neighbours.
+func LinkSeparation(g *graph.CSR, m *Model, samples int, seed uint64) (connected, random float64) {
+	src := rng.NewXorShift1024Star(seed)
+	n := g.NumVertices()
+	var cSum, rSum float64
+	var cN, rN int
+	for i := 0; i < samples; i++ {
+		u := graph.VID(rng.Uint32n(src, n))
+		if g.Degree(u) > 0 {
+			adj := g.Neighbors(u)
+			v := adj[rng.Uint32n(src, uint32(len(adj)))]
+			cSum += m.Cosine(u, v)
+			cN++
+		}
+		a := graph.VID(rng.Uint32n(src, n))
+		b := graph.VID(rng.Uint32n(src, n))
+		rSum += m.Cosine(a, b)
+		rN++
+	}
+	if cN > 0 {
+		connected = cSum / float64(cN)
+	}
+	if rN > 0 {
+		random = rSum / float64(rN)
+	}
+	return connected, random
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,275 @@
+// Package gen generates synthetic graphs for the FlashMob reproduction.
+//
+// The paper evaluates on five real graphs (YouTube, Twitter, Friendster,
+// UK-Union, YahooWeb) that are not redistributable and too large for this
+// environment. FlashMob's behaviour depends on a graph's *degree
+// distribution* and the walker density, not on its identity: every decision
+// the engine makes (sorting, partitioning, PS/DS policy, MCKP sizing) is a
+// function of the sorted degree sequence, and the walk itself only ever
+// samples adjacency lists. Table 2 of the paper further shows that each
+// degree group's share of walker visits tracks its share of edges, which is
+// exactly the property degree-proportional (Chung-Lu) wiring reproduces.
+//
+// The generators therefore substitute each dataset with a synthetic graph
+// whose rank-degree curve d(r) ∝ (r+1)^-α is fitted to the paper's Table 2
+// degree-group shares (see Presets), scaled down by a configurable factor.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+)
+
+// PowerLawConfig describes a rank-degree power-law graph: vertex at degree
+// rank r has degree ≈ C·(r+1)^-Alpha, with C chosen to hit AvgDegree.
+type PowerLawConfig struct {
+	NumVertices uint32
+	// AvgDegree is the target |E|/|V|.
+	AvgDegree float64
+	// Alpha is the rank-degree exponent in (0, 1); larger α concentrates
+	// more edges on the top-ranked vertices. The top-f fraction of
+	// vertices then holds ≈ f^(1-α) of all edges.
+	Alpha float64
+	// MinDegree floors every vertex's degree (default 1).
+	MinDegree uint32
+	// Seed drives the edge wiring.
+	Seed uint64
+}
+
+// powerLawMass integrates d(x) = max(C·x^-α, m) over x ∈ [a, b], the
+// continuous model of the rank-degree curve (rank r maps to x = r+1).
+func powerLawMass(a, b, c, alpha, m float64) float64 {
+	if b <= a {
+		return 0
+	}
+	// Crossover point: C·x^-α == m.
+	xstar := math.Pow(c/m, 1/alpha)
+	integ := func(lo, hi float64) float64 {
+		if alpha == 1 {
+			return c * (math.Log(hi) - math.Log(lo))
+		}
+		return c * (math.Pow(hi, 1-alpha) - math.Pow(lo, 1-alpha)) / (1 - alpha)
+	}
+	switch {
+	case b <= xstar:
+		return integ(a, b)
+	case a >= xstar:
+		return m * (b - a)
+	default:
+		return integ(a, xstar) + m*(b-xstar)
+	}
+}
+
+// solveC finds the scale constant C such that the floored power-law curve
+// has total mass n·avg over ranks [0, n): powerLawMass(1, n+1) = n·avg.
+// The mass is monotone increasing in C, so bisection converges.
+func solveC(n uint32, avg, alpha float64, minD uint32) float64 {
+	target := avg * float64(n)
+	m := float64(minD)
+	lo, hi := m, m
+	for powerLawMass(1, float64(n)+1, hi, alpha, m) < target {
+		hi *= 2
+		if hi > 1e18 {
+			break
+		}
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if powerLawMass(1, float64(n)+1, mid, alpha, m) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// FitAlpha finds the rank-degree exponent α such that the top fraction
+// topFrac of vertices holds targetShare of the edges, for a graph of n
+// vertices with the given average degree and degree floor. This is how the
+// preset profiles reproduce the paper's Table 2 degree-group shares at any
+// downscaled size.
+func FitAlpha(n uint32, avg float64, minD uint32, topFrac, targetShare float64) float64 {
+	if minD == 0 {
+		minD = 1
+	}
+	share := func(alpha float64) float64 {
+		c := solveC(n, avg, alpha, minD)
+		cut := 1 + topFrac*float64(n)
+		return powerLawMass(1, cut, c, alpha, float64(minD)) / (avg * float64(n))
+	}
+	// Share of the top group is monotone increasing in α.
+	lo, hi := 0.05, 0.995
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if share(mid) < targetShare {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// DegreeSequence materializes the descending degree sequence for cfg.
+// The sum of the returned degrees is within rounding of
+// NumVertices*AvgDegree.
+func DegreeSequence(cfg PowerLawConfig) ([]uint32, error) {
+	if cfg.NumVertices == 0 {
+		return nil, fmt.Errorf("gen: NumVertices must be positive")
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("gen: Alpha must be in (0,1), got %v", cfg.Alpha)
+	}
+	if cfg.AvgDegree < 1 {
+		return nil, fmt.Errorf("gen: AvgDegree must be >= 1, got %v", cfg.AvgDegree)
+	}
+	minD := cfg.MinDegree
+	if minD == 0 {
+		minD = 1
+	}
+	n := int(cfg.NumVertices)
+	c := solveC(cfg.NumVertices, cfg.AvgDegree, cfg.Alpha, minD)
+	deg := make([]uint32, n)
+	for r := 0; r < n; r++ {
+		d := math.Round(c * math.Pow(float64(r+1), -cfg.Alpha))
+		if d < float64(minD) {
+			d = float64(minD)
+		}
+		if d > math.MaxUint32 {
+			d = math.MaxUint32
+		}
+		deg[r] = uint32(d)
+	}
+	// Keep the sequence non-increasing (rounding preserves it, but be
+	// defensive against future edits).
+	sort.Slice(deg, func(i, j int) bool { return deg[i] > deg[j] })
+	return deg, nil
+}
+
+// PowerLaw generates a degree-sorted CSR from cfg using Chung-Lu wiring:
+// each out-edge of every vertex picks its target with probability
+// proportional to the target's degree. The result already satisfies the
+// FlashMob vertex-ordering invariant (VID 0 = highest degree) and has
+// sorted adjacency lists.
+func PowerLaw(cfg PowerLawConfig) (*graph.CSR, error) {
+	deg, err := DegreeSequence(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Wire(deg, cfg.Seed)
+}
+
+// Wire builds a CSR realizing the given (descending) out-degree sequence,
+// sampling each edge target with probability proportional to the target's
+// degree (Chung-Lu model). Self-loops are re-rolled a bounded number of
+// times, then accepted (they are harmless to random walks).
+func Wire(deg []uint32, seed uint64) (*graph.CSR, error) {
+	n := len(deg)
+	if n == 0 {
+		return nil, fmt.Errorf("gen: empty degree sequence")
+	}
+	offsets := make([]uint64, n+1)
+	for v, d := range deg {
+		offsets[v+1] = offsets[v] + uint64(d)
+	}
+	totalDeg := offsets[n]
+	targets := make([]graph.VID, totalDeg)
+	src := rng.NewXorShift1024Star(seed)
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		for i := lo; i < hi; i++ {
+			t := sampleByDegree(src, offsets, totalDeg)
+			for retry := 0; t == graph.VID(v) && retry < 8; retry++ {
+				t = sampleByDegree(src, offsets, totalDeg)
+			}
+			targets[i] = t
+		}
+		adj := targets[lo:hi]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	g := &graph.CSR{Offsets: offsets, Targets: targets}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: wired graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// sampleByDegree picks a vertex with probability proportional to its degree
+// by drawing a uniform edge-endpoint index and binary-searching the offset
+// (degree prefix-sum) array.
+func sampleByDegree(src rng.Source, offsets []uint64, totalDeg uint64) graph.VID {
+	x := rng.Uint64n(src, totalDeg)
+	// Find the vertex v with offsets[v] <= x < offsets[v+1].
+	lo, hi := 0, len(offsets)-1
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if offsets[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return graph.VID(lo)
+}
+
+// UniformDegree generates a graph where every vertex has exactly degree d
+// and targets are uniform over all vertices (self-loops re-rolled). It is
+// the synthetic-VP workload of the paper's Figure 6 and the "toy graph"
+// family of Figure 1a.
+func UniformDegree(n uint32, d uint32, seed uint64) (*graph.CSR, error) {
+	if n == 0 || d == 0 {
+		return nil, fmt.Errorf("gen: UniformDegree needs n > 0 and d > 0")
+	}
+	deg := make([]uint32, n)
+	for i := range deg {
+		deg[i] = d
+	}
+	src := rng.NewXorShift1024Star(seed)
+	offsets := make([]uint64, n+1)
+	for v := uint32(0); v < n; v++ {
+		offsets[v+1] = offsets[v] + uint64(d)
+	}
+	targets := make([]graph.VID, offsets[n])
+	for v := uint32(0); v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		for i := lo; i < hi; i++ {
+			t := graph.VID(rng.Uint32n(src, n))
+			for retry := 0; n > 1 && t == v && retry < 8; retry++ {
+				t = graph.VID(rng.Uint32n(src, n))
+			}
+			targets[i] = t
+		}
+		adj := targets[lo:hi]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	return &graph.CSR{Offsets: offsets, Targets: targets}, nil
+}
+
+// ToyForCacheBytes sizes a uniform-degree graph so its CSR footprint is
+// close to (and not above) the given byte budget, reproducing the paper's
+// L1/L2/L3-sized toy graphs in Figure 1a. Returns the graph and its actual
+// CSR size.
+func ToyForCacheBytes(budget uint64, d uint32, seed uint64) (*graph.CSR, uint64, error) {
+	if d == 0 {
+		return nil, 0, fmt.Errorf("gen: degree must be positive")
+	}
+	// Per-vertex cost: 8 (offset) + 4*d (targets); +8 for the final offset.
+	perVertex := uint64(8 + 4*d)
+	if budget <= perVertex+8 {
+		return nil, 0, fmt.Errorf("gen: budget %dB too small for degree %d", budget, d)
+	}
+	n := uint32((budget - 8) / perVertex)
+	if n < 2 {
+		n = 2
+	}
+	g, err := UniformDegree(n, d, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, g.SizeBytes(), nil
+}

@@ -1,0 +1,255 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"flashmob/internal/graph"
+)
+
+func TestDegreeSequenceShape(t *testing.T) {
+	cfg := PowerLawConfig{NumVertices: 10000, AvgDegree: 8, Alpha: 0.8, Seed: 1}
+	deg, err := DegreeSequence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deg) != 10000 {
+		t.Fatalf("len = %d", len(deg))
+	}
+	// Non-increasing.
+	for i := 1; i < len(deg); i++ {
+		if deg[i] > deg[i-1] {
+			t.Fatalf("degree sequence not sorted at %d: %d > %d", i, deg[i], deg[i-1])
+		}
+	}
+	// Average close to target.
+	var sum uint64
+	for _, d := range deg {
+		sum += uint64(d)
+	}
+	avg := float64(sum) / float64(len(deg))
+	if math.Abs(avg-8) > 1.2 {
+		t.Errorf("average degree %.2f, want ≈8", avg)
+	}
+	// Min degree floored at 1.
+	if deg[len(deg)-1] < 1 {
+		t.Error("tail degree below minimum")
+	}
+	// Head much larger than tail.
+	if deg[0] < 20*deg[len(deg)-1] {
+		t.Errorf("insufficient skew: head %d vs tail %d", deg[0], deg[len(deg)-1])
+	}
+}
+
+func TestDegreeSequenceErrors(t *testing.T) {
+	for _, cfg := range []PowerLawConfig{
+		{NumVertices: 0, AvgDegree: 8, Alpha: 0.8},
+		{NumVertices: 10, AvgDegree: 8, Alpha: 0},
+		{NumVertices: 10, AvgDegree: 8, Alpha: 1.5},
+		{NumVertices: 10, AvgDegree: 0.1, Alpha: 0.8},
+	} {
+		if _, err := DegreeSequence(cfg); err == nil {
+			t.Errorf("config %+v: expected error", cfg)
+		}
+	}
+}
+
+func TestPowerLawGraphValid(t *testing.T) {
+	g, err := PowerLaw(PowerLawConfig{NumVertices: 5000, AvgDegree: 6, Alpha: 0.75, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsDegreeSorted(g) {
+		t.Error("generated graph must be degree-sorted (FlashMob invariant)")
+	}
+	if g.NumVertices() != 5000 {
+		t.Errorf("|V| = %d", g.NumVertices())
+	}
+}
+
+func TestPowerLawTargetsFollowDegree(t *testing.T) {
+	// Chung-Lu wiring: in-edge counts should correlate with out-degree.
+	// Check the top-decile out-degree vertices receive well over their
+	// uniform share of in-edges.
+	g, err := PowerLaw(PowerLawConfig{NumVertices: 4000, AvgDegree: 10, Alpha: 0.8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDeg := make([]uint64, g.NumVertices())
+	for _, t := range g.Targets {
+		inDeg[t]++
+	}
+	topK := g.NumVertices() / 10
+	var topIn uint64
+	for v := uint32(0); v < topK; v++ {
+		topIn += inDeg[v]
+	}
+	share := float64(topIn) / float64(g.NumEdges())
+	if share < 0.3 {
+		t.Errorf("top-decile in-edge share %.3f, want > 0.3 under degree-proportional wiring", share)
+	}
+}
+
+func TestWireRejectsEmpty(t *testing.T) {
+	if _, err := Wire(nil, 1); err == nil {
+		t.Fatal("expected error for empty degree sequence")
+	}
+}
+
+func TestUniformDegree(t *testing.T) {
+	g, err := UniformDegree(1000, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) != 16 {
+			t.Fatalf("Degree(%d) = %d, want 16", v, g.Degree(v))
+		}
+	}
+	// Mostly self-loop free.
+	var loops int
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if w == v {
+				loops++
+			}
+		}
+	}
+	if loops > int(g.NumEdges()/100) {
+		t.Errorf("%d self loops out of %d edges", loops, g.NumEdges())
+	}
+}
+
+func TestUniformDegreeErrors(t *testing.T) {
+	if _, err := UniformDegree(0, 4, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := UniformDegree(10, 0, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+func TestToyForCacheBytes(t *testing.T) {
+	for _, budget := range []uint64{32 << 10, 1 << 20, 16 << 20} {
+		g, size, err := ToyForCacheBytes(budget, 16, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size > budget {
+			t.Errorf("budget %d: CSR size %d exceeds budget", budget, size)
+		}
+		if size < budget*8/10 {
+			t.Errorf("budget %d: CSR size %d too small (poor fit)", budget, size)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestToyForCacheBytesTooSmall(t *testing.T) {
+	if _, _, err := ToyForCacheBytes(16, 16, 1); err == nil {
+		t.Fatal("expected error for tiny budget")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1024 {
+		t.Errorf("|V| = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() < 10000 {
+		t.Errorf("|E| = %d, suspiciously low", g.NumEdges())
+	}
+	// R-MAT graphs are skewed: max degree far above average.
+	if float64(g.MaxDegree()) < 4*g.AvgDegree() {
+		t.Errorf("max degree %d vs avg %.1f: missing skew", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestRMATErrors(t *testing.T) {
+	bad := DefaultRMAT(10, 1)
+	bad.A = 0.9
+	bad.B = 0.9
+	if _, err := RMAT(bad); err == nil {
+		t.Error("invalid probabilities accepted")
+	}
+	if _, err := RMAT(RMATConfig{Scale: 0, EdgeFactor: 16}); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := RMAT(RMATConfig{Scale: 10, EdgeFactor: 0, A: 0.5, B: 0.2, C: 0.2}); err == nil {
+		t.Error("edge factor 0 accepted")
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	for _, name := range []string{"YT", "TW", "FS", "UK", "YH"} {
+		if _, err := PresetByName(name); err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		}
+	}
+	if _, err := PresetByName("XX"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestPresetTop1ShareMatchesPaper(t *testing.T) {
+	// The α fit must reproduce the paper's Table 2 top-1% edge shares
+	// within a reasonable tolerance at a scaled-down size.
+	for _, p := range Presets {
+		cfg := p.Config(p.FullVertices/20000, uint64(len(p.Name))) // ~20k vertices
+		deg, err := DegreeSequence(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		var top, total uint64
+		k := len(deg) / 100
+		for i, d := range deg {
+			total += uint64(d)
+			if i < k {
+				top += uint64(d)
+			}
+		}
+		share := float64(top) / float64(total)
+		if math.Abs(share-p.Top1EdgeShare) > 0.10 {
+			t.Errorf("%s: top-1%% share %.3f, paper %.3f", p.Name, share, p.Top1EdgeShare)
+		}
+	}
+}
+
+func TestPresetGenerate(t *testing.T) {
+	p, _ := PresetByName("YT")
+	g, err := p.Generate(100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsDegreeSorted(g) {
+		t.Error("preset graph not degree sorted")
+	}
+	if g.NumVertices() != p.FullVertices/100 {
+		t.Errorf("|V| = %d, want %d", g.NumVertices(), p.FullVertices/100)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	g, err := UniformDegree(1000, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform graph: top 10% holds exactly 10% of edges.
+	if s := TopShare(g, 0.1); math.Abs(s-0.1) > 1e-9 {
+		t.Errorf("uniform TopShare(0.1) = %v, want 0.1", s)
+	}
+}

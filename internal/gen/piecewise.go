@@ -1,0 +1,232 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+)
+
+// BucketShare describes one degree-percentile bucket of the target
+// distribution (the paper's Table 2 rows): the bucket covers vertex ranks
+// up to UpperFrac·|V| (cumulative) and holds EdgeShare of all edges.
+type BucketShare struct {
+	UpperFrac float64
+	EdgeShare float64
+}
+
+// DegreeSequencePiecewise materializes a descending degree sequence of n
+// vertices with average degree avgDeg whose degree-percentile buckets hold
+// exactly the requested edge shares. The curve is piecewise power-law in
+// rank: knot degrees at bucket boundaries are solved left to right so each
+// bucket's mass matches, with geometric interpolation between knots —
+// continuous, monotone, and faithful to all of Table 2's buckets rather
+// than just the head.
+//
+// headSkew sets the ratio of the very first vertex's degree to the first
+// bucket's mean (the within-head steepness); pass a value < 1 to search
+// for the shallowest skew that keeps every bucket feasible.
+// bucket's mean (the within-head steepness); 8 is a reasonable default.
+func DegreeSequencePiecewise(n uint32, avgDeg float64, buckets []BucketShare, headSkew float64) ([]uint32, error) {
+	if headSkew >= 1 {
+		deg, _, err := solvePiecewise(n, avgDeg, buckets, headSkew)
+		return deg, err
+	}
+	// Adaptive head skew: steeper heads lower the first boundary knot,
+	// which can be required for the remaining buckets to be feasible
+	// under monotonicity (e.g. the paper's UK profile). Take the first
+	// skew meeting a 2% worst-bucket error, else the best seen.
+	var bestDeg []uint32
+	bestErr := math.Inf(1)
+	for _, skew := range []float64{8, 16, 32, 64, 128, 256, 512} {
+		deg, relErr, err := solvePiecewise(n, avgDeg, buckets, skew)
+		if err != nil {
+			return nil, err
+		}
+		if relErr < bestErr {
+			bestErr, bestDeg = relErr, deg
+		}
+		if relErr < 0.02 {
+			break
+		}
+	}
+	return bestDeg, nil
+}
+
+// solvePiecewise runs one knot solve + materialization at a fixed head
+// skew, returning the worst bucket's relative mass error (floored buckets,
+// whose targets are unreachable with integer degrees ≥ 1, are exempt).
+func solvePiecewise(n uint32, avgDeg float64, buckets []BucketShare, headSkew float64) ([]uint32, float64, error) {
+	if n == 0 {
+		return nil, 0, fmt.Errorf("gen: empty sequence requested")
+	}
+	if avgDeg < 1 {
+		return nil, 0, fmt.Errorf("gen: average degree must be ≥ 1")
+	}
+	if len(buckets) == 0 {
+		return nil, 0, fmt.Errorf("gen: no buckets")
+	}
+	var cum, shares float64
+	for i, b := range buckets {
+		if b.UpperFrac <= cum || b.UpperFrac > 1 {
+			return nil, 0, fmt.Errorf("gen: bucket %d upper fraction %v not increasing within (0,1]", i, b.UpperFrac)
+		}
+		cum = b.UpperFrac
+		if b.EdgeShare < 0 {
+			return nil, 0, fmt.Errorf("gen: bucket %d has negative edge share", i)
+		}
+		shares += b.EdgeShare
+	}
+	if math.Abs(cum-1) > 1e-9 {
+		return nil, 0, fmt.Errorf("gen: buckets cover %v of vertices, want 1", cum)
+	}
+	if math.Abs(shares-1) > 1e-6 {
+		return nil, 0, fmt.Errorf("gen: edge shares sum to %v, want 1", shares)
+	}
+
+	totalEdges := avgDeg * float64(n)
+	// Knot ranks (1-based, continuous): r_0 = 1, r_i = bucket boundaries.
+	ranks := make([]float64, len(buckets)+1)
+	ranks[0] = 1
+	for i, b := range buckets {
+		r := b.UpperFrac * float64(n)
+		if r <= ranks[i] {
+			r = ranks[i] + 1
+		}
+		ranks[i+1] = r
+	}
+	// Bucket rank boundaries as integers (0-based, half-open).
+	bounds := make([]int, len(buckets)+1)
+	for i := 1; i < len(bounds); i++ {
+		bounds[i] = int(math.Round(ranks[i]))
+		if bounds[i] <= bounds[i-1] {
+			bounds[i] = bounds[i-1] + 1
+		}
+		if bounds[i] > int(n) {
+			bounds[i] = int(n)
+		}
+	}
+	bounds[len(buckets)] = int(n)
+
+	// Knot degrees, solved bucket by bucket against the *discretized*
+	// mass (strata-sampled), so no post-hoc rescaling — which would break
+	// continuity at bucket boundaries — is needed.
+	knots := make([]float64, len(buckets)+1)
+	firstMean := buckets[0].EdgeShare * totalEdges / float64(bounds[1]-bounds[0])
+	knots[0] = headSkew * firstMean
+	for i, b := range buckets {
+		target := b.EdgeShare * totalEdges
+		// The right knot must stay at or above the NEXT bucket's mean
+		// degree, or that bucket could never reach its own target under
+		// monotonicity; enforcing the bound here keeps every later bucket
+		// feasible without retroactive knot adjustments.
+		lo := 1e-6
+		if i+1 < len(buckets) {
+			nextMean := buckets[i+1].EdgeShare * totalEdges / float64(bounds[i+2]-bounds[i+1])
+			if nextMean > lo {
+				lo = nextMean
+			}
+		}
+		hi := knots[i] // right knot ∈ [lo, left knot]
+		if lo >= hi {
+			knots[i+1] = hi
+			continue
+		}
+		if discreteMass(bounds[i], bounds[i+1], ranks[i], ranks[i+1], knots[i], lo) >= target {
+			// Even the steepest admissible curve overshoots: take it (the
+			// minimal-overshoot choice under the feasibility bound).
+			knots[i+1] = lo
+			continue
+		}
+		for it := 0; it < 50; it++ {
+			mid := math.Sqrt(lo * hi) // bisect in log space
+			if discreteMass(bounds[i], bounds[i+1], ranks[i], ranks[i+1], knots[i], mid) < target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		knots[i+1] = math.Sqrt(lo * hi)
+	}
+
+	// Materialize the curve with cumulative rounding (mass-preserving to
+	// ±1 per bucket). The d ≥ 1 floor can push a tail bucket above its
+	// target when the target mean is below 1 — the same physical
+	// constraint real integer-degree graphs have.
+	deg := make([]uint32, n)
+	for i := range buckets {
+		var cum float64
+		var assigned uint64
+		for r := bounds[i]; r < bounds[i+1]; r++ {
+			cum += interpolate(ranks[i], ranks[i+1], knots[i], knots[i+1], float64(r)+1)
+			d := uint64(math.Round(cum)) - assigned
+			assigned += d
+			if d < 1 {
+				d = 1
+				assigned++
+			}
+			if d > math.MaxUint32 {
+				d = math.MaxUint32
+			}
+			deg[r] = uint32(d)
+		}
+	}
+	// Final monotonicity clamp (rounding can wobble by ±1).
+	for r := 1; r < int(n); r++ {
+		if deg[r] > deg[r-1] {
+			deg[r] = deg[r-1]
+		}
+	}
+	// Worst-bucket relative error, exempting buckets whose target mean is
+	// below the integer-degree floor of 1.
+	var worst float64
+	for i, b := range buckets {
+		size := float64(bounds[i+1] - bounds[i])
+		target := b.EdgeShare * totalEdges
+		if target/size < 1 {
+			continue
+		}
+		var got float64
+		for r := bounds[i]; r < bounds[i+1]; r++ {
+			got += float64(deg[r])
+		}
+		if e := math.Abs(got-target) / target; e > worst {
+			worst = e
+		}
+	}
+	return deg, worst, nil
+}
+
+// discreteMass sums the interpolated curve over integer ranks [lo, hi),
+// sampling at most 4096 strata for large buckets (the curve is smooth, so
+// midpoint strata are accurate to well under a percent).
+func discreteMass(lo, hi int, ra, rb, da, db float64) float64 {
+	nRanks := hi - lo
+	if nRanks <= 0 {
+		return 0
+	}
+	const maxSamples = 4096
+	if nRanks <= maxSamples {
+		var s float64
+		for r := lo; r < hi; r++ {
+			s += interpolate(ra, rb, da, db, float64(r)+1)
+		}
+		return s
+	}
+	var s float64
+	for k := 0; k < maxSamples; k++ {
+		sLo := lo + k*nRanks/maxSamples
+		sHi := lo + (k+1)*nRanks/maxSamples
+		mid := float64(sLo+sHi)/2 + 1
+		s += interpolate(ra, rb, da, db, mid) * float64(sHi-sLo)
+	}
+	return s
+}
+
+// interpolate evaluates the power-law segment between knots (a, da) and
+// (b, db) at rank x: d(x) = da · (x/a)^-β with β chosen so d(b) = db.
+func interpolate(a, b, da, db, x float64) float64 {
+	if db <= 0 || da <= 0 || b <= a {
+		return da
+	}
+	beta := math.Log(da/db) / math.Log(b/a)
+	return da * math.Pow(x/a, -beta)
+}

@@ -1,0 +1,214 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flashmob/internal/rng"
+)
+
+// bucketSharesOf measures the realized edge share of each Table 2-style
+// bucket in a descending degree sequence.
+func bucketSharesOf(deg []uint32, fractions []float64) []float64 {
+	var total uint64
+	for _, d := range deg {
+		total += uint64(d)
+	}
+	out := make([]float64, len(fractions))
+	lo := 0
+	for i, f := range fractions {
+		hi := int(f * float64(len(deg)))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(deg) {
+			hi = len(deg)
+		}
+		var s uint64
+		for r := lo; r < hi; r++ {
+			s += uint64(deg[r])
+		}
+		out[i] = float64(s) / float64(total)
+		lo = hi
+	}
+	return out
+}
+
+func TestPiecewiseMatchesAllBuckets(t *testing.T) {
+	fractions := []float64{0.01, 0.05, 0.25, 1.00}
+	for _, p := range Presets {
+		for _, n := range []uint32{20_000, 120_000} {
+			deg, err := DegreeSequencePiecewise(n, p.AvgDegree, p.Buckets(), 0)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", p.Name, n, err)
+			}
+			if len(deg) != int(n) {
+				t.Fatalf("%s: wrong length", p.Name)
+			}
+			// Monotone non-increasing.
+			for i := 1; i < len(deg); i++ {
+				if deg[i] > deg[i-1] {
+					t.Fatalf("%s: not monotone at %d", p.Name, i)
+				}
+			}
+			got := bucketSharesOf(deg, fractions)
+			want := p.Buckets()
+			lo := 0.0
+			for b := range got {
+				frac := fractions[b] - lo
+				lo = fractions[b]
+				targetMean := want[b].EdgeShare * p.AvgDegree / frac
+				if targetMean < 1 {
+					// Physically infeasible with integer degrees ≥ 1 (the
+					// paper's own Table 2 rows are not exactly mutually
+					// consistent here): the bucket can't go below
+					// frac/avgDeg, so only bound the overshoot.
+					minFeasible := frac / p.AvgDegree
+					if got[b] > minFeasible+0.05 {
+						t.Errorf("%s n=%d bucket %d: share %.3f exceeds floor bound %.3f",
+							p.Name, n, b, got[b], minFeasible+0.05)
+					}
+					continue
+				}
+				if math.Abs(got[b]-want[b].EdgeShare) > 0.03 {
+					t.Errorf("%s n=%d bucket %d: share %.3f, want %.3f",
+						p.Name, n, b, got[b], want[b].EdgeShare)
+				}
+			}
+			// Average degree near target (degree-1 floor inflates small
+			// buckets slightly).
+			var sum uint64
+			for _, d := range deg {
+				sum += uint64(d)
+			}
+			avg := float64(sum) / float64(n)
+			if math.Abs(avg-p.AvgDegree)/p.AvgDegree > 0.15 {
+				t.Errorf("%s n=%d: avg degree %.2f, want ≈%.2f", p.Name, n, avg, p.AvgDegree)
+			}
+		}
+	}
+}
+
+func TestPiecewiseBucketMeansDecrease(t *testing.T) {
+	// Bucket mean degrees must be strictly decreasing, as in Table 2's D̄
+	// row.
+	p, _ := PresetByName("TW")
+	deg, err := DegreeSequencePiecewise(50_000, p.AvgDegree, p.Buckets(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fractions := []float64{0.01, 0.05, 0.25, 1.00}
+	lo := 0
+	prev := math.Inf(1)
+	for _, f := range fractions {
+		hi := int(f * 50_000)
+		var s uint64
+		for r := lo; r < hi; r++ {
+			s += uint64(deg[r])
+		}
+		mean := float64(s) / float64(hi-lo)
+		if mean >= prev {
+			t.Fatalf("bucket means not decreasing: %v then %v", prev, mean)
+		}
+		prev = mean
+		lo = hi
+	}
+}
+
+func TestPiecewiseErrors(t *testing.T) {
+	good := []BucketShare{{0.5, 0.7}, {1.0, 0.3}}
+	if _, err := DegreeSequencePiecewise(0, 5, good, 8); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := DegreeSequencePiecewise(100, 0.5, good, 8); err == nil {
+		t.Error("avg degree < 1 accepted")
+	}
+	if _, err := DegreeSequencePiecewise(100, 5, nil, 8); err == nil {
+		t.Error("no buckets accepted")
+	}
+	bad := []BucketShare{{0.5, 0.5}, {0.4, 0.5}}
+	if _, err := DegreeSequencePiecewise(100, 5, bad, 8); err == nil {
+		t.Error("non-increasing fractions accepted")
+	}
+	bad2 := []BucketShare{{0.5, 0.5}, {0.9, 0.5}}
+	if _, err := DegreeSequencePiecewise(100, 5, bad2, 8); err == nil {
+		t.Error("fractions not reaching 1 accepted")
+	}
+	bad3 := []BucketShare{{0.5, 0.9}, {1.0, 0.3}}
+	if _, err := DegreeSequencePiecewise(100, 5, bad3, 8); err == nil {
+		t.Error("shares not summing to 1 accepted")
+	}
+}
+
+func TestPresetGeneratePiecewiseShares(t *testing.T) {
+	// The generated graph (not just the sequence) realizes the Table 2
+	// bucket shares.
+	p, _ := PresetByName("FS")
+	g, err := p.Generate(p.FullVertices/30_000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := g.DegreeSlice()
+	// Generated graphs are degree-sorted already.
+	got := bucketSharesOf(deg, []float64{0.01, 0.05, 0.25, 1.00})
+	want := p.Buckets()
+	for b := range got {
+		if math.Abs(got[b]-want[b].EdgeShare) > 0.03 {
+			t.Errorf("bucket %d: share %.3f, want %.3f", b, got[b], want[b].EdgeShare)
+		}
+	}
+}
+
+func TestPiecewiseRandomBucketConfigs(t *testing.T) {
+	// Property: for random consistent bucket configurations whose targets
+	// are feasible (target means ≥ 1 and decreasing), realized shares hit
+	// targets within a few percent.
+	f := func(seed uint64) bool {
+		src := rng.NewXorShift64Star(seed)
+		// Random fractions and decreasing bucket means.
+		f1 := 0.01 + rng.Float64(src)*0.04
+		f2 := f1 + 0.05 + rng.Float64(src)*0.15
+		f3 := f2 + 0.2 + rng.Float64(src)*0.3
+		fractions := []float64{f1, f2, f3, 1}
+		// Means decreasing by at least 2x per bucket, tail ≥ 1.5.
+		means := make([]float64, 4)
+		means[3] = 1.5 + rng.Float64(src)*2
+		for i := 2; i >= 0; i-- {
+			means[i] = means[i+1] * (2.5 + rng.Float64(src)*4)
+		}
+		var buckets []BucketShare
+		var total float64
+		lo := 0.0
+		for i := range fractions {
+			share := means[i] * (fractions[i] - lo)
+			buckets = append(buckets, BucketShare{UpperFrac: fractions[i], EdgeShare: share})
+			total += share
+			lo = fractions[i]
+		}
+		for i := range buckets {
+			buckets[i].EdgeShare /= total
+		}
+		const n = 30000
+		deg, err := DegreeSequencePiecewise(n, total, buckets, 0)
+		if err != nil {
+			return false
+		}
+		// Monotone and bucket shares within 4 points.
+		for i := 1; i < len(deg); i++ {
+			if deg[i] > deg[i-1] {
+				return false
+			}
+		}
+		got := bucketSharesOf(deg, fractions)
+		for b := range got {
+			if math.Abs(got[b]-buckets[b].EdgeShare) > 0.04 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

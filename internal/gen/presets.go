@@ -1,0 +1,126 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"flashmob/internal/graph"
+)
+
+// Preset describes one of the paper's datasets (Table 4) as a power-law
+// profile. FullVertices/AvgDegree come from Table 4; Alpha is fitted so the
+// top-1% degree group's edge share matches Table 2 (for a rank-degree curve
+// d(r) ∝ (r+1)^-α, the top fraction f of vertices holds ≈ f^(1-α) of the
+// edges, so α = 1 - ln(share)/ln(f) with f = 0.01).
+type Preset struct {
+	// Name is the paper's two-letter dataset code.
+	Name string
+	// FullVertices is the paper's |V| (Table 4, 0-degree removed).
+	FullVertices uint32
+	// AvgDegree is the paper's |E|/|V|.
+	AvgDegree float64
+	// Alpha is the fitted rank-degree exponent.
+	Alpha float64
+	// Top1EdgeShare is the paper's Table 2 top-1% edge share, kept for
+	// validation.
+	Top1EdgeShare float64
+	// EdgeShares is the full Table 2 |E| row: the edge share of the
+	// <1%, 1–5%, 5–25%, and 25–100% degree-percentile buckets.
+	EdgeShares [4]float64
+}
+
+// Presets lists the five datasets of Table 4 in the paper's order.
+var Presets = []Preset{
+	{Name: "YT", FullVertices: 1_140_000, AvgDegree: 4.34, Alpha: 0.796, Top1EdgeShare: 0.390,
+		EdgeShares: [4]float64{0.390, 0.219, 0.243, 0.149}},
+	{Name: "TW", FullVertices: 41_650_000, AvgDegree: 35.3, Alpha: 0.846, Top1EdgeShare: 0.491,
+		EdgeShares: [4]float64{0.491, 0.207, 0.179, 0.123}},
+	{Name: "FS", FullVertices: 65_610_000, AvgDegree: 27.6, Alpha: 0.636, Top1EdgeShare: 0.187,
+		EdgeShares: [4]float64{0.187, 0.269, 0.412, 0.132}},
+	{Name: "UK", FullVertices: 131_810_000, AvgDegree: 41.8, Alpha: 0.833, Top1EdgeShare: 0.464,
+		EdgeShares: [4]float64{0.464, 0.158, 0.208, 0.170}},
+	{Name: "YH", FullVertices: 720_240_000, AvgDegree: 9.22, Alpha: 0.834, Top1EdgeShare: 0.465,
+		EdgeShares: [4]float64{0.465, 0.169, 0.238, 0.128}},
+}
+
+// Buckets returns the preset's Table 2 buckets with shares normalized to
+// sum exactly to 1 (the paper's rows carry rounding).
+func (p Preset) Buckets() []BucketShare {
+	fractions := []float64{0.01, 0.05, 0.25, 1.00}
+	var sum float64
+	for _, s := range p.EdgeShares {
+		sum += s
+	}
+	out := make([]BucketShare, 4)
+	for i := range out {
+		out[i] = BucketShare{UpperFrac: fractions[i], EdgeShare: p.EdgeShares[i] / sum}
+	}
+	return out
+}
+
+// PresetByName returns the preset with the given two-letter code.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("gen: unknown preset %q (have YT, TW, FS, UK, YH)", name)
+}
+
+// Config produces the PowerLawConfig for this preset scaled down by factor
+// scaleDiv (so |V| = FullVertices/scaleDiv, same average degree). The
+// exponent α is re-fitted at the scaled size so the top-1% edge share
+// still matches the paper's Table 2 value — the finite-size correction
+// matters below a few million vertices.
+func (p Preset) Config(scaleDiv uint32, seed uint64) PowerLawConfig {
+	if scaleDiv == 0 {
+		scaleDiv = 1
+	}
+	n := p.FullVertices / scaleDiv
+	if n < 1024 {
+		n = 1024
+	}
+	return PowerLawConfig{
+		NumVertices: n,
+		AvgDegree:   p.AvgDegree,
+		Alpha:       FitAlpha(n, p.AvgDegree, 1, 0.01, p.Top1EdgeShare),
+		MinDegree:   1,
+		Seed:        seed,
+	}
+}
+
+// Generate builds the scaled synthetic stand-in for this preset: a
+// piecewise power-law degree sequence matching all four Table 2 bucket
+// shares, wired with degree-proportional (Chung-Lu) targets.
+func (p Preset) Generate(scaleDiv uint32, seed uint64) (*graph.CSR, error) {
+	cfg := p.Config(scaleDiv, seed)
+	deg, err := DegreeSequencePiecewise(cfg.NumVertices, p.AvgDegree, p.Buckets(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return Wire(deg, seed)
+}
+
+// TopShare computes the fraction of edges held by the top fraction f of
+// vertices when ordered by descending degree. It is the quantity the α fit
+// targets; tests compare it against Top1EdgeShare.
+func TopShare(g *graph.CSR, f float64) float64 {
+	deg := g.DegreeSlice()
+	sort.Slice(deg, func(i, j int) bool { return deg[i] > deg[j] })
+	k := int(f * float64(len(deg)))
+	if k < 1 {
+		k = 1
+	}
+	var top, total uint64
+	for i, d := range deg {
+		total += uint64(d)
+		if i < k {
+			top += uint64(d)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}

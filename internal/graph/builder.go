@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one directed input edge for Builder.
+type Edge struct {
+	Src, Dst VID
+	Weight   float32
+}
+
+// BuildOptions controls CSR construction from an edge list.
+type BuildOptions struct {
+	// NumVertices, if nonzero, fixes |V|; otherwise it is 1 + the maximum
+	// endpoint seen.
+	NumVertices uint32
+	// Undirected inserts the reverse of every edge as well, matching how
+	// the paper's social-network datasets are used.
+	Undirected bool
+	// RemoveSelfLoops drops edges with Src == Dst.
+	RemoveSelfLoops bool
+	// Dedup collapses parallel edges (after the undirected expansion).
+	Dedup bool
+	// DropZeroDegree renumbers away vertices with no out-edges, as the
+	// paper does for its datasets ("0-degree vertices removed", Table 4).
+	// The returned Remap (old→new) records the renumbering.
+	DropZeroDegree bool
+	// Weighted keeps edge weights; otherwise weights are discarded.
+	Weighted bool
+}
+
+// BuildResult is the output of Build: the CSR plus the vertex renumbering
+// applied (identity unless DropZeroDegree removed vertices).
+type BuildResult struct {
+	Graph *CSR
+	// Remap maps original VIDs to new VIDs; NoVertex marks removed ones.
+	// Nil when no renumbering happened.
+	Remap []VID
+}
+
+// NoVertex marks a removed vertex in a remap table.
+const NoVertex = VID(0xFFFFFFFF)
+
+// Build constructs a sorted-adjacency CSR from edges. Adjacency lists are
+// sorted by target VID so HasEdge can binary search.
+func Build(edges []Edge, opt BuildOptions) (*BuildResult, error) {
+	n := opt.NumVertices
+	for _, e := range edges {
+		// NoVertex (0xFFFFFFFF) is reserved as the removed-vertex sentinel,
+		// and e.Src+1 below would overflow on it.
+		if e.Src == NoVertex || e.Dst == NoVertex {
+			return nil, fmt.Errorf("graph: vertex ID %#x is reserved", NoVertex)
+		}
+		if e.Src >= n {
+			if opt.NumVertices != 0 {
+				return nil, fmt.Errorf("graph: edge source %d >= NumVertices %d", e.Src, opt.NumVertices)
+			}
+			n = e.Src + 1
+		}
+		if e.Dst >= n {
+			if opt.NumVertices != 0 {
+				return nil, fmt.Errorf("graph: edge target %d >= NumVertices %d", e.Dst, opt.NumVertices)
+			}
+			n = e.Dst + 1
+		}
+	}
+
+	// Materialize the working edge set (expanding undirected edges).
+	work := make([]Edge, 0, len(edges)*2)
+	for _, e := range edges {
+		if opt.RemoveSelfLoops && e.Src == e.Dst {
+			continue
+		}
+		work = append(work, e)
+		if opt.Undirected && e.Src != e.Dst {
+			work = append(work, Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
+		}
+	}
+
+	// Counting pass for CSR offsets.
+	deg := make([]uint64, n+1)
+	for _, e := range work {
+		deg[e.Src+1]++
+	}
+	offsets := make([]uint64, n+1)
+	for i := uint32(1); i <= n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	targets := make([]VID, len(work))
+	var weights []float32
+	if opt.Weighted {
+		weights = make([]float32, len(work))
+	}
+	cursor := make([]uint64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range work {
+		p := cursor[e.Src]
+		targets[p] = e.Dst
+		if weights != nil {
+			weights[p] = e.Weight
+		}
+		cursor[e.Src] = p + 1
+	}
+
+	g := &CSR{Offsets: offsets, Targets: targets, Weights: weights}
+	sortAdjacency(g)
+	if opt.Dedup {
+		g = dedup(g)
+	}
+
+	res := &BuildResult{Graph: g}
+	if opt.DropZeroDegree {
+		res.Graph, res.Remap = dropZeroDegree(g)
+	}
+	if err := res.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: built graph invalid: %w", err)
+	}
+	return res, nil
+}
+
+// sortAdjacency sorts each adjacency list by target, carrying weights.
+func sortAdjacency(g *CSR) {
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		adj := g.Targets[lo:hi]
+		if g.Weights == nil {
+			sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+			continue
+		}
+		w := g.Weights[lo:hi]
+		idx := make([]int, len(adj))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return adj[idx[i]] < adj[idx[j]] })
+		na := make([]VID, len(adj))
+		nw := make([]float32, len(w))
+		for i, k := range idx {
+			na[i], nw[i] = adj[k], w[k]
+		}
+		copy(adj, na)
+		copy(w, nw)
+	}
+}
+
+// dedup collapses consecutive duplicate targets in each (sorted) adjacency
+// list, summing weights of merged parallel edges.
+func dedup(g *CSR) *CSR {
+	n := g.NumVertices()
+	offsets := make([]uint64, n+1)
+	targets := make([]VID, 0, len(g.Targets))
+	var weights []float32
+	if g.Weights != nil {
+		weights = make([]float32, 0, len(g.Weights))
+	}
+	for v := uint32(0); v < n; v++ {
+		adj := g.Neighbors(v)
+		w := g.EdgeWeights(v)
+		for i := 0; i < len(adj); i++ {
+			if i > 0 && adj[i] == adj[i-1] {
+				if weights != nil {
+					weights[len(weights)-1] += w[i]
+				}
+				continue
+			}
+			targets = append(targets, adj[i])
+			if weights != nil {
+				weights = append(weights, w[i])
+			}
+		}
+		offsets[v+1] = uint64(len(targets))
+	}
+	return &CSR{Offsets: offsets, Targets: targets, Weights: weights}
+}
+
+// dropZeroDegree removes vertices with zero out-degree, renumbering the
+// survivors densely in their original relative order. Targets pointing at a
+// removed vertex are impossible only in one direction: a removed vertex has
+// no out-edges but may still be a target; such targets would dangle, so any
+// vertex that appears as a target is kept even with zero out-degree. (The
+// paper's datasets remove vertices isolated in both roles.)
+func dropZeroDegree(g *CSR) (*CSR, []VID) {
+	n := g.NumVertices()
+	keep := make([]bool, n)
+	for v := uint32(0); v < n; v++ {
+		if g.Degree(v) > 0 {
+			keep[v] = true
+		}
+	}
+	for _, t := range g.Targets {
+		keep[t] = true
+	}
+	remap := make([]VID, n)
+	var next VID
+	for v := uint32(0); v < n; v++ {
+		if keep[v] {
+			remap[v] = next
+			next++
+		} else {
+			remap[v] = NoVertex
+		}
+	}
+	if next == VID(n) {
+		return g, nil // nothing removed
+	}
+	offsets := make([]uint64, next+1)
+	targets := make([]VID, len(g.Targets))
+	var weights []float32
+	if g.Weights != nil {
+		weights = make([]float32, len(g.Weights))
+	}
+	var pos uint64
+	for v := uint32(0); v < n; v++ {
+		if !keep[v] {
+			continue
+		}
+		nv := remap[v]
+		adj := g.Neighbors(v)
+		w := g.EdgeWeights(v)
+		for i, t := range adj {
+			targets[pos] = remap[t]
+			if weights != nil {
+				weights[pos] = w[i]
+			}
+			pos++
+		}
+		offsets[nv+1] = pos
+	}
+	return &CSR{Offsets: offsets, Targets: targets[:pos], Weights: weights}, remap
+}

@@ -1,0 +1,146 @@
+// Package graph provides the compressed-sparse-row (CSR) graph substrate
+// used by all walk engines in the FlashMob reproduction, along with
+// construction, degree-ordered renumbering, I/O, and validation.
+//
+// Vertex IDs are uint32, matching the paper's compact walker messages: a
+// walker's entire shuffled state is a single 4-byte VID (§4.3). Edge counts
+// use uint64 so multi-billion-edge graphs remain representable.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// VID is a vertex identifier. After Reorder, VID 0 is the highest-degree
+// vertex, as the paper's partitioner requires (§4.4).
+type VID = uint32
+
+// CSR is an immutable compressed-sparse-row adjacency structure.
+// Out-edges of vertex v are Targets[Offsets[v]:Offsets[v+1]].
+type CSR struct {
+	// Offsets has length NumVertices()+1; Offsets[0] == 0 and the slice is
+	// non-decreasing.
+	Offsets []uint64
+	// Targets holds destination VIDs, grouped by source vertex.
+	Targets []VID
+	// Weights, if non-nil, holds one edge weight per target (same
+	// indexing). Nil means the graph is unweighted.
+	Weights []float32
+}
+
+// NumVertices returns |V|.
+func (g *CSR) NumVertices() uint32 { return uint32(len(g.Offsets) - 1) }
+
+// NumEdges returns |E| (directed edge count; an undirected input built with
+// both directions counts each edge twice, as in the paper's datasets).
+func (g *CSR) NumEdges() uint64 { return uint64(len(g.Targets)) }
+
+// Degree returns the out-degree of v.
+func (g *CSR) Degree(v VID) uint32 {
+	return uint32(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the out-neighbor slice of v. The slice aliases the
+// graph's storage and must not be modified.
+func (g *CSR) Neighbors(v VID) []VID {
+	return g.Targets[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// EdgeWeights returns the weight slice parallel to Neighbors(v), or nil for
+// unweighted graphs.
+func (g *CSR) EdgeWeights(v VID) []float32 {
+	if g.Weights == nil {
+		return nil
+	}
+	return g.Weights[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// HasEdge reports whether an edge u→w exists, via binary search when the
+// adjacency list is sorted (Builder output always is) or linear scan
+// otherwise. It is the connectivity check node2vec needs per step.
+func (g *CSR) HasEdge(u, w VID) bool {
+	adj := g.Neighbors(u)
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(adj) && adj[lo] == w
+}
+
+// MaxDegree returns the largest out-degree in the graph (0 for an empty
+// graph).
+func (g *CSR) MaxDegree() uint32 {
+	var max uint32
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns |E|/|V|, or 0 for an empty graph.
+func (g *CSR) AvgDegree() float64 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(g.NumVertices())
+}
+
+// SizeBytes returns the in-memory footprint of the CSR arrays, the quantity
+// the paper reports as "CSR Size" in Table 4.
+func (g *CSR) SizeBytes() uint64 {
+	s := uint64(len(g.Offsets))*8 + uint64(len(g.Targets))*4
+	if g.Weights != nil {
+		s += uint64(len(g.Weights)) * 4
+	}
+	return s
+}
+
+// Validate checks structural invariants: monotone offsets, in-range
+// targets, weight array parity. It returns a descriptive error for the
+// first violation found.
+func (g *CSR) Validate() error {
+	if len(g.Offsets) == 0 {
+		return fmt.Errorf("graph: empty offsets array")
+	}
+	if g.Offsets[0] != 0 {
+		return fmt.Errorf("graph: Offsets[0] = %d, want 0", g.Offsets[0])
+	}
+	if len(g.Offsets)-1 > math.MaxUint32 {
+		return fmt.Errorf("graph: %d vertices exceeds uint32 VID space", len(g.Offsets)-1)
+	}
+	for i := 1; i < len(g.Offsets); i++ {
+		if g.Offsets[i] < g.Offsets[i-1] {
+			return fmt.Errorf("graph: Offsets[%d]=%d < Offsets[%d]=%d", i, g.Offsets[i], i-1, g.Offsets[i-1])
+		}
+	}
+	if last := g.Offsets[len(g.Offsets)-1]; last != uint64(len(g.Targets)) {
+		return fmt.Errorf("graph: final offset %d != len(Targets) %d", last, len(g.Targets))
+	}
+	n := g.NumVertices()
+	for i, t := range g.Targets {
+		if t >= n {
+			return fmt.Errorf("graph: Targets[%d]=%d out of range (|V|=%d)", i, t, n)
+		}
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Targets) {
+		return fmt.Errorf("graph: len(Weights)=%d != len(Targets)=%d", len(g.Weights), len(g.Targets))
+	}
+	return nil
+}
+
+// DegreeSlice materializes all out-degrees; helper for sorting and stats.
+func (g *CSR) DegreeSlice() []uint32 {
+	d := make([]uint32, g.NumVertices())
+	for v := range d {
+		d[v] = g.Degree(uint32(v))
+	}
+	return d
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File provides random block access to a binary CSR on disk without
+// loading its edge data: the offsets array (8 bytes/vertex, like
+// GraphWalker's index) stays in memory while target blocks are read on
+// demand. It is the substrate for the out-of-core engine (the paper's
+// §4.5/§7 future-work direction: stream a disk-resident graph through
+// DRAM while walkers stay memory-resident).
+type File struct {
+	f *os.File
+	// Offsets is the in-memory CSR offset array (len NumVertices+1).
+	Offsets []uint64
+
+	targetsOff int64 // byte offset of the targets array in the file
+	numVerts   uint32
+	numEdges   uint64
+	weighted   bool
+}
+
+// binHeaderSize is the fixed header of the binary CSR format: magic,
+// version, flags, nVert (uint32 each) + nEdge (uint64).
+const binHeaderSize = 4 + 4 + 4 + 4 + 8
+
+// OpenFile opens a binary CSR written by WriteBinary, loading only the
+// header and offsets.
+func OpenFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic, version, flags, nVert uint32
+	var nEdge uint64
+	for _, p := range []interface{}{&magic, &version, &flags, &nVert, &nEdge} {
+		if err := binary.Read(f, binary.LittleEndian, p); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("graph: read file header: %w", err)
+		}
+	}
+	if magic != binMagic || version != binVersion {
+		f.Close()
+		return nil, fmt.Errorf("graph: %s is not a version-%d binary CSR", path, binVersion)
+	}
+	offsets := make([]uint64, nVert+1)
+	if err := binary.Read(f, binary.LittleEndian, offsets); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("graph: read file offsets: %w", err)
+	}
+	gf := &File{
+		f:          f,
+		Offsets:    offsets,
+		targetsOff: int64(binHeaderSize) + int64(nVert+1)*8,
+		numVerts:   nVert,
+		numEdges:   nEdge,
+		weighted:   flags&flagWeighted != 0,
+	}
+	if offsets[nVert] != nEdge {
+		f.Close()
+		return nil, fmt.Errorf("graph: file offsets end at %d, header says %d edges", offsets[nVert], nEdge)
+	}
+	return gf, nil
+}
+
+// NumVertices returns |V|.
+func (gf *File) NumVertices() uint32 { return gf.numVerts }
+
+// NumEdges returns |E|.
+func (gf *File) NumEdges() uint64 { return gf.numEdges }
+
+// Weighted reports whether the file carries edge weights.
+func (gf *File) Weighted() bool { return gf.weighted }
+
+// Degree returns the out-degree of v, from the in-memory offsets.
+func (gf *File) Degree(v VID) uint32 {
+	return uint32(gf.Offsets[v+1] - gf.Offsets[v])
+}
+
+// ReadTargets reads the edge targets with indices [lo, hi) into buf, which
+// must have capacity for hi-lo entries. One sequential pread per call.
+func (gf *File) ReadTargets(lo, hi uint64, buf []VID) error {
+	if hi < lo || hi > gf.numEdges {
+		return fmt.Errorf("graph: target range [%d,%d) out of bounds (|E|=%d)", lo, hi, gf.numEdges)
+	}
+	n := int(hi - lo)
+	if len(buf) < n {
+		return fmt.Errorf("graph: buffer holds %d entries, need %d", len(buf), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	raw := make([]byte, n*4)
+	if _, err := gf.f.ReadAt(raw, gf.targetsOff+int64(lo)*4); err != nil {
+		return fmt.Errorf("graph: read targets [%d,%d): %w", lo, hi, err)
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = VID(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return nil
+}
+
+// ReadVertexRange reads all targets of vertices [first, last) — the block
+// the out-of-core sample stage streams per partition.
+func (gf *File) ReadVertexRange(first, last VID, buf []VID) error {
+	return gf.ReadTargets(gf.Offsets[first], gf.Offsets[last], buf)
+}
+
+// Close releases the file handle.
+func (gf *File) Close() error { return gf.f.Close() }
+
+var _ io.Closer = (*File)(nil)

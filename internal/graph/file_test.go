@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, g *CSR) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenFileMatchesInMemory(t *testing.T) {
+	g := mustBuild(t, diamondEdges(), BuildOptions{})
+	gf, err := OpenFile(writeTemp(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	if gf.NumVertices() != g.NumVertices() || gf.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d", gf.NumVertices(), gf.NumEdges())
+	}
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if gf.Degree(v) != g.Degree(v) {
+			t.Fatalf("Degree(%d) = %d, want %d", v, gf.Degree(v), g.Degree(v))
+		}
+	}
+	// Whole-array read.
+	buf := make([]VID, g.NumEdges())
+	if err := gf.ReadTargets(0, g.NumEdges(), buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if buf[i] != g.Targets[i] {
+			t.Fatalf("target %d: %d vs %d", i, buf[i], g.Targets[i])
+		}
+	}
+	// Per-vertex block reads.
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		adj := g.Neighbors(v)
+		block := make([]VID, len(adj))
+		if err := gf.ReadVertexRange(v, v+1, block); err != nil {
+			t.Fatal(err)
+		}
+		for i := range adj {
+			if block[i] != adj[i] {
+				t.Fatalf("vertex %d block mismatch", v)
+			}
+		}
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(bad, []byte("garbage garbage garbage....."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); err == nil {
+		t.Error("garbage file accepted")
+	}
+}
+
+func TestReadTargetsBounds(t *testing.T) {
+	g := mustBuild(t, diamondEdges(), BuildOptions{})
+	gf, err := OpenFile(writeTemp(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	buf := make([]VID, 10)
+	if err := gf.ReadTargets(0, g.NumEdges()+5, buf); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if err := gf.ReadTargets(0, 5, buf[:2]); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if err := gf.ReadTargets(3, 3, nil); err != nil {
+		t.Errorf("empty read failed: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the text parser never panics and that anything
+// it accepts builds into a valid graph.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n5 5 2.5\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("4294967295 0\n"))
+	f.Add([]byte("1 2 3 4 5\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(edges) == 0 {
+			return
+		}
+		res, err := Build(edges, BuildOptions{Dedup: true})
+		if err != nil {
+			t.Fatalf("parsed edges failed to build: %v", err)
+		}
+		if err := res.Graph.Validate(); err != nil {
+			t.Fatalf("built graph invalid: %v", err)
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary reader rejects corrupt input without
+// panicking, and that valid graphs round-trip.
+func FuzzReadBinary(f *testing.F) {
+	g := &CSR{Offsets: []uint64{0, 2, 3}, Targets: []VID{1, 1, 0}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x42, 0x4F, 0x4D, 0x46})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		// Round-trip stability.
+		var out bytes.Buffer
+		if err := WriteBinary(&out, got); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		again, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if again.NumVertices() != got.NumVertices() || again.NumEdges() != got.NumEdges() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

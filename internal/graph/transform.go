@@ -1,0 +1,68 @@
+package graph
+
+// Transpose returns the reverse graph: an edge u→v becomes v→u. Weights
+// follow their edges. SimRank-style applications walk the transpose.
+func Transpose(g *CSR) *CSR {
+	n := g.NumVertices()
+	offsets := make([]uint64, n+1)
+	for _, t := range g.Targets {
+		offsets[t+1]++
+	}
+	for i := uint32(1); i <= n; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	targets := make([]VID, len(g.Targets))
+	var weights []float32
+	if g.Weights != nil {
+		weights = make([]float32, len(g.Weights))
+	}
+	cursor := make([]uint64, n)
+	copy(cursor, offsets[:n])
+	for v := uint32(0); v < n; v++ {
+		adj := g.Neighbors(v)
+		w := g.EdgeWeights(v)
+		for i, t := range adj {
+			p := cursor[t]
+			targets[p] = v
+			if weights != nil {
+				weights[p] = w[i]
+			}
+			cursor[t] = p + 1
+		}
+	}
+	out := &CSR{Offsets: offsets, Targets: targets, Weights: weights}
+	sortAdjacency(out)
+	return out
+}
+
+// InDegrees returns the in-degree of every vertex.
+func InDegrees(g *CSR) []uint32 {
+	in := make([]uint32, g.NumVertices())
+	for _, t := range g.Targets {
+		in[t]++
+	}
+	return in
+}
+
+// IsUndirected reports whether every edge has a reverse edge (multi-edges
+// must match in multiplicity).
+func IsUndirected(g *CSR) bool {
+	n := g.NumVertices()
+	// Count occurrences of each directed edge and its reverse via two
+	// passes over sorted adjacency lists of g and its transpose; equality
+	// of the two CSRs' target arrays per vertex is exactly the symmetric
+	// condition.
+	tr := Transpose(g)
+	for v := uint32(0); v < n; v++ {
+		a, b := g.Neighbors(v), tr.Neighbors(v)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

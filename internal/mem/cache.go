@@ -1,0 +1,97 @@
+package mem
+
+// cache is one set-associative LRU cache level operating on line
+// addresses (byte address >> lineShift).
+type cache struct {
+	sets    [][]uint64 // each set holds line addresses, MRU first
+	numSets uint64
+	assoc   int
+}
+
+// noLine is the sentinel for "no eviction happened".
+const noLine = ^uint64(0)
+
+func newCache(g LevelGeom, lineBytes uint64) *cache {
+	if g.SizeBytes == 0 || g.Assoc <= 0 {
+		return &cache{numSets: 1, assoc: 1, sets: make([][]uint64, 1)}
+	}
+	numSets := g.SizeBytes / (lineBytes * uint64(g.Assoc))
+	if numSets == 0 {
+		numSets = 1
+	}
+	c := &cache{
+		sets:    make([][]uint64, numSets),
+		numSets: numSets,
+		assoc:   g.Assoc,
+	}
+	return c
+}
+
+// lookup reports whether line is cached and, on a hit, promotes it to MRU.
+func (c *cache) lookup(line uint64) bool {
+	set := c.sets[line%c.numSets]
+	for i, l := range set {
+		if l == line {
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports presence without touching recency.
+func (c *cache) contains(line uint64) bool {
+	for _, l := range c.sets[line%c.numSets] {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// insert places line at MRU, returning the evicted line or noLine. If the
+// line is already present it is just promoted.
+func (c *cache) insert(line uint64) (evicted uint64) {
+	idx := line % c.numSets
+	set := c.sets[idx]
+	for i, l := range set {
+		if l == line {
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return noLine
+		}
+	}
+	if len(set) < c.assoc {
+		set = append(set, 0)
+		copy(set[1:], set)
+		set[0] = line
+		c.sets[idx] = set
+		return noLine
+	}
+	evicted = set[len(set)-1]
+	copy(set[1:], set)
+	set[0] = line
+	return evicted
+}
+
+// remove deletes line if present (used by the exclusive-L3 promotion path
+// and inclusive back-invalidation). Reports whether it was present.
+func (c *cache) remove(line uint64) bool {
+	idx := line % c.numSets
+	set := c.sets[idx]
+	for i, l := range set {
+		if l == line {
+			c.sets[idx] = append(set[:i], set[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// reset empties the cache.
+func (c *cache) reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+}

@@ -1,0 +1,160 @@
+// Package mem is a trace-driven memory-hierarchy simulator: set-associative
+// LRU caches (L1/L2/L3), a stream prefetcher, NUMA domains, and a latency
+// model taken directly from Table 1 of the FlashMob paper.
+//
+// It substitutes for the hardware performance counters (perf, VTune) the
+// paper uses: the walk engines in internal/sim emit the same address
+// sequences their real counterparts generate, and the simulator reports
+// per-level hit/miss counts, DRAM traffic, and estimated data-bound time —
+// exactly the quantities in the paper's Figure 1b and Table 5.
+//
+// Go offers no portable PMU access and its GC perturbs data layout, so a
+// simulator is the faithful way to measure cache behaviour of these access
+// patterns; absolute wall-clock performance is measured separately by the
+// real engines in internal/core and internal/baseline.
+package mem
+
+// AccessKind classifies a memory access by the dependence structure the
+// issuing code has, which determines how much memory-level parallelism the
+// hardware can extract (paper Table 1 rows).
+type AccessKind int
+
+const (
+	// Seq is a streaming access adjacent to the previous one in its
+	// stream; hardware prefetching and pipelining hide nearly all latency.
+	Seq AccessKind = iota
+	// Rand is an independent random access: no pointer dependence, so
+	// multiple misses overlap.
+	Rand
+	// Chase is a dependent (pointer-chasing) access: the address derives
+	// from the previous load's value, serializing misses.
+	Chase
+	numKinds
+)
+
+// String returns the paper's row label for the kind.
+func (k AccessKind) String() string {
+	switch k {
+	case Seq:
+		return "Sequential read"
+	case Rand:
+		return "Random read"
+	case Chase:
+		return "Pointer-chasing"
+	default:
+		return "unknown"
+	}
+}
+
+// Location identifies where an access was served.
+type Location int
+
+const (
+	LocL1 Location = iota
+	LocL2
+	LocL3
+	LocLocalMem
+	LocRemoteMem
+	numLocations
+)
+
+// String returns the paper's column label for the location.
+func (l Location) String() string {
+	switch l {
+	case LocL1:
+		return "L1C"
+	case LocL2:
+		return "L2C"
+	case LocL3:
+		return "L3C"
+	case LocLocalMem:
+		return "LocalMem"
+	case LocRemoteMem:
+		return "RemoteMem"
+	default:
+		return "unknown"
+	}
+}
+
+// LLCPolicy selects the last-level-cache management scheme the paper
+// contrasts (§2.3): Broadwell-style inclusive vs Skylake-style exclusive
+// (victim) L3.
+type LLCPolicy int
+
+const (
+	// LLCExclusive fills misses directly into L2; L3 holds only L2
+	// victims (Skylake and later).
+	LLCExclusive LLCPolicy = iota
+	// LLCInclusive fills L3 on every miss and back-invalidates inner
+	// levels when an L3 line is evicted (Broadwell and earlier).
+	LLCInclusive
+)
+
+// LevelGeom describes one cache level.
+type LevelGeom struct {
+	SizeBytes uint64
+	Assoc     int
+}
+
+// Geometry is the full machine description.
+type Geometry struct {
+	LineBytes uint64
+	L1, L2    LevelGeom
+	// L3 is the per-socket shared capacity.
+	L3        LevelGeom
+	LLCPolicy LLCPolicy
+	// PrefetchDepth is how many lines ahead the stream prefetcher runs; 0
+	// disables prefetching.
+	PrefetchDepth int
+	// Latency[kind][location] is the per-access cost in nanoseconds.
+	Latency [numKinds][numLocations]float64
+}
+
+// PaperLatency is Table 1 of the paper, measured on a Xeon Gold 6126
+// (ns per load): rows Seq/Rand/Chase, columns L1C/L2C/L3C/Local/Remote.
+var PaperLatency = [numKinds][numLocations]float64{
+	Seq:   {0.42, 0.41, 0.44, 0.76, 1.51},
+	Rand:  {0.77, 0.95, 2.60, 18.35, 24.35},
+	Chase: {1.69, 5.26, 19.26, 116.90, 194.26},
+}
+
+// PaperGeometry returns the evaluation platform of the paper: Xeon Gold
+// 6126 with 32KB/8-way L1D, 1MB/16-way L2, 19.75MB/11-way shared exclusive
+// L3, 64B lines.
+func PaperGeometry() Geometry {
+	return Geometry{
+		LineBytes:     64,
+		L1:            LevelGeom{SizeBytes: 32 << 10, Assoc: 8},
+		L2:            LevelGeom{SizeBytes: 1 << 20, Assoc: 16},
+		L3:            LevelGeom{SizeBytes: 19*(1<<20) + 768<<10, Assoc: 11},
+		LLCPolicy:     LLCExclusive,
+		PrefetchDepth: 4,
+		Latency:       PaperLatency,
+	}
+}
+
+// BroadwellGeometry returns a prior-generation configuration: 256KB L2,
+// 2.5MB/core inclusive L3 (scaled to a 12-core socket: 30MB), used by the
+// inclusive-vs-exclusive ablation.
+func BroadwellGeometry() Geometry {
+	g := PaperGeometry()
+	g.L2 = LevelGeom{SizeBytes: 256 << 10, Assoc: 8}
+	g.L3 = LevelGeom{SizeBytes: 30 << 20, Assoc: 20}
+	g.LLCPolicy = LLCInclusive
+	return g
+}
+
+// ScaledGeometry shrinks the paper geometry by div while preserving shape.
+// Trace simulation of full-size graphs is too slow for unit tests; scaling
+// the caches together with the graphs preserves the fit relationships
+// (which working set fits in which level) that drive all results.
+func ScaledGeometry(div uint64) Geometry {
+	if div == 0 {
+		div = 1
+	}
+	g := PaperGeometry()
+	g.L1.SizeBytes /= div
+	g.L2.SizeBytes /= div
+	g.L3.SizeBytes /= div
+	return g
+}

@@ -1,0 +1,293 @@
+package mem
+
+// RemoteBase splits the simulated physical address space into NUMA
+// domains: addresses at or above RemoteBase live on the remote socket.
+const RemoteBase = uint64(1) << 40
+
+// Stats accumulates simulation counters. Served[k][loc] counts accesses of
+// kind k satisfied at loc; hit/miss views and time estimates derive from
+// it.
+type Stats struct {
+	// Served[kind][location] counts accesses by where they were served.
+	Served [numKinds][numLocations]uint64
+	// DRAMBytes counts all line traffic from DRAM, demand plus prefetch.
+	DRAMBytes uint64
+	// RemoteDRAMBytes is the subset of DRAMBytes from the remote domain.
+	RemoteDRAMBytes uint64
+	// PrefetchFills counts lines brought in by the stream prefetcher.
+	PrefetchFills uint64
+	// Accesses counts demand accesses (not prefetches).
+	Accesses uint64
+	// WriteBytes counts bytes written (writes also allocate).
+	WriteBytes uint64
+}
+
+// HitsAt returns demand accesses served at loc across all kinds.
+func (s *Stats) HitsAt(loc Location) uint64 {
+	var n uint64
+	for k := 0; k < int(numKinds); k++ {
+		n += s.Served[k][loc]
+	}
+	return n
+}
+
+// MissesBelow returns the number of demand accesses that missed at every
+// level above loc, i.e. were served at loc or deeper. Misses at level L in
+// the perf sense are accesses served deeper than L.
+func (s *Stats) MissesBelow(loc Location) uint64 {
+	var n uint64
+	for l := loc; l < numLocations; l++ {
+		n += s.HitsAt(l)
+	}
+	return n
+}
+
+// BoundNS returns the estimated time attributable to accesses served at
+// loc, per the latency table.
+func (s *Stats) BoundNS(lat *[numKinds][numLocations]float64, loc Location) float64 {
+	var t float64
+	for k := 0; k < int(numKinds); k++ {
+		t += float64(s.Served[k][loc]) * lat[k][loc]
+	}
+	return t
+}
+
+// TotalNS returns the estimated data time of all accesses.
+func (s *Stats) TotalNS(lat *[numKinds][numLocations]float64) float64 {
+	var t float64
+	for loc := Location(0); loc < numLocations; loc++ {
+		t += s.BoundNS(lat, loc)
+	}
+	return t
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	for k := range s.Served {
+		for l := range s.Served[k] {
+			s.Served[k][l] += o.Served[k][l]
+		}
+	}
+	s.DRAMBytes += o.DRAMBytes
+	s.RemoteDRAMBytes += o.RemoteDRAMBytes
+	s.PrefetchFills += o.PrefetchFills
+	s.Accesses += o.Accesses
+	s.WriteBytes += o.WriteBytes
+}
+
+// stream is one entry of the prefetcher's stream table.
+type stream struct {
+	nextLine uint64
+	lastUse  uint64
+}
+
+// Hierarchy simulates one core's view of the memory system: private L1 and
+// L2, a shared (but here single-client) L3, a stream prefetcher, and local
+// plus remote DRAM.
+type Hierarchy struct {
+	Geom  Geometry
+	Stats Stats
+
+	l1, l2, l3 *cache
+	lineShift  uint
+
+	streams [32]stream
+	clock   uint64
+	regions *regionTable
+}
+
+// NewHierarchy builds a simulator for geometry g.
+func NewHierarchy(g Geometry) *Hierarchy {
+	shift := uint(0)
+	for (uint64(1) << shift) < g.LineBytes {
+		shift++
+	}
+	return &Hierarchy{
+		Geom:      g,
+		l1:        newCache(g.L1, g.LineBytes),
+		l2:        newCache(g.L2, g.LineBytes),
+		l3:        newCache(g.L3, g.LineBytes),
+		lineShift: shift,
+	}
+}
+
+// NewSharedL3Group builds n per-core hierarchies (private L1, L2, and
+// stream prefetcher each) that share a single L3, modelling the paper's
+// multi-core socket (§2.3: private L2s, shared LLC). The hierarchies are
+// NOT safe for concurrent use — drive them from one goroutine,
+// interleaving accesses to model concurrency.
+func NewSharedL3Group(g Geometry, n int) []*Hierarchy {
+	if n < 1 {
+		n = 1
+	}
+	shift := uint(0)
+	for (uint64(1) << shift) < g.LineBytes {
+		shift++
+	}
+	shared := newCache(g.L3, g.LineBytes)
+	out := make([]*Hierarchy, n)
+	for i := range out {
+		out[i] = &Hierarchy{
+			Geom:      g,
+			l1:        newCache(g.L1, g.LineBytes),
+			l2:        newCache(g.L2, g.LineBytes),
+			l3:        shared,
+			lineShift: shift,
+		}
+	}
+	return out
+}
+
+// Reset clears caches and counters (stream table too).
+func (h *Hierarchy) Reset() {
+	h.l1.reset()
+	h.l2.reset()
+	h.l3.reset()
+	h.Stats = Stats{}
+	h.streams = [32]stream{}
+	h.clock = 0
+}
+
+// Read simulates a load of size bytes at addr with the given dependence
+// kind, touching every covered line.
+func (h *Hierarchy) Read(addr uint64, size int, kind AccessKind) {
+	h.access(addr, size, kind, false)
+}
+
+// Write simulates a store (write-allocate, like the hardware).
+func (h *Hierarchy) Write(addr uint64, size int, kind AccessKind) {
+	h.access(addr, size, kind, true)
+}
+
+func (h *Hierarchy) access(addr uint64, size int, kind AccessKind, write bool) {
+	if size <= 0 {
+		return
+	}
+	first := addr >> h.lineShift
+	last := (addr + uint64(size) - 1) >> h.lineShift
+	for line := first; ; line++ {
+		h.touch(line, kind)
+		if line == last {
+			break
+		}
+	}
+	if write {
+		h.Stats.WriteBytes += uint64(size)
+	}
+}
+
+// touch is the per-line state machine.
+func (h *Hierarchy) touch(line uint64, kind AccessKind) {
+	h.clock++
+	h.Stats.Accesses++
+	loc := h.demandFill(line)
+	h.Stats.Served[kind][loc]++
+	h.prefetch(line)
+}
+
+// demandFill looks the line up through the hierarchy, performs fills and
+// evictions, and returns where the demand access was served.
+func (h *Hierarchy) demandFill(line uint64) Location {
+	if h.l1.lookup(line) {
+		return LocL1
+	}
+	if h.l2.lookup(line) {
+		h.fillL1(line)
+		return LocL2
+	}
+	if h.l3.lookup(line) {
+		if h.Geom.LLCPolicy == LLCExclusive {
+			// Promotion removes the line from the victim cache.
+			h.l3.remove(line)
+		}
+		h.fillL2(line)
+		h.fillL1(line)
+		return LocL3
+	}
+	// DRAM.
+	h.Stats.DRAMBytes += h.Geom.LineBytes
+	if h.regions != nil {
+		h.regions.attribute(line<<h.lineShift, h.Geom.LineBytes)
+	}
+	remote := line<<h.lineShift >= RemoteBase
+	if remote {
+		h.Stats.RemoteDRAMBytes += h.Geom.LineBytes
+	}
+	if h.Geom.LLCPolicy == LLCInclusive {
+		h.fillL3(line)
+	}
+	h.fillL2(line)
+	h.fillL1(line)
+	if remote {
+		return LocRemoteMem
+	}
+	return LocLocalMem
+}
+
+func (h *Hierarchy) fillL1(line uint64) {
+	h.l1.insert(line) // L1 victims are already in L2 (mostly-inclusive L1/L2)
+}
+
+func (h *Hierarchy) fillL2(line uint64) {
+	if victim := h.l2.insert(line); victim != noLine {
+		if h.Geom.LLCPolicy == LLCExclusive {
+			// Victim cache: L2 evictions land in L3.
+			h.l3.insert(victim)
+		}
+		// L1 must not retain lines L2 lost (keeps L1 ⊆ L2).
+		h.l1.remove(victim)
+	}
+}
+
+func (h *Hierarchy) fillL3(line uint64) {
+	if victim := h.l3.insert(line); victim != noLine && h.Geom.LLCPolicy == LLCInclusive {
+		// Inclusive back-invalidation.
+		h.l2.remove(victim)
+		h.l1.remove(victim)
+	}
+}
+
+// prefetch advances the stream table and issues next-line prefetches into
+// L2 when the access continues a detected stream.
+func (h *Hierarchy) prefetch(line uint64) {
+	depth := h.Geom.PrefetchDepth
+	if depth <= 0 {
+		return
+	}
+	// Find a stream expecting this line.
+	for i := range h.streams {
+		if h.streams[i].nextLine == line && line != 0 {
+			h.streams[i].nextLine = line + 1
+			h.streams[i].lastUse = h.clock
+			for d := 1; d <= depth; d++ {
+				h.prefetchLine(line + uint64(d))
+			}
+			return
+		}
+	}
+	// Allocate the LRU entry to watch for line+1.
+	lru := 0
+	for i := range h.streams {
+		if h.streams[i].lastUse < h.streams[lru].lastUse {
+			lru = i
+		}
+	}
+	h.streams[lru] = stream{nextLine: line + 1, lastUse: h.clock}
+}
+
+// prefetchLine brings a line into L2 if it is not already cached anywhere,
+// counting its DRAM traffic but no demand-access latency.
+func (h *Hierarchy) prefetchLine(line uint64) {
+	if h.l1.contains(line) || h.l2.contains(line) || h.l3.contains(line) {
+		return
+	}
+	h.Stats.DRAMBytes += h.Geom.LineBytes
+	if h.regions != nil {
+		h.regions.attribute(line<<h.lineShift, h.Geom.LineBytes)
+	}
+	if line<<h.lineShift >= RemoteBase {
+		h.Stats.RemoteDRAMBytes += h.Geom.LineBytes
+	}
+	h.Stats.PrefetchFills++
+	h.fillL2(line)
+}

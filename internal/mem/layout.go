@@ -1,0 +1,75 @@
+package mem
+
+import "fmt"
+
+// Layout assigns non-overlapping simulated address ranges to named data
+// structures, so trace-driven engines can compute realistic addresses for
+// their arrays without owning real memory. Regions are line-aligned and
+// padded so distinct structures never share a cache line (mirroring the
+// paper's cache-line alignment of per-partition walker data, §4.3).
+type Layout struct {
+	lineBytes uint64
+	next      [2]uint64 // per-domain bump pointer
+	regions   []Region
+}
+
+// Region is one allocated range.
+type Region struct {
+	Name string
+	Base uint64
+	Size uint64
+	// Domain is the NUMA domain: 0 local, 1 remote.
+	Domain int
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool { return addr >= r.Base && addr < r.End() }
+
+// NewLayout creates an empty layout with the given line size.
+func NewLayout(lineBytes uint64) *Layout {
+	if lineBytes == 0 {
+		lineBytes = 64
+	}
+	return &Layout{
+		lineBytes: lineBytes,
+		next:      [2]uint64{lineBytes, RemoteBase + lineBytes},
+	}
+}
+
+// Alloc reserves size bytes in NUMA domain 0 and returns the region.
+func (l *Layout) Alloc(name string, size uint64) Region {
+	return l.AllocDomain(name, size, 0)
+}
+
+// AllocDomain reserves size bytes in the given NUMA domain.
+func (l *Layout) AllocDomain(name string, size uint64, domain int) Region {
+	if domain != 0 && domain != 1 {
+		panic(fmt.Sprintf("mem: invalid NUMA domain %d", domain))
+	}
+	// Round the region up to whole lines so neighbours never share lines.
+	rounded := (size + l.lineBytes - 1) / l.lineBytes * l.lineBytes
+	if rounded == 0 {
+		rounded = l.lineBytes
+	}
+	r := Region{Name: name, Base: l.next[domain], Size: rounded, Domain: domain}
+	l.next[domain] += rounded + l.lineBytes // guard line between regions
+	l.regions = append(l.regions, r)
+	return r
+}
+
+// Regions returns all allocations in order.
+func (l *Layout) Regions() []Region { return l.regions }
+
+// TotalBytes returns the sum of allocated region sizes in domain d.
+func (l *Layout) TotalBytes(d int) uint64 {
+	var t uint64
+	for _, r := range l.regions {
+		if r.Domain == d {
+			t += r.Size
+		}
+	}
+	return t
+}

@@ -1,0 +1,49 @@
+package mem
+
+import "sort"
+
+// regionTable attributes DRAM traffic to named regions.
+type regionTable struct {
+	bases []uint64
+	ends  []uint64
+	names []string
+	bytes map[string]uint64
+}
+
+// AttributeRegions attaches a region table to the hierarchy: every DRAM
+// line fill (demand or prefetch) from then on is attributed to the region
+// containing its address. Useful for Table 5-style analysis of where a
+// workload's memory traffic comes from (graph arrays vs walker arrays vs
+// pre-sample buffers).
+func (h *Hierarchy) AttributeRegions(regions []Region) {
+	rt := &regionTable{bytes: make(map[string]uint64)}
+	sorted := append([]Region(nil), regions...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+	for _, r := range sorted {
+		rt.bases = append(rt.bases, r.Base)
+		rt.ends = append(rt.ends, r.End())
+		rt.names = append(rt.names, r.Name)
+		rt.bytes[r.Name] = 0
+	}
+	h.regions = rt
+}
+
+// RegionDRAMBytes returns the per-region DRAM traffic recorded since
+// AttributeRegions; nil if attribution was never enabled. Addresses
+// outside every region are accounted under "".
+func (h *Hierarchy) RegionDRAMBytes() map[string]uint64 {
+	if h.regions == nil {
+		return nil
+	}
+	return h.regions.bytes
+}
+
+// attribute charges n bytes of DRAM traffic at addr.
+func (rt *regionTable) attribute(addr uint64, n uint64) {
+	i := sort.Search(len(rt.bases), func(i int) bool { return rt.bases[i] > addr }) - 1
+	if i < 0 || addr >= rt.ends[i] {
+		rt.bytes[""] += n
+		return
+	}
+	rt.bytes[rt.names[i]] += n
+}

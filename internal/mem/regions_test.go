@@ -1,0 +1,57 @@
+package mem
+
+import "testing"
+
+func TestRegionAttribution(t *testing.T) {
+	g := testGeom()
+	h := NewHierarchy(g)
+	l := NewLayout(64)
+	a := l.Alloc("graph", 4096)
+	b := l.Alloc("walkers", 4096)
+	h.AttributeRegions(l.Regions())
+
+	// Touch 4 distinct lines of "graph" and 2 of "walkers".
+	for i := uint64(0); i < 4; i++ {
+		h.Read(a.Base+i*64, 8, Rand)
+	}
+	for i := uint64(0); i < 2; i++ {
+		h.Read(b.Base+i*64, 8, Rand)
+	}
+	// And one address outside any region.
+	h.Read(1<<30, 8, Rand)
+
+	got := h.RegionDRAMBytes()
+	if got["graph"] != 4*64 {
+		t.Errorf("graph traffic = %d, want 256", got["graph"])
+	}
+	if got["walkers"] != 2*64 {
+		t.Errorf("walkers traffic = %d, want 128", got["walkers"])
+	}
+	if got[""] != 64 {
+		t.Errorf("unattributed traffic = %d, want 64", got[""])
+	}
+}
+
+func TestRegionAttributionDisabled(t *testing.T) {
+	h := NewHierarchy(testGeom())
+	h.Read(0, 8, Rand)
+	if h.RegionDRAMBytes() != nil {
+		t.Error("attribution reported without being enabled")
+	}
+}
+
+func TestRegionAttributionCountsPrefetch(t *testing.T) {
+	g := testGeom()
+	g.PrefetchDepth = 4
+	h := NewHierarchy(g)
+	l := NewLayout(64)
+	r := l.Alloc("stream", 1<<16)
+	h.AttributeRegions(l.Regions())
+	for a := uint64(0); a < 64*64; a += 64 {
+		h.Read(r.Base+a, 8, Seq)
+	}
+	got := h.RegionDRAMBytes()["stream"]
+	if got < 64*64 {
+		t.Errorf("stream traffic %d below demand volume; prefetch fills not attributed", got)
+	}
+}

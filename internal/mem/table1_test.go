@@ -1,0 +1,92 @@
+package mem
+
+import (
+	"testing"
+
+	"flashmob/internal/rng"
+)
+
+// TestSimulatedTable1 drives the three Table 1 micro-kernels (sequential
+// scan, independent random reads, pointer chase) through the simulator at
+// working sets fitting each level, and checks the average simulated cost
+// per load approaches the corresponding latency-table cell. This closes
+// the loop: the simulator's behavioural model reproduces the measurements
+// it was parameterized with.
+func TestSimulatedTable1(t *testing.T) {
+	geom := PaperGeometry()
+	cases := []struct {
+		name string
+		ws   uint64
+		loc  Location
+	}{
+		{"L1", geom.L1.SizeBytes / 2, LocL1},
+		{"L2", geom.L2.SizeBytes / 2, LocL2},
+		{"L3", geom.L3.SizeBytes / 2, LocL3},
+		{"DRAM", geom.L3.SizeBytes * 16, LocLocalMem},
+	}
+	const loads = 200000
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			lines := tc.ws / geom.LineBytes
+
+			// Sequential scan: repeated passes over the buffer. After the
+			// warm pass, demand accesses hit L1/L2 (same line or
+			// prefetched); per-load cost must be well below the random
+			// cost at this level.
+			h := NewHierarchy(geom)
+			addr := uint64(0)
+			for i := 0; i < loads; i++ {
+				h.Read(addr%tc.ws, 8, Seq)
+				addr += 8
+			}
+			seqNS := h.Stats.TotalNS(&geom.Latency) / loads
+
+			// Independent random reads over the working set.
+			h2 := NewHierarchy(geom)
+			src := rng.NewXorShift64Star(7)
+			// Warm pass so residency reflects steady state.
+			for l := uint64(0); l < lines; l++ {
+				h2.Read(l*geom.LineBytes, 8, Rand)
+			}
+			h2.Stats = Stats{}
+			for i := 0; i < loads; i++ {
+				l := rng.Uint64n(src, lines)
+				h2.Read(l*geom.LineBytes, 8, Rand)
+			}
+			randNS := h2.Stats.TotalNS(&geom.Latency) / loads
+
+			// Pointer chase over the same working set (same residency,
+			// Chase-kind accounting).
+			h3 := NewHierarchy(geom)
+			for l := uint64(0); l < lines; l++ {
+				h3.Read(l*geom.LineBytes, 8, Chase)
+			}
+			h3.Stats = Stats{}
+			for i := 0; i < loads; i++ {
+				l := rng.Uint64n(src, lines)
+				h3.Read(l*geom.LineBytes, 8, Chase)
+			}
+			chaseNS := h3.Stats.TotalNS(&geom.Latency) / loads
+
+			wantRand := geom.Latency[Rand][tc.loc]
+			wantChase := geom.Latency[Chase][tc.loc]
+			// Steady-state random/chase loads should be within 2x of the
+			// table cell (set-conflict spill to the next level accounts
+			// for the slack).
+			if randNS < wantRand*0.8 || randNS > wantRand*2.5 {
+				t.Errorf("random: %.2f ns/load, table says %.2f", randNS, wantRand)
+			}
+			if chaseNS < wantChase*0.8 || chaseNS > wantChase*2.5 {
+				t.Errorf("chase: %.2f ns/load, table says %.2f", chaseNS, wantChase)
+			}
+			// Sequential is far cheaper than random at every level beyond
+			// L1.
+			if tc.loc != LocL1 && seqNS > randNS {
+				t.Errorf("sequential %.2f ns/load not below random %.2f", seqNS, randNS)
+			}
+			t.Logf("%s: seq %.2f rand %.2f (table %.2f) chase %.2f (table %.2f)",
+				tc.name, seqNS, randNS, wantRand, chaseNS, wantChase)
+		})
+	}
+}

@@ -1,0 +1,48 @@
+package ooc
+
+import (
+	"fmt"
+	"time"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+)
+
+// NaiveDisk walks a disk-resident graph the way a direct out-of-core
+// adaptation of walker-at-a-time engines would (DrunkardMob-style): each
+// step issues one random positioned read for the sampled edge. It exists
+// as the baseline the streaming engine is compared against — random disk
+// reads of 4 bytes each versus large sequential block streams.
+func NaiveDisk(gf *graph.File, walkers uint64, steps int, seed uint64) (*Result, error) {
+	if gf == nil {
+		return nil, fmt.Errorf("ooc: nil graph file")
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("ooc: steps must be positive")
+	}
+	if walkers == 0 {
+		walkers = uint64(gf.NumVertices())
+	}
+	src := rng.NewXorShift1024Star(seed)
+	n := gf.NumVertices()
+	res := &Result{Walkers: walkers, Steps: steps, TotalSteps: walkers * uint64(steps)}
+	one := make([]graph.VID, 1)
+	start := time.Now()
+	for j := uint64(0); j < walkers; j++ {
+		v := graph.VID(uint32(j) % n)
+		for s := 0; s < steps; s++ {
+			d := gf.Degree(v)
+			if d == 0 {
+				continue
+			}
+			idx := gf.Offsets[v] + uint64(rng.Uint32n(src, d))
+			if err := gf.ReadTargets(idx, idx+1, one); err != nil {
+				return nil, err
+			}
+			res.BytesRead += 4
+			v = one[0]
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}

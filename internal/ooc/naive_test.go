@@ -1,0 +1,60 @@
+package ooc
+
+import (
+	"testing"
+)
+
+func TestNaiveDiskWalks(t *testing.T) {
+	gf, g := writeGraph(t, 400, 20)
+	res, err := NaiveDisk(gf, 200, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSteps != 1000 {
+		t.Fatalf("TotalSteps = %d", res.TotalSteps)
+	}
+	// One 4-byte read per non-dead-end step.
+	if res.BytesRead == 0 || res.BytesRead > 4*res.TotalSteps {
+		t.Errorf("BytesRead = %d for %d steps", res.BytesRead, res.TotalSteps)
+	}
+	_ = g
+}
+
+func TestNaiveDiskErrors(t *testing.T) {
+	if _, err := NaiveDisk(nil, 1, 1, 1); err == nil {
+		t.Error("nil file accepted")
+	}
+	gf, _ := writeGraph(t, 100, 21)
+	if _, err := NaiveDisk(gf, 1, 0, 1); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestStreamingBeatsNaiveDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short")
+	}
+	// At identical workloads, block streaming must beat one-pread-per-step
+	// random I/O. (Both hit the page cache here; the syscall-per-step
+	// overhead alone decides it, and real disks widen the gap further.)
+	gf, _ := writeGraph(t, 3000, 22)
+	walkers, steps := uint64(4000), 6
+
+	naive, err := NaiveDisk(gf, walkers, steps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(gf, Config{BlockBudget: 64 << 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := e.Run(walkers, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("naive %.0f ns/step vs streaming %.0f ns/step", naive.PerStepNS(), stream.PerStepNS())
+	if stream.PerStepNS() >= naive.PerStepNS() {
+		t.Errorf("streaming (%.0f ns/step) not faster than naive random I/O (%.0f ns/step)",
+			stream.PerStepNS(), naive.PerStepNS())
+	}
+}

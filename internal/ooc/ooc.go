@@ -1,0 +1,286 @@
+// Package ooc implements out-of-core random walks on disk-resident
+// graphs — the extension the paper plans as future work (§4.5, §7): since
+// FlashMob's sample stage consumes each vertex partition's edges as one
+// sequential block, the graph can stream from disk through a small DRAM
+// window while the (much smaller) walker arrays stay memory-resident. The
+// paper estimates a full 80-step DeepWalk needs ~5GB/s of streaming
+// bandwidth, within commodity NVMe range.
+//
+// The engine processes direct-sampling partitions only: pre-sampling's
+// per-vertex buffers are themselves edge-sized and would defeat the
+// purpose on a disk-resident graph.
+package ooc
+
+import (
+	"fmt"
+	"time"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/part"
+	"flashmob/internal/profile"
+	"flashmob/internal/rng"
+	"flashmob/internal/walk"
+)
+
+// Config tunes the out-of-core engine.
+type Config struct {
+	// BlockBudget is the DRAM allowance for streamed edge blocks; the
+	// engine double-buffers, so each partition's edge block must fit half
+	// of it. Default 64 MiB.
+	BlockBudget uint64
+	// Seed drives sampling.
+	Seed uint64
+	// Workers parallelizes the shuffle stages (sampling streams one
+	// partition at a time by design).
+	Workers int
+	// RecordHistory keeps the W_i arrays (for tests; memory heavy).
+	RecordHistory bool
+}
+
+// Result reports an out-of-core run.
+type Result struct {
+	Walkers    uint64
+	Steps      int
+	TotalSteps uint64
+	Duration   time.Duration
+	// BytesRead is the total edge-block volume streamed from disk.
+	BytesRead uint64
+	// IOWait is time spent blocked on disk reads (after overlap with
+	// sampling via the prefetch buffer).
+	IOWait time.Duration
+	// History holds recorded W_i arrays when requested.
+	History *walk.History
+}
+
+// PerStepNS returns wall nanoseconds per walker-step.
+func (r *Result) PerStepNS() float64 {
+	if r.TotalSteps == 0 {
+		return 0
+	}
+	return float64(r.Duration.Nanoseconds()) / float64(r.TotalSteps)
+}
+
+// StreamBandwidth returns the effective disk streaming rate in bytes/sec.
+func (r *Result) StreamBandwidth() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.BytesRead) / r.Duration.Seconds()
+}
+
+// Engine walks a disk-resident graph.
+type Engine struct {
+	gf   *graph.File
+	plan *part.Plan
+	cfg  Config
+	// maxBlock is the largest partition edge block (entries).
+	maxBlock uint64
+}
+
+// New prepares an engine over an opened graph file. The partition plan is
+// derived from the block budget: uniform power-of-2 DS partitions, each
+// small enough that its edge block fits half the budget.
+func New(gf *graph.File, cfg Config) (*Engine, error) {
+	if gf == nil {
+		return nil, fmt.Errorf("ooc: nil graph file")
+	}
+	if cfg.BlockBudget == 0 {
+		cfg.BlockBudget = 64 << 20
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	n := gf.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("ooc: empty graph")
+	}
+	plan, maxBlock, err := planForBudget(gf, cfg.BlockBudget/2)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{gf: gf, plan: plan, cfg: cfg, maxBlock: maxBlock}, nil
+}
+
+// Plan returns the streaming partition plan.
+func (e *Engine) Plan() *part.Plan { return e.plan }
+
+// planForBudget cuts the vertex array into equal power-of-2 DS partitions
+// whose largest edge block fits blockBytes.
+func planForBudget(gf *graph.File, blockBytes uint64) (*part.Plan, uint64, error) {
+	n := gf.NumVertices()
+	szLog := uint(0)
+	for (uint64(1) << szLog) < uint64(n) {
+		szLog++
+	}
+	// Shrink VP size until every block fits.
+	for {
+		maxBlock := uint64(0)
+		vpSize := graph.VID(1) << szLog
+		for start := graph.VID(0); start < n; start += vpSize {
+			end := start + vpSize
+			if end > n {
+				end = n
+			}
+			if b := gf.Offsets[end] - gf.Offsets[start]; b > maxBlock {
+				maxBlock = b
+			}
+		}
+		if maxBlock*4 <= blockBytes || szLog == 0 {
+			if maxBlock*4 > blockBytes {
+				return nil, 0, fmt.Errorf("ooc: a single vertex's adjacency (%dB) exceeds the block budget %dB",
+					maxBlock*4, blockBytes)
+			}
+			plan, err := singleGroupPlan(n, szLog)
+			if err != nil {
+				return nil, 0, err
+			}
+			return plan, maxBlock, nil
+		}
+		szLog--
+	}
+}
+
+// singleGroupPlan builds a one-group uniform DS plan.
+func singleGroupPlan(n graph.VID, szLog uint) (*part.Plan, error) {
+	groupLog := uint(0)
+	for (uint64(1) << groupLog) < uint64(n) {
+		groupLog++
+	}
+	nvp := int((uint64(n) + (1 << szLog) - 1) >> szLog)
+	policies := make([]profile.Policy, nvp)
+	for i := range policies {
+		policies[i] = profile.DS
+	}
+	plan := &part.Plan{
+		V:            n,
+		GroupSizeLog: groupLog,
+		Groups: []part.GroupPlan{{
+			Start: 0, End: n, VPSizeLog: szLog, Policies: policies,
+		}},
+	}
+	if err := part.Finalize(plan); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// blockLoad is one prefetched partition edge block.
+type blockLoad struct {
+	vp   int
+	buf  []graph.VID
+	base uint64 // first edge index of the block
+	err  error
+}
+
+// Run walks totalWalkers walkers (0 = |V|) for the given steps.
+func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("ooc: steps must be positive")
+	}
+	if totalWalkers == 0 {
+		totalWalkers = uint64(e.gf.NumVertices())
+	}
+	walkers := int(totalWalkers)
+
+	w := make([]graph.VID, walkers)
+	sw := make([]graph.VID, walkers)
+	wNext := make([]graph.VID, walkers)
+	n := e.gf.NumVertices()
+	for j := range w {
+		w[j] = graph.VID(uint32(j) % n)
+	}
+
+	shuffler, err := walk.NewShuffler(e.plan, walkers, e.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Walkers: totalWalkers, Steps: steps, TotalSteps: totalWalkers * uint64(steps)}
+	if e.cfg.RecordHistory {
+		res.History = walk.NewHistory(walkers)
+		if err := res.History.Append(w); err != nil {
+			return nil, err
+		}
+	}
+
+	src := rng.NewXorShift1024Star(e.cfg.Seed)
+	bufA := make([]graph.VID, e.maxBlock)
+	bufB := make([]graph.VID, e.maxBlock)
+
+	start := time.Now()
+	for st := 0; st < steps; st++ {
+		if err := shuffler.Forward(w, sw, nil, nil); err != nil {
+			return nil, err
+		}
+		vpStart := shuffler.VPStart()
+
+		// Stream partitions with one block of lookahead. The channel is
+		// unbuffered and the producer alternates two buffers, so it only
+		// overwrites a buffer after the consumer has moved to the other
+		// one: block k+1 loads from disk while block k is being sampled.
+		loads := make(chan blockLoad)
+		go e.prefetch(vpStart, bufA, bufB, loads)
+		for {
+			t0 := time.Now()
+			load, ok := <-loads
+			if !ok {
+				break
+			}
+			res.IOWait += time.Since(t0)
+			if load.err != nil {
+				return nil, load.err
+			}
+			res.BytesRead += uint64(len(load.buf)) * 4
+			e.sampleBlock(load, sw[vpStart[load.vp]:vpStart[load.vp+1]], src)
+		}
+
+		if err := shuffler.Reverse(w, sw, wNext, nil, nil); err != nil {
+			return nil, err
+		}
+		w, wNext = wNext, w
+		if e.cfg.RecordHistory {
+			if err := res.History.Append(w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// prefetch loads each non-empty partition's edge block in order,
+// alternating between the two buffers so the consumer can sample one block
+// while the next loads.
+func (e *Engine) prefetch(vpStart []uint64, bufA, bufB []graph.VID, out chan<- blockLoad) {
+	defer close(out)
+	bufs := [2][]graph.VID{bufA, bufB}
+	which := 0
+	for vp := 0; vp < e.plan.NumVPs(); vp++ {
+		if vpStart[vp] == vpStart[vp+1] {
+			continue // no walkers here this step: skip the disk read
+		}
+		vpMeta := e.plan.VPs[vp]
+		lo := e.gf.Offsets[vpMeta.Start]
+		hi := e.gf.Offsets[vpMeta.End]
+		buf := bufs[which][:hi-lo]
+		which ^= 1
+		err := e.gf.ReadTargets(lo, hi, buf)
+		out <- blockLoad{vp: vp, buf: buf, base: lo, err: err}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// sampleBlock advances every walker of one partition using the streamed
+// edge block.
+func (e *Engine) sampleBlock(load blockLoad, chunk []graph.VID, src rng.Source) {
+	gf := e.gf
+	for i, v := range chunk {
+		d := gf.Degree(v)
+		if d == 0 {
+			continue
+		}
+		idx := gf.Offsets[v] - load.base + uint64(rng.Uint32n(src, d))
+		chunk[i] = load.buf[idx]
+	}
+}

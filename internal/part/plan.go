@@ -1,0 +1,226 @@
+// Package part implements FlashMob's vertex partitioning (§4.4): grouping
+// the degree-sorted vertex array into power-of-2 groups, cutting each group
+// into equal power-of-2 vertex partitions (VPs), assigning each VP a
+// sampling policy, and choosing all of it optimally via the Multiple-Choice
+// Knapsack Problem solved with an exact pseudo-polynomial dynamic program.
+package part
+
+import (
+	"fmt"
+	"math/bits"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/profile"
+)
+
+// VP is one vertex partition: a contiguous range of (degree-sorted)
+// vertices processed as a unit by the sample stage.
+type VP struct {
+	// Start and End delimit the vertex range [Start, End).
+	Start, End graph.VID
+	// Policy is the sampling policy assigned to this partition.
+	Policy profile.Policy
+	// Group is the index of the group this VP belongs to.
+	Group int
+}
+
+// Vertices returns the partition's vertex count.
+func (v VP) Vertices() uint32 { return v.End - v.Start }
+
+// GroupPlan records the planner's decision for one vertex group.
+type GroupPlan struct {
+	// Start and End delimit the group's vertex range.
+	Start, End graph.VID
+	// VPSizeLog is log2 of the VP size (in vertices) chosen for this
+	// group.
+	VPSizeLog uint
+	// ExtraShuffle marks groups that are a single bin in the outer
+	// shuffle, with an internal second shuffle level splitting them into
+	// VPs (§4.4: weight 1 items with added shuffle cost).
+	ExtraShuffle bool
+	// Policies holds one policy per VP in the group.
+	Policies []profile.Policy
+}
+
+// Bin is one destination bin of the outer shuffle: either a single VP or a
+// whole group that shuffles internally.
+type Bin struct {
+	Start, End graph.VID
+	// FirstVP and NumVPs locate the bin's partitions in Plan.VPs.
+	FirstVP, NumVPs int
+	// Extra is true when the bin needs the internal shuffle level.
+	Extra bool
+}
+
+// Plan is a complete partitioning decision for one graph.
+type Plan struct {
+	// V is the vertex count the plan covers.
+	V uint32
+	// GroupSizeLog is log2 of the (equal) group size; the last group may
+	// be partial.
+	GroupSizeLog uint
+	// Groups holds per-group decisions in vertex order.
+	Groups []GroupPlan
+	// VPs is the flattened partition list in vertex order.
+	VPs []VP
+
+	vpBase  []int // index of first VP per group
+	binBase []int // index of first bin per group
+	bins    []Bin
+}
+
+// finalize derives the flattened VP and bin views from Groups.
+func (p *Plan) finalize() {
+	p.VPs = p.VPs[:0]
+	p.bins = p.bins[:0]
+	p.vpBase = make([]int, len(p.Groups))
+	p.binBase = make([]int, len(p.Groups))
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		p.vpBase[gi] = len(p.VPs)
+		p.binBase[gi] = len(p.bins)
+		vpSize := uint32(1) << g.VPSizeLog
+		nvp := 0
+		for start := g.Start; start < g.End; start += vpSize {
+			end := start + vpSize
+			if end > g.End {
+				end = g.End
+			}
+			pol := profile.DS
+			if nvp < len(g.Policies) {
+				pol = g.Policies[nvp]
+			}
+			p.VPs = append(p.VPs, VP{Start: start, End: end, Policy: pol, Group: gi})
+			nvp++
+		}
+		if g.ExtraShuffle {
+			p.bins = append(p.bins, Bin{
+				Start: g.Start, End: g.End,
+				FirstVP: p.vpBase[gi], NumVPs: nvp, Extra: true,
+			})
+		} else {
+			for i := 0; i < nvp; i++ {
+				vp := p.VPs[p.vpBase[gi]+i]
+				p.bins = append(p.bins, Bin{
+					Start: vp.Start, End: vp.End,
+					FirstVP: p.vpBase[gi] + i, NumVPs: 1,
+				})
+			}
+		}
+	}
+}
+
+// Finalize derives the flattened VP and bin views of a hand-constructed
+// plan (Groups filled in) and validates it. Plans returned by the planners
+// in this package are already finalized.
+func Finalize(p *Plan) error {
+	p.finalize()
+	return p.Validate()
+}
+
+// NumVPs returns the total partition count.
+func (p *Plan) NumVPs() int { return len(p.VPs) }
+
+// Bins returns the outer-shuffle bins in vertex order.
+func (p *Plan) Bins() []Bin { return p.bins }
+
+// Weight returns the plan's MCKP weight: the number of outer-shuffle bins.
+func (p *Plan) Weight() int { return len(p.bins) }
+
+// GroupOf returns the group index of vertex v.
+func (p *Plan) GroupOf(v graph.VID) int {
+	gi := int(v >> p.GroupSizeLog)
+	if gi >= len(p.Groups) {
+		gi = len(p.Groups) - 1
+	}
+	return gi
+}
+
+// VPOf returns the index (into VPs) of the partition holding v, in pure
+// shift arithmetic — the property the power-of-2 sizing exists to provide.
+func (p *Plan) VPOf(v graph.VID) int {
+	gi := p.GroupOf(v)
+	g := &p.Groups[gi]
+	return p.vpBase[gi] + int((v-g.Start)>>g.VPSizeLog)
+}
+
+// BinOf returns the outer-shuffle bin index of vertex v.
+func (p *Plan) BinOf(v graph.VID) int {
+	gi := p.GroupOf(v)
+	g := &p.Groups[gi]
+	if g.ExtraShuffle {
+		return p.binBase[gi]
+	}
+	return p.binBase[gi] + int((v-g.Start)>>g.VPSizeLog)
+}
+
+// Validate checks the structural invariants: groups tile [0, V), VPs tile
+// each group, arithmetic lookups agree with the flattened views.
+func (p *Plan) Validate() error {
+	if len(p.Groups) == 0 {
+		return fmt.Errorf("part: plan has no groups")
+	}
+	var cursor graph.VID
+	for gi, g := range p.Groups {
+		if g.Start != cursor {
+			return fmt.Errorf("part: group %d starts at %d, want %d", gi, g.Start, cursor)
+		}
+		if g.End <= g.Start {
+			return fmt.Errorf("part: group %d empty", gi)
+		}
+		if gi < len(p.Groups)-1 && g.End-g.Start != 1<<p.GroupSizeLog {
+			return fmt.Errorf("part: non-final group %d has size %d, want %d",
+				gi, g.End-g.Start, 1<<p.GroupSizeLog)
+		}
+		cursor = g.End
+	}
+	if cursor != p.V {
+		return fmt.Errorf("part: groups cover %d vertices, want %d", cursor, p.V)
+	}
+	cursor = 0
+	for i, vp := range p.VPs {
+		if vp.Start != cursor || vp.End <= vp.Start {
+			return fmt.Errorf("part: VP %d range [%d,%d) does not tile", i, vp.Start, vp.End)
+		}
+		cursor = vp.End
+	}
+	if cursor != p.V {
+		return fmt.Errorf("part: VPs cover %d vertices, want %d", cursor, p.V)
+	}
+	for v := graph.VID(0); v < p.V; v++ {
+		i := p.VPOf(v)
+		if i < 0 || i >= len(p.VPs) || v < p.VPs[i].Start || v >= p.VPs[i].End {
+			return fmt.Errorf("part: VPOf(%d) = %d inconsistent", v, i)
+		}
+		b := p.BinOf(v)
+		if b < 0 || b >= len(p.bins) || v < p.bins[b].Start || v >= p.bins[b].End {
+			return fmt.Errorf("part: BinOf(%d) = %d inconsistent", v, b)
+		}
+	}
+	return nil
+}
+
+// GroupSizeLogFor picks the group size for a graph of n vertices such that
+// the group count lands in (targetGroups/2, targetGroups] — the paper uses
+// G between 64 and 128, i.e. targetGroups = 128.
+func GroupSizeLogFor(n uint32, targetGroups int) uint {
+	if targetGroups <= 0 {
+		targetGroups = 128
+	}
+	if n == 0 {
+		return 0
+	}
+	log := uint(0)
+	for (uint64(n)+(1<<log)-1)>>log > uint64(targetGroups) {
+		log++
+	}
+	return log
+}
+
+// ceilLog2 returns ⌈log2(x)⌉ for x ≥ 1.
+func ceilLog2(x uint64) uint {
+	if x <= 1 {
+		return 0
+	}
+	return uint(bits.Len64(x - 1))
+}

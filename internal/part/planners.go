@@ -1,0 +1,142 @@
+package part
+
+import (
+	"fmt"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/profile"
+)
+
+// PlanUniform cuts the vertex array into at most cfg.MaxBins equal-size
+// power-of-2 VPs, all using the given policy — the "Uniform-PS" and
+// "Uniform-DS" baselines of the paper's Figure 9b.
+func PlanUniform(g *graph.CSR, cfg Config, policy profile.Policy) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("part: empty graph")
+	}
+	perVP := (uint64(n) + uint64(cfg.MaxBins) - 1) / uint64(cfg.MaxBins)
+	szLog := ceilLog2(perVP)
+	numVPs := int((uint64(n) + (1 << szLog) - 1) >> szLog)
+	policies := make([]profile.Policy, numVPs)
+	for i := range policies {
+		policies[i] = policy
+	}
+	plan := &Plan{
+		V:            n,
+		GroupSizeLog: ceilLog2(uint64(n)),
+		Groups: []GroupPlan{{
+			Start: 0, End: n, VPSizeLog: szLog, Policies: policies,
+		}},
+	}
+	plan.finalize()
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// ManualHeuristic mirrors the authors' pre-MCKP "Manual Opt" tuning
+// (Figure 9b): pick PS for high-degree or low-density groups and DS
+// otherwise, then size each group's VPs so the chosen policy's working set
+// fits the L2 budget, falling back to internal shuffles when the bin
+// budget overflows.
+type ManualHeuristic struct {
+	// L2Budget is the target working-set size per VP (default 768 KiB,
+	// ~75% of the paper platform's 1MB L2).
+	L2Budget uint64
+	// PSDegreeThreshold switches a group to PS at or above this average
+	// degree (default 16).
+	PSDegreeThreshold float64
+	// PSDensityThreshold switches a group to PS below this walker density
+	// (default 0.25).
+	PSDensityThreshold float64
+}
+
+// PlanManual applies the heuristic to a degree-sorted graph.
+func (h ManualHeuristic) PlanManual(g *graph.CSR, cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	if h.L2Budget == 0 {
+		h.L2Budget = 768 << 10
+	}
+	if h.PSDegreeThreshold == 0 {
+		h.PSDegreeThreshold = 16
+	}
+	if h.PSDensityThreshold == 0 {
+		h.PSDensityThreshold = 0.25
+	}
+	if !graph.IsDegreeSorted(g) {
+		return nil, fmt.Errorf("part: graph must be sorted by descending degree")
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("part: empty graph")
+	}
+	if cfg.Walkers == 0 {
+		cfg.Walkers = uint64(n)
+	}
+	density := float64(cfg.Walkers) / float64(g.NumEdges())
+
+	groupLog := GroupSizeLogFor(n, cfg.TargetGroups)
+	groupSize := uint32(1) << groupLog
+	plan := &Plan{V: n, GroupSizeLog: groupLog}
+	for start := graph.VID(0); start < n; start += groupSize {
+		end := start + groupSize
+		if end > n {
+			end = n
+		}
+		verts := uint64(end - start)
+		avgDeg := float64(edgesIn(g, start, end)) / float64(verts)
+		pol := profile.DS
+		if avgDeg >= h.PSDegreeThreshold || density < h.PSDensityThreshold {
+			pol = profile.PS
+		}
+		// Largest power-of-2 VP size whose working set fits the budget.
+		szLog := groupLog
+		for szLog > cfg.MinVPSizeLog {
+			shape := profile.VPShape{Vertices: uint64(1) << szLog, AvgDegree: avgDeg, Density: density}
+			if profile.WorkingSetBytes(pol, shape, 64) <= h.L2Budget {
+				break
+			}
+			szLog--
+		}
+		nvp := int((verts + (1 << szLog) - 1) >> szLog)
+		policies := make([]profile.Policy, nvp)
+		for i := range policies {
+			policies[i] = pol
+		}
+		plan.Groups = append(plan.Groups, GroupPlan{
+			Start: start, End: end, VPSizeLog: szLog, Policies: policies,
+		})
+	}
+	// Enforce the bin budget: convert the highest-VP-count groups to
+	// internal shuffling until the outer level fits. Every group is at
+	// least one bin, so budgets below the group count are infeasible.
+	if len(plan.Groups) > cfg.MaxBins {
+		return nil, fmt.Errorf("part: bin budget %d below group count %d; raise MaxBins or lower TargetGroups",
+			cfg.MaxBins, len(plan.Groups))
+	}
+	plan.finalize()
+	for plan.Weight() > cfg.MaxBins {
+		worst, worstVPs := -1, 1
+		for gi := range plan.Groups {
+			if plan.Groups[gi].ExtraShuffle {
+				continue
+			}
+			nvp := len(plan.Groups[gi].Policies)
+			if nvp > worstVPs {
+				worst, worstVPs = gi, nvp
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		plan.Groups[worst].ExtraShuffle = true
+		plan.finalize()
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

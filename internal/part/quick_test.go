@@ -1,0 +1,102 @@
+package part
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flashmob/internal/rng"
+)
+
+// enumerate returns the optimal cost of an MCKP instance by exhaustive
+// search (exponential; instances are kept tiny).
+func enumerate(items [][]item, maxW int) float64 {
+	best := math.MaxFloat64
+	var rec func(c int, w int, cost float64)
+	rec = func(c, w int, cost float64) {
+		if w > maxW || cost >= best {
+			return
+		}
+		if c == len(items) {
+			best = cost
+			return
+		}
+		for _, it := range items[c] {
+			rec(c+1, w+it.weight, cost+it.costNS)
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+// TestSolveMCKPOptimalOnRandomInstances is a property test: on random
+// feasible instances the DP must match exhaustive search exactly.
+func TestSolveMCKPOptimalOnRandomInstances(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.NewXorShift64Star(seed)
+		numClasses := 2 + int(rng.Uint64n(src, 4)) // 2..5 classes
+		// Feasibility floor: every class carries a weight-1 item, so any
+		// limit ≥ numClasses admits a solution.
+		maxW := numClasses + int(rng.Uint64n(src, 12))
+		items := make([][]item, numClasses)
+		for c := range items {
+			n := 1 + int(rng.Uint64n(src, 4)) // 1..4 items
+			for i := 0; i < n; i++ {
+				items[c] = append(items[c], item{
+					weight: 1 + int(rng.Uint64n(src, 5)),
+					costNS: float64(rng.Uint64n(src, 100)),
+				})
+			}
+			// Guarantee feasibility: every class has a weight-1 item.
+			items[c] = append(items[c], item{weight: 1, costNS: float64(rng.Uint64n(src, 100))})
+		}
+		choice, err := solveMCKP(items, maxW)
+		if err != nil {
+			return false
+		}
+		var cost float64
+		w := 0
+		for c, idx := range choice {
+			cost += items[c][idx].costNS
+			w += items[c][idx].weight
+		}
+		if w > maxW {
+			return false
+		}
+		return math.Abs(cost-enumerate(items, maxW)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanLookupsConsistentOnRandomPlans is a property test: for random
+// valid plan shapes, VPOf/BinOf agree with the flattened VP and bin lists
+// for every vertex (Finalize's Validate checks this exhaustively).
+func TestPlanLookupsConsistentOnRandomPlans(t *testing.T) {
+	g := func(seed uint64) bool {
+		src := rng.NewXorShift64Star(seed)
+		groupLog := uint(2 + rng.Uint64n(src, 5))
+		groups := 1 + int(rng.Uint64n(src, 6))
+		lastLen := 1 + uint32(rng.Uint64n(src, 1<<groupLog))
+		v := uint32(groups-1)<<groupLog + lastLen
+		plan := &Plan{V: v, GroupSizeLog: groupLog}
+		for gi := 0; gi < groups; gi++ {
+			start := uint32(gi) << groupLog
+			end := start + 1<<groupLog
+			if end > v {
+				end = v
+			}
+			vpLog := uint(rng.Uint64n(src, uint64(groupLog)+1))
+			nvp := int((uint64(end-start) + (1 << vpLog) - 1) >> vpLog)
+			plan.Groups = append(plan.Groups, GroupPlan{
+				Start: start, End: end, VPSizeLog: vpLog,
+				ExtraShuffle: rng.Uint64n(src, 2) == 0 && nvp > 1,
+			})
+		}
+		return Finalize(plan) == nil
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

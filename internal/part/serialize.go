@@ -1,0 +1,117 @@
+package part
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"flashmob/internal/profile"
+)
+
+// planJSON is the serialized form of a Plan: only the decisions are
+// stored; the derived VP/bin views are rebuilt on load.
+type planJSON struct {
+	V            uint32          `json:"v"`
+	GroupSizeLog uint            `json:"group_size_log"`
+	Groups       []groupPlanJSON `json:"groups"`
+}
+
+type groupPlanJSON struct {
+	Start        uint32           `json:"start"`
+	End          uint32           `json:"end"`
+	VPSizeLog    uint             `json:"vp_size_log"`
+	ExtraShuffle bool             `json:"extra_shuffle,omitempty"`
+	Policies     []profile.Policy `json:"policies"`
+}
+
+// WriteJSON serializes the plan. Plans are machine- and walker-count-
+// specific (they bake in the cost model's decisions), so cache them keyed
+// on graph + machine + walker budget.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	out := planJSON{V: p.V, GroupSizeLog: p.GroupSizeLog}
+	for _, g := range p.Groups {
+		out.Groups = append(out.Groups, groupPlanJSON{
+			Start: g.Start, End: g.End, VPSizeLog: g.VPSizeLog,
+			ExtraShuffle: g.ExtraShuffle, Policies: g.Policies,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("part: encode plan: %w", err)
+	}
+	return nil
+}
+
+// ReadPlan deserializes and validates a plan written by WriteJSON.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	var in planJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("part: decode plan: %w", err)
+	}
+	p := &Plan{V: in.V, GroupSizeLog: in.GroupSizeLog}
+	for _, g := range in.Groups {
+		for _, pol := range g.Policies {
+			if pol != profile.PS && pol != profile.DS {
+				return nil, fmt.Errorf("part: plan contains invalid policy %d", pol)
+			}
+		}
+		p.Groups = append(p.Groups, GroupPlan{
+			Start: g.Start, End: g.End, VPSizeLog: g.VPSizeLog,
+			ExtraShuffle: g.ExtraShuffle, Policies: g.Policies,
+		})
+	}
+	if err := Finalize(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Summary returns a compact human-readable description of the plan — the
+// per-group layout the paper's Figure 10a visualizes.
+func (p *Plan) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: |V|=%d, %d groups (size 2^%d), %d VPs, %d shuffle bins\n",
+		p.V, len(p.Groups), p.GroupSizeLog, p.NumVPs(), p.Weight())
+	// Collapse consecutive groups with identical decisions.
+	type class struct {
+		vpLog  uint
+		extra  bool
+		policy string
+	}
+	classOf := func(g GroupPlan) class {
+		pol := "mixed"
+		ps, ds := 0, 0
+		for _, pp := range g.Policies {
+			if pp == profile.PS {
+				ps++
+			} else {
+				ds++
+			}
+		}
+		switch {
+		case ds == 0:
+			pol = "PS"
+		case ps == 0:
+			pol = "DS"
+		}
+		return class{g.VPSizeLog, g.ExtraShuffle, pol}
+	}
+	start := 0
+	for i := 1; i <= len(p.Groups); i++ {
+		if i < len(p.Groups) && classOf(p.Groups[i]) == classOf(p.Groups[start]) {
+			continue
+		}
+		g := p.Groups[start]
+		c := classOf(g)
+		extra := ""
+		if c.extra {
+			extra = " +inner-shuffle"
+		}
+		fmt.Fprintf(&b, "  groups %d-%d: vertices [%d,%d) VPs of 2^%d %s%s\n",
+			start, i-1, g.Start, p.Groups[i-1].End, c.vpLog, c.policy, extra)
+		start = i
+	}
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package part
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flashmob/internal/profile"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	g := testGraph(t, 20000, 8)
+	plan, err := PlanMCKP(g, Config{Walkers: 20000, Model: testModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.V != plan.V || got.NumVPs() != plan.NumVPs() || got.Weight() != plan.Weight() {
+		t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+			got.V, got.NumVPs(), got.Weight(), plan.V, plan.NumVPs(), plan.Weight())
+	}
+	for i := range plan.VPs {
+		if got.VPs[i] != plan.VPs[i] {
+			t.Fatalf("VP %d differs: %+v vs %+v", i, got.VPs[i], plan.VPs[i])
+		}
+	}
+	// The reloaded plan answers lookups identically.
+	for v := uint32(0); v < plan.V; v += 97 {
+		if got.VPOf(v) != plan.VPOf(v) || got.BinOf(v) != plan.BinOf(v) {
+			t.Fatalf("lookup mismatch at vertex %d", v)
+		}
+	}
+}
+
+func TestReadPlanRejectsBadInput(t *testing.T) {
+	if _, err := ReadPlan(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	// Structurally broken: groups don't tile [0, V).
+	bad := `{"v": 100, "group_size_log": 5, "groups": [
+		{"start": 10, "end": 42, "vp_size_log": 5, "policies": [0]}]}`
+	if _, err := ReadPlan(strings.NewReader(bad)); err == nil {
+		t.Error("non-tiling plan accepted")
+	}
+	// Invalid policy value.
+	bad2 := `{"v": 4, "group_size_log": 2, "groups": [
+		{"start": 0, "end": 4, "vp_size_log": 2, "policies": [9]}]}`
+	if _, err := ReadPlan(strings.NewReader(bad2)); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestPlanSummary(t *testing.T) {
+	g := testGraph(t, 5000, 9)
+	plan, err := PlanUniform(g, Config{MaxBins: 64}, profile.DS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Summary()
+	for _, want := range []string{"|V|=5000", "shuffle bins", "DS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

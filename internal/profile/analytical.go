@@ -1,0 +1,166 @@
+package profile
+
+import "flashmob/internal/mem"
+
+// AnalyticalModel is a deterministic cost model assembled from a machine
+// geometry and the paper's Table 1 latency matrix. It reproduces the
+// qualitative structure of the paper's Figure 6:
+//
+//  1. both policies speed up when their working set fits a faster level;
+//  2. PS gets cheaper as degree grows (better utilization of sequentially
+//     read pre-sampled cache lines), DS is degree-insensitive;
+//  3. density helps both policies while data fits in cache and neither
+//     once it spills to DRAM;
+//  4. PS-DRAM is the worst combination: its per-vertex buffer-cursor seeks
+//     become random DRAM reads and its many streams thrash.
+type AnalyticalModel struct {
+	Geom mem.Geometry
+	// UsableFraction discounts cache capacity for tags/metadata/co-runner
+	// interference; the paper's planner similarly avoids exactly filling a
+	// level. Default 0.75.
+	UsableFraction float64
+}
+
+// NewAnalyticalModel returns a model for geometry g.
+func NewAnalyticalModel(g mem.Geometry) *AnalyticalModel {
+	return &AnalyticalModel{Geom: g, UsableFraction: 0.75}
+}
+
+// fitLevel returns where a working set of ws bytes resides.
+func (m *AnalyticalModel) fitLevel(ws uint64) mem.Location {
+	f := m.UsableFraction
+	if f <= 0 || f > 1 {
+		f = 0.75
+	}
+	return levelFor(m.Geom, ws, f)
+}
+
+// LevelFor returns the cache level a randomly-accessed working set of ws
+// bytes occupies under geom, using the planner's default 75% usable
+// capacity fraction.
+func LevelFor(geom mem.Geometry, ws uint64) mem.Location {
+	return levelFor(geom, ws, 0.75)
+}
+
+func levelFor(geom mem.Geometry, ws uint64, f float64) mem.Location {
+	switch {
+	case float64(ws) <= f*float64(geom.L1.SizeBytes):
+		return mem.LocL1
+	case float64(ws) <= f*float64(geom.L2.SizeBytes):
+		return mem.LocL2
+	case float64(ws) <= f*float64(geom.L3.SizeBytes):
+		return mem.LocL3
+	default:
+		return mem.LocLocalMem
+	}
+}
+
+// below returns the next-slower location (the one misses at loc go to).
+func below(loc mem.Location) mem.Location {
+	if loc >= mem.LocLocalMem {
+		return mem.LocLocalMem
+	}
+	return loc + 1
+}
+
+// rand and seq are latency-table accessors.
+func (m *AnalyticalModel) rand(loc mem.Location) float64 { return m.Geom.Latency[mem.Rand][loc] }
+func (m *AnalyticalModel) seq(loc mem.Location) float64  { return m.Geom.Latency[mem.Seq][loc] }
+
+// lineElems is how many 4-byte VIDs fit one cache line.
+func (m *AnalyticalModel) lineElems() float64 { return float64(m.Geom.LineBytes) / 4 }
+
+// walkerStreamNS is the per-step cost of the single-stream sequential read
+// and write of the walker-state arrays, common to both policies (Table 3
+// "Common" rows). Streams come from DRAM; the per-element cost is the
+// sequential latency scaled from the 8-byte word of Table 1 to a 4-byte
+// VID.
+func (m *AnalyticalModel) walkerStreamNS() float64 {
+	perElem := m.seq(mem.LocLocalMem) * 4 / 8
+	return 2 * perElem // one read stream + one write stream
+}
+
+// SampleStepNS implements CostModel.
+func (m *AnalyticalModel) SampleStepNS(p Policy, shape VPShape) float64 {
+	if shape.Vertices == 0 {
+		return 0
+	}
+	d := shape.AvgDegree
+	if d < 1 {
+		d = 1
+	}
+	rho := shape.Density
+	if rho <= 0 {
+		rho = 1e-3
+	}
+	ws := WorkingSetBytes(p, shape, m.Geom.LineBytes)
+	loc := m.fitLevel(ws)
+	common := m.walkerStreamNS()
+
+	switch p {
+	case DS:
+		if loc == mem.LocLocalMem {
+			// Spilled: every edge read is an independent random DRAM
+			// access; density cannot help because lines rarely survive
+			// between touches (Fig 6 observation 3).
+			return common + m.rand(mem.LocLocalMem)
+		}
+		// Resident after warm-up: pay the hit latency, plus the cold/first
+		// touch of each line amortized over the expected touches per line
+		// per iteration (density × edges per line).
+		touchesPerLine := rho * m.lineElems()
+		if touchesPerLine < 1 {
+			touchesPerLine = 1
+		}
+		cold := m.rand(below(loc)) / touchesPerLine
+		return common + m.rand(loc) + cold
+
+	case PS:
+		// batch is the number of co-located walkers a vertex serves per
+		// iteration (ρ·d): per-vertex fixed costs amortize over it. This
+		// is the access-density effect that makes PS improve with degree
+		// (Fig 6 observation 2).
+		batch := rho * d
+		if batch < 1 {
+			batch = 1
+		}
+
+		// Production (refill): random reads within one adjacency list
+		// (which fits a level on its own) + a sequential write stream +
+		// per-refill vertex metadata amortized over the d samples
+		// produced.
+		adjLoc := m.fitLevel(uint64(d * 4))
+		prod := m.rand(adjLoc) + m.seq(loc)*4/8 + m.rand(loc)/d
+
+		// Consumption: the vertex's buffer-cursor seek (shared by the
+		// batch), plus the sequential read of the pre-sampled line, whose
+		// miss is amortized over the samples consumed per line visit.
+		samplesPerLine := batch
+		if samplesPerLine > m.lineElems() {
+			samplesPerLine = m.lineElems()
+		}
+		var cons float64
+		if loc == mem.LocLocalMem {
+			// Too many streams for the cache: cursor seeks and buffer
+			// lines both come from DRAM.
+			cons = m.rand(mem.LocLocalMem)/batch + m.rand(mem.LocLocalMem) +
+				m.rand(mem.LocLocalMem)/samplesPerLine
+		} else {
+			cons = m.rand(loc)/batch + m.seq(loc) + m.rand(below(loc))/samplesPerLine
+		}
+		return common + prod + cons
+
+	default:
+		panic("profile: unknown policy")
+	}
+}
+
+// ShuffleStepNS implements CostModel: per walker-step, one level of
+// shuffle performs two sequential scans of the walker array (count, then
+// place) and one scattered-but-streaming write into per-VP bins.
+func (m *AnalyticalModel) ShuffleStepNS() float64 {
+	perElem := m.seq(mem.LocLocalMem) * 4 / 8
+	return 4 * perElem // 2 scan reads + bin write + reverse-shuffle write
+}
+
+var _ CostModel = (*AnalyticalModel)(nil)

@@ -1,0 +1,95 @@
+package profile
+
+import (
+	"time"
+
+	"flashmob/internal/rng"
+)
+
+// LatencyResult holds measured per-load latencies (nanoseconds) for one
+// working-set size, reproducing a column of the paper's Table 1 on the
+// host machine.
+type LatencyResult struct {
+	// WorkingSetBytes is the buffer size the kernels touched.
+	WorkingSetBytes uint64
+	// SeqNS, RandNS, ChaseNS are per-load times for sequential scans,
+	// independent random reads, and dependent pointer chases.
+	SeqNS, RandNS, ChaseNS float64
+}
+
+// MeasureLatency runs the three Table 1 micro-kernels over a buffer of ws
+// bytes, performing at least minLoads loads per kernel.
+func MeasureLatency(ws uint64, minLoads uint64, seed uint64) LatencyResult {
+	if ws < 1024 {
+		ws = 1024
+	}
+	if minLoads < 1<<16 {
+		minLoads = 1 << 16
+	}
+	n := ws / 8
+	buf := make([]uint64, n)
+
+	// Pointer-chase permutation: a single random cycle through the
+	// buffer (Sattolo's algorithm), so every load depends on the last.
+	src := rng.NewXorShift1024Star(seed)
+	perm := make([]uint64, n)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Uint64n(src, i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := uint64(0); i < n; i++ {
+		buf[perm[i]] = perm[(i+1)%n]
+	}
+
+	res := LatencyResult{WorkingSetBytes: ws}
+	var sink uint64
+
+	// Warm the buffer.
+	for i := range buf {
+		sink += buf[i]
+	}
+
+	// Sequential scan.
+	loads := uint64(0)
+	t0 := time.Now()
+	for loads < minLoads {
+		for i := range buf {
+			sink += buf[i]
+		}
+		loads += n
+	}
+	res.SeqNS = float64(time.Since(t0).Nanoseconds()) / float64(loads)
+
+	// Independent random reads: index stream from a cheap LCG whose next
+	// value does not depend on loaded data, so the CPU can overlap
+	// misses.
+	idx := uint64(12345)
+	loads = 0
+	t0 = time.Now()
+	for loads < minLoads {
+		for k := 0; k < 1<<14; k++ {
+			idx = idx*6364136223846793005 + 1442695040888963407
+			sink += buf[(idx>>17)%n]
+		}
+		loads += 1 << 14
+	}
+	res.RandNS = float64(time.Since(t0).Nanoseconds()) / float64(loads)
+
+	// Pointer chase: each load's address is the previous load's value.
+	p := buf[0]
+	loads = 0
+	t0 = time.Now()
+	for loads < minLoads {
+		for k := 0; k < 1<<14; k++ {
+			p = buf[p]
+		}
+		loads += 1 << 14
+	}
+	res.ChaseNS = float64(time.Since(t0).Nanoseconds()) / float64(loads)
+	sink += p
+	_ = sink
+	return res
+}

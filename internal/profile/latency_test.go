@@ -1,0 +1,26 @@
+package profile
+
+import "testing"
+
+func TestMeasureLatencyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency micro-benchmarks skipped in -short")
+	}
+	// Small (L1-resident) vs large (cache-exceeding) working sets: the
+	// pointer chase must slow down dramatically on the large set, and
+	// within each set Seq ≤ Chase.
+	small := MeasureLatency(16<<10, 1<<18, 1)
+	large := MeasureLatency(64<<20, 1<<18, 2)
+	if small.SeqNS <= 0 || small.RandNS <= 0 || small.ChaseNS <= 0 {
+		t.Fatalf("non-positive latencies: %+v", small)
+	}
+	if large.ChaseNS < 2*small.ChaseNS {
+		t.Errorf("DRAM chase %.2fns not ≫ L1 chase %.2fns", large.ChaseNS, small.ChaseNS)
+	}
+	if large.SeqNS > large.ChaseNS {
+		t.Errorf("sequential (%.2f) slower than chase (%.2f) on large set", large.SeqNS, large.ChaseNS)
+	}
+	if large.RandNS > large.ChaseNS {
+		t.Errorf("independent random (%.2f) slower than chase (%.2f): no MLP benefit", large.RandNS, large.ChaseNS)
+	}
+}

@@ -1,0 +1,87 @@
+// Package profile provides sampling-cost models for FlashMob's partition
+// planner: the paper's "offline profiling" stage (§4.4).
+//
+// The planner must know, for a candidate vertex partition (VP) described by
+// (vertex count, average degree, walker density, sampling policy), the
+// expected per-walker-step sampling cost. The paper obtains this from
+// one-time machine-dependent, graph-independent micro-benchmarks (Figure 6
+// curves). This package offers two interchangeable providers:
+//
+//   - AnalyticalModel: a closed-form model composed from the paper's
+//     Table 1 latencies and Table 3 access-pattern decomposition. It is
+//     deterministic, so the MCKP optimizer and its tests behave identically
+//     on every machine.
+//
+//   - Table: an interpolated lookup table filled by running the real
+//     micro-benchmarks on the host (see the core package's Profiler and
+//     cmd/fmprofile), exactly like the paper's offline profiling.
+package profile
+
+import "fmt"
+
+// Policy is a per-partition edge sampling policy (§4.2).
+type Policy int
+
+const (
+	// PS is pre-sampling: per-vertex pre-sampled edge buffers, refilled in
+	// batch and consumed sequentially by co-located walkers.
+	PS Policy = iota
+	// DS is direct sampling: each walker draws directly from the adjacency
+	// list, with compact regular indexing on uniform-degree partitions.
+	DS
+)
+
+// String returns the paper's abbreviation.
+func (p Policy) String() string {
+	switch p {
+	case PS:
+		return "PS"
+	case DS:
+		return "DS"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// VPShape describes a candidate vertex partition for costing purposes.
+type VPShape struct {
+	// Vertices is the number of vertices in the partition.
+	Vertices uint64
+	// AvgDegree is the mean out-degree of its vertices.
+	AvgDegree float64
+	// Density is the walker density: walkers currently on the partition
+	// divided by its edge count (§4.2 "walker density").
+	Density float64
+}
+
+// CostModel estimates FlashMob stage costs.
+type CostModel interface {
+	// SampleStepNS returns the estimated sampling cost in nanoseconds per
+	// walker-step for a VP of the given shape under policy p, including
+	// the walker-state streaming common to both policies.
+	SampleStepNS(p Policy, shape VPShape) float64
+	// ShuffleStepNS returns the estimated cost per walker-step of one
+	// level of shuffling (two scans: count and place).
+	ShuffleStepNS() float64
+}
+
+// WorkingSetBytes returns the randomly-accessed working set of a VP under
+// each policy (§4.2 "Memory access patterns and partition sizing"):
+//
+//   - DS must fit all edges of the partition (plus CSR offsets);
+//   - PS needs one adjacency list at a time, per-vertex buffer cursors,
+//     and one active cache line per vertex's pre-sampled edge stream.
+func WorkingSetBytes(p Policy, shape VPShape, lineBytes uint64) uint64 {
+	switch p {
+	case DS:
+		edges := uint64(shape.AvgDegree * float64(shape.Vertices))
+		return edges*4 + shape.Vertices*8
+	case PS:
+		adj := uint64(shape.AvgDegree * 4)
+		cursors := shape.Vertices * 16 // buffer cursor + buffer base pointer
+		active := shape.Vertices * lineBytes
+		return adj + cursors + active
+	default:
+		panic(fmt.Sprintf("profile: unknown policy %d", p))
+	}
+}

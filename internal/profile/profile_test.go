@@ -1,0 +1,207 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"flashmob/internal/mem"
+)
+
+func model() *AnalyticalModel {
+	return NewAnalyticalModel(mem.PaperGeometry())
+}
+
+// shapeFitting builds a VPShape whose working set under policy p lands at
+// the given location for the paper geometry.
+func shapeFitting(t *testing.T, m *AnalyticalModel, p Policy, loc mem.Location, deg, density float64) VPShape {
+	t.Helper()
+	for v := uint64(4); v < 1<<34; v *= 2 {
+		s := VPShape{Vertices: v, AvgDegree: deg, Density: density}
+		if m.fitLevel(WorkingSetBytes(p, s, 64)) == loc {
+			return s
+		}
+	}
+	t.Fatalf("no shape fits %v under %v at degree %v", loc, p, deg)
+	return VPShape{}
+}
+
+func TestWorkingSetBytes(t *testing.T) {
+	s := VPShape{Vertices: 100, AvgDegree: 10}
+	if got, want := WorkingSetBytes(DS, s, 64), uint64(1000*4+100*8); got != want {
+		t.Errorf("DS ws = %d, want %d", got, want)
+	}
+	if got, want := WorkingSetBytes(PS, s, 64), uint64(40+100*16+100*64); got != want {
+		t.Errorf("PS ws = %d, want %d", got, want)
+	}
+}
+
+func TestWorkingSetPSAllowsLargerPartitions(t *testing.T) {
+	// Paper §4.2: to fit the same cache level with high-degree vertices,
+	// PS allows much larger partitions than DS.
+	s := VPShape{Vertices: 1000, AvgDegree: 200}
+	if WorkingSetBytes(PS, s, 64) >= WorkingSetBytes(DS, s, 64) {
+		t.Error("PS working set should be smaller than DS at high degree")
+	}
+}
+
+func TestFitLevelMonotone(t *testing.T) {
+	m := model()
+	locs := []mem.Location{
+		m.fitLevel(1 << 10), m.fitLevel(256 << 10), m.fitLevel(8 << 20), m.fitLevel(1 << 30),
+	}
+	want := []mem.Location{mem.LocL1, mem.LocL2, mem.LocL3, mem.LocLocalMem}
+	for i := range locs {
+		if locs[i] != want[i] {
+			t.Errorf("fitLevel case %d = %v, want %v", i, locs[i], want[i])
+		}
+	}
+}
+
+// TestFig6Observation1 — both policies benefit from fitting into faster
+// caches.
+func TestFig6Observation1(t *testing.T) {
+	m := model()
+	for _, p := range []Policy{PS, DS} {
+		var prev float64
+		for i, loc := range []mem.Location{mem.LocL1, mem.LocL2, mem.LocL3, mem.LocLocalMem} {
+			s := shapeFitting(t, m, p, loc, 64, 1)
+			c := m.SampleStepNS(p, s)
+			if i > 0 && c < prev {
+				t.Errorf("%v: cost at %v (%.2f) cheaper than previous level (%.2f)", p, loc, c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+// TestFig6Observation2 — PS gets cheaper with degree; DS is insensitive.
+func TestFig6Observation2(t *testing.T) {
+	m := model()
+	psLow := m.SampleStepNS(PS, shapeFitting(t, m, PS, mem.LocL2, 16, 1))
+	psHigh := m.SampleStepNS(PS, shapeFitting(t, m, PS, mem.LocL2, 1024, 1))
+	if psHigh >= psLow {
+		t.Errorf("PS cost should fall with degree: d=16 %.2f vs d=1024 %.2f", psLow, psHigh)
+	}
+	dsLow := m.SampleStepNS(DS, shapeFitting(t, m, DS, mem.LocL2, 16, 1))
+	dsHigh := m.SampleStepNS(DS, shapeFitting(t, m, DS, mem.LocL2, 1024, 1))
+	if math.Abs(dsLow-dsHigh) > 0.3*dsLow {
+		t.Errorf("DS should be degree-insensitive: d=16 %.2f vs d=1024 %.2f", dsLow, dsHigh)
+	}
+}
+
+// TestFig6Observation3 — density helps in cache, not in DRAM.
+func TestFig6Observation3(t *testing.T) {
+	m := model()
+	inCacheDense := m.SampleStepNS(DS, shapeFitting(t, m, DS, mem.LocL2, 16, 1))
+	inCacheSparse := m.SampleStepNS(DS, shapeFitting(t, m, DS, mem.LocL2, 16, 0.25))
+	if inCacheDense >= inCacheSparse {
+		t.Errorf("in-cache DS should benefit from density: ρ=1 %.2f vs ρ=0.25 %.2f",
+			inCacheDense, inCacheSparse)
+	}
+	dramDense := m.SampleStepNS(DS, shapeFitting(t, m, DS, mem.LocLocalMem, 16, 1))
+	dramSparse := m.SampleStepNS(DS, shapeFitting(t, m, DS, mem.LocLocalMem, 16, 0.25))
+	if dramDense != dramSparse {
+		t.Errorf("DRAM DS should be density-insensitive: %.2f vs %.2f", dramDense, dramSparse)
+	}
+}
+
+// TestFig6Observation4 — PS-DRAM is the worst combination.
+func TestFig6Observation4(t *testing.T) {
+	m := model()
+	psDRAM := m.SampleStepNS(PS, shapeFitting(t, m, PS, mem.LocLocalMem, 64, 1))
+	for _, p := range []Policy{PS, DS} {
+		for _, loc := range []mem.Location{mem.LocL1, mem.LocL2, mem.LocL3} {
+			c := m.SampleStepNS(p, shapeFitting(t, m, p, loc, 64, 1))
+			if c >= psDRAM {
+				t.Errorf("%v@%v (%.2f) should be cheaper than PS@DRAM (%.2f)", p, loc, c, psDRAM)
+			}
+		}
+	}
+	dsDRAM := m.SampleStepNS(DS, shapeFitting(t, m, DS, mem.LocLocalMem, 64, 1))
+	if psDRAM <= dsDRAM {
+		t.Errorf("PS@DRAM (%.2f) should exceed DS@DRAM (%.2f)", psDRAM, dsDRAM)
+	}
+}
+
+func TestShuffleCostPositive(t *testing.T) {
+	if c := model().ShuffleStepNS(); c <= 0 || c > 100 {
+		t.Errorf("shuffle cost %.2f implausible", c)
+	}
+}
+
+func TestZeroVertexShape(t *testing.T) {
+	if c := model().SampleStepNS(DS, VPShape{}); c != 0 {
+		t.Errorf("empty shape cost = %v, want 0", c)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PS.String() != "PS" || DS.String() != "DS" {
+		t.Error("policy names wrong")
+	}
+	if !strings.Contains(Policy(9).String(), "9") {
+		t.Error("unknown policy should include number")
+	}
+}
+
+func TestTableInterpolation(t *testing.T) {
+	tab := &Table{ShuffleNS: 1.5}
+	tab.Add(Point{Policy: DS, Vertices: 1024, AvgDegree: 16, Density: 1, StepNS: 2})
+	tab.Add(Point{Policy: DS, Vertices: 4096, AvgDegree: 16, Density: 1, StepNS: 4})
+	tab.Add(Point{Policy: PS, Vertices: 1024, AvgDegree: 16, Density: 1, StepNS: 10})
+	// Exact hit returns roughly the measured value.
+	got := tab.SampleStepNS(DS, VPShape{Vertices: 1024, AvgDegree: 16, Density: 1})
+	if math.Abs(got-2) > 0.2 {
+		t.Errorf("exact-point lookup = %.3f, want ≈2", got)
+	}
+	// Midpoint lands between neighbours.
+	mid := tab.SampleStepNS(DS, VPShape{Vertices: 2048, AvgDegree: 16, Density: 1})
+	if mid <= 2 || mid >= 4 {
+		t.Errorf("midpoint lookup = %.3f, want in (2,4)", mid)
+	}
+	// Policy filter: PS query should not see DS points.
+	ps := tab.SampleStepNS(PS, VPShape{Vertices: 1024, AvgDegree: 16, Density: 1})
+	if math.Abs(ps-10) > 0.2 {
+		t.Errorf("PS lookup = %.3f, want ≈10", ps)
+	}
+}
+
+func TestTableEmptyPolicyNaN(t *testing.T) {
+	tab := &Table{}
+	if !math.IsNaN(tab.SampleStepNS(DS, VPShape{Vertices: 1})) {
+		t.Error("empty table should return NaN")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tab := &Table{ShuffleNS: 2.25, MachineLabel: "test"}
+	tab.Add(Point{Policy: PS, Vertices: 512, AvgDegree: 8, Density: 0.5, StepNS: 3.5})
+	tab.Add(Point{Policy: DS, Vertices: 256, AvgDegree: 2, Density: 1, StepNS: 1.25})
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 2 || got.ShuffleNS != 2.25 || got.MachineLabel != "test" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadTableRejectsBadPoints(t *testing.T) {
+	bad := `{"points":[{"policy":0,"vertices":1,"avg_degree":1,"density":1,"step_ns":-5}]}`
+	if _, err := ReadTable(strings.NewReader(bad)); err == nil {
+		t.Error("negative cost accepted")
+	}
+	bad2 := `{"points":[{"policy":7,"vertices":1,"avg_degree":1,"density":1,"step_ns":1}]}`
+	if _, err := ReadTable(strings.NewReader(bad2)); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	if _, err := ReadTable(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}

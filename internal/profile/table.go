@@ -1,0 +1,126 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Point is one measured profiling sample: a VP shape, a policy, and the
+// measured per-walker-step sampling cost.
+type Point struct {
+	Policy    Policy  `json:"policy"`
+	Vertices  uint64  `json:"vertices"`
+	AvgDegree float64 `json:"avg_degree"`
+	Density   float64 `json:"density"`
+	StepNS    float64 `json:"step_ns"`
+}
+
+// Table is a measured cost model: a cloud of profiling points queried by
+// nearest-neighbour interpolation in log-space. It mirrors the paper's
+// offline profiling output — machine-dependent but graph-independent, so a
+// table measured once is reusable across graphs (§4.4).
+type Table struct {
+	// Points holds the measurements, kept sorted for deterministic output.
+	Points []Point `json:"points"`
+	// ShuffleNS is the measured per-walker-step cost of one shuffle level.
+	ShuffleNS float64 `json:"shuffle_ns"`
+	// MachineLabel records where the table was measured.
+	MachineLabel string `json:"machine_label,omitempty"`
+}
+
+// Add inserts a measurement.
+func (t *Table) Add(p Point) {
+	t.Points = append(t.Points, p)
+}
+
+// sortPoints orders points deterministically (policy, vertices, degree,
+// density).
+func (t *Table) sortPoints() {
+	sort.Slice(t.Points, func(i, j int) bool {
+		a, b := t.Points[i], t.Points[j]
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		if a.Vertices != b.Vertices {
+			return a.Vertices < b.Vertices
+		}
+		if a.AvgDegree != b.AvgDegree {
+			return a.AvgDegree < b.AvgDegree
+		}
+		return a.Density < b.Density
+	})
+}
+
+// SampleStepNS implements CostModel by inverse-distance-weighted
+// interpolation over the nearest measured points in (log vertices,
+// log degree, log density) space, restricted to the requested policy.
+func (t *Table) SampleStepNS(p Policy, shape VPShape) float64 {
+	type cand struct {
+		dist float64
+		ns   float64
+	}
+	lv := math.Log2(float64(shape.Vertices) + 1)
+	ld := math.Log2(shape.AvgDegree + 1)
+	lr := math.Log2(shape.Density + 1e-6)
+	var best []cand
+	for _, pt := range t.Points {
+		if pt.Policy != p {
+			continue
+		}
+		dv := lv - math.Log2(float64(pt.Vertices)+1)
+		dd := ld - math.Log2(pt.AvgDegree+1)
+		dr := lr - math.Log2(pt.Density+1e-6)
+		best = append(best, cand{dist: dv*dv + dd*dd + dr*dr, ns: pt.StepNS})
+	}
+	if len(best) == 0 {
+		return math.NaN()
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i].dist < best[j].dist })
+	k := 4
+	if len(best) < k {
+		k = len(best)
+	}
+	var num, den float64
+	for _, c := range best[:k] {
+		w := 1 / (c.dist + 1e-9)
+		num += w * c.ns
+		den += w
+	}
+	return num / den
+}
+
+// ShuffleStepNS implements CostModel.
+func (t *Table) ShuffleStepNS() float64 { return t.ShuffleNS }
+
+// Write serializes the table as JSON.
+func (t *Table) Write(w io.Writer) error {
+	t.sortPoints()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("profile: encode table: %w", err)
+	}
+	return nil
+}
+
+// ReadTable deserializes a table written by Write.
+func ReadTable(r io.Reader) (*Table, error) {
+	var t Table
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("profile: decode table: %w", err)
+	}
+	for i, p := range t.Points {
+		if p.StepNS <= 0 || math.IsNaN(p.StepNS) {
+			return nil, fmt.Errorf("profile: point %d has invalid cost %v", i, p.StepNS)
+		}
+		if p.Policy != PS && p.Policy != DS {
+			return nil, fmt.Errorf("profile: point %d has invalid policy %d", i, p.Policy)
+		}
+	}
+	return &t, nil
+}
+
+var _ CostModel = (*Table)(nil)

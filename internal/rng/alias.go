@@ -1,0 +1,138 @@
+package rng
+
+// AliasTable implements Walker's alias method (Walker 1977) for O(1)
+// sampling from an arbitrary discrete distribution. FlashMob and the
+// baselines use it for weighted edge sampling: build once per vertex in
+// O(degree), then each sample costs one random number and at most two
+// array reads.
+type AliasTable struct {
+	// prob[i] is the probability (scaled to [0, 1]) of returning i rather
+	// than alias[i] when column i is chosen.
+	prob  []float64
+	alias []uint32
+}
+
+// NewAliasTable builds an alias table over weights. Weights must be
+// non-negative with a positive sum; len(weights) must fit in uint32.
+func NewAliasTable(weights []float64) *AliasTable {
+	n := len(weights)
+	if n == 0 {
+		panic("rng: NewAliasTable with empty weights")
+	}
+	t := &AliasTable{
+		prob:  make([]float64, n),
+		alias: make([]uint32, n),
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: NewAliasTable with negative weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("rng: NewAliasTable with zero total weight")
+	}
+	// Scaled probabilities: p[i] * n.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w / sum * float64(n)
+	}
+	// Partition columns into small (<1) and large (>=1) work lists.
+	small := make([]uint32, 0, n)
+	large := make([]uint32, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, uint32(i))
+		} else {
+			large = append(large, uint32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are numerically 1.
+	for _, l := range large {
+		t.prob[l] = 1
+		t.alias[l] = l
+	}
+	for _, s := range small {
+		t.prob[s] = 1
+		t.alias[s] = s
+	}
+	return t
+}
+
+// Len returns the number of outcomes.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// Sample draws one outcome index in O(1).
+func (t *AliasTable) Sample(src Source) uint32 {
+	col := Uint32n(src, uint32(len(t.prob)))
+	if Float64(src) < t.prob[col] {
+		return col
+	}
+	return t.alias[col]
+}
+
+// CDF implements inverse-transform sampling (Devroye 2006): a cumulative
+// distribution table sampled by binary search in O(log n). It is the
+// classical alternative to the alias method referenced in the paper's
+// related-work discussion, cheaper to build and to store.
+type CDF struct {
+	cum []float64
+}
+
+// NewCDF builds a cumulative table over weights. Weights must be
+// non-negative with a positive sum.
+func NewCDF(weights []float64) *CDF {
+	if len(weights) == 0 {
+		panic("rng: NewCDF with empty weights")
+	}
+	cum := make([]float64, len(weights))
+	var sum float64
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: NewCDF with negative weight")
+		}
+		sum += w
+		cum[i] = sum
+	}
+	if sum <= 0 {
+		panic("rng: NewCDF with zero total weight")
+	}
+	// Normalize so the last entry is exactly 1.
+	for i := range cum {
+		cum[i] /= sum
+	}
+	cum[len(cum)-1] = 1
+	return &CDF{cum: cum}
+}
+
+// Len returns the number of outcomes.
+func (c *CDF) Len() int { return len(c.cum) }
+
+// Sample draws one outcome index by binary search over the cumulative
+// table.
+func (c *CDF) Sample(src Source) uint32 {
+	u := Float64(src)
+	lo, hi := 0, len(c.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo)
+}

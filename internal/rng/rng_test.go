@@ -1,0 +1,325 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for splitmix64 with seed 0 (from the public domain
+	// reference implementation by Sebastiano Vigna).
+	g := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f,
+		0xf88bb8a8724c81ec, 0x1b39896a51a8749b,
+	}
+	for i, w := range want {
+		if got := g.Uint64(); got != w {
+			t.Fatalf("value %d: got %#x want %#x", i, got, w)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Distinct inputs must map to distinct outputs (spot check).
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestXorShift64StarZeroSeed(t *testing.T) {
+	g := NewXorShift64Star(0)
+	if g.Uint64() == 0 && g.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck-at-zero stream")
+	}
+}
+
+func TestXorShift64StarNonZeroStream(t *testing.T) {
+	g := NewXorShift64Star(7)
+	for i := 0; i < 1000; i++ {
+		if g.Uint64() == 0 {
+			// xorshift* can emit 0 only if the multiplier wraps exactly;
+			// state itself is never zero. A zero output is fine, a stream
+			// of zeros is not; re-check next.
+			if g.Uint64() == 0 {
+				t.Fatal("two consecutive zeros: generator is stuck")
+			}
+		}
+	}
+}
+
+func TestMT19937KnownValues(t *testing.T) {
+	// First outputs of MT19937 with the reference seed 5489 (C++
+	// std::mt19937 default).
+	g := NewMT19937(5489)
+	want := []uint32{3499211612, 581869302, 3890346734, 3586334585, 545404204}
+	for i, w := range want {
+		if got := g.Uint32(); got != w {
+			t.Fatalf("value %d: got %d want %d", i, got, w)
+		}
+	}
+}
+
+func TestMT19937SourceInterface(t *testing.T) {
+	var _ Source = NewMT19937(1)
+	var _ Source = NewXorShift64Star(1)
+	var _ Source = NewXorShift1024Star(1)
+	var _ Source = NewSplitMix64(1)
+}
+
+func TestUint64nRange(t *testing.T) {
+	g := NewXorShift64Star(99)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := Uint64n(g, n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on n == 0")
+		}
+	}()
+	Uint64n(NewXorShift64Star(1), 0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	// Chi-square-style check: 10 buckets, 100k draws; each bucket should be
+	// within 5% of the mean.
+	g := NewXorShift64Star(123)
+	const buckets, draws = 10, 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[Uint64n(g, buckets)]++
+	}
+	mean := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-mean) > 0.05*mean {
+			t.Errorf("bucket %d: count %d deviates >5%% from mean %.0f", b, c, mean)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	g := NewMT19937(7)
+	for i := 0; i < 10000; i++ {
+		f := Float64(g)
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewXorShift64Star(5)
+	p := make([]uint32, 257)
+	Perm(g, p)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if int(v) >= len(p) || seen[v] {
+			t.Fatalf("not a permutation: %v repeated or out of range", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUint64nPropertyInRange(t *testing.T) {
+	g := NewXorShift1024Star(11)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return Uint64n(g, n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasTableMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	tab := NewAliasTable(weights)
+	g := NewXorShift64Star(77)
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[tab.Sample(g)]++
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := w / total * draws
+		if math.Abs(float64(counts[i])-want) > 0.05*want {
+			t.Errorf("outcome %d: count %d, want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasTableSingleOutcome(t *testing.T) {
+	tab := NewAliasTable([]float64{5})
+	g := NewXorShift64Star(1)
+	for i := 0; i < 100; i++ {
+		if tab.Sample(g) != 0 {
+			t.Fatal("single-outcome table returned nonzero index")
+		}
+	}
+}
+
+func TestAliasTableZeroWeightNeverSampled(t *testing.T) {
+	tab := NewAliasTable([]float64{0, 1, 0, 1})
+	g := NewXorShift64Star(3)
+	for i := 0; i < 10000; i++ {
+		v := tab.Sample(g)
+		if v == 0 || v == 2 {
+			t.Fatalf("zero-weight outcome %d sampled", v)
+		}
+	}
+}
+
+func TestAliasTablePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		w    []float64
+	}{
+		{"empty", nil},
+		{"negative", []float64{1, -1}},
+		{"zero-sum", []float64{0, 0}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewAliasTable(tc.w)
+		})
+	}
+}
+
+func TestCDFMatchesWeights(t *testing.T) {
+	weights := []float64{4, 3, 2, 1}
+	c := NewCDF(weights)
+	g := NewXorShift64Star(13)
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[c.Sample(g)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if math.Abs(float64(counts[i])-want) > 0.05*want {
+			t.Errorf("outcome %d: count %d, want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestCDFAndAliasAgree(t *testing.T) {
+	// Property: for any weight vector, alias and CDF sampling converge to
+	// the same empirical distribution.
+	weights := []float64{0.5, 7, 0.1, 2, 2, 1}
+	a := NewAliasTable(weights)
+	c := NewCDF(weights)
+	ga := NewXorShift64Star(21)
+	gc := NewXorShift64Star(22)
+	const draws = 300000
+	ca := make([]float64, len(weights))
+	cc := make([]float64, len(weights))
+	for i := 0; i < draws; i++ {
+		ca[a.Sample(ga)]++
+		cc[c.Sample(gc)]++
+	}
+	for i := range weights {
+		pa, pc := ca[i]/draws, cc[i]/draws
+		if math.Abs(pa-pc) > 0.01 {
+			t.Errorf("outcome %d: alias %.4f vs cdf %.4f", i, pa, pc)
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(1000, 1.2)
+	g := NewXorShift64Star(31)
+	for i := 0; i < 50000; i++ {
+		if v := z.Sample(g); v >= 1000 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+	}
+}
+
+func TestZipfHeadHeavy(t *testing.T) {
+	// With s > 1 the top ranks must dominate: rank 0 should be the most
+	// frequent outcome and the top 1% of ranks should hold a large share.
+	z := NewZipf(100000, 1.5)
+	g := NewXorShift64Star(41)
+	const draws = 200000
+	var rank0, top1pct int
+	for i := 0; i < draws; i++ {
+		v := z.Sample(g)
+		if v == 0 {
+			rank0++
+		}
+		if v < 1000 {
+			top1pct++
+		}
+	}
+	if rank0 < draws/10 {
+		t.Errorf("rank 0 share %.3f, want > 0.1 for s=1.5", float64(rank0)/draws)
+	}
+	if top1pct < draws*8/10 {
+		t.Errorf("top-1%% share %.3f, want > 0.8 for s=1.5", float64(top1pct)/draws)
+	}
+}
+
+func TestZipfSmallN(t *testing.T) {
+	z := NewZipf(3, 1.0)
+	g := NewXorShift64Star(51)
+	counts := make([]int, 3)
+	for i := 0; i < 90000; i++ {
+		counts[z.Sample(g)]++
+	}
+	// P ∝ 1, 1/2, 1/3 → shares 6/11, 3/11, 2/11.
+	want := []float64{6.0 / 11, 3.0 / 11, 2.0 / 11}
+	for i := range counts {
+		got := float64(counts[i]) / 90000
+		if math.Abs(got-want[i]) > 0.02 {
+			t.Errorf("rank %d: share %.3f want %.3f", i, got, want[i])
+		}
+	}
+}
+
+func BenchmarkXorShift64Star(b *testing.B) {
+	g := NewXorShift64Star(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += g.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkMT19937(b *testing.B) {
+	g := NewMT19937(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += g.Uint64()
+	}
+	_ = sink
+}

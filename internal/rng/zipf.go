@@ -1,0 +1,101 @@
+package rng
+
+import "math"
+
+// Zipf samples ranks from a bounded Zipf (power-law) distribution:
+// P(rank = k) ∝ 1/(k+1)^s for k in [0, n). It drives the synthetic graph
+// generators, whose degree sequences must follow the heavy-tailed shape of
+// the paper's real graphs (Table 2).
+//
+// The implementation uses inverse-transform sampling against the analytic
+// approximation of the generalized harmonic CDF, with an exact small-rank
+// head table to keep the high-probability head accurate. This avoids the
+// O(n) table a plain CDF would need for hundreds of millions of vertices.
+type Zipf struct {
+	n    uint64
+	s    float64
+	head []float64 // exact cumulative probabilities for the first ranks
+	hN   float64   // generalized harmonic number H_{n,s}
+}
+
+// zipfHeadSize is the number of exact head entries; beyond it the tail is
+// inverted analytically.
+const zipfHeadSize = 1024
+
+// NewZipf returns a bounded Zipf sampler over [0, n) with exponent s > 0.
+func NewZipf(n uint64, s float64) *Zipf {
+	if n == 0 {
+		panic("rng: NewZipf with n == 0")
+	}
+	if s <= 0 {
+		panic("rng: NewZipf with non-positive exponent")
+	}
+	z := &Zipf{n: n, s: s}
+	head := zipfHeadSize
+	if uint64(head) > n {
+		head = int(n)
+	}
+	z.head = make([]float64, head)
+	var sum float64
+	for k := 0; k < head; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		z.head[k] = sum
+	}
+	z.hN = sum + z.tailMass(uint64(head), n)
+	for k := range z.head {
+		z.head[k] /= z.hN
+	}
+	return z
+}
+
+// tailMass approximates sum_{k=lo}^{hi-1} (k+1)^-s with the Euler-Maclaurin
+// integral bound, accurate enough for rank selection in the far tail.
+func (z *Zipf) tailMass(lo, hi uint64) float64 {
+	if lo >= hi {
+		return 0
+	}
+	a, b := float64(lo)+0.5, float64(hi)+0.5
+	if z.s == 1 {
+		return math.Log(b) - math.Log(a)
+	}
+	return (math.Pow(b, 1-z.s) - math.Pow(a, 1-z.s)) / (1 - z.s)
+}
+
+// Sample draws a rank in [0, n).
+func (z *Zipf) Sample(src Source) uint64 {
+	u := Float64(src)
+	// Head: binary search over exact cumulative probabilities.
+	if len(z.head) > 0 && u < z.head[len(z.head)-1] {
+		lo, hi := 0, len(z.head)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if z.head[mid] <= u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return uint64(lo)
+	}
+	if uint64(len(z.head)) >= z.n {
+		return z.n - 1
+	}
+	// Tail: invert the integral approximation. Remaining mass after the
+	// head corresponds to ranks in [len(head), n).
+	rem := (u - z.head[len(z.head)-1]) * z.hN
+	a := float64(len(z.head)) + 0.5
+	var k float64
+	if z.s == 1 {
+		k = a*math.Exp(rem) - 0.5
+	} else {
+		k = math.Pow(math.Pow(a, 1-z.s)+rem*(1-z.s), 1/(1-z.s)) - 0.5
+	}
+	rank := uint64(k)
+	if rank < uint64(len(z.head)) {
+		rank = uint64(len(z.head))
+	}
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}

@@ -1,0 +1,166 @@
+// Package sample implements k-hop neighbourhood sampling (the
+// GraphSage/ASAP-style workload the paper's introduction names as another
+// beneficiary of FlashMob's design): starting from seed vertices, each
+// layer samples a fixed fanout of neighbours per frontier vertex, the
+// union becoming the next frontier.
+//
+// Two implementations share one sampling semantics:
+//
+//   - Naive mirrors existing systems: each seed's subtree is expanded
+//     independently, with whole-graph random accesses.
+//
+//   - Batched applies FlashMob's idea: the whole frontier is grouped by
+//     vertex first (a counting shuffle), so all samples from one vertex
+//     are drawn back-to-back out of one cache-resident adjacency list,
+//     and results are scattered back in frontier order (a reverse
+//     shuffle).
+package sample
+
+import (
+	"fmt"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+)
+
+// Layer holds one hop of a sampled neighbourhood: Dsts[i*Fanout+j] is the
+// j-th sampled neighbour of frontier vertex Srcs[i]. A vertex with no
+// out-edges samples itself (the same dead-end convention as the walk
+// engines).
+type Layer struct {
+	Srcs   []graph.VID
+	Dsts   []graph.VID
+	Fanout int
+}
+
+// Neighborhood is a full k-hop sample.
+type Neighborhood struct {
+	Seeds  []graph.VID
+	Layers []Layer
+}
+
+// Frontier returns the source frontier of layer l (the seeds for l == 0).
+func (n *Neighborhood) Frontier(l int) []graph.VID {
+	return n.Layers[l].Srcs
+}
+
+// TotalSampledEdges returns the number of sampled (src, dst) pairs.
+func (n *Neighborhood) TotalSampledEdges() int {
+	var t int
+	for _, l := range n.Layers {
+		t += len(l.Dsts)
+	}
+	return t
+}
+
+// validate checks the inputs common to both implementations.
+func validate(g *graph.CSR, seeds []graph.VID, fanouts []int) error {
+	if len(seeds) == 0 {
+		return fmt.Errorf("sample: no seeds")
+	}
+	if len(fanouts) == 0 {
+		return fmt.Errorf("sample: no fanouts")
+	}
+	for i, f := range fanouts {
+		if f <= 0 {
+			return fmt.Errorf("sample: fanout[%d] = %d must be positive", i, f)
+		}
+	}
+	n := g.NumVertices()
+	for i, s := range seeds {
+		if s >= n {
+			return fmt.Errorf("sample: seed[%d] = %d out of range (|V| = %d)", i, s, n)
+		}
+	}
+	return nil
+}
+
+// Naive expands every seed independently, the per-walker access pattern
+// of existing systems.
+func Naive(g *graph.CSR, seeds []graph.VID, fanouts []int, seed uint64) (*Neighborhood, error) {
+	if err := validate(g, seeds, fanouts); err != nil {
+		return nil, err
+	}
+	src := rng.NewXorShift1024Star(seed)
+	nb := &Neighborhood{Seeds: append([]graph.VID(nil), seeds...)}
+	frontier := nb.Seeds
+	for _, fanout := range fanouts {
+		layer := Layer{
+			Srcs:   frontier,
+			Dsts:   make([]graph.VID, len(frontier)*fanout),
+			Fanout: fanout,
+		}
+		for i, v := range frontier {
+			adj := g.Neighbors(v)
+			for j := 0; j < fanout; j++ {
+				if len(adj) == 0 {
+					layer.Dsts[i*fanout+j] = v
+					continue
+				}
+				layer.Dsts[i*fanout+j] = adj[rng.Uint32n(src, uint32(len(adj)))]
+			}
+		}
+		nb.Layers = append(nb.Layers, layer)
+		frontier = layer.Dsts
+	}
+	return nb, nil
+}
+
+// Batched groups each layer's frontier by vertex before sampling, the
+// FlashMob-style counting shuffle + batched sampling + reverse scatter.
+// The output distribution is identical to Naive's.
+func Batched(g *graph.CSR, seeds []graph.VID, fanouts []int, seed uint64) (*Neighborhood, error) {
+	if err := validate(g, seeds, fanouts); err != nil {
+		return nil, err
+	}
+	src := rng.NewXorShift1024Star(seed)
+	nb := &Neighborhood{Seeds: append([]graph.VID(nil), seeds...)}
+	nVerts := g.NumVertices()
+	counts := make([]uint32, nVerts+1)
+	frontier := nb.Seeds
+	for _, fanout := range fanouts {
+		layer := Layer{
+			Srcs:   frontier,
+			Dsts:   make([]graph.VID, len(frontier)*fanout),
+			Fanout: fanout,
+		}
+		// Counting shuffle: group frontier occurrences by vertex.
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, v := range frontier {
+			counts[v+1]++
+		}
+		for v := graph.VID(1); v <= nVerts; v++ {
+			counts[v] += counts[v-1]
+		}
+		order := make([]uint32, len(frontier)) // grouped position -> frontier index
+		cursor := append([]uint32(nil), counts[:nVerts]...)
+		for i, v := range frontier {
+			order[cursor[v]] = uint32(i)
+			cursor[v]++
+		}
+		// Batched sampling: consecutive draws per vertex, scattered back
+		// to frontier order.
+		pos := 0
+		for pos < len(order) {
+			i := order[pos]
+			v := frontier[i]
+			adj := g.Neighbors(v)
+			// All occurrences of v are contiguous in `order`.
+			for ; pos < len(order) && frontier[order[pos]] == v; pos++ {
+				base := int(order[pos]) * fanout
+				for j := 0; j < fanout; j++ {
+					if len(adj) == 0 {
+						layer.Dsts[base+j] = v
+						continue
+					}
+					layer.Dsts[base+j] = adj[rng.Uint32n(src, uint32(len(adj)))]
+				}
+			}
+		}
+		nb.Layers = append(nb.Layers, layer)
+		frontier = layer.Dsts
+	}
+	return nb, nil
+}

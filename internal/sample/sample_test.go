@@ -1,0 +1,206 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"flashmob/internal/gen"
+	"flashmob/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: 3000, AvgDegree: 8, Alpha: 0.75, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func seedsOf(n int, stride uint32) []graph.VID {
+	s := make([]graph.VID, n)
+	for i := range s {
+		s[i] = graph.VID(uint32(i) * stride % 3000)
+	}
+	return s
+}
+
+func checkNeighborhood(t *testing.T, g *graph.CSR, nb *Neighborhood, fanouts []int) {
+	t.Helper()
+	if len(nb.Layers) != len(fanouts) {
+		t.Fatalf("%d layers, want %d", len(nb.Layers), len(fanouts))
+	}
+	frontier := nb.Seeds
+	for li, layer := range nb.Layers {
+		if layer.Fanout != fanouts[li] {
+			t.Fatalf("layer %d fanout %d, want %d", li, layer.Fanout, fanouts[li])
+		}
+		if len(layer.Srcs) != len(frontier) {
+			t.Fatalf("layer %d frontier size %d, want %d", li, len(layer.Srcs), len(frontier))
+		}
+		if len(layer.Dsts) != len(frontier)*fanouts[li] {
+			t.Fatalf("layer %d has %d dsts", li, len(layer.Dsts))
+		}
+		for i, v := range layer.Srcs {
+			for j := 0; j < layer.Fanout; j++ {
+				d := layer.Dsts[i*layer.Fanout+j]
+				if d == v && g.Degree(v) == 0 {
+					continue
+				}
+				if !g.HasEdge(v, d) {
+					t.Fatalf("layer %d: sampled %d→%d is not an edge", li, v, d)
+				}
+			}
+		}
+		frontier = layer.Dsts
+	}
+}
+
+func TestNaiveShapeAndEdges(t *testing.T) {
+	g := testGraph(t)
+	fanouts := []int{5, 3}
+	nb, err := Naive(g, seedsOf(50, 7), fanouts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNeighborhood(t, g, nb, fanouts)
+	if nb.TotalSampledEdges() != 50*5+50*5*3 {
+		t.Errorf("TotalSampledEdges = %d", nb.TotalSampledEdges())
+	}
+}
+
+func TestBatchedShapeAndEdges(t *testing.T) {
+	g := testGraph(t)
+	fanouts := []int{4, 4, 2}
+	nb, err := Batched(g, seedsOf(80, 11), fanouts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNeighborhood(t, g, nb, fanouts)
+}
+
+func TestNaiveAndBatchedSameDistribution(t *testing.T) {
+	// Single seed with a known adjacency: one-hop marginal distribution
+	// must be uniform over neighbours for both implementations.
+	g := testGraph(t)
+	var hub graph.VID // pick a vertex with moderate degree
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) >= 4 && g.Degree(v) <= 8 {
+			hub = v
+			break
+		}
+	}
+	adj := g.Neighbors(hub)
+	const trials = 30000
+	seeds := make([]graph.VID, trials)
+	for i := range seeds {
+		seeds[i] = hub
+	}
+	for name, impl := range map[string]func(*graph.CSR, []graph.VID, []int, uint64) (*Neighborhood, error){
+		"naive": Naive, "batched": Batched,
+	} {
+		nb, err := impl(g, seeds, []int{1}, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[graph.VID]int{}
+		for _, d := range nb.Layers[0].Dsts {
+			counts[d]++
+		}
+		want := 1.0 / float64(len(adj))
+		for _, a := range adj {
+			got := float64(counts[a]) / trials
+			if math.Abs(got-want) > 0.25*want {
+				t.Errorf("%s: neighbour %d share %.4f, want %.4f", name, a, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchedScatterPreservesFrontierOrder(t *testing.T) {
+	// Dsts[i*fanout+j] must be a neighbour of Srcs[i] specifically — a
+	// misplaced scatter would attach samples to the wrong frontier slot.
+	g := testGraph(t)
+	seeds := seedsOf(200, 13)
+	nb, err := Batched(g, seeds, []int{3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range nb.Layers[0].Srcs {
+		if v != seeds[i] {
+			t.Fatalf("frontier order broken at %d", i)
+		}
+	}
+}
+
+func TestDeadEndSampling(t *testing.T) {
+	res, err := graph.Build([]graph.Edge{{Src: 0, Dst: 1}}, graph.BuildOptions{NumVertices: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := Batched(res.Graph, []graph.VID{1}, []int{4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range nb.Layers[0].Dsts {
+		if d != 1 {
+			t.Errorf("dead end sampled %d", d)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := Naive(g, nil, []int{1}, 1); err == nil {
+		t.Error("empty seeds accepted")
+	}
+	if _, err := Naive(g, []graph.VID{0}, nil, 1); err == nil {
+		t.Error("empty fanouts accepted")
+	}
+	if _, err := Batched(g, []graph.VID{0}, []int{0}, 1); err == nil {
+		t.Error("zero fanout accepted")
+	}
+	if _, err := Batched(g, []graph.VID{1 << 30}, []int{1}, 1); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+func BenchmarkNaive(b *testing.B) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: 100000, AvgDegree: 12, Alpha: 0.8, Seed: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := make([]graph.VID, 5000)
+	for i := range seeds {
+		seeds[i] = graph.VID(uint32(i*17) % g.NumVertices())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Naive(g, seeds, []int{10, 5}, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatched(b *testing.B) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: 100000, AvgDegree: 12, Alpha: 0.8, Seed: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := make([]graph.VID, 5000)
+	for i := range seeds {
+		seeds[i] = graph.VID(uint32(i*17) % g.NumVertices())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Batched(g, seeds, []int{10, 5}, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"flashmob/internal/mem"
+)
+
+// TestLLCPolicyAblation exercises the §2.3 architecture discussion: with
+// FlashMob's L2-resident working sets, the exclusive (Skylake) LLC design
+// should serve the workload at least as well as the inclusive (Broadwell)
+// configuration whose smaller private L2 pushes more accesses outward.
+func TestLLCPolicyAblation(t *testing.T) {
+	g := bigTestGraph(t)
+	walkers := int(g.NumVertices())
+
+	// Scale both geometries identically.
+	scale := func(geom mem.Geometry) mem.Geometry {
+		geom.L1.SizeBytes /= 64
+		geom.L2.SizeBytes /= 64
+		geom.L3.SizeBytes /= 64
+		return geom
+	}
+	skylake := scale(mem.PaperGeometry())
+	broadwell := scale(mem.BroadwellGeometry())
+
+	run := func(geom mem.Geometry) *Report {
+		plan := planFor(t, g, geom, uint64(walkers))
+		fm, err := NewFlashMobSim(g, plan, geom, 11, NumaNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := fm.Run(walkers, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	sky := run(skylake)
+	bdw := run(broadwell)
+	t.Logf("exclusive/Skylake: %.2f bound-ns/step, L2 hits/step %.2f",
+		sky.TotalBoundNSPerStep(), sky.HitsPerStep(mem.LocL2))
+	t.Logf("inclusive/Broadwell: %.2f bound-ns/step, L2 hits/step %.2f",
+		bdw.TotalBoundNSPerStep(), bdw.HitsPerStep(mem.LocL2))
+	// The larger exclusive L2 should capture more of FlashMob's traffic.
+	if sky.HitsPerStep(mem.LocL2)+sky.HitsPerStep(mem.LocL1) <
+		bdw.HitsPerStep(mem.LocL2)+bdw.HitsPerStep(mem.LocL1) {
+		t.Errorf("Skylake-style private-cache hits (%.2f) below Broadwell-style (%.2f)",
+			sky.HitsPerStep(mem.LocL2)+sky.HitsPerStep(mem.LocL1),
+			bdw.HitsPerStep(mem.LocL2)+bdw.HitsPerStep(mem.LocL1))
+	}
+}
+
+// TestPrefetcherAblation verifies the prefetcher matters for FlashMob's
+// streaming passes: disabling it must increase DRAM-served demand
+// accesses.
+func TestPrefetcherAblation(t *testing.T) {
+	g := bigTestGraph(t)
+	walkers := int(g.NumVertices())
+	base := simGeom()
+	noPF := base
+	noPF.PrefetchDepth = 0
+
+	run := func(geom mem.Geometry) *Report {
+		plan := planFor(t, g, geom, uint64(walkers))
+		fm, err := NewFlashMobSim(g, plan, geom, 12, NumaNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := fm.Run(walkers, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	with := run(base)
+	without := run(noPF)
+	if with.HitsPerStep(mem.LocLocalMem) >= without.HitsPerStep(mem.LocLocalMem) {
+		t.Errorf("prefetcher did not reduce DRAM-served accesses: %.3f vs %.3f",
+			with.HitsPerStep(mem.LocLocalMem), without.HitsPerStep(mem.LocLocalMem))
+	}
+}
+
+// TestRegularIndexingAblation reproduces the §5.2 observation that compact
+// regular indexing for low-degree DS partitions reduces misses versus
+// always reading CSR offsets. We compare a FlashMob sim against one where
+// every partition is treated as irregular.
+func TestRegularIndexingAblation(t *testing.T) {
+	g := bigTestGraph(t)
+	walkers := int(g.NumVertices())
+	geom := simGeom()
+	plan := planFor(t, g, geom, uint64(walkers))
+
+	fm, err := NewFlashMobSim(g, plan, geom, 13, NumaNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regRep, err := fm.Run(walkers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fm2, err := NewFlashMobSim(g, plan, geom, 13, NumaNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the irregular path everywhere.
+	for i := range fm2.regular {
+		fm2.regular[i] = -1
+	}
+	irrRep, err := fm2.Run(walkers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regRep.Stats.Accesses >= irrRep.Stats.Accesses {
+		t.Errorf("regular indexing should eliminate offset reads: %d vs %d accesses",
+			regRep.Stats.Accesses, irrRep.Stats.Accesses)
+	}
+	t.Logf("regular indexing: %.2f accesses/step vs %.2f without",
+		float64(regRep.Stats.Accesses)/float64(regRep.TotalSteps),
+		float64(irrRep.Stats.Accesses)/float64(irrRep.TotalSteps))
+}

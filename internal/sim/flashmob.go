@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"fmt"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/mem"
+	"flashmob/internal/part"
+	"flashmob/internal/profile"
+	"flashmob/internal/rng"
+)
+
+// FlashMobSim replays the FlashMob engine's memory behaviour: the
+// two-pass counting shuffle, per-partition sample stage with PS buffers or
+// DS reads, and the reverse shuffle — all with simulated addresses, so the
+// cache hierarchy sees the same working sets and streams the native engine
+// produces. The shuffle is modeled at one level (bins = VPs); the paper's
+// DP likewise stays single-level on all evaluated graphs (§5.3).
+type FlashMobSim struct {
+	g    *graph.CSR
+	plan *part.Plan
+	// hs holds one hierarchy per simulated core (private L1/L2, shared
+	// L3); cur is the hierarchy of the core currently executing.
+	hs   []*mem.Hierarchy
+	cur  *mem.Hierarchy
+	seed uint64
+	mode NumaMode
+
+	layout  *mem.Layout
+	offsets splitRegion
+	targets splitRegion
+	wArr    splitRegion
+	swArr   splitRegion
+	nextArr splitRegion
+	psBufR  mem.Region
+	cursorR mem.Region
+	countR  mem.Region
+
+	// psVPBase[i] is VP i's base index into the PS buffer array, or -1
+	// for DS partitions.
+	psVPBase []int64
+	psBuf    []graph.VID
+	psRemain []uint32 // per vertex (only meaningful for PS partitions)
+	regular  []int64  // uniform degree per VP, or -1
+}
+
+// NewFlashMobSim builds the simulated engine for a degree-sorted graph and
+// a finalized plan, modelling a single core.
+func NewFlashMobSim(g *graph.CSR, plan *part.Plan, geom mem.Geometry, seed uint64, mode NumaMode) (*FlashMobSim, error) {
+	return NewFlashMobSimCores(g, plan, geom, seed, mode, 1)
+}
+
+// NewFlashMobSimCores models `cores` cores with private L1/L2 caches and a
+// shared L3: partitions are processed round-robin across cores and the
+// walker arrays are range-partitioned, the engine's actual parallel
+// decomposition. Accesses interleave at partition/walker-range
+// granularity.
+func NewFlashMobSimCores(g *graph.CSR, plan *part.Plan, geom mem.Geometry, seed uint64, mode NumaMode, cores int) (*FlashMobSim, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("sim: nil plan")
+	}
+	if plan.V != g.NumVertices() {
+		return nil, fmt.Errorf("sim: plan covers %d vertices, graph has %d", plan.V, g.NumVertices())
+	}
+	if cores < 1 {
+		return nil, fmt.Errorf("sim: core count %d must be positive", cores)
+	}
+	hs := mem.NewSharedL3Group(geom, cores)
+	s := &FlashMobSim{
+		g:    g,
+		plan: plan,
+		hs:   hs,
+		cur:  hs[0],
+		seed: seed,
+		mode: mode,
+	}
+	// Graph arrays split at the plan's midpoint VP for FlashMob-P.
+	mid := plan.VPs[len(plan.VPs)/2].Start
+	l := mem.NewLayout(geom.LineBytes)
+	s.layout = l
+	s.offsets = graphSplit(l, "csr.offsets", uint64(len(g.Offsets)), 8, uint64(mid), mode)
+	s.targets = graphSplit(l, "csr.targets", uint64(len(g.Targets)), 4, g.Offsets[mid], mode)
+
+	// PS buffers and classification.
+	s.psVPBase = make([]int64, plan.NumVPs())
+	s.regular = make([]int64, plan.NumVPs())
+	var psEdges uint64
+	for i, vp := range plan.VPs {
+		first, last := g.Degree(vp.Start), g.Degree(vp.End-1)
+		if first == last {
+			s.regular[i] = int64(first)
+		} else {
+			s.regular[i] = -1
+		}
+		if vp.Policy == profile.PS {
+			s.psVPBase[i] = int64(psEdges)
+			psEdges += g.Offsets[vp.End] - g.Offsets[vp.Start]
+		} else {
+			s.psVPBase[i] = -1
+		}
+	}
+	s.psBuf = make([]graph.VID, psEdges)
+	s.psRemain = make([]uint32, g.NumVertices())
+	s.psBufR = l.Alloc("ps.buffers", psEdges*4)
+	s.cursorR = l.Alloc("ps.cursors", uint64(g.NumVertices())*4)
+	s.countR = l.Alloc("shuffle.counts", uint64(plan.NumVPs())*4)
+	return s, nil
+}
+
+// graphSplit places a graph array across NUMA domains at element index
+// `at` under FlashMob-P, or wholly local otherwise.
+func graphSplit(l *mem.Layout, name string, elems, elemSize, at uint64, mode NumaMode) splitRegion {
+	if mode != NumaPartitioned || at == 0 || at >= elems {
+		r := l.Alloc(name, elems*elemSize)
+		return splitRegion{r0: r, r1: r, split: elems, elemSize: elemSize}
+	}
+	return splitRegion{
+		r0:       l.Alloc(name+".0", at*elemSize),
+		r1:       l.AllocDomain(name+".1", (elems-at)*elemSize, 1),
+		split:    at,
+		elemSize: elemSize,
+	}
+}
+
+// DisableRegularIndexing forces the CSR-offset-read path for every DS
+// partition, the ablation of §4.2's compact regular indexing (the paper
+// measures 13-33% L2/L3 miss reductions from it, §5.2).
+func (s *FlashMobSim) DisableRegularIndexing() {
+	for i := range s.regular {
+		s.regular[i] = -1
+	}
+}
+
+// Run executes the simulated pipeline.
+func (s *FlashMobSim) Run(walkers, steps int) (*Report, error) {
+	if err := validateCounts(walkers, steps); err != nil {
+		return nil, err
+	}
+	// Repeated Runs are independent: clear the caches and counters, and
+	// allocate fresh walker regions from the engine's layout (the address
+	// space is virtual and effectively unbounded).
+	for _, h := range s.hs {
+		h.Reset()
+	}
+	for i := range s.psRemain {
+		s.psRemain[i] = 0
+	}
+	s.wArr = newSplit(s.layout, "walk.W", uint64(walkers), 4, s.mode)
+	s.swArr = newSplit(s.layout, "walk.SW", uint64(walkers), 4, s.mode)
+	s.nextArr = newSplit(s.layout, "walk.Wnext", uint64(walkers), 4, s.mode)
+	// Attribute DRAM traffic to the named data structures (Table 5-style
+	// breakdown).
+	for _, h := range s.hs {
+		h.AttributeRegions(s.layout.Regions())
+	}
+
+	g := s.g
+	plan := s.plan
+	n := g.NumVertices()
+	src := rng.NewXorShift1024Star(s.seed)
+
+	w := make([]graph.VID, walkers)
+	sw := make([]graph.VID, walkers)
+	wNext := make([]graph.VID, walkers)
+	for j := range w {
+		w[j] = graph.VID(uint32(j) % n)
+	}
+	numVPs := plan.NumVPs()
+	counts := make([]uint64, numVPs)
+	cursor := make([]uint64, numVPs+1)
+
+	for st := 0; st < steps; st++ {
+		// Forward shuffle, pass 1: count.
+		for i := range counts {
+			counts[i] = 0
+		}
+		for j := 0; j < walkers; j++ {
+			s.cur = s.coreForWalker(j, walkers)
+			s.cur.Read(s.wArr.addr(uint64(j)), 4, mem.Seq)
+			vp := plan.VPOf(w[j])
+			s.cur.Write(s.countR.Base+uint64(vp)*4, 4, mem.Rand)
+			counts[vp]++
+		}
+		// Prefix (tiny, not charged).
+		var acc uint64
+		for i := 0; i < numVPs; i++ {
+			cursor[i] = acc
+			acc += counts[i]
+		}
+		cursor[numVPs] = acc
+		vpStart := append([]uint64(nil), cursor[:numVPs+1]...)
+		// Forward shuffle, pass 2: place.
+		for j := 0; j < walkers; j++ {
+			s.cur = s.coreForWalker(j, walkers)
+			s.cur.Read(s.wArr.addr(uint64(j)), 4, mem.Seq)
+			vp := plan.VPOf(w[j])
+			pos := cursor[vp]
+			cursor[vp]++
+			s.cur.Write(s.swArr.addr(pos), 4, mem.Rand)
+			sw[pos] = w[j]
+		}
+
+		// Sample stage, one VP at a time.
+		for vp := 0; vp < numVPs; vp++ {
+			s.cur = s.hs[vp%len(s.hs)]
+			lo, hi := vpStart[vp], vpStart[vp+1]
+			for p := lo; p < hi; p++ {
+				s.cur.Read(s.swArr.addr(p), 4, mem.Seq)
+				v := sw[p]
+				sw[p] = s.sampleOne(vp, v, src)
+				s.cur.Write(s.swArr.addr(p), 4, mem.Seq)
+			}
+		}
+
+		// Reverse shuffle: replay cursors, gather into walker order.
+		copy(cursor[:numVPs], vpStart[:numVPs])
+		for j := 0; j < walkers; j++ {
+			s.cur = s.coreForWalker(j, walkers)
+			s.cur.Read(s.wArr.addr(uint64(j)), 4, mem.Seq)
+			vp := plan.VPOf(w[j])
+			pos := cursor[vp]
+			cursor[vp]++
+			s.cur.Read(s.swArr.addr(pos), 4, mem.Rand)
+			s.cur.Write(s.nextArr.addr(uint64(j)), 4, mem.Seq)
+			wNext[j] = sw[pos]
+		}
+		w, wNext = wNext, w
+		s.wArr, s.nextArr = s.nextArr, s.wArr
+	}
+	var agg mem.Stats
+	traffic := map[string]uint64{}
+	for _, h := range s.hs {
+		agg.Add(&h.Stats)
+		for name, b := range h.RegionDRAMBytes() {
+			traffic[name] += b
+		}
+	}
+	return &Report{
+		TotalSteps:      uint64(walkers) * uint64(steps),
+		Stats:           agg,
+		Geom:            s.hs[0].Geom,
+		TrafficByRegion: traffic,
+	}, nil
+}
+
+// sampleOne advances one walker at v inside partition vp, issuing the
+// policy's memory accesses.
+func (s *FlashMobSim) sampleOne(vp int, v graph.VID, src rng.Source) graph.VID {
+	g := s.g
+	d := g.Degree(v)
+	if d == 0 {
+		return v
+	}
+	if base := s.psVPBase[vp]; base >= 0 {
+		// PS: cursor seek, refill when drained, consume sequentially.
+		cAddr := s.cursorR.Base + uint64(v)*4
+		s.cur.Read(cAddr, 4, mem.Rand)
+		off := uint64(base) + (g.Offsets[v] - g.Offsets[s.plan.VPs[vp].Start])
+		if s.psRemain[v] == 0 {
+			adjBase := g.Offsets[v]
+			for i := uint32(0); i < d; i++ {
+				k := rng.Uint32n(src, d)
+				s.cur.Read(s.targets.addr(adjBase+uint64(k)), 4, mem.Rand)
+				s.cur.Write(s.psBufR.Base+(off+uint64(i))*4, 4, mem.Seq)
+				s.psBuf[off+uint64(i)] = g.Targets[adjBase+uint64(k)]
+			}
+			s.psRemain[v] = d
+		}
+		pos := uint64(d - s.psRemain[v])
+		s.cur.Read(s.psBufR.Base+(off+pos)*4, 4, mem.Rand)
+		s.cur.Write(cAddr, 4, mem.Rand)
+		next := s.psBuf[off+pos]
+		s.psRemain[v]--
+		return next
+	}
+	// DS: regular partitions index arithmetically; mixed-degree ones read
+	// the CSR offsets first.
+	if s.regular[vp] < 0 {
+		s.cur.Read(s.offsets.addr(uint64(v)), 16, mem.Rand)
+	}
+	k := rng.Uint32n(src, d)
+	idx := g.Offsets[v] + uint64(k)
+	s.cur.Read(s.targets.addr(idx), 4, mem.Rand)
+	return g.Targets[idx]
+}
+
+// coreForWalker maps a walker index to its owning core's hierarchy
+// (contiguous range partitioning, as in the real engine).
+func (s *FlashMobSim) coreForWalker(j, walkers int) *mem.Hierarchy {
+	if len(s.hs) == 1 {
+		return s.hs[0]
+	}
+	c := j * len(s.hs) / walkers
+	if c >= len(s.hs) {
+		c = len(s.hs) - 1
+	}
+	return s.hs[c]
+}

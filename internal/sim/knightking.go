@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"flashmob/internal/graph"
+	"flashmob/internal/mem"
+	"flashmob/internal/rng"
+)
+
+// KnightKingSim replays the KnightKing baseline's memory behaviour: each
+// walker is advanced through its whole walk before the next starts, every
+// step loading the vertex's CSR offsets and then one edge — a dependent
+// (pointer-chasing) chain over the entire graph, exactly the access
+// pattern Table 3's "prior systems" row describes.
+type KnightKingSim struct {
+	g    *graph.CSR
+	h    *mem.Hierarchy
+	seed uint64
+
+	offsets mem.Region
+	targets mem.Region
+	wstate  mem.Region
+}
+
+// NewKnightKingSim builds the simulated engine over geometry geom.
+func NewKnightKingSim(g *graph.CSR, geom mem.Geometry, seed uint64) *KnightKingSim {
+	l := mem.NewLayout(geom.LineBytes)
+	return &KnightKingSim{
+		g:       g,
+		h:       mem.NewHierarchy(geom),
+		seed:    seed,
+		offsets: l.Alloc("csr.offsets", uint64(len(g.Offsets))*8),
+		targets: l.Alloc("csr.targets", uint64(len(g.Targets))*4),
+		wstate:  l.Alloc("walkers", 1<<20*4), // ring of walker slots
+	}
+}
+
+// Run performs the simulated walk and returns the per-step cache report.
+func (s *KnightKingSim) Run(walkers, steps int) (*Report, error) {
+	if err := validateCounts(walkers, steps); err != nil {
+		return nil, err
+	}
+	s.h.Reset()
+	src := rng.NewXorShift1024Star(s.seed)
+	g := s.g
+	n := g.NumVertices()
+	for j := 0; j < walkers; j++ {
+		wAddr := s.wstate.Base + uint64(j)%(s.wstate.Size/4)*4
+		s.h.Read(wAddr, 4, mem.Seq)
+		v := graph.VID(uint32(j) % n)
+		for st := 0; st < steps; st++ {
+			// Offsets load depends on the previous step's sampled vertex:
+			// a pointer-chasing access.
+			s.h.Read(s.offsets.Base+uint64(v)*8, 16, mem.Chase)
+			d := g.Degree(v)
+			if d == 0 {
+				continue
+			}
+			k := rng.Uint32n(src, d)
+			idx := g.Offsets[v] + uint64(k)
+			s.h.Read(s.targets.Base+idx*4, 4, mem.Chase)
+			v = g.Targets[idx]
+			// Walker state update (same line → cheap, as in the real
+			// system).
+			s.h.Write(wAddr, 4, mem.Seq)
+		}
+	}
+	return &Report{
+		TotalSteps: uint64(walkers) * uint64(steps),
+		Stats:      s.h.Stats,
+		Geom:       s.h.Geom,
+	}, nil
+}

@@ -1,0 +1,144 @@
+// Package sim contains trace-driven versions of the walk engines: they
+// perform real walks on real graphs while routing every memory access the
+// corresponding native engine would make through the cache-hierarchy
+// simulator in internal/mem. This substitutes for the paper's perf/VTune
+// measurements (Figure 1b, Table 5): per-level hit/miss counts per step,
+// DRAM traffic per step, data-bound time decomposition, and NUMA remote
+// access counts.
+//
+// The simulated engines intentionally run single-threaded: the quantities
+// being measured are per-step cache events of one core's access stream,
+// which is also how the paper reports them (counts normalized per
+// walker-step).
+package sim
+
+import (
+	"fmt"
+
+	"flashmob/internal/mem"
+)
+
+// Report is the outcome of a simulated run.
+type Report struct {
+	// TotalSteps is walkers × steps.
+	TotalSteps uint64
+	// Stats holds the raw simulator counters.
+	Stats mem.Stats
+	// Geom is the geometry the run used.
+	Geom mem.Geometry
+	// TrafficByRegion splits DRAM traffic by named data structure when
+	// the engine enabled attribution (nil otherwise). Split-region names
+	// keep their ".0"/".1" NUMA suffixes.
+	TrafficByRegion map[string]uint64
+}
+
+// HitsPerStep returns demand accesses served at loc per walker-step.
+func (r *Report) HitsPerStep(loc mem.Location) float64 {
+	if r.TotalSteps == 0 {
+		return 0
+	}
+	return float64(r.Stats.HitsAt(loc)) / float64(r.TotalSteps)
+}
+
+// MissesPerStep returns, per walker-step, the accesses that missed level
+// loc (i.e. were served deeper) — the per-step miss counts of Figure 1b.
+func (r *Report) MissesPerStep(loc mem.Location) float64 {
+	if r.TotalSteps == 0 {
+		return 0
+	}
+	return float64(r.Stats.MissesBelow(loc+1)) / float64(r.TotalSteps)
+}
+
+// DRAMBytesPerStep returns DRAM traffic per walker-step (Table 5's "DRAM
+// traffic/step").
+func (r *Report) DRAMBytesPerStep() float64 {
+	if r.TotalSteps == 0 {
+		return 0
+	}
+	return float64(r.Stats.DRAMBytes) / float64(r.TotalSteps)
+}
+
+// RemoteAccessesPerStep returns demand accesses served from remote DRAM
+// per walker-step (the Figure 12 NUMA metric).
+func (r *Report) RemoteAccessesPerStep() float64 {
+	if r.TotalSteps == 0 {
+		return 0
+	}
+	return float64(r.Stats.HitsAt(mem.LocRemoteMem)) / float64(r.TotalSteps)
+}
+
+// BoundNSPerStep returns estimated data-bound nanoseconds per walker-step
+// attributable to accesses served at loc (Table 5's "L1/L2/L3/DRAM-bound
+// time").
+func (r *Report) BoundNSPerStep(loc mem.Location) float64 {
+	if r.TotalSteps == 0 {
+		return 0
+	}
+	return r.Stats.BoundNS(&r.Geom.Latency, loc) / float64(r.TotalSteps)
+}
+
+// TotalBoundNSPerStep returns total estimated data time per walker-step.
+func (r *Report) TotalBoundNSPerStep() float64 {
+	if r.TotalSteps == 0 {
+		return 0
+	}
+	return r.Stats.TotalNS(&r.Geom.Latency) / float64(r.TotalSteps)
+}
+
+// NumaMode selects the cross-socket execution model of §4.5.
+type NumaMode int
+
+const (
+	// NumaNone places everything in the local domain.
+	NumaNone NumaMode = iota
+	// NumaPartitioned is FlashMob-P: the second half of the vertex
+	// partitions (graph data) and walker arrays live on the remote
+	// domain; a local core's accesses to them are remote but strictly
+	// streaming.
+	NumaPartitioned
+	// NumaReplicated is FlashMob-R: all graph data local (each socket has
+	// its own replica); nothing is remote, but the caller should halve
+	// the walker budget to model the replicated graph's DRAM cost.
+	NumaReplicated
+)
+
+// splitRegion is a logical array whose first `split` elements live in one
+// region and the rest in another (possibly remote) region. elemSize is in
+// bytes.
+type splitRegion struct {
+	r0, r1   mem.Region
+	split    uint64
+	elemSize uint64
+}
+
+func newSplit(l *mem.Layout, name string, elems, elemSize uint64, mode NumaMode) splitRegion {
+	if mode != NumaPartitioned || elems < 2 {
+		r := l.Alloc(name, elems*elemSize)
+		return splitRegion{r0: r, r1: r, split: elems, elemSize: elemSize}
+	}
+	half := elems / 2
+	return splitRegion{
+		r0:       l.Alloc(name+".0", half*elemSize),
+		r1:       l.AllocDomain(name+".1", (elems-half)*elemSize, 1),
+		split:    half,
+		elemSize: elemSize,
+	}
+}
+
+// addr returns the simulated address of element idx.
+func (s splitRegion) addr(idx uint64) uint64 {
+	if idx < s.split {
+		return s.r0.Base + idx*s.elemSize
+	}
+	return s.r1.Base + (idx-s.split)*s.elemSize
+}
+
+func validateCounts(walkers, steps int) error {
+	if walkers <= 0 {
+		return fmt.Errorf("sim: walker count must be positive, got %d", walkers)
+	}
+	if steps <= 0 {
+		return fmt.Errorf("sim: step count must be positive, got %d", steps)
+	}
+	return nil
+}

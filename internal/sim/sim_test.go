@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"testing"
+
+	"flashmob/internal/gen"
+	"flashmob/internal/graph"
+	"flashmob/internal/mem"
+	"flashmob/internal/part"
+	"flashmob/internal/profile"
+)
+
+// simGeom shrinks the paper geometry 64× so test graphs of a few MB play
+// the role of the paper's 10s-of-GB graphs relative to the caches.
+func simGeom() mem.Geometry {
+	return mem.ScaledGeometry(64)
+}
+
+func bigTestGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: 60000, AvgDegree: 8, Alpha: 0.8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func planFor(t *testing.T, g *graph.CSR, geom mem.Geometry, walkers uint64) *part.Plan {
+	t.Helper()
+	model := profile.NewAnalyticalModel(geom)
+	plan, err := part.PlanMCKP(g, part.Config{Walkers: walkers, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestFlashMobSimFewerMissesThanKnightKing(t *testing.T) {
+	// The Figure 1b claim: FlashMob collapses L2/L3 misses per step.
+	g := bigTestGraph(t)
+	geom := simGeom()
+	walkers, steps := 60000, 3
+
+	kk := NewKnightKingSim(g, geom, 1)
+	kkRep, err := kk.Run(walkers, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := NewFlashMobSim(g, planFor(t, g, geom, uint64(walkers)), geom, 1, NumaNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmRep, err := fm.Run(walkers, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kkL3 := kkRep.MissesPerStep(mem.LocL3)
+	fmL3 := fmRep.MissesPerStep(mem.LocL3)
+	if fmL3 >= kkL3 {
+		t.Errorf("L3 misses/step: FlashMob %.3f not below KnightKing %.3f", fmL3, kkL3)
+	}
+	kkL2 := kkRep.MissesPerStep(mem.LocL2)
+	fmL2 := fmRep.MissesPerStep(mem.LocL2)
+	if fmL2 >= kkL2 {
+		t.Errorf("L2 misses/step: FlashMob %.3f not below KnightKing %.3f", fmL2, kkL2)
+	}
+	// And the estimated data-bound time should favour FlashMob heavily
+	// (the paper reports 24×; require ≥3× to stay robust to scaling).
+	if fmRep.TotalBoundNSPerStep()*3 > kkRep.TotalBoundNSPerStep() {
+		t.Errorf("bound time/step: FlashMob %.1f vs KnightKing %.1f — want ≥3× gap",
+			fmRep.TotalBoundNSPerStep(), kkRep.TotalBoundNSPerStep())
+	}
+}
+
+func TestKnightKingSimGrowsWithGraphSize(t *testing.T) {
+	// Figure 1a shape: per-step cost rises as the graph outgrows each
+	// cache level.
+	geom := simGeom()
+	var prev float64
+	for i, budget := range []uint64{
+		geom.L1.SizeBytes * 8 / 10,
+		geom.L2.SizeBytes * 8 / 10,
+		geom.L3.SizeBytes * 8 / 10,
+		geom.L3.SizeBytes * 16,
+	} {
+		g, _, err := gen.ToyForCacheBytes(budget, 16, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Enough walker-steps to amortize cold misses even on the tiny
+		// L1-sized toy.
+		walkers := int(g.NumVertices())
+		if walkers < 4000 {
+			walkers = 4000
+		}
+		rep, err := NewKnightKingSim(g, geom, 2).Run(walkers, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns := rep.TotalBoundNSPerStep()
+		if i > 0 && ns < prev {
+			t.Errorf("toy %d: bound %.2f ns/step below smaller toy (%.2f)", i, ns, prev)
+		}
+		prev = ns
+	}
+}
+
+func TestFlashMobSimFlatAcrossGraphSizes(t *testing.T) {
+	// FlashMob's per-step time should grow far slower than KnightKing's
+	// when the graph goes from cache-resident to DRAM-resident.
+	geom := simGeom()
+	boundAt := func(nVerts uint32) (fm, kk float64) {
+		g, err := gen.PowerLaw(gen.PowerLawConfig{
+			NumVertices: nVerts, AvgDegree: 8, Alpha: 0.8, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		walkers := int(nVerts)
+		fme, err := NewFlashMobSim(g, planFor(t, g, geom, uint64(walkers)), geom, 3, NumaNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmRep, err := fme.Run(walkers, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kkRep, err := NewKnightKingSim(g, geom, 3).Run(walkers, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmRep.TotalBoundNSPerStep(), kkRep.TotalBoundNSPerStep()
+	}
+	fmSmall, kkSmall := boundAt(4000)
+	fmBig, kkBig := boundAt(64000)
+	fmGrowth := fmBig / fmSmall
+	kkGrowth := kkBig / kkSmall
+	if fmGrowth >= kkGrowth {
+		t.Errorf("growth small→big: FlashMob %.2fx vs KnightKing %.2fx — FlashMob should scale flatter",
+			fmGrowth, kkGrowth)
+	}
+}
+
+func TestFlashMobSimNUMAPartitionedRemoteIsRare(t *testing.T) {
+	// §4.5/Figure 12: FlashMob-P's remote accesses are streaming-only and
+	// rare per step (the paper reports ~0.001–0.002 per step at scale).
+	g := bigTestGraph(t)
+	geom := simGeom()
+	fm, err := NewFlashMobSim(g, planFor(t, g, geom, 60000), geom, 4, NumaPartitioned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fm.Run(60000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.RemoteDRAMBytes == 0 {
+		t.Fatal("partitioned mode produced no remote traffic at all")
+	}
+	remote := rep.RemoteAccessesPerStep()
+	totalAccesses := float64(rep.Stats.Accesses) / float64(rep.TotalSteps)
+	if remote > 0.25*totalAccesses {
+		t.Errorf("remote accesses/step %.3f out of %.3f accesses/step — should be a small fraction",
+			remote, totalAccesses)
+	}
+}
+
+func TestFlashMobSimNumaNoneHasNoRemote(t *testing.T) {
+	g := bigTestGraph(t)
+	geom := simGeom()
+	fm, err := NewFlashMobSim(g, planFor(t, g, geom, 10000), geom, 5, NumaNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fm.Run(10000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.RemoteDRAMBytes != 0 || rep.Stats.HitsAt(mem.LocRemoteMem) != 0 {
+		t.Error("NumaNone produced remote accesses")
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	g := bigTestGraph(t)
+	geom := simGeom()
+	plan := planFor(t, g, geom, 5000)
+	run := func() mem.Stats {
+		fm, err := NewFlashMobSim(g, plan, geom, 42, NumaNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := fm.Run(5000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Stats
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Error("same seed produced different simulation stats")
+	}
+}
+
+func TestSimRunValidation(t *testing.T) {
+	g := bigTestGraph(t)
+	geom := simGeom()
+	kk := NewKnightKingSim(g, geom, 1)
+	if _, err := kk.Run(0, 5); err == nil {
+		t.Error("zero walkers accepted")
+	}
+	if _, err := kk.Run(5, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := NewFlashMobSim(g, nil, geom, 1, NumaNone); err == nil {
+		t.Error("nil plan accepted")
+	}
+}
+
+func TestReportMath(t *testing.T) {
+	var r Report
+	r.TotalSteps = 100
+	r.Geom = mem.PaperGeometry()
+	r.Stats.Served[mem.Rand][mem.LocL1] = 500
+	r.Stats.Served[mem.Rand][mem.LocLocalMem] = 200
+	r.Stats.DRAMBytes = 6400
+	if got := r.HitsPerStep(mem.LocL1); got != 5 {
+		t.Errorf("HitsPerStep = %v", got)
+	}
+	if got := r.MissesPerStep(mem.LocL1); got != 2 {
+		t.Errorf("MissesPerStep(L1) = %v, want 2 (DRAM-served)", got)
+	}
+	if got := r.DRAMBytesPerStep(); got != 64 {
+		t.Errorf("DRAMBytesPerStep = %v", got)
+	}
+	if got := r.BoundNSPerStep(mem.LocLocalMem); got != 2*18.35 {
+		t.Errorf("BoundNSPerStep = %v", got)
+	}
+	var empty Report
+	if empty.HitsPerStep(mem.LocL1) != 0 || empty.TotalBoundNSPerStep() != 0 {
+		t.Error("empty report should be all zeros")
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrafficByRegion(t *testing.T) {
+	g := bigTestGraph(t)
+	geom := simGeom()
+	walkers := int(g.NumVertices())
+	fm, err := NewFlashMobSim(g, planFor(t, g, geom, uint64(walkers)), geom, 31, NumaNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fm.Run(walkers, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrafficByRegion == nil {
+		t.Fatal("no traffic attribution")
+	}
+	var total, walkerBytes uint64
+	for name, b := range rep.TrafficByRegion {
+		total += b
+		if strings.HasPrefix(name, "walk.") {
+			walkerBytes += b
+		}
+	}
+	if total != rep.Stats.DRAMBytes {
+		t.Errorf("attributed %d bytes, DRAM total %d", total, rep.Stats.DRAMBytes)
+	}
+	if walkerBytes == 0 {
+		t.Error("walker arrays produced no DRAM traffic?")
+	}
+	// The stream prefetcher legitimately runs a few lines past region
+	// ends into the guard gaps; only a tiny share may be unattributed.
+	if un := rep.TrafficByRegion[""]; un > total/100 {
+		t.Errorf("%d of %d bytes unattributed (>1%%)", un, total)
+	}
+	t.Logf("traffic split: %v", rep.TrafficByRegion)
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/walk"
+)
+
+// TVDistance returns the total-variation distance between two
+// distributions given as (not necessarily normalized) non-negative
+// vectors of equal length: ½·Σ|a̅ᵢ - b̅ᵢ| after normalization.
+func TVDistance(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: TV distance over mismatched lengths %d and %d", len(a), len(b))
+	}
+	var sa, sb float64
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			return 0, fmt.Errorf("stats: negative mass at index %d", i)
+		}
+		sa += a[i]
+		sb += b[i]
+	}
+	if sa == 0 || sb == 0 {
+		return 0, fmt.Errorf("stats: zero total mass")
+	}
+	var d float64
+	for i := range a {
+		d += math.Abs(a[i]/sa - b[i]/sb)
+	}
+	return d / 2, nil
+}
+
+// StationaryDegree returns the stationary distribution of the uniform
+// random walk on an undirected graph: π(v) ∝ deg(v).
+func StationaryDegree(g *graph.CSR) []float64 {
+	out := make([]float64, g.NumVertices())
+	total := float64(g.NumEdges())
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		out[v] = float64(g.Degree(v)) / total
+	}
+	return out
+}
+
+// ConvergenceSeries returns, for every recorded step of a walk history,
+// the total-variation distance between the walkers' empirical location
+// distribution and the given reference distribution. On an undirected
+// graph with StationaryDegree as reference, the series should decrease
+// toward the sampling-noise floor — a mixing diagnostic for walk engines.
+func ConvergenceSeries(h *walk.History, ref []float64) ([]float64, error) {
+	if h.NumSteps() == 0 {
+		return nil, fmt.Errorf("stats: empty history")
+	}
+	out := make([]float64, h.NumSteps())
+	counts := make([]float64, len(ref))
+	for step := 0; step < h.NumSteps(); step++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for j := 0; j < h.NumWalkers(); j++ {
+			v := h.At(step, j)
+			if int(v) >= len(counts) {
+				return nil, fmt.Errorf("stats: history vertex %d outside reference of %d", v, len(counts))
+			}
+			counts[v]++
+		}
+		d, err := TVDistance(counts, ref)
+		if err != nil {
+			return nil, err
+		}
+		out[step] = d
+	}
+	return out, nil
+}

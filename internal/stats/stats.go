@@ -1,0 +1,151 @@
+// Package stats computes the workload-characterization statistics of the
+// paper's Table 2: for vertices bucketed by degree percentile, the bucket's
+// average degree, share of edges, and share of walker visits.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"flashmob/internal/graph"
+)
+
+// GroupStats describes one degree-percentile bucket.
+type GroupStats struct {
+	// Label is the paper's column header, e.g. "<1%".
+	Label string
+	// FirstRank and LastRank delimit the bucket in degree-rank order
+	// (rank 0 = highest degree), inclusive-exclusive.
+	FirstRank, LastRank uint32
+	// AvgDegree is the bucket's mean degree (the paper's D̄ row).
+	AvgDegree float64
+	// EdgeShare is the bucket's fraction of all edges (the |E| row).
+	EdgeShare float64
+	// VisitShare is the bucket's fraction of all walker visits (the |W|
+	// row); zero when no visit counts were supplied.
+	VisitShare float64
+}
+
+// PaperBuckets are Table 2's percentile boundaries: top 1%, 1–5%, 5–25%,
+// 25–100%.
+var PaperBuckets = []struct {
+	Label string
+	Hi    float64 // cumulative upper bound as a fraction of |V|
+}{
+	{"<1%", 0.01},
+	{"1%~5%", 0.05},
+	{"5%~25%", 0.25},
+	{"25%~100%", 1.00},
+}
+
+// DegreeGroups buckets vertices by degree percentile and reports each
+// bucket's average degree, edge share, and (if visits is non-nil) visit
+// share. visits[v] counts walker-steps that landed on vertex v.
+func DegreeGroups(g *graph.CSR, visits []uint64) ([]GroupStats, error) {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("stats: empty graph")
+	}
+	if visits != nil && uint32(len(visits)) != n {
+		return nil, fmt.Errorf("stats: visits has %d entries, graph has %d vertices", len(visits), n)
+	}
+	// Rank vertices by descending degree (stable, so already-sorted
+	// graphs rank as the identity).
+	ranks := make([]uint32, n)
+	for i := range ranks {
+		ranks[i] = uint32(i)
+	}
+	if !graph.IsDegreeSorted(g) {
+		sort.SliceStable(ranks, func(i, j int) bool {
+			return g.Degree(ranks[i]) > g.Degree(ranks[j])
+		})
+	}
+
+	totalEdges := float64(g.NumEdges())
+	var totalVisits float64
+	if visits != nil {
+		for _, c := range visits {
+			totalVisits += float64(c)
+		}
+	}
+
+	out := make([]GroupStats, 0, len(PaperBuckets))
+	var lo uint32
+	for _, b := range PaperBuckets {
+		hi := uint32(b.Hi * float64(n))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > n {
+			hi = n
+		}
+		gs := GroupStats{Label: b.Label, FirstRank: lo, LastRank: hi}
+		var edges, vis uint64
+		for r := lo; r < hi; r++ {
+			v := ranks[r]
+			edges += uint64(g.Degree(v))
+			if visits != nil {
+				vis += visits[v]
+			}
+		}
+		gs.AvgDegree = float64(edges) / float64(hi-lo)
+		if totalEdges > 0 {
+			gs.EdgeShare = float64(edges) / totalEdges
+		}
+		if totalVisits > 0 {
+			gs.VisitShare = float64(vis) / totalVisits
+		}
+		out = append(out, gs)
+		lo = hi
+		if lo >= n {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs by nearest-rank on a
+// sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 1 {
+		return cp[len(cp)-1]
+	}
+	idx := int(p * float64(len(cp)-1))
+	return cp[idx]
+}
+
+// Summary holds basic distribution statistics.
+type Summary struct {
+	Min, Max, Mean float64
+	Count          int
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.Count = len(xs)
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	return s
+}

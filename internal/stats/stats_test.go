@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"flashmob/internal/gen"
+	"flashmob/internal/graph"
+)
+
+func TestDegreeGroupsShares(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: 10000, AvgDegree: 8, Alpha: 0.8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := DegreeGroups(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups, want 4", len(groups))
+	}
+	var edgeSum float64
+	for _, grp := range groups {
+		edgeSum += grp.EdgeShare
+	}
+	if math.Abs(edgeSum-1) > 1e-9 {
+		t.Errorf("edge shares sum to %v", edgeSum)
+	}
+	// Degree must be non-increasing across buckets, and the top bucket
+	// must dominate (power-law property the paper's Table 2 shows).
+	for i := 1; i < len(groups); i++ {
+		if groups[i].AvgDegree > groups[i-1].AvgDegree {
+			t.Errorf("bucket %d avg degree %.1f above bucket %d (%.1f)",
+				i, groups[i].AvgDegree, i-1, groups[i-1].AvgDegree)
+		}
+	}
+	if groups[0].EdgeShare < 0.2 {
+		t.Errorf("top-1%% edge share %.3f, expected heavy head", groups[0].EdgeShare)
+	}
+}
+
+func TestDegreeGroupsVisitsTrackEdges(t *testing.T) {
+	// With visits proportional to degree (the stationary distribution of
+	// a uniform walk on an undirected graph), visit shares must equal edge
+	// shares — the central observation of Table 2.
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: 5000, AvgDegree: 6, Alpha: 0.75, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := make([]uint64, g.NumVertices())
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		visits[v] = uint64(g.Degree(v)) * 10
+	}
+	groups, err := DegreeGroups(g, visits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grp := range groups {
+		if math.Abs(grp.VisitShare-grp.EdgeShare) > 1e-9 {
+			t.Errorf("bucket %s: visit share %.4f != edge share %.4f",
+				grp.Label, grp.VisitShare, grp.EdgeShare)
+		}
+	}
+}
+
+func TestDegreeGroupsUnsortedGraph(t *testing.T) {
+	// Build an unsorted graph: vertex 2 has the highest degree.
+	res, err := graph.Build([]graph.Edge{
+		{Src: 2, Dst: 0}, {Src: 2, Dst: 1}, {Src: 2, Dst: 3}, {Src: 0, Dst: 2},
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := DegreeGroups(res.Graph, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top bucket (1 vertex) must be vertex 2 with degree 3.
+	if groups[0].AvgDegree != 3 {
+		t.Errorf("top bucket avg degree %.1f, want 3", groups[0].AvgDegree)
+	}
+}
+
+func TestDegreeGroupsErrors(t *testing.T) {
+	g := &graph.CSR{Offsets: []uint64{0}}
+	if _, err := DegreeGroups(g, nil); err == nil {
+		t.Error("empty graph accepted")
+	}
+	res, _ := graph.Build([]graph.Edge{{Src: 0, Dst: 1}}, graph.BuildOptions{})
+	if _, err := DegreeGroups(res.Graph, make([]uint64, 5)); err == nil {
+		t.Error("mismatched visits accepted")
+	}
+}
+
+func TestDegreeGroupsTinyGraph(t *testing.T) {
+	res, _ := graph.Build([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}, graph.BuildOptions{})
+	groups, err := DegreeGroups(res.Graph, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 vertices: every bucket holds at least one vertex until exhausted.
+	var covered uint32
+	for _, grp := range groups {
+		covered += grp.LastRank - grp.FirstRank
+	}
+	if covered != 2 {
+		t.Errorf("buckets cover %d vertices, want 2", covered)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 1); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 0.5); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.Min != 2 || s.Max != 6 || s.Mean != 4 || s.Count != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.Count != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}

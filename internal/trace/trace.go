@@ -1,0 +1,174 @@
+// Package trace serializes walk output for downstream consumers: the
+// text corpus format word2vec-style trainers ingest (one
+// space-separated path per line), and a compact binary edge stream — the
+// paper's two output modes (§4.3: full paths by transposing the W arrays,
+// or streaming the sampled edges to the training side).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/walk"
+)
+
+// WriteCorpus emits one line per walker: space-separated vertex IDs of its
+// path. The format matches what word2vec-family tools expect.
+func WriteCorpus(w io.Writer, h *walk.History) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var buf []byte
+	for j := 0; j < h.NumWalkers(); j++ {
+		buf = buf[:0]
+		for i := 0; i < h.NumSteps(); i++ {
+			if i > 0 {
+				buf = append(buf, ' ')
+			}
+			buf = strconv.AppendUint(buf, uint64(h.At(i, j)), 10)
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("trace: write corpus: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCorpus parses a corpus written by WriteCorpus back into paths.
+func ReadCorpus(r io.Reader) ([][]graph.VID, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	var paths [][]graph.VID
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		var path []graph.VID
+		start := 0
+		for i := 0; i <= len(text); i++ {
+			if i == len(text) || text[i] == ' ' {
+				if i == start {
+					return nil, fmt.Errorf("trace: line %d: empty field", line)
+				}
+				v, err := strconv.ParseUint(text[start:i], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: %w", line, err)
+				}
+				path = append(path, graph.VID(v))
+				start = i + 1
+			}
+		}
+		paths = append(paths, path)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan corpus: %w", err)
+	}
+	return paths, nil
+}
+
+// EdgeStreamWriter serializes sampled edges incrementally as they are
+// produced — plug its Sink method into the engine's StepSink to stream a
+// walk to disk (or a socket feeding GPU training) without retaining
+// history in memory. The format is a fixed 16-byte header ("FMESTRM1",
+// reserved uint64) followed by (from, to) uint32 little-endian pairs.
+type EdgeStreamWriter struct {
+	bw    *bufio.Writer
+	err   error
+	wrote uint64
+}
+
+// edgeStreamMagic opens the binary edge-stream format.
+var edgeStreamMagic = [8]byte{'F', 'M', 'E', 'S', 'T', 'R', 'M', '1'}
+
+// NewEdgeStreamWriter writes the stream header and returns the writer.
+func NewEdgeStreamWriter(w io.Writer) (*EdgeStreamWriter, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(edgeStreamMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: write stream header: %w", err)
+	}
+	var reserved [8]byte
+	if _, err := bw.Write(reserved[:]); err != nil {
+		return nil, fmt.Errorf("trace: write stream header: %w", err)
+	}
+	return &EdgeStreamWriter{bw: bw}, nil
+}
+
+// Sink consumes one engine step (signature-compatible with the engine's
+// StepSink). Errors are sticky and surfaced by Close.
+func (e *EdgeStreamWriter) Sink(step int, cur, next []graph.VID) {
+	if e.err != nil {
+		return
+	}
+	var rec [8]byte
+	for j := range cur {
+		binary.LittleEndian.PutUint32(rec[0:], cur[j])
+		binary.LittleEndian.PutUint32(rec[4:], next[j])
+		if _, err := e.bw.Write(rec[:]); err != nil {
+			e.err = fmt.Errorf("trace: write edge: %w", err)
+			return
+		}
+		e.wrote++
+	}
+}
+
+// Edges returns the number of edges written so far.
+func (e *EdgeStreamWriter) Edges() uint64 { return e.wrote }
+
+// Close flushes and reports any sticky error.
+func (e *EdgeStreamWriter) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.bw.Flush()
+}
+
+// ReadEdgeStream parses a stream written by EdgeStreamWriter, calling fn
+// for every edge.
+func ReadEdgeStream(r io.Reader, fn func(from, to graph.VID)) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("trace: read stream header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != edgeStreamMagic {
+		return fmt.Errorf("trace: bad edge-stream magic %q", hdr[:8])
+	}
+	var rec [8]byte
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("trace: read edge: %w", err)
+		}
+		fn(graph.VID(binary.LittleEndian.Uint32(rec[0:])),
+			graph.VID(binary.LittleEndian.Uint32(rec[4:])))
+	}
+}
+
+// WriteCorpusPaths emits walker-major paths (e.g. from Result.Paths) in
+// the corpus format.
+func WriteCorpusPaths(w io.Writer, paths [][]graph.VID) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var buf []byte
+	for _, p := range paths {
+		buf = buf[:0]
+		for i, v := range p {
+			if i > 0 {
+				buf = append(buf, ' ')
+			}
+			buf = strconv.AppendUint(buf, uint64(v), 10)
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("trace: write corpus: %w", err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,91 @@
+package walk
+
+import (
+	"fmt"
+
+	"flashmob/internal/graph"
+)
+
+// History accumulates the W_i arrays of an n-step walk. Because the engine
+// restores walker order after every iteration (§4.3), Steps[i][j] is the
+// location of walker j after i steps, and transposing yields per-walker
+// paths — the paper's "random walk paths output".
+type History struct {
+	steps      [][]graph.VID
+	numWalkers int
+}
+
+// NewHistory creates a history for numWalkers walkers.
+func NewHistory(numWalkers int) *History {
+	return &History{numWalkers: numWalkers}
+}
+
+// Append records one W_i array (copied).
+func (h *History) Append(w []graph.VID) error {
+	if len(w) != h.numWalkers {
+		return fmt.Errorf("walk: history append with %d walkers, want %d", len(w), h.numWalkers)
+	}
+	cp := make([]graph.VID, len(w))
+	copy(cp, w)
+	h.steps = append(h.steps, cp)
+	return nil
+}
+
+// NumSteps returns the number of recorded arrays (walk length + 1 when the
+// start positions were recorded).
+func (h *History) NumSteps() int { return len(h.steps) }
+
+// NumWalkers returns the walker count.
+func (h *History) NumWalkers() int { return h.numWalkers }
+
+// At returns the recorded location of walker j after step i.
+func (h *History) At(i, j int) graph.VID { return h.steps[i][j] }
+
+// Path materializes walker j's full path.
+func (h *History) Path(j int) []graph.VID {
+	p := make([]graph.VID, len(h.steps))
+	for i, step := range h.steps {
+		p[i] = step[j]
+	}
+	return p
+}
+
+// Transpose returns all paths, walker-major — the transposition described
+// at the end of §4.3.
+func (h *History) Transpose() [][]graph.VID {
+	out := make([][]graph.VID, h.numWalkers)
+	flat := make([]graph.VID, h.numWalkers*len(h.steps))
+	for j := 0; j < h.numWalkers; j++ {
+		out[j] = flat[j*len(h.steps) : (j+1)*len(h.steps)]
+	}
+	for i, step := range h.steps {
+		for j, v := range step {
+			out[j][i] = v
+		}
+	}
+	return out
+}
+
+// Edges streams every sampled edge <W_i[j], W_{i+1}[j]> to fn, the
+// alternative output mode the paper describes for feeding GPU embedding
+// training.
+func (h *History) Edges(fn func(from, to graph.VID)) {
+	for i := 0; i+1 < len(h.steps); i++ {
+		cur, next := h.steps[i], h.steps[i+1]
+		for j := range cur {
+			fn(cur[j], next[j])
+		}
+	}
+}
+
+// VisitCounts tallies how many walker-steps landed on each vertex
+// (including the start positions), used by the Table 2 statistics.
+func (h *History) VisitCounts(numVertices uint32) []uint64 {
+	counts := make([]uint64, numVertices)
+	for _, step := range h.steps {
+		for _, v := range step {
+			counts[v]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,311 @@
+// Package walk implements FlashMob's walker-state machinery (§4.3): the
+// compact walker arrays W_i (one VID per walker, identity implicit in array
+// order), the two-pass counting shuffle that groups walkers by vertex
+// partition, the optional inner shuffle level for over-budget groups, and
+// the reverse shuffle that restores walker order so the W_i arrays double
+// as path history.
+package walk
+
+import (
+	"fmt"
+	"sync"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/part"
+)
+
+// Shuffler rearranges walker arrays according to a partition plan. It owns
+// the scratch state (per-worker bin counters, offsets, inner-shuffle slot
+// maps) so repeated iterations allocate nothing.
+type Shuffler struct {
+	plan    *part.Plan
+	workers int
+
+	numWalkers int
+	vpStart    []uint64 // len NumVPs+1: walker slots per VP in shuffled order
+	binStart   []uint64 // len Bins+1: outer slots per bin
+
+	// counts[w][vp] is worker w's walker count per VP for its walker range.
+	counts [][]uint32
+	// cursors[w][bin] replays the placement order in forward and reverse
+	// passes.
+	cursors [][]uint64
+
+	// slotFinal maps outer slot → final slot when extra-shuffle bins
+	// exist; nil otherwise (identity).
+	slotFinal []uint32
+	scratch   []graph.VID
+	hasExtra  bool
+}
+
+// NewShuffler builds a shuffler for numWalkers walkers under plan, using
+// the given worker count (≤ 0 means 1).
+func NewShuffler(plan *part.Plan, numWalkers, workers int) (*Shuffler, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("walk: nil plan")
+	}
+	if numWalkers < 0 {
+		return nil, fmt.Errorf("walk: negative walker count")
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > numWalkers && numWalkers > 0 {
+		workers = numWalkers
+	}
+	s := &Shuffler{
+		plan:       plan,
+		workers:    workers,
+		numWalkers: numWalkers,
+		vpStart:    make([]uint64, plan.NumVPs()+1),
+		binStart:   make([]uint64, len(plan.Bins())+1),
+		counts:     make([][]uint32, workers),
+		cursors:    make([][]uint64, workers),
+	}
+	for w := 0; w < workers; w++ {
+		s.counts[w] = make([]uint32, plan.NumVPs())
+		s.cursors[w] = make([]uint64, len(plan.Bins()))
+	}
+	for _, b := range plan.Bins() {
+		if b.Extra {
+			s.hasExtra = true
+		}
+	}
+	if s.hasExtra {
+		s.slotFinal = make([]uint32, numWalkers)
+		s.scratch = make([]graph.VID, numWalkers)
+	}
+	return s, nil
+}
+
+// VPStart returns, after a Forward pass, the slot offsets per VP: walkers
+// of VP i occupy shuffled slots [VPStart()[i], VPStart()[i+1]).
+func (s *Shuffler) VPStart() []uint64 { return s.vpStart }
+
+// workerRange splits the walker array contiguously across workers.
+func (s *Shuffler) workerRange(w int) (lo, hi int) {
+	per := s.numWalkers / s.workers
+	rem := s.numWalkers % s.workers
+	lo = w*per + min(w, rem)
+	hi = lo + per
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Forward shuffles W into SW so walkers sharing a VP are contiguous and
+// VPs appear in vertex order. aux/auxSW, when non-nil, are permuted
+// identically (per-walker metadata such as node2vec's previous vertex,
+// §4.3). len(SW) must equal len(W) == numWalkers.
+func (s *Shuffler) Forward(w, sw, aux, auxSW []graph.VID) error {
+	if aux == nil {
+		return s.ForwardMulti(w, sw, nil, nil)
+	}
+	return s.ForwardMulti(w, sw, [][]graph.VID{aux}, [][]graph.VID{auxSW})
+}
+
+// ForwardMulti is Forward with any number of auxiliary channels, all
+// permuted identically with the walkers — the carrier for order-k walks,
+// whose walkers travel with k-1 predecessor VIDs (§2.1's
+// p(v|u,t,s,...)).
+func (s *Shuffler) ForwardMulti(w, sw []graph.VID, aux, auxSW [][]graph.VID) error {
+	if len(w) != s.numWalkers || len(sw) != s.numWalkers {
+		return fmt.Errorf("walk: Forward arrays have %d/%d walkers, want %d", len(w), len(sw), s.numWalkers)
+	}
+	if err := checkAux(aux, auxSW, s.numWalkers); err != nil {
+		return err
+	}
+	plan := s.plan
+
+	// Pass 1: count walkers per VP, one worker per contiguous chunk.
+	s.parallel(func(worker, lo, hi int) {
+		counts := s.counts[worker]
+		for i := range counts {
+			counts[i] = 0
+		}
+		for j := lo; j < hi; j++ {
+			counts[plan.VPOf(w[j])]++
+		}
+	})
+
+	// Aggregate: vpStart then binStart, plus per-worker bin cursors in
+	// (bin-major, worker-minor) order so each worker writes a disjoint,
+	// in-order region of every bin.
+	var total uint64
+	for vp := 0; vp < plan.NumVPs(); vp++ {
+		s.vpStart[vp] = total
+		for wk := 0; wk < s.workers; wk++ {
+			total += uint64(s.counts[wk][vp])
+		}
+	}
+	s.vpStart[plan.NumVPs()] = total
+	bins := plan.Bins()
+	for bi, b := range bins {
+		s.binStart[bi] = s.vpStart[b.FirstVP]
+		s.binStart[bi+1] = s.vpStart[b.FirstVP+b.NumVPs]
+	}
+	for bi, b := range bins {
+		cur := s.binStart[bi]
+		for wk := 0; wk < s.workers; wk++ {
+			s.cursors[wk][bi] = cur
+			for vp := b.FirstVP; vp < b.FirstVP+b.NumVPs; vp++ {
+				cur += uint64(s.counts[wk][vp])
+			}
+		}
+	}
+
+	// Pass 2: place. Within a bin, walkers keep scan order (outer level
+	// shuffles by bin, not by VP — the multi-stream access pattern of
+	// §4.3).
+	s.parallel(func(worker, lo, hi int) {
+		cursors := s.cursors[worker]
+		for j := lo; j < hi; j++ {
+			b := plan.BinOf(w[j])
+			pos := cursors[b]
+			cursors[b]++
+			sw[pos] = w[j]
+			for c := range aux {
+				auxSW[c][pos] = aux[c][j]
+			}
+		}
+	})
+
+	// Inner level: extra-shuffle bins get re-ordered by VP within their
+	// outer region, recording the slot mapping for the reverse pass.
+	if s.hasExtra {
+		for i := range s.slotFinal {
+			s.slotFinal[i] = uint32(i)
+		}
+		for bi, b := range bins {
+			if !b.Extra {
+				continue
+			}
+			s.innerShuffle(b, s.binStart[bi], s.binStart[bi+1], sw, auxSW)
+		}
+	}
+	return nil
+}
+
+// innerShuffle re-sorts the chunk [lo, hi) of sw by VP index (stable) and
+// records slotFinal for the chunk.
+func (s *Shuffler) innerShuffle(b part.Bin, lo, hi uint64, sw []graph.VID, auxSW [][]graph.VID) {
+	plan := s.plan
+	// Count per VP within the chunk.
+	vpCount := make([]uint64, b.NumVPs)
+	for p := lo; p < hi; p++ {
+		vpCount[plan.VPOf(sw[p])-b.FirstVP]++
+	}
+	vpCur := make([]uint64, b.NumVPs)
+	var acc uint64
+	for i := range vpCount {
+		vpCur[i] = lo + acc
+		acc += vpCount[i]
+	}
+	// Place into scratch, record final slots.
+	for p := lo; p < hi; p++ {
+		vi := plan.VPOf(sw[p]) - b.FirstVP
+		dst := vpCur[vi]
+		vpCur[vi]++
+		s.scratch[dst] = sw[p]
+		s.slotFinal[p] = uint32(dst)
+	}
+	copy(sw[lo:hi], s.scratch[lo:hi])
+	for c := range auxSW {
+		// Permute each aux channel with the recorded mapping.
+		for p := lo; p < hi; p++ {
+			s.scratch[s.slotFinal[p]] = auxSW[c][p]
+		}
+		copy(auxSW[c][lo:hi], s.scratch[lo:hi])
+	}
+}
+
+// Reverse rebuilds walker-order arrays after the sample stage has
+// overwritten the shuffled array in place: scanning wOld (the pre-shuffle
+// locations) replays the placement cursors, so each walker finds the slot
+// its updated location was written to (§4.3 "compact walker state
+// storage"). wNext[j] receives walker j's new location.
+func (s *Shuffler) Reverse(wOld, swNew, wNext, auxSW, auxNext []graph.VID) error {
+	if auxSW == nil {
+		return s.ReverseMulti(wOld, swNew, wNext, nil, nil)
+	}
+	return s.ReverseMulti(wOld, swNew, wNext, [][]graph.VID{auxSW}, [][]graph.VID{auxNext})
+}
+
+// ReverseMulti is Reverse with any number of auxiliary channels.
+func (s *Shuffler) ReverseMulti(wOld, swNew, wNext []graph.VID, auxSW, auxNext [][]graph.VID) error {
+	if len(wOld) != s.numWalkers || len(swNew) != s.numWalkers || len(wNext) != s.numWalkers {
+		return fmt.Errorf("walk: Reverse arrays sized %d/%d/%d, want %d",
+			len(wOld), len(swNew), len(wNext), s.numWalkers)
+	}
+	if err := checkAux(auxSW, auxNext, s.numWalkers); err != nil {
+		return err
+	}
+	plan := s.plan
+	bins := plan.Bins()
+	// Rebuild the same per-worker cursors the forward pass used.
+	for bi := range bins {
+		cur := s.binStart[bi]
+		b := bins[bi]
+		for wk := 0; wk < s.workers; wk++ {
+			s.cursors[wk][bi] = cur
+			for vp := b.FirstVP; vp < b.FirstVP+b.NumVPs; vp++ {
+				cur += uint64(s.counts[wk][vp])
+			}
+		}
+	}
+	s.parallel(func(worker, lo, hi int) {
+		cursors := s.cursors[worker]
+		for j := lo; j < hi; j++ {
+			b := plan.BinOf(wOld[j])
+			pos := cursors[b]
+			cursors[b]++
+			if s.hasExtra {
+				pos = uint64(s.slotFinal[pos])
+			}
+			wNext[j] = swNew[pos]
+			for c := range auxSW {
+				auxNext[c][j] = auxSW[c][pos]
+			}
+		}
+	})
+	return nil
+}
+
+// parallel runs fn over the worker partition of the walker array.
+func (s *Shuffler) parallel(fn func(worker, lo, hi int)) {
+	if s.workers == 1 {
+		fn(0, 0, s.numWalkers)
+		return
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < s.workers; wk++ {
+		lo, hi := s.workerRange(wk)
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			fn(wk, lo, hi)
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+}
+
+// checkAux validates paired aux channel sets.
+func checkAux(a, b [][]graph.VID, n int) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("walk: %d aux channels paired with %d", len(a), len(b))
+	}
+	for c := range a {
+		if len(a[c]) != n || len(b[c]) != n {
+			return fmt.Errorf("walk: aux channel %d sized %d/%d, want %d", c, len(a[c]), len(b[c]), n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package flashmob
+
+import (
+	"fmt"
+	"time"
+
+	"flashmob/internal/core"
+	"flashmob/internal/graph"
+	"flashmob/internal/stats"
+)
+
+// Result reports a completed walk. Vertex IDs in every accessor are the
+// caller's original IDs (the internal degree-sorted renumbering is
+// translated back transparently).
+type Result struct {
+	inner   *core.Result
+	reorder *graph.Reordering
+}
+
+// PerStepNS returns the headline metric: wall nanoseconds per walker-step.
+func (r *Result) PerStepNS() float64 { return r.inner.PerStepNS() }
+
+// Paths returns one path per walker in original vertex IDs. Requires
+// Options.RecordPaths.
+func (r *Result) Paths() ([][]VID, error) {
+	h := r.inner.History
+	if h == nil {
+		return nil, fmt.Errorf("flashmob: paths not recorded; set Options.RecordPaths")
+	}
+	paths := h.Transpose()
+	for _, p := range paths {
+		for i, v := range p {
+			p[i] = r.reorder.NewToOld[v]
+		}
+	}
+	return paths, nil
+}
+
+// VisitCounts returns walker-step counts per original vertex ID. Requires
+// Options.RecordPaths.
+func (r *Result) VisitCounts() ([]uint64, error) {
+	h := r.inner.History
+	if h == nil {
+		return nil, fmt.Errorf("flashmob: history not recorded; set Options.RecordPaths")
+	}
+	sorted := h.VisitCounts(uint32(len(r.reorder.NewToOld)))
+	out := make([]uint64, len(sorted))
+	for nv, c := range sorted {
+		out[r.reorder.NewToOld[nv]] = c
+	}
+	return out, nil
+}
+
+// DegreeGroupStats returns the paper's Table 2 statistics (per
+// degree-percentile bucket: average degree, edge share, visit share) for
+// this run. Requires Options.RecordPaths.
+func (r *Result) DegreeGroupStats(g *Graph) ([]stats.GroupStats, error) {
+	visits, err := r.VisitCounts()
+	if err != nil {
+		return nil, err
+	}
+	return stats.DegreeGroups(g, visits)
+}
+
+// Timing breaks down the run's wall time by pipeline stage.
+type Timing struct {
+	Total, Sample, Shuffle, Other time.Duration
+}
+
+// Timing returns the stage breakdown (the paper's Figure 9a split).
+func (r *Result) Timing() Timing {
+	return Timing{
+		Total:   r.inner.Duration,
+		Sample:  r.inner.SampleTime,
+		Shuffle: r.inner.ShuffleTime,
+		Other:   r.inner.OtherTime,
+	}
+}
+
+// Walkers returns how many walkers ran.
+func (r *Result) Walkers() uint64 { return r.inner.Walkers }
+
+// Steps returns the walk length.
+func (r *Result) Steps() int { return r.inner.Steps }
+
+// TotalSteps returns walkers × steps.
+func (r *Result) TotalSteps() uint64 { return r.inner.TotalSteps }
+
+// Episodes returns how many memory-budgeted rounds the run took.
+func (r *Result) Episodes() int { return r.inner.Episodes }
