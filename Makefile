@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race bench bench-shuffle
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/pool/ ./internal/walk/ ./internal/core/
+
+# Go-native component benchmarks (small, cache-resident scales).
+bench:
+	$(GO) test -run NONE -bench . -benchtime 3x .
+
+# The §4.3 shuffle-stage measurement at DRAM scale: write-combining ×
+# persistent-pool variants plus the end-to-end stage split. Writes
+# BENCH_shuffle.json in the repo root.
+bench-shuffle:
+	$(GO) run ./cmd/fmbench -exp shuffle
+
+bench-shuffle-component:
+	$(GO) test -run NONE -bench BenchmarkComponentShuffle -benchtime 3x .

@@ -8,6 +8,7 @@ package flashmob
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"flashmob/internal/graph"
 	"flashmob/internal/mem"
 	"flashmob/internal/part"
+	"flashmob/internal/pool"
 	"flashmob/internal/profile"
 	"flashmob/internal/rng"
 	"flashmob/internal/sim"
@@ -468,6 +470,11 @@ func BenchmarkPrepMCKPPlan(b *testing.B) {
 
 // --- Component benchmarks: the pipeline stages in isolation ---
 
+// BenchmarkComponentShuffle contrasts the staging modes and executors at
+// benchV scale. Note the regime: 40K walkers are cache-resident, where
+// staging shows its copy overhead but not its DRAM-miss savings — the
+// representative measurement is `make bench-shuffle` (fmbench -exp
+// shuffle), which runs 2^26 walkers and records BENCH_shuffle.json.
 func BenchmarkComponentShuffle(b *testing.B) {
 	g := benchGraph(b, "FS")
 	plan, err := part.PlanUniform(g, part.Config{MaxBins: 2048}, profile.DS)
@@ -475,26 +482,65 @@ func BenchmarkComponentShuffle(b *testing.B) {
 		b.Fatal(err)
 	}
 	walkers := int(g.NumVertices())
-	sh, err := walk.NewShuffler(plan, walkers, 1)
-	if err != nil {
-		b.Fatal(err)
-	}
 	w := make([]graph.VID, walkers)
 	sw := make([]graph.VID, walkers)
 	next := make([]graph.VID, walkers)
 	for i := range w {
 		w[i] = graph.VID(uint32(i) % g.NumVertices())
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := sh.Forward(w, sw, nil, nil); err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, sh *walk.Shuffler) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sh.Forward(w, sw, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+			if err := sh.Reverse(w, sw, next, nil, nil); err != nil {
+				b.Fatal(err)
+			}
 		}
-		if err := sh.Reverse(w, sw, next, nil, nil); err != nil {
-			b.Fatal(err)
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(walkers), "ns/walker")
+	}
+	workerCounts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	// unbuffered = both staging paths off; wc-gather = the production
+	// default (scalar scatter + write-combined gather); wc-full = both on.
+	variants := []struct {
+		label string
+		tune  func(*walk.Shuffler)
+	}{
+		{"unbuffered", func(sh *walk.Shuffler) { sh.SetWriteCombining(false) }},
+		{"wc-gather", nil},
+		{"wc-full", func(sh *walk.Shuffler) { sh.SetWriteCombining(true) }},
+	}
+	for _, workers := range workerCounts {
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("%s-spawn/w%d", v.label, workers), func(b *testing.B) {
+				sh, err := walk.NewShuffler(plan, walkers, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.tune != nil {
+					v.tune(sh)
+				}
+				run(b, sh)
+			})
+			b.Run(fmt.Sprintf("%s-pool/w%d", v.label, workers), func(b *testing.B) {
+				p := pool.New(workers)
+				defer p.Close()
+				sh, err := walk.NewShufflerPool(plan, walkers, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.tune != nil {
+					v.tune(sh)
+				}
+				run(b, sh)
+			})
 		}
 	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(walkers), "ns/walker")
 }
 
 func BenchmarkComponentMT19937VsXorshift(b *testing.B) {

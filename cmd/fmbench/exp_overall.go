@@ -121,7 +121,7 @@ func expFig8b(w io.Writer, cfg benchConfig) error {
 // expFig9a reproduces Figure 9a: FlashMob's per-graph time split between
 // the sample stage, shuffle stage, and everything else.
 func expFig9a(w io.Writer, cfg benchConfig) error {
-	row(w, "graph", "sample", "shuffle", "other", "total-ns/step")
+	row(w, "graph", "sample", "shuffle(fwd+rev)", "other", "total-ns/step")
 	for _, name := range presetNames {
 		g, err := presetGraphSized(name, cfg, cfg.MinCSR)
 		if err != nil {
@@ -132,13 +132,17 @@ func expFig9a(w io.Writer, cfg benchConfig) error {
 			return err
 		}
 		res, err := e.Run(0, cfg.Steps)
+		e.Close()
 		if err != nil {
 			return err
 		}
 		tot := float64(res.Duration)
+		shuffle := fmt.Sprintf("%s+%s",
+			pct(float64(res.ShuffleFwdTime)/tot),
+			pct(float64(res.ShuffleRevTime)/tot))
 		row(w, name,
 			pct(float64(res.SampleTime)/tot),
-			pct(float64(res.ShuffleTime)/tot),
+			shuffle,
 			pct(float64(res.OtherTime)/tot),
 			ns(res.PerStepNS()))
 	}

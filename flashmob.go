@@ -148,6 +148,10 @@ func New(g *Graph, opt Options) (*System, error) {
 	return &System{engine: engine, reorder: reorder}, nil
 }
 
+// Close releases the system's persistent worker pool. Optional — an
+// unreachable System is reclaimed by a finalizer — but deterministic.
+func (s *System) Close() { s.engine.Close() }
+
 // Walk advances walkers (0 = |V|) for steps steps (0 = the algorithm's
 // default) and returns the result.
 func (s *System) Walk(walkers uint64, steps int) (*Result, error) {

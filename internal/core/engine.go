@@ -5,13 +5,16 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
+	"slices"
 
 	"flashmob/internal/algo"
 	"flashmob/internal/graph"
 	"flashmob/internal/mem"
 	"flashmob/internal/part"
+	"flashmob/internal/pool"
 	"flashmob/internal/profile"
 	"flashmob/internal/rng"
 )
@@ -85,6 +88,13 @@ type Engine struct {
 	cfg  Config
 	plan *part.Plan
 
+	// pool is the persistent worker set every stage of every step runs
+	// on: created once here, reused across all steps and episodes, so the
+	// steady-state step loop spawns no goroutines.
+	pool *pool.Pool
+	// sample is the reusable pool task of the sample stage.
+	sample sampleTask
+
 	// regularDeg[i] is the uniform degree of VP i when all its vertices
 	// share one degree (the simplified direct-indexing fast path of §4.2),
 	// or -1 for mixed-degree partitions.
@@ -135,6 +145,8 @@ func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
 		cfg.Model = profile.NewAnalyticalModel(mem.PaperGeometry())
 	}
 	e := &Engine{g: g, spec: spec, cfg: cfg}
+	e.pool = pool.New(cfg.Workers)
+	e.sample.e = e
 
 	if spec.Weighted {
 		ws, err := algo.NewWeightedSampler(g)
@@ -202,6 +214,11 @@ func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
 // Plan returns the partitioning decision in effect.
 func (e *Engine) Plan() *part.Plan { return e.plan }
 
+// Close releases the engine's worker pool. Optional: an unreachable
+// engine's pool is reclaimed by a finalizer, but Close frees the parked
+// goroutines deterministically.
+func (e *Engine) Close() { e.pool.Close() }
+
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *graph.CSR { return e.g }
 
@@ -259,16 +276,40 @@ func (e *Engine) initWalkers(w []graph.VID, src rng.Source) {
 			w[j] = graph.VID(rng.Uint32n(src, n))
 		}
 	case InitEdgeUniform:
-		total := e.g.NumEdges()
-		for j := range w {
-			x := rng.Uint64n(src, total)
-			w[j] = vertexOfEdge(e.g, x)
+		initEdgeUniform(e.g, w, src)
+	}
+}
+
+// initEdgeUniform places walkers proportionally to degree by batched
+// sorted-draw placement: draw all edge indices up front, sort walker
+// slots by drawn index, then resolve every draw in one merged sweep over
+// the CSR offsets. O(W log W + V) instead of the O(W log V) of a binary
+// search per walker, and the sweep touches Offsets sequentially instead
+// of W random probes. Produces bit-identical placements to vertexOfEdge
+// on the same draws.
+func initEdgeUniform(g *graph.CSR, w []graph.VID, src rng.Source) {
+	total := g.NumEdges()
+	xs := make([]uint64, len(w))
+	order := make([]int32, len(w))
+	for j := range w {
+		xs[j] = rng.Uint64n(src, total)
+		order[j] = int32(j)
+	}
+	slices.SortFunc(order, func(a, b int32) int { return cmp.Compare(xs[a], xs[b]) })
+	offs := g.Offsets
+	v := 0
+	for _, j := range order {
+		x := xs[j]
+		for offs[v+1] <= x {
+			v++
 		}
+		w[j] = graph.VID(v)
 	}
 }
 
 // vertexOfEdge maps a uniform edge index to its source vertex by binary
-// search over the CSR offsets — degree-proportional vertex sampling.
+// search over the CSR offsets — degree-proportional vertex sampling. Kept
+// as the reference implementation for initEdgeUniform's merged sweep.
 func vertexOfEdge(g *graph.CSR, x uint64) graph.VID {
 	lo, hi := 0, int(g.NumVertices())
 	for lo < hi-1 {

@@ -201,7 +201,9 @@ func measurePoint(geom mem.Geometry, pol profile.Policy, ws uint64, d uint32, rh
 }
 
 // measureShuffle times one shuffle level (forward + reverse) per
-// walker-step on a 2048-bin uniform plan.
+// walker-step on a 2048-bin uniform plan. The shuffler runs in its
+// production configuration — write-combining staging on — so the MCKP
+// cost model prices the shuffle the engine actually executes.
 func measureShuffle(seed, minSteps uint64) (float64, error) {
 	const n = 1 << 20
 	g, err := gen.UniformDegree(n, 2, seed)

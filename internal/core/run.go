@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +24,9 @@ type Result struct {
 	// Duration is total wall time; SampleTime and ShuffleTime are the
 	// stage splits, OtherTime the remainder (init, output).
 	Duration, SampleTime, ShuffleTime, OtherTime time.Duration
+	// ShuffleFwdTime and ShuffleRevTime split ShuffleTime into the forward
+	// scatter and the reverse gather pass.
+	ShuffleFwdTime, ShuffleRevTime time.Duration
 	// History holds the recorded W_i arrays of the last episode when
 	// Config.RecordHistory is set.
 	History *walk.History
@@ -69,6 +71,7 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 	}
 	res.TotalSteps = res.Walkers * uint64(steps)
 	res.Duration = time.Since(start)
+	res.ShuffleTime = res.ShuffleFwdTime + res.ShuffleRevTime
 	res.OtherTime = res.Duration - res.SampleTime - res.ShuffleTime
 	return res, nil
 }
@@ -77,7 +80,10 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 //
 //	W --forward shuffle--> SW --sample (in place)--> SW' --reverse--> W'
 //
-// appending each W_i to the history when recording.
+// appending each W_i to the history when recording. All per-episode state
+// is allocated here, before the step loop: the loop itself allocates
+// nothing and creates no goroutines (every stage runs on the engine's
+// persistent pool).
 func (e *Engine) runEpisode(walkers, steps int, res *Result) error {
 	w := make([]graph.VID, walkers)
 	sw := make([]graph.VID, walkers)
@@ -107,15 +113,16 @@ func (e *Engine) runEpisode(walkers, steps int, res *Result) error {
 		}
 	}
 
-	shuffler, err := walk.NewShuffler(e.plan, walkers, e.cfg.Workers)
+	shuffler, err := walk.NewShufflerPool(e.plan, walkers, e.pool)
 	if err != nil {
 		return err
 	}
 
 	// Per-worker RNG streams and scratch buffers, stable across the
 	// episode.
-	srcs := make([]*rng.XorShift1024Star, e.cfg.Workers)
-	scratches := make([]*order2Scratch, e.cfg.Workers)
+	workers := e.pool.Workers()
+	srcs := make([]*rng.XorShift1024Star, workers)
+	scratches := make([]*order2Scratch, workers)
 	for i := range srcs {
 		srcs[i] = rng.NewXorShift1024Star(e.cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1)
 		scratches[i] = &order2Scratch{}
@@ -133,8 +140,9 @@ func (e *Engine) runEpisode(walkers, steps int, res *Result) error {
 			return err
 		}
 		t3 := time.Now()
-		res.ShuffleTime += t1.Sub(t0) + t3.Sub(t2)
+		res.ShuffleFwdTime += t1.Sub(t0)
 		res.SampleTime += t2.Sub(t1)
+		res.ShuffleRevTime += t3.Sub(t2)
 
 		if e.cfg.StepSink != nil {
 			e.cfg.StepSink(step, w, wNext)
@@ -150,41 +158,49 @@ func (e *Engine) runEpisode(walkers, steps int, res *Result) error {
 	return nil
 }
 
-// sampleAll runs the sample stage: workers pull partitions from a shared
-// counter; each partition's walker chunk is private to the worker that
-// claims it, so the stage needs no locks (§4.3).
-func (e *Engine) sampleAll(vpStart []uint64, sw []graph.VID, auxSW [][]graph.VID, srcs []*rng.XorShift1024Star, scratches []*order2Scratch, vpSteps []uint64) {
+// sampleTask is the sample stage's pool task: workers pull partitions
+// from a shared counter; each partition's walker chunk is private to the
+// worker that claims it, so the stage needs no locks (§4.3). The task
+// struct lives in the Engine and is re-armed per step, keeping the step
+// loop allocation-free.
+type sampleTask struct {
+	e         *Engine
+	next      atomic.Int64
+	vpStart   []uint64
+	sw        []graph.VID
+	auxSW     [][]graph.VID
+	srcs      []*rng.XorShift1024Star
+	scratches []*order2Scratch
+	vpSteps   []uint64
+}
+
+// RunShard implements pool.Task for the sample stage.
+func (t *sampleTask) RunShard(_, worker, _ int) {
+	e := t.e
 	numVPs := e.plan.NumVPs()
-	if e.cfg.Workers == 1 {
-		for vp := 0; vp < numVPs; vp++ {
-			chunk := sw[vpStart[vp]:vpStart[vp+1]]
-			aux := sliceAux(auxSW, vpStart[vp], vpStart[vp+1], &scratches[0].auxView)
-			e.sampleVPScratch(vp, chunk, aux, srcs[0], scratches[0])
-			vpSteps[vp] += uint64(len(chunk))
+	src := t.srcs[worker]
+	scr := t.scratches[worker]
+	for {
+		vp := int(t.next.Add(1))
+		if vp >= numVPs {
+			return
 		}
-		return
+		chunk := t.sw[t.vpStart[vp]:t.vpStart[vp+1]]
+		aux := sliceAux(t.auxSW, t.vpStart[vp], t.vpStart[vp+1], &scr.auxView)
+		e.sampleVPScratch(vp, chunk, aux, src, scr)
+		atomic.AddUint64(&t.vpSteps[vp], uint64(len(chunk)))
 	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for wk := 0; wk < e.cfg.Workers; wk++ {
-		wg.Add(1)
-		go func(wk int) {
-			defer wg.Done()
-			src := srcs[wk]
-			scr := scratches[wk]
-			for {
-				vp := int(atomic.AddInt64(&next, 1))
-				if vp >= numVPs {
-					return
-				}
-				chunk := sw[vpStart[vp]:vpStart[vp+1]]
-				aux := sliceAux(auxSW, vpStart[vp], vpStart[vp+1], &scr.auxView)
-				e.sampleVPScratch(vp, chunk, aux, src, scr)
-				atomic.AddUint64(&vpSteps[vp], uint64(len(chunk)))
-			}
-		}(wk)
-	}
-	wg.Wait()
+}
+
+// sampleAll runs the sample stage on the persistent pool.
+func (e *Engine) sampleAll(vpStart []uint64, sw []graph.VID, auxSW [][]graph.VID, srcs []*rng.XorShift1024Star, scratches []*order2Scratch, vpSteps []uint64) {
+	t := &e.sample
+	t.vpStart, t.sw, t.auxSW = vpStart, sw, auxSW
+	t.srcs, t.scratches, t.vpSteps = srcs, scratches, vpSteps
+	t.next.Store(-1)
+	e.pool.Run(t, 0)
+	t.vpStart, t.sw, t.auxSW = nil, nil, nil
+	t.srcs, t.scratches, t.vpSteps = nil, nil, nil
 }
 
 // sliceAux views each aux channel's [lo, hi) range, reusing the worker's

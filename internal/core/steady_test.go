@@ -1,0 +1,110 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/graph"
+	"flashmob/internal/part"
+	"flashmob/internal/rng"
+)
+
+// TestInitEdgeUniformMatchesBinarySearch locks the batched sorted-draw
+// placement to the per-walker binary-search reference: same seed, same
+// draws, bitwise-identical walker placement.
+func TestInitEdgeUniformMatchesBinarySearch(t *testing.T) {
+	g := undirectedTestGraph(t, 300, 21)
+	for _, walkers := range []int{1, 17, 1000, 5000} {
+		got := make([]graph.VID, walkers)
+		initEdgeUniform(g, got, rng.NewXorShift1024Star(99))
+		want := make([]graph.VID, walkers)
+		src := rng.NewXorShift1024Star(99)
+		total := g.NumEdges()
+		for j := range want {
+			want[j] = vertexOfEdge(g, rng.Uint64n(src, total))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("walkers=%d: w[%d] = %d, reference %d", walkers, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestEngineSteadyStateStepCost verifies the acceptance criterion on the
+// full engine: once an episode is warm, extra steps cost zero heap
+// allocations and zero net goroutines — every stage runs on the
+// persistent pool with reused scratch.
+func TestEngineSteadyStateStepCost(t *testing.T) {
+	g := undirectedTestGraph(t, 400, 22)
+	e := newEngine(t, g, algo.DeepWalk(), Config{
+		Workers: 4,
+		Seed:    7,
+		Part:    part.Config{TargetGroups: 16},
+	})
+	defer e.Close()
+
+	mallocsFor := func(steps int) uint64 {
+		// One throwaway run warms every lazily-sized buffer.
+		if _, err := e.Run(2000, steps); err != nil {
+			t.Fatal(err)
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		if _, err := e.Run(2000, steps); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+
+	short := mallocsFor(2)
+	long := mallocsFor(42)
+	// Per-episode setup allocates (walker arrays, RNG streams); the 40
+	// extra steps must not. Allow a little noise from the runtime itself.
+	const slack = 20
+	if long > short+slack {
+		t.Errorf("42-step run allocated %d objects vs %d for 2 steps: ~%.1f allocs per extra step, want 0",
+			long, short, float64(long-short)/40)
+	}
+
+	// Goroutine count must stay flat across the step loop: the pool is
+	// created with the engine, so steps spawn nothing.
+	var counts []int
+	e.cfg.StepSink = func(step int, cur, next []graph.VID) {
+		counts = append(counts, runtime.NumGoroutine())
+	}
+	if _, err := e.Run(2000, 12); err != nil {
+		t.Fatal(err)
+	}
+	e.cfg.StepSink = nil
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Fatalf("goroutine count drifted during step loop: %v", counts)
+		}
+	}
+}
+
+// TestEngineRaceMultiWorker exercises the pooled pipeline — shuffle
+// phases, parallel inner shuffle, sample stage — with many workers and
+// aux channels so `go test -race` can check the barriers. Also serves as
+// a correctness smoke test for walks produced through the pooled path.
+func TestEngineRaceMultiWorker(t *testing.T) {
+	g := undirectedTestGraph(t, 300, 23)
+	for _, spec := range []algo.Spec{algo.DeepWalk(), algo.Node2Vec(2, 0.5)} {
+		e := newEngine(t, g, spec, Config{
+			Workers:       8,
+			Seed:          11,
+			RecordHistory: true,
+			Part:          part.Config{TargetGroups: 16},
+		})
+		res, err := e.Run(4000, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPathsAreWalks(t, g, res.History)
+		e.Close()
+	}
+}

@@ -277,17 +277,3 @@ func LinkSeparation(g *graph.CSR, m *Model, samples int, seed uint64) (connected
 	}
 	return connected, random
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

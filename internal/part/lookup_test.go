@@ -1,0 +1,87 @@
+package part
+
+import (
+	"bytes"
+	"testing"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/profile"
+)
+
+// lookupPlan hand-builds a finalized plan of v vertices with groups of
+// 2^groupLog and VPs of 2^vpLog, marking every third group extra-shuffle.
+func lookupPlan(t *testing.T, v uint32, groupLog, vpLog uint) *Plan {
+	t.Helper()
+	p := &Plan{V: v, GroupSizeLog: groupLog}
+	groupSize := uint32(1) << groupLog
+	gi := 0
+	for start := uint32(0); start < v; start += groupSize {
+		end := start + groupSize
+		if end > v {
+			end = v
+		}
+		nvp := int((uint64(end-start) + (1 << vpLog) - 1) >> vpLog)
+		p.Groups = append(p.Groups, GroupPlan{
+			Start: start, End: end, VPSizeLog: vpLog,
+			ExtraShuffle: gi%3 == 0 && nvp > 1,
+			Policies:     make([]profile.Policy, nvp),
+		})
+		gi++
+	}
+	if err := Finalize(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLookupMatchesPlanArithmetic(t *testing.T) {
+	cases := []struct {
+		v               uint32
+		groupLog, vpLog uint
+	}{
+		{64, 5, 3},                  // direct, tiny
+		{1000, 6, 4},                // direct, ragged final group
+		{directLookupMax, 12, 8},     // direct, at the threshold
+		{directLookupMax + 7, 12, 8}, // two-level, just past it
+		{1 << 19, 13, 9},             // two-level, power of two
+	}
+	for _, tc := range cases {
+		p := lookupPlan(t, tc.v, tc.groupLog, tc.vpLog)
+		l := p.Lookup()
+		if l == nil {
+			t.Fatalf("V=%d: finalized plan has no lookup", tc.v)
+		}
+		wantDirect := tc.v <= directLookupMax
+		if gotDirect := l.directVP != nil; gotDirect != wantDirect {
+			t.Fatalf("V=%d: direct=%v, want %v", tc.v, gotDirect, wantDirect)
+		}
+		for v := graph.VID(0); v < p.V; v++ {
+			if got, want := l.VPOf(v), p.VPOf(v); got != want {
+				t.Fatalf("V=%d: Lookup.VPOf(%d) = %d, want %d", tc.v, v, got, want)
+			}
+			if got, want := l.BinOf(v), p.BinOf(v); got != want {
+				t.Fatalf("V=%d: Lookup.BinOf(%d) = %d, want %d", tc.v, v, got, want)
+			}
+		}
+	}
+}
+
+func TestLookupSurvivesSerializeRoundTrip(t *testing.T) {
+	p := lookupPlan(t, 2000, 7, 4)
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Lookup() == nil {
+		t.Fatal("deserialized plan has no lookup")
+	}
+	for v := graph.VID(0); v < q.V; v++ {
+		if q.Lookup().VPOf(v) != p.VPOf(v) || q.Lookup().BinOf(v) != p.BinOf(v) {
+			t.Fatalf("round-tripped lookup diverges at vertex %d", v)
+		}
+	}
+}

@@ -67,6 +67,99 @@ type Plan struct {
 	vpBase  []int // index of first VP per group
 	binBase []int // index of first bin per group
 	bins    []Bin
+	lookup  *Lookup
+}
+
+// Lookup is a flat, read-only vertex → VP / bin index built alongside the
+// plan. VPOf/BinOf on Plan walk the Groups slice per call — three
+// dependent loads through wide structs — which is what every walker of
+// every shuffle pass pays. Lookup collapses that: small graphs get a
+// direct per-vertex table (one load), larger ones a page-table-style two
+// level where the group shift selects a 16-byte record and shift
+// arithmetic inside it finds the VP, keeping the whole first level
+// cache-resident (≤128 groups, §4.4).
+type Lookup struct {
+	directVP  []int32
+	directBin []int32
+	shift     uint
+	groups    []groupRef
+}
+
+// groupRef is one level-1 record of the two-level lookup.
+type groupRef struct {
+	start   uint32
+	vpBase  int32
+	binBase int32
+	vpShift uint8
+	extra   bool
+}
+
+// directLookupMax caps the vertex count for the direct per-vertex tables
+// (2 × 4 B × V); beyond it the tables would thrash the caches the shuffle
+// is trying to keep, so the two-level form takes over.
+const directLookupMax = 1 << 18
+
+// Lookup returns the plan's flat lookup (built when the plan is
+// finalized).
+func (p *Plan) Lookup() *Lookup { return p.lookup }
+
+// VPOf returns the index (into Plan.VPs) of the partition holding v.
+func (l *Lookup) VPOf(v graph.VID) int {
+	if l.directVP != nil {
+		return int(l.directVP[v])
+	}
+	gi := int(v >> l.shift)
+	if gi >= len(l.groups) {
+		gi = len(l.groups) - 1
+	}
+	g := &l.groups[gi]
+	return int(g.vpBase) + int((uint32(v)-g.start)>>g.vpShift)
+}
+
+// BinOf returns the outer-shuffle bin index of vertex v.
+func (l *Lookup) BinOf(v graph.VID) int {
+	if l.directBin != nil {
+		return int(l.directBin[v])
+	}
+	gi := int(v >> l.shift)
+	if gi >= len(l.groups) {
+		gi = len(l.groups) - 1
+	}
+	g := &l.groups[gi]
+	if g.extra {
+		return int(g.binBase)
+	}
+	return int(g.binBase) + int((uint32(v)-g.start)>>g.vpShift)
+}
+
+// buildLookup derives the flat lookup from the finalized views.
+func (p *Plan) buildLookup() {
+	l := &Lookup{shift: p.GroupSizeLog, groups: make([]groupRef, len(p.Groups))}
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		l.groups[gi] = groupRef{
+			start:   uint32(g.Start),
+			vpBase:  int32(p.vpBase[gi]),
+			binBase: int32(p.binBase[gi]),
+			vpShift: uint8(g.VPSizeLog),
+			extra:   g.ExtraShuffle,
+		}
+	}
+	if p.V <= directLookupMax {
+		l.directVP = make([]int32, p.V)
+		l.directBin = make([]int32, p.V)
+		for vp := range p.VPs {
+			for v := p.VPs[vp].Start; v < p.VPs[vp].End; v++ {
+				l.directVP[v] = int32(vp)
+			}
+		}
+		for bi := range p.bins {
+			for v := p.bins[bi].Start; v < p.bins[bi].End; v++ {
+				l.directBin[v] = int32(bi)
+			}
+		}
+	}
+	p.lookup = l
 }
 
 // finalize derives the flattened VP and bin views from Groups.
@@ -108,6 +201,7 @@ func (p *Plan) finalize() {
 			}
 		}
 	}
+	p.buildLookup()
 }
 
 // Finalize derives the flattened VP and bin views of a hand-constructed
@@ -195,6 +289,14 @@ func (p *Plan) Validate() error {
 		b := p.BinOf(v)
 		if b < 0 || b >= len(p.bins) || v < p.bins[b].Start || v >= p.bins[b].End {
 			return fmt.Errorf("part: BinOf(%d) = %d inconsistent", v, b)
+		}
+		if p.lookup != nil {
+			if li := p.lookup.VPOf(v); li != i {
+				return fmt.Errorf("part: Lookup.VPOf(%d) = %d, VPOf = %d", v, li, i)
+			}
+			if lb := p.lookup.BinOf(v); lb != b {
+				return fmt.Errorf("part: Lookup.BinOf(%d) = %d, BinOf = %d", v, lb, b)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,100 @@
+// Package pool provides a persistent worker pool with phase barriers.
+//
+// FlashMob's pipeline alternates between stages (count, scatter, sample,
+// gather) millions of times per run; spawning a fresh wave of goroutines
+// for every stage of every step costs both the spawn itself and the loss
+// of the scheduler's thread affinity. A Pool instead parks one goroutine
+// per worker for the lifetime of the engine and replays them through
+// Task phases: Run is a phase barrier that costs two channel operations
+// per worker and allocates nothing in steady state.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Task is a unit of phased parallel work. RunShard executes one phase's
+// shard on one worker; implementations split their data by (worker,
+// workers) — contiguous ranges, strided bins, or a shared atomic counter.
+type Task interface {
+	RunShard(phase, worker, workers int)
+}
+
+// Pool is the owner handle of a persistent worker set. The worker
+// goroutines reference only the inner state, so dropping the last handle
+// makes the pool collectable and a finalizer releases the parked workers;
+// call Close to release them deterministically.
+type Pool struct {
+	*pool
+}
+
+type pool struct {
+	workers int
+	task    Task
+	phase   int
+	start   []chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// New builds a pool of the given size (≤ 0 means 1). Worker 0 is the
+// caller's own slot: a pool of n spawns n-1 goroutines, so a size-1 pool
+// is free and runs everything inline.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	in := &pool{workers: workers}
+	in.start = make([]chan struct{}, workers-1)
+	for i := range in.start {
+		in.start[i] = make(chan struct{}, 1)
+		go in.work(i+1, in.start[i])
+	}
+	h := &Pool{in}
+	runtime.SetFinalizer(h, func(h *Pool) { h.pool.close() })
+	return h
+}
+
+func (p *pool) work(worker int, start <-chan struct{}) {
+	for range start {
+		p.task.RunShard(p.phase, worker, p.workers)
+		p.wg.Done()
+	}
+}
+
+// Workers returns the pool size, including the caller's slot 0.
+func (p *pool) Workers() int { return p.workers }
+
+// Run executes one phase of t on every worker and returns when all shards
+// have finished (a phase barrier). The caller runs shard 0 itself.
+// Steady-state calls perform no allocations and create no goroutines.
+func (p *pool) Run(t Task, phase int) {
+	if p.workers == 1 {
+		t.RunShard(phase, 0, 1)
+		return
+	}
+	p.task, p.phase = t, phase
+	p.wg.Add(p.workers - 1)
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	t.RunShard(phase, 0, p.workers)
+	p.wg.Wait()
+	p.task = nil
+}
+
+// Close releases the worker goroutines. It is idempotent; the pool must
+// not be Run afterwards.
+func (p *Pool) Close() {
+	runtime.SetFinalizer(p, nil)
+	p.pool.close()
+}
+
+func (p *pool) close() {
+	p.once.Do(func() {
+		for _, ch := range p.start {
+			close(ch)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sumTask adds worker indices into per-worker cells, tagged by phase.
+type sumTask struct {
+	cells [][8]uint64 // padded to avoid false sharing in the test itself
+}
+
+func (t *sumTask) RunShard(phase, worker, workers int) {
+	t.cells[worker][0] += uint64(phase*workers + worker)
+}
+
+func TestRunCoversAllWorkers(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		p := New(n)
+		task := &sumTask{cells: make([][8]uint64, n)}
+		const phases = 50
+		for ph := 0; ph < phases; ph++ {
+			p.Run(task, ph)
+		}
+		for wk := 0; wk < n; wk++ {
+			var want uint64
+			for ph := 0; ph < phases; ph++ {
+				want += uint64(ph*n + wk)
+			}
+			if task.cells[wk][0] != want {
+				t.Fatalf("n=%d worker %d accumulated %d, want %d", n, wk, task.cells[wk][0], want)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRunIsABarrier(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var inFlight, maxSeen atomic.Int64
+	task := taskFunc(func(phase, worker, workers int) {
+		cur := inFlight.Add(1)
+		for {
+			old := maxSeen.Load()
+			if cur <= old || maxSeen.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+	})
+	for ph := 0; ph < 10; ph++ {
+		p.Run(task, ph)
+		if got := inFlight.Load(); got != 0 {
+			t.Fatalf("phase %d returned with %d shards in flight", ph, got)
+		}
+	}
+	if maxSeen.Load() != 4 {
+		t.Fatalf("peak concurrency %d, want 4", maxSeen.Load())
+	}
+}
+
+type taskFunc func(phase, worker, workers int)
+
+func (f taskFunc) RunShard(phase, worker, workers int) { f(phase, worker, workers) }
+
+func TestRunAllocatesNothingAndSpawnsNothing(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	task := &sumTask{cells: make([][8]uint64, 4)}
+	p.Run(task, 0) // warm up
+	before := runtime.NumGoroutine()
+	allocs := testing.AllocsPerRun(100, func() { p.Run(task, 1) })
+	if allocs != 0 {
+		t.Errorf("Run allocated %.1f objects per call, want 0", allocs)
+	}
+	if after := runtime.NumGoroutine(); after != before {
+		t.Errorf("goroutine count changed %d → %d across Runs", before, after)
+	}
+}
+
+func TestCloseReleasesWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := New(6)
+	task := &sumTask{cells: make([][8]uint64, 6)}
+	p.Run(task, 0)
+	p.Close()
+	p.Close() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Fatalf("%d goroutines alive after Close, started with %d", got, base)
+	}
+}
+
+func TestZeroAndNegativeSize(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		p := New(n)
+		if p.Workers() != 1 {
+			t.Fatalf("New(%d).Workers() = %d, want 1", n, p.Workers())
+		}
+		task := &sumTask{cells: make([][8]uint64, 1)}
+		p.Run(task, 2)
+		if task.cells[0][0] != 2 {
+			t.Fatalf("inline run missing: %d", task.cells[0][0])
+		}
+		p.Close()
+	}
+}

@@ -4,6 +4,19 @@
 // partition, the optional inner shuffle level for over-budget groups, and
 // the reverse shuffle that restores walker order so the W_i arrays double
 // as path history.
+//
+// The shuffle data path supports software write-combining in both
+// directions: workers stage walkers (forward) or walker indices (reverse)
+// into cache-line-sized per-bin buffers and flush them in bulk, so every
+// bin stream moves in sequential bursts — the multi-stream pattern §4.3
+// relies on to run the stage at memory bandwidth. Measurement picks the
+// default per direction: the reverse gather's scattered reads are demand
+// misses the staging turns into single-line bursts (a ~20% stage win at
+// DRAM scale), so it is on; the forward scatter's stores are already
+// combined by the cache — its ~P active destination lines fit in L2 and
+// stores don't stall — so staging there is pure copy overhead and it is
+// off. Every combination produces bitwise-identical permutations to the
+// scalar reference (see SetWriteCombining and the equivalence tests).
 package walk
 
 import (
@@ -12,19 +25,37 @@ import (
 
 	"flashmob/internal/graph"
 	"flashmob/internal/part"
+	"flashmob/internal/pool"
+)
+
+// wcEntries is the write-combining depth per bin and channel: 16 VIDs is
+// one 64-byte cache line, so a full flush moves whole lines into the
+// destination stream.
+const wcEntries = 16
+
+// Shuffle pass phases, dispatched through the worker pool (or the spawn
+// fallback) as pool.Task phases.
+const (
+	phaseCount = iota
+	phaseScatter
+	phaseSlotIdentity
+	phaseInner
+	phaseGather
 )
 
 // Shuffler rearranges walker arrays according to a partition plan. It owns
-// the scratch state (per-worker bin counters, offsets, inner-shuffle slot
-// maps) so repeated iterations allocate nothing.
+// the scratch state (per-worker bin counters, offsets, write-combining
+// buffers, inner-shuffle slot maps) so repeated iterations allocate
+// nothing.
 type Shuffler struct {
 	plan    *part.Plan
+	lk      *part.Lookup
+	pool    *pool.Pool // nil: spawn goroutines per pass
 	workers int
 
 	numWalkers int
 	vpStart    []uint64 // len NumVPs+1: walker slots per VP in shuffled order
 	binStart   []uint64 // len Bins+1: outer slots per bin
-
 	// counts[w][vp] is worker w's walker count per VP for its walker range.
 	counts [][]uint32
 	// cursors[w][bin] replays the placement order in forward and reverse
@@ -36,46 +67,144 @@ type Shuffler struct {
 	slotFinal []uint32
 	scratch   []graph.VID
 	hasExtra  bool
+	extraBins []int // bin indices with the inner shuffle level
+	// innerScratch[w] holds worker w's vpCount ++ vpCur arrays, each sized
+	// for the widest extra bin.
+	innerScratch [][]uint64
+	maxInnerVPs  int
+
+	// Write-combining state. wcBuf[w] stages values for the forward
+	// scatter, laid out bin-major: bin b's walker line at [b*stride,
+	// b*stride+wcEntries) and aux channel c's line wcEntries*(c+1) further.
+	// wcIdx[w] stages walker indices for the reverse gather; wcFill[w] is
+	// the per-bin fill level shared by both directions.
+	wcScatter  bool
+	wcGather   bool
+	wcBuf      [][]graph.VID
+	wcIdx      [][]uint32
+	wcFill     [][]uint8
+	wcChannels int // channel count wcBuf is sized for (-1: unsized)
+
+	// In-flight pass state, published to workers through the pool's phase
+	// barrier.
+	curW, curSW, curWNext []graph.VID
+	curAux, curAuxSW      [][]graph.VID
+	curAuxNext            [][]graph.VID
 }
 
 // NewShuffler builds a shuffler for numWalkers walkers under plan, using
-// the given worker count (≤ 0 means 1).
+// the given worker count (≤ 0 means 1). Each pass spawns its own
+// goroutine wave; prefer NewShufflerPool on hot paths.
 func NewShuffler(plan *part.Plan, numWalkers, workers int) (*Shuffler, error) {
-	if plan == nil {
-		return nil, fmt.Errorf("walk: nil plan")
-	}
-	if numWalkers < 0 {
-		return nil, fmt.Errorf("walk: negative walker count")
-	}
 	if workers <= 0 {
 		workers = 1
 	}
 	if workers > numWalkers && numWalkers > 0 {
 		workers = numWalkers
 	}
+	return newShuffler(plan, numWalkers, workers, nil)
+}
+
+// NewShufflerPool builds a shuffler whose passes run on a persistent
+// worker pool: steady-state Forward/Reverse calls allocate nothing and
+// create no goroutines.
+func NewShufflerPool(plan *part.Plan, numWalkers int, p *pool.Pool) (*Shuffler, error) {
+	if p == nil {
+		return nil, fmt.Errorf("walk: nil pool")
+	}
+	return newShuffler(plan, numWalkers, p.Workers(), p)
+}
+
+func newShuffler(plan *part.Plan, numWalkers, workers int, p *pool.Pool) (*Shuffler, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("walk: nil plan")
+	}
+	if numWalkers < 0 {
+		return nil, fmt.Errorf("walk: negative walker count")
+	}
 	s := &Shuffler{
 		plan:       plan,
+		lk:         plan.Lookup(),
+		pool:       p,
 		workers:    workers,
 		numWalkers: numWalkers,
 		vpStart:    make([]uint64, plan.NumVPs()+1),
 		binStart:   make([]uint64, len(plan.Bins())+1),
 		counts:     make([][]uint32, workers),
 		cursors:    make([][]uint64, workers),
+		wcScatter:  false,
+		wcGather:   true,
+		wcChannels: -1,
 	}
+	if s.lk == nil {
+		return nil, fmt.Errorf("walk: plan has no lookup (not finalized)")
+	}
+	bins := plan.Bins()
 	for w := 0; w < workers; w++ {
 		s.counts[w] = make([]uint32, plan.NumVPs())
-		s.cursors[w] = make([]uint64, len(plan.Bins()))
+		s.cursors[w] = make([]uint64, len(bins))
 	}
-	for _, b := range plan.Bins() {
+	for bi, b := range bins {
 		if b.Extra {
 			s.hasExtra = true
+			s.extraBins = append(s.extraBins, bi)
+			if b.NumVPs > s.maxInnerVPs {
+				s.maxInnerVPs = b.NumVPs
+			}
 		}
 	}
 	if s.hasExtra {
 		s.slotFinal = make([]uint32, numWalkers)
 		s.scratch = make([]graph.VID, numWalkers)
+		s.innerScratch = make([][]uint64, workers)
+		for w := 0; w < workers; w++ {
+			s.innerScratch[w] = make([]uint64, 2*s.maxInnerVPs)
+		}
 	}
+	s.wcIdx = make([][]uint32, workers)
+	s.wcFill = make([][]uint8, workers)
+	for w := 0; w < workers; w++ {
+		s.wcIdx[w] = make([]uint32, len(bins)*wcEntries)
+		s.wcFill[w] = make([]uint8, len(bins))
+	}
+	s.wcBuf = make([][]graph.VID, workers)
 	return s, nil
+}
+
+// SetWriteCombining toggles the write-combining staging buffers in both
+// directions at once — the all-on / all-off modes the equivalence tests
+// and benchmarks compare. The production default is asymmetric (see
+// SetScatterCombining / SetGatherCombining).
+func (s *Shuffler) SetWriteCombining(on bool) {
+	s.wcScatter = on
+	s.wcGather = on
+}
+
+// SetScatterCombining toggles staging on the forward scatter. Off by
+// default: the scatter's ~P active destination lines fit in L2 and its
+// stores don't stall, so measured staging there costs more than it saves.
+// It can still pay off when many aux channels multiply the active-line
+// footprint past L2.
+func (s *Shuffler) SetScatterCombining(on bool) { s.wcScatter = on }
+
+// SetGatherCombining toggles staging on the reverse gather. On by
+// default: the gather's reads are demand misses spread over ~P interleaved
+// bin streams (too many for the hardware prefetcher), and batching them
+// into single-line bursts is a measured ~20% stage win at DRAM scale.
+func (s *Shuffler) SetGatherCombining(on bool) { s.wcGather = on }
+
+// ensureWC sizes the forward staging buffers for the given aux channel
+// count. Steady-state steps keep the same channel count, so this
+// allocates only on the first call (or when the shape changes).
+func (s *Shuffler) ensureWC(channels int) {
+	if !s.wcScatter || s.wcChannels == channels {
+		return
+	}
+	stride := (1 + channels) * wcEntries
+	for w := 0; w < s.workers; w++ {
+		s.wcBuf[w] = make([]graph.VID, len(s.plan.Bins())*stride)
+	}
+	s.wcChannels = channels
 }
 
 // VPStart returns, after a Forward pass, the slot offsets per VP: walkers
@@ -92,13 +221,6 @@ func (s *Shuffler) workerRange(w int) (lo, hi int) {
 		hi++
 	}
 	return lo, hi
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Forward shuffles W into SW so walkers sharing a VP are contiguous and
@@ -123,22 +245,16 @@ func (s *Shuffler) ForwardMulti(w, sw []graph.VID, aux, auxSW [][]graph.VID) err
 	if err := checkAux(aux, auxSW, s.numWalkers); err != nil {
 		return err
 	}
-	plan := s.plan
+	s.ensureWC(len(aux))
+	s.curW, s.curSW, s.curAux, s.curAuxSW = w, sw, aux, auxSW
 
 	// Pass 1: count walkers per VP, one worker per contiguous chunk.
-	s.parallel(func(worker, lo, hi int) {
-		counts := s.counts[worker]
-		for i := range counts {
-			counts[i] = 0
-		}
-		for j := lo; j < hi; j++ {
-			counts[plan.VPOf(w[j])]++
-		}
-	})
+	s.run(phaseCount)
 
 	// Aggregate: vpStart then binStart, plus per-worker bin cursors in
 	// (bin-major, worker-minor) order so each worker writes a disjoint,
 	// in-order region of every bin.
+	plan := s.plan
 	var total uint64
 	for vp := 0; vp < plan.NumVPs(); vp++ {
 		s.vpStart[vp] = total
@@ -152,6 +268,28 @@ func (s *Shuffler) ForwardMulti(w, sw []graph.VID, aux, auxSW [][]graph.VID) err
 		s.binStart[bi] = s.vpStart[b.FirstVP]
 		s.binStart[bi+1] = s.vpStart[b.FirstVP+b.NumVPs]
 	}
+	s.rebuildCursors()
+
+	// Pass 2: place. Within a bin, walkers keep scan order (outer level
+	// shuffles by bin, not by VP — the multi-stream access pattern of
+	// §4.3).
+	s.run(phaseScatter)
+
+	// Inner level: extra-shuffle bins get re-ordered by VP within their
+	// outer region, recording the slot mapping for the reverse pass. The
+	// bins have disjoint slot ranges, so they re-sort in parallel.
+	if s.hasExtra {
+		s.run(phaseSlotIdentity)
+		s.run(phaseInner)
+	}
+	s.curW, s.curSW, s.curAux, s.curAuxSW = nil, nil, nil, nil
+	return nil
+}
+
+// rebuildCursors derives the per-worker bin cursors from counts, in
+// (bin-major, worker-minor) order.
+func (s *Shuffler) rebuildCursors() {
+	bins := s.plan.Bins()
 	for bi, b := range bins {
 		cur := s.binStart[bi]
 		for wk := 0; wk < s.workers; wk++ {
@@ -160,70 +298,6 @@ func (s *Shuffler) ForwardMulti(w, sw []graph.VID, aux, auxSW [][]graph.VID) err
 				cur += uint64(s.counts[wk][vp])
 			}
 		}
-	}
-
-	// Pass 2: place. Within a bin, walkers keep scan order (outer level
-	// shuffles by bin, not by VP — the multi-stream access pattern of
-	// §4.3).
-	s.parallel(func(worker, lo, hi int) {
-		cursors := s.cursors[worker]
-		for j := lo; j < hi; j++ {
-			b := plan.BinOf(w[j])
-			pos := cursors[b]
-			cursors[b]++
-			sw[pos] = w[j]
-			for c := range aux {
-				auxSW[c][pos] = aux[c][j]
-			}
-		}
-	})
-
-	// Inner level: extra-shuffle bins get re-ordered by VP within their
-	// outer region, recording the slot mapping for the reverse pass.
-	if s.hasExtra {
-		for i := range s.slotFinal {
-			s.slotFinal[i] = uint32(i)
-		}
-		for bi, b := range bins {
-			if !b.Extra {
-				continue
-			}
-			s.innerShuffle(b, s.binStart[bi], s.binStart[bi+1], sw, auxSW)
-		}
-	}
-	return nil
-}
-
-// innerShuffle re-sorts the chunk [lo, hi) of sw by VP index (stable) and
-// records slotFinal for the chunk.
-func (s *Shuffler) innerShuffle(b part.Bin, lo, hi uint64, sw []graph.VID, auxSW [][]graph.VID) {
-	plan := s.plan
-	// Count per VP within the chunk.
-	vpCount := make([]uint64, b.NumVPs)
-	for p := lo; p < hi; p++ {
-		vpCount[plan.VPOf(sw[p])-b.FirstVP]++
-	}
-	vpCur := make([]uint64, b.NumVPs)
-	var acc uint64
-	for i := range vpCount {
-		vpCur[i] = lo + acc
-		acc += vpCount[i]
-	}
-	// Place into scratch, record final slots.
-	for p := lo; p < hi; p++ {
-		vi := plan.VPOf(sw[p]) - b.FirstVP
-		dst := vpCur[vi]
-		vpCur[vi]++
-		s.scratch[dst] = sw[p]
-		s.slotFinal[p] = uint32(dst)
-	}
-	copy(sw[lo:hi], s.scratch[lo:hi])
-	for c := range auxSW {
-		// Permute each aux channel with the recorded mapping.
-		for p := lo; p < hi; p++ {
-			s.scratch[s.slotFinal[p]] = auxSW[c][p]
-		}
-		copy(auxSW[c][lo:hi], s.scratch[lo:hi])
 	}
 }
 
@@ -248,53 +322,261 @@ func (s *Shuffler) ReverseMulti(wOld, swNew, wNext []graph.VID, auxSW, auxNext [
 	if err := checkAux(auxSW, auxNext, s.numWalkers); err != nil {
 		return err
 	}
-	plan := s.plan
-	bins := plan.Bins()
 	// Rebuild the same per-worker cursors the forward pass used.
-	for bi := range bins {
-		cur := s.binStart[bi]
-		b := bins[bi]
-		for wk := 0; wk < s.workers; wk++ {
-			s.cursors[wk][bi] = cur
-			for vp := b.FirstVP; vp < b.FirstVP+b.NumVPs; vp++ {
-				cur += uint64(s.counts[wk][vp])
-			}
-		}
-	}
-	s.parallel(func(worker, lo, hi int) {
-		cursors := s.cursors[worker]
-		for j := lo; j < hi; j++ {
-			b := plan.BinOf(wOld[j])
-			pos := cursors[b]
-			cursors[b]++
-			if s.hasExtra {
-				pos = uint64(s.slotFinal[pos])
-			}
-			wNext[j] = swNew[pos]
-			for c := range auxSW {
-				auxNext[c][j] = auxSW[c][pos]
-			}
-		}
-	})
+	s.rebuildCursors()
+	s.curW, s.curSW, s.curWNext = wOld, swNew, wNext
+	s.curAuxSW, s.curAuxNext = auxSW, auxNext
+	s.run(phaseGather)
+	s.curW, s.curSW, s.curWNext = nil, nil, nil
+	s.curAuxSW, s.curAuxNext = nil, nil
 	return nil
 }
 
-// parallel runs fn over the worker partition of the walker array.
-func (s *Shuffler) parallel(fn func(worker, lo, hi int)) {
+// RunShard dispatches one phase shard; it implements pool.Task. The
+// spawn fallback calls it with the same contract.
+func (s *Shuffler) RunShard(phase, worker, workers int) {
+	switch phase {
+	case phaseCount:
+		lo, hi := s.workerRange(worker)
+		s.countShard(worker, lo, hi)
+	case phaseScatter:
+		lo, hi := s.workerRange(worker)
+		if s.wcScatter {
+			s.scatterWC(worker, lo, hi)
+		} else {
+			s.scatterScalar(worker, lo, hi)
+		}
+	case phaseSlotIdentity:
+		lo, hi := s.workerRange(worker)
+		for i := lo; i < hi; i++ {
+			s.slotFinal[i] = uint32(i)
+		}
+	case phaseInner:
+		bins := s.plan.Bins()
+		for i := worker; i < len(s.extraBins); i += workers {
+			bi := s.extraBins[i]
+			s.innerShuffle(worker, bins[bi], s.binStart[bi], s.binStart[bi+1], s.curSW, s.curAuxSW)
+		}
+	case phaseGather:
+		lo, hi := s.workerRange(worker)
+		if s.wcGather {
+			s.gatherWC(worker, lo, hi)
+		} else {
+			s.gatherScalar(worker, lo, hi)
+		}
+	}
+}
+
+// run executes one phase across the workers: on the pool when present,
+// else by spawning a goroutine wave (the pre-pool behaviour, kept for
+// one-shot callers and benchmarks).
+func (s *Shuffler) run(phase int) {
+	if s.pool != nil {
+		s.pool.Run(s, phase)
+		return
+	}
 	if s.workers == 1 {
-		fn(0, 0, s.numWalkers)
+		s.RunShard(phase, 0, 1)
 		return
 	}
 	var wg sync.WaitGroup
 	for wk := 0; wk < s.workers; wk++ {
-		lo, hi := s.workerRange(wk)
 		wg.Add(1)
-		go func(wk, lo, hi int) {
+		go func(wk int) {
 			defer wg.Done()
-			fn(wk, lo, hi)
-		}(wk, lo, hi)
+			s.RunShard(phase, wk, s.workers)
+		}(wk)
 	}
 	wg.Wait()
+}
+
+// countShard tallies walkers per VP over [lo, hi).
+func (s *Shuffler) countShard(worker, lo, hi int) {
+	counts := s.counts[worker]
+	clear(counts)
+	lk := s.lk
+	w := s.curW
+	for j := lo; j < hi; j++ {
+		counts[lk.VPOf(w[j])]++
+	}
+}
+
+// scatterScalar is the reference forward placement: one random write per
+// walker, straight to the bin cursor.
+func (s *Shuffler) scatterScalar(worker, lo, hi int) {
+	lk := s.lk
+	cursors := s.cursors[worker]
+	w, sw, aux, auxSW := s.curW, s.curSW, s.curAux, s.curAuxSW
+	for j := lo; j < hi; j++ {
+		b := lk.BinOf(w[j])
+		pos := cursors[b]
+		cursors[b]++
+		sw[pos] = w[j]
+		for c := range aux {
+			auxSW[c][pos] = aux[c][j]
+		}
+	}
+}
+
+// scatterWC is the write-combining forward placement: walkers stage into
+// per-bin line buffers and flush in bulk, preserving the exact per-worker
+// placement order of the scalar path.
+func (s *Shuffler) scatterWC(worker, lo, hi int) {
+	lk := s.lk
+	cursors := s.cursors[worker]
+	buf, fill := s.wcBuf[worker], s.wcFill[worker]
+	w, sw, aux, auxSW := s.curW, s.curSW, s.curAux, s.curAuxSW
+	channels := len(aux)
+	stride := (1 + channels) * wcEntries
+	for j := lo; j < hi; j++ {
+		b := lk.BinOf(w[j])
+		base := b * stride
+		n := int(fill[b])
+		buf[base+n] = w[j]
+		for c := 0; c < channels; c++ {
+			buf[base+(c+1)*wcEntries+n] = aux[c][j]
+		}
+		n++
+		if n == wcEntries {
+			pos := cursors[b]
+			copy(sw[pos:pos+wcEntries], buf[base:base+wcEntries])
+			for c := 0; c < channels; c++ {
+				cb := base + (c+1)*wcEntries
+				copy(auxSW[c][pos:pos+wcEntries], buf[cb:cb+wcEntries])
+			}
+			cursors[b] = pos + wcEntries
+			n = 0
+		}
+		fill[b] = uint8(n)
+	}
+	// Drain partial lines.
+	for b := range fill {
+		k := uint64(fill[b])
+		if k == 0 {
+			continue
+		}
+		base := b * stride
+		pos := cursors[b]
+		copy(sw[pos:pos+k], buf[base:base+int(k)])
+		for c := 0; c < channels; c++ {
+			cb := base + (c+1)*wcEntries
+			copy(auxSW[c][pos:pos+k], buf[cb:cb+int(k)])
+		}
+		cursors[b] = pos + k
+		fill[b] = 0
+	}
+}
+
+// gatherScalar is the reference reverse pass: one random read per walker
+// from the bin cursor's slot.
+func (s *Shuffler) gatherScalar(worker, lo, hi int) {
+	lk := s.lk
+	cursors := s.cursors[worker]
+	wOld, swNew, wNext := s.curW, s.curSW, s.curWNext
+	auxSW, auxNext := s.curAuxSW, s.curAuxNext
+	for j := lo; j < hi; j++ {
+		b := lk.BinOf(wOld[j])
+		pos := cursors[b]
+		cursors[b]++
+		if s.hasExtra {
+			pos = uint64(s.slotFinal[pos])
+		}
+		wNext[j] = swNew[pos]
+		for c := range auxSW {
+			auxNext[c][j] = auxSW[c][pos]
+		}
+	}
+}
+
+// gatherWC is the batched reverse pass: walker indices stage per bin, and
+// each flush reads one sequential burst of the bin's slots instead of
+// interleaving single-word reads across every bin stream.
+func (s *Shuffler) gatherWC(worker, lo, hi int) {
+	lk := s.lk
+	cursors := s.cursors[worker]
+	idx, fill := s.wcIdx[worker], s.wcFill[worker]
+	wOld, swNew, wNext := s.curW, s.curSW, s.curWNext
+	auxSW, auxNext := s.curAuxSW, s.curAuxNext
+	for j := lo; j < hi; j++ {
+		b := lk.BinOf(wOld[j])
+		base := b * wcEntries
+		n := int(fill[b])
+		idx[base+n] = uint32(j)
+		n++
+		if n == wcEntries {
+			s.flushGather(b, idx[base:base+wcEntries], cursors, swNew, wNext, auxSW, auxNext)
+			n = 0
+		}
+		fill[b] = uint8(n)
+	}
+	for b := range fill {
+		if fill[b] == 0 {
+			continue
+		}
+		base := b * wcEntries
+		s.flushGather(b, idx[base:base+int(fill[b])], cursors, swNew, wNext, auxSW, auxNext)
+		fill[b] = 0
+	}
+}
+
+// flushGather resolves one staged burst of walker indices against bin b's
+// next slots.
+func (s *Shuffler) flushGather(b int, js []uint32, cursors []uint64, swNew, wNext []graph.VID, auxSW, auxNext [][]graph.VID) {
+	pos := cursors[b]
+	if !s.hasExtra {
+		for i, j := range js {
+			p := pos + uint64(i)
+			wNext[j] = swNew[p]
+			for c := range auxSW {
+				auxNext[c][j] = auxSW[c][p]
+			}
+		}
+	} else {
+		for i, j := range js {
+			p := uint64(s.slotFinal[pos+uint64(i)])
+			wNext[j] = swNew[p]
+			for c := range auxSW {
+				auxNext[c][j] = auxSW[c][p]
+			}
+		}
+	}
+	cursors[b] = pos + uint64(len(js))
+}
+
+// innerShuffle re-sorts the chunk [lo, hi) of sw by VP index (stable) and
+// records slotFinal for the chunk, using worker-private count/cursor
+// scratch so extra bins re-sort concurrently.
+func (s *Shuffler) innerShuffle(worker int, b part.Bin, lo, hi uint64, sw []graph.VID, auxSW [][]graph.VID) {
+	lk := s.lk
+	scr := s.innerScratch[worker]
+	vpCount := scr[:b.NumVPs]
+	vpCur := scr[s.maxInnerVPs : s.maxInnerVPs+b.NumVPs]
+	clear(vpCount)
+	// Count per VP within the chunk.
+	for p := lo; p < hi; p++ {
+		vpCount[lk.VPOf(sw[p])-b.FirstVP]++
+	}
+	var acc uint64
+	for i := range vpCount {
+		vpCur[i] = lo + acc
+		acc += vpCount[i]
+	}
+	// Place into scratch, record final slots.
+	for p := lo; p < hi; p++ {
+		vi := lk.VPOf(sw[p]) - b.FirstVP
+		dst := vpCur[vi]
+		vpCur[vi]++
+		s.scratch[dst] = sw[p]
+		s.slotFinal[p] = uint32(dst)
+	}
+	copy(sw[lo:hi], s.scratch[lo:hi])
+	for c := range auxSW {
+		// Permute each aux channel with the recorded mapping.
+		for p := lo; p < hi; p++ {
+			s.scratch[s.slotFinal[p]] = auxSW[c][p]
+		}
+		copy(auxSW[c][lo:hi], s.scratch[lo:hi])
+	}
 }
 
 // checkAux validates paired aux channel sets.

@@ -1,0 +1,437 @@
+package walk
+
+import (
+	"fmt"
+	"testing"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/part"
+	"flashmob/internal/pool"
+)
+
+// refShuffler is the pre-write-combining reference implementation: the
+// scalar two-pass counting shuffle exactly as shipped before the staged
+// data path, with the per-worker ranges emulated sequentially (the
+// placement math is identical, so the result is bitwise what the old
+// goroutine waves produced).
+type refShuffler struct {
+	plan       *part.Plan
+	workers    int
+	numWalkers int
+	vpStart    []uint64
+	binStart   []uint64
+	counts     [][]uint32
+	cursors    [][]uint64
+	slotFinal  []uint32
+	scratch    []graph.VID
+	hasExtra   bool
+}
+
+func newRefShuffler(plan *part.Plan, numWalkers, workers int) *refShuffler {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > numWalkers && numWalkers > 0 {
+		workers = numWalkers
+	}
+	s := &refShuffler{
+		plan:       plan,
+		workers:    workers,
+		numWalkers: numWalkers,
+		vpStart:    make([]uint64, plan.NumVPs()+1),
+		binStart:   make([]uint64, len(plan.Bins())+1),
+		counts:     make([][]uint32, workers),
+		cursors:    make([][]uint64, workers),
+	}
+	for w := 0; w < workers; w++ {
+		s.counts[w] = make([]uint32, plan.NumVPs())
+		s.cursors[w] = make([]uint64, len(plan.Bins()))
+	}
+	for _, b := range plan.Bins() {
+		if b.Extra {
+			s.hasExtra = true
+		}
+	}
+	if s.hasExtra {
+		s.slotFinal = make([]uint32, numWalkers)
+		s.scratch = make([]graph.VID, numWalkers)
+	}
+	return s
+}
+
+func (s *refShuffler) workerRange(w int) (lo, hi int) {
+	per := s.numWalkers / s.workers
+	rem := s.numWalkers % s.workers
+	lo = w*per + min(w, rem)
+	hi = lo + per
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func (s *refShuffler) forward(w, sw []graph.VID, aux, auxSW [][]graph.VID) {
+	plan := s.plan
+	for wk := 0; wk < s.workers; wk++ {
+		lo, hi := s.workerRange(wk)
+		counts := s.counts[wk]
+		for i := range counts {
+			counts[i] = 0
+		}
+		for j := lo; j < hi; j++ {
+			counts[plan.VPOf(w[j])]++
+		}
+	}
+	var total uint64
+	for vp := 0; vp < plan.NumVPs(); vp++ {
+		s.vpStart[vp] = total
+		for wk := 0; wk < s.workers; wk++ {
+			total += uint64(s.counts[wk][vp])
+		}
+	}
+	s.vpStart[plan.NumVPs()] = total
+	bins := plan.Bins()
+	for bi, b := range bins {
+		s.binStart[bi] = s.vpStart[b.FirstVP]
+		s.binStart[bi+1] = s.vpStart[b.FirstVP+b.NumVPs]
+	}
+	for bi, b := range bins {
+		cur := s.binStart[bi]
+		for wk := 0; wk < s.workers; wk++ {
+			s.cursors[wk][bi] = cur
+			for vp := b.FirstVP; vp < b.FirstVP+b.NumVPs; vp++ {
+				cur += uint64(s.counts[wk][vp])
+			}
+		}
+	}
+	for wk := 0; wk < s.workers; wk++ {
+		lo, hi := s.workerRange(wk)
+		cursors := s.cursors[wk]
+		for j := lo; j < hi; j++ {
+			b := plan.BinOf(w[j])
+			pos := cursors[b]
+			cursors[b]++
+			sw[pos] = w[j]
+			for c := range aux {
+				auxSW[c][pos] = aux[c][j]
+			}
+		}
+	}
+	if s.hasExtra {
+		for i := range s.slotFinal {
+			s.slotFinal[i] = uint32(i)
+		}
+		for bi, b := range bins {
+			if !b.Extra {
+				continue
+			}
+			s.innerShuffle(b, s.binStart[bi], s.binStart[bi+1], sw, auxSW)
+		}
+	}
+}
+
+func (s *refShuffler) innerShuffle(b part.Bin, lo, hi uint64, sw []graph.VID, auxSW [][]graph.VID) {
+	plan := s.plan
+	vpCount := make([]uint64, b.NumVPs)
+	for p := lo; p < hi; p++ {
+		vpCount[plan.VPOf(sw[p])-b.FirstVP]++
+	}
+	vpCur := make([]uint64, b.NumVPs)
+	var acc uint64
+	for i := range vpCount {
+		vpCur[i] = lo + acc
+		acc += vpCount[i]
+	}
+	for p := lo; p < hi; p++ {
+		vi := plan.VPOf(sw[p]) - b.FirstVP
+		dst := vpCur[vi]
+		vpCur[vi]++
+		s.scratch[dst] = sw[p]
+		s.slotFinal[p] = uint32(dst)
+	}
+	copy(sw[lo:hi], s.scratch[lo:hi])
+	for c := range auxSW {
+		for p := lo; p < hi; p++ {
+			s.scratch[s.slotFinal[p]] = auxSW[c][p]
+		}
+		copy(auxSW[c][lo:hi], s.scratch[lo:hi])
+	}
+}
+
+func (s *refShuffler) reverse(wOld, swNew, wNext []graph.VID, auxSW, auxNext [][]graph.VID) {
+	plan := s.plan
+	bins := plan.Bins()
+	for bi := range bins {
+		cur := s.binStart[bi]
+		b := bins[bi]
+		for wk := 0; wk < s.workers; wk++ {
+			s.cursors[wk][bi] = cur
+			for vp := b.FirstVP; vp < b.FirstVP+b.NumVPs; vp++ {
+				cur += uint64(s.counts[wk][vp])
+			}
+		}
+	}
+	for wk := 0; wk < s.workers; wk++ {
+		lo, hi := s.workerRange(wk)
+		cursors := s.cursors[wk]
+		for j := lo; j < hi; j++ {
+			b := plan.BinOf(wOld[j])
+			pos := cursors[b]
+			cursors[b]++
+			if s.hasExtra {
+				pos = uint64(s.slotFinal[pos])
+			}
+			wNext[j] = swNew[pos]
+			for c := range auxSW {
+				auxNext[c][j] = auxSW[c][pos]
+			}
+		}
+	}
+}
+
+// makeAux builds channel-count aux arrays with unique payloads.
+func makeAux(channels, n int) (aux, auxSW, auxNext [][]graph.VID) {
+	for c := 0; c < channels; c++ {
+		a := make([]graph.VID, n)
+		for j := range a {
+			a[j] = graph.VID(uint32(j*channels + c + 1))
+		}
+		aux = append(aux, a)
+		auxSW = append(auxSW, make([]graph.VID, n))
+		auxNext = append(auxNext, make([]graph.VID, n))
+	}
+	return
+}
+
+func cloneChannels(a [][]graph.VID) [][]graph.VID {
+	out := make([][]graph.VID, len(a))
+	for c := range a {
+		out[c] = append([]graph.VID(nil), a[c]...)
+	}
+	return out
+}
+
+// TestWriteCombiningEquivalence locks the staged data path to the
+// pre-change reference: for every combination of plan shape, seed, worker
+// count, aux channel count, pool-vs-spawn, and write-combining on/off,
+// the forward shuffle must produce bitwise-identical sw/vpStart/aux
+// arrays and the reverse pass bitwise-identical wNext/auxNext.
+func TestWriteCombiningEquivalence(t *testing.T) {
+	type planShape struct {
+		v               uint32
+		groupLog, vpLog uint
+		extra           bool
+	}
+	shapes := []planShape{
+		{256, 6, 4, false},
+		{256, 6, 4, true},   // extra-shuffle bins
+		{512, 7, 3, true},   // wide inner bins
+		{100, 5, 2, true},   // ragged final group
+		{1 << 10, 8, 8, false}, // one VP per group
+	}
+	for _, shape := range shapes {
+		for _, seed := range []uint64{1, 2, 3} {
+			for _, workers := range []int{1, 2, 3, 8} {
+				for _, channels := range []int{0, 1, 3} {
+					name := fmt.Sprintf("v%d-g%d-p%d-extra%v/seed%d/w%d/ch%d",
+						shape.v, shape.groupLog, shape.vpLog, shape.extra, seed, workers, channels)
+					t.Run(name, func(t *testing.T) {
+						plan := testPlan(t, shape.v, shape.groupLog, shape.vpLog, shape.extra)
+						n := 3000 + int(seed)*7
+						w := randomWalkers(n, shape.v, seed)
+						aux, auxSWRef, auxNextRef := makeAux(channels, n)
+
+						// Reference pass.
+						ref := newRefShuffler(plan, n, workers)
+						swRef := make([]graph.VID, n)
+						nextRef := make([]graph.VID, n)
+						ref.forward(w, swRef, aux, auxSWRef)
+						// Fake one sample step so reverse has real work.
+						swMut := append([]graph.VID(nil), swRef...)
+						for p := range swMut {
+							swMut[p] = swMut[p]*3 + 1
+						}
+						auxMutRef := cloneChannels(auxSWRef)
+						ref.reverse(w, swMut, nextRef, auxMutRef, auxNextRef)
+
+						p := pool.New(workers)
+						defer p.Close()
+						tuneAll := func(on bool) func(*Shuffler) {
+							return func(s *Shuffler) { s.SetWriteCombining(on) }
+						}
+						for _, mode := range []struct {
+							name  string
+							build func() (*Shuffler, error)
+							tune  func(*Shuffler)
+						}{
+							// "default" leaves the measured asymmetric
+							// production setting: scalar scatter + WC gather.
+							{"default-pool", func() (*Shuffler, error) { return NewShufflerPool(plan, n, p) }, nil},
+							{"default-spawn", func() (*Shuffler, error) { return NewShuffler(plan, n, workers) }, nil},
+							{"wc-pool", func() (*Shuffler, error) { return NewShufflerPool(plan, n, p) }, tuneAll(true)},
+							{"wc-spawn", func() (*Shuffler, error) { return NewShuffler(plan, n, workers) }, tuneAll(true)},
+							{"scalar-pool", func() (*Shuffler, error) { return NewShufflerPool(plan, n, p) }, tuneAll(false)},
+							{"scalar-spawn", func() (*Shuffler, error) { return NewShuffler(plan, n, workers) }, tuneAll(false)},
+							{"wc-scatter-only", func() (*Shuffler, error) { return NewShufflerPool(plan, n, p) }, func(s *Shuffler) {
+								s.SetScatterCombining(true)
+								s.SetGatherCombining(false)
+							}},
+						} {
+							s, err := mode.build()
+							if err != nil {
+								t.Fatal(err)
+							}
+							if mode.tune != nil {
+								mode.tune(s)
+							}
+							sw := make([]graph.VID, n)
+							next := make([]graph.VID, n)
+							_, auxSW, auxNext := makeAux(channels, n)
+							if err := s.ForwardMulti(w, sw, aux, auxSW); err != nil {
+								t.Fatal(err)
+							}
+							for i := range swRef {
+								if sw[i] != swRef[i] {
+									t.Fatalf("%s: sw[%d] = %d, reference %d", mode.name, i, sw[i], swRef[i])
+								}
+							}
+							for i := range ref.vpStart {
+								if s.VPStart()[i] != ref.vpStart[i] {
+									t.Fatalf("%s: vpStart[%d] = %d, reference %d", mode.name, i, s.VPStart()[i], ref.vpStart[i])
+								}
+							}
+							for c := range auxSW {
+								for i := range auxSW[c] {
+									if auxSW[c][i] != auxSWRef[c][i] {
+										t.Fatalf("%s: auxSW[%d][%d] = %d, reference %d",
+											mode.name, c, i, auxSW[c][i], auxSWRef[c][i])
+									}
+								}
+							}
+							auxMut := cloneChannels(auxSW)
+							if err := s.ReverseMulti(w, swMut, next, auxMut, auxNext); err != nil {
+								t.Fatal(err)
+							}
+							for i := range nextRef {
+								if next[i] != nextRef[i] {
+									t.Fatalf("%s: wNext[%d] = %d, reference %d", mode.name, i, next[i], nextRef[i])
+								}
+							}
+							for c := range auxNext {
+								for i := range auxNext[c] {
+									if auxNext[c][i] != auxNextRef[c][i] {
+										t.Fatalf("%s: auxNext[%d][%d] = %d, reference %d",
+											mode.name, c, i, auxNext[c][i], auxNextRef[c][i])
+									}
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestShuffleSteadyStateAllocs verifies the acceptance criterion that
+// steady-state shuffle steps allocate nothing: after one warm-up step
+// (which sizes the write-combining buffers), Forward+Reverse on a pooled
+// shuffler must be allocation-free, including across extra-shuffle bins
+// and aux channels.
+func TestShuffleSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		extra    bool
+		channels int
+	}{
+		{"plain", false, 0},
+		{"extra-bins", true, 0},
+		{"aux", false, 2},
+		{"extra-aux", true, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := testPlan(t, 512, 7, 4, tc.extra)
+			const n = 4096
+			w := randomWalkers(n, 512, 9)
+			p := pool.New(4)
+			defer p.Close()
+			s, err := NewShufflerPool(plan, n, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw := make([]graph.VID, n)
+			next := make([]graph.VID, n)
+			aux, auxSW, auxNext := makeAux(tc.channels, n)
+			step := func() {
+				if err := s.ForwardMulti(w, sw, aux, auxSW); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.ReverseMulti(w, sw, next, auxSW, auxNext); err != nil {
+					t.Fatal(err)
+				}
+			}
+			step() // warm up: sizes the staging buffers for this channel count
+			if allocs := testing.AllocsPerRun(50, step); allocs != 0 {
+				t.Fatalf("steady-state shuffle step allocates %.1f objects, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestShuffleParallelRace drives the pooled write-combining shuffle with
+// many workers so `go test -race` checks the phase-barrier discipline:
+// shard ranges, staged flushes, and the parallel inner shuffle must never
+// touch a slot concurrently.
+func TestShuffleParallelRace(t *testing.T) {
+	plan := testPlan(t, 512, 7, 3, true)
+	const n = 20000
+	w := randomWalkers(n, 512, 11)
+	p := pool.New(8)
+	defer p.Close()
+	s, err := NewShufflerPool(plan, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := make([]graph.VID, n)
+	next := make([]graph.VID, n)
+	aux, auxSW, auxNext := makeAux(2, n)
+	for iter := 0; iter < 20; iter++ {
+		if err := s.ForwardMulti(w, sw, aux, auxSW); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ReverseMulti(w, sw, next, auxSW, auxNext); err != nil {
+			t.Fatal(err)
+		}
+		checkShuffled(t, plan, w, sw, s.VPStart())
+		w, next = next, w
+	}
+}
+
+// TestShufflerPoolSmallerThanWorkers covers walker counts below the pool
+// size: high workers get empty shards and the permutation still matches
+// the reference.
+func TestShufflerPoolSmallerThanWorkers(t *testing.T) {
+	plan := testPlan(t, 128, 5, 3, true)
+	p := pool.New(8)
+	defer p.Close()
+	for _, n := range []int{0, 1, 3, 7} {
+		w := randomWalkers(n, 128, 13)
+		s, err := NewShufflerPool(plan, n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := make([]graph.VID, n)
+		next := make([]graph.VID, n)
+		if err := s.Forward(w, sw, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Reverse(w, sw, next, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		for j := range w {
+			if next[j] != w[j] {
+				t.Fatalf("n=%d: walker %d came back as %d, want %d", n, j, next[j], w[j])
+			}
+		}
+	}
+}
