@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-shuffle
+.PHONY: build test race bench bench-shuffle bench-sample
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,14 @@ bench-shuffle:
 
 bench-shuffle-component:
 	$(GO) test -run NONE -bench BenchmarkComponentShuffle -benchtime 3x .
+
+# The §4.2 sample-stage measurement at DRAM scale: generic scalar path vs
+# per-partition specialized kernels across the partition classes
+# {PS, DS-regular, DS-CSR, weighted, node2vec}. Writes BENCH_sample.json
+# in the repo root.
+bench-sample:
+	$(GO) run ./cmd/fmbench -exp sample
+
+# Equivalence + determinism gate for the sample kernels.
+bench-sample-equiv:
+	$(GO) test -run 'TestSample|TestStopProb|TestDSRegular|TestMCKPPlan' -count=1 ./internal/core/

@@ -22,6 +22,11 @@ func TestAllExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke tests skipped in -short")
 	}
+	// Some experiments write BENCH_*.json into the working directory; the
+	// canonical location is the repo root (where make bench-* runs), not
+	// this package. Run from a scratch dir so test runs can't litter
+	// cmd/fmbench with stray artifacts.
+	t.Chdir(t.TempDir())
 	cfg := tinyConfig()
 	for _, e := range experiments {
 		e := e

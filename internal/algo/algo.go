@@ -215,3 +215,14 @@ func (ws *WeightedSampler) Next(u graph.VID, src rng.Source) graph.VID {
 	}
 	return ws.g.Neighbors(u)[t.Sample(src)]
 }
+
+// NextFrom is Next with a concrete generator: the same draw sequence, but
+// the alias draw devirtualizes so the weighted sample kernels stay
+// RNG-bound rather than dispatch-bound.
+func (ws *WeightedSampler) NextFrom(u graph.VID, x *rng.XorShift1024Star) graph.VID {
+	t := ws.tables[u]
+	if t == nil {
+		return u
+	}
+	return ws.g.Neighbors(u)[t.SampleFrom(x)]
+}

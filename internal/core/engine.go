@@ -72,6 +72,12 @@ type Config struct {
 	MemoryBudget uint64
 	// RecordHistory keeps every W_i array so paths can be produced.
 	RecordHistory bool
+	// ScalarSample routes the sample stage through the generic scalar
+	// path instead of the per-partition specialized kernels. The two
+	// paths produce bitwise-identical trajectories (sample_equiv_test.go);
+	// this switch exists for the fmbench scalar-vs-kernels comparison and
+	// the equivalence tests themselves.
+	ScalarSample bool
 	// StepSink, when non-nil, receives every iteration's sampled edges in
 	// walker order: cur[j] → next[j] is walker j's transition at the
 	// given step. This is the paper's streaming output mode (§4.3:
@@ -102,6 +108,10 @@ type Engine struct {
 
 	// Pre-sampling state, indexed by VP (nil for DS partitions).
 	ps []*psState
+
+	// kern[i] is VP i's specialized sample kernel, resolved once at build
+	// time from the plan, the PS allocation, and the degree shape (§4.2).
+	kern []vpKernel
 
 	// weighted is the alias-table sampler for weighted walks (nil
 	// otherwise).
@@ -208,6 +218,7 @@ func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
 			}
 		}
 	}
+	e.buildKernels()
 	return e, nil
 }
 

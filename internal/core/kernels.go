@@ -1,0 +1,350 @@
+package core
+
+import (
+	"slices"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/rng"
+)
+
+// Specialized per-partition sample kernels (§4.2).
+//
+// The scalar path in sample.go decides PS-vs-DS-vs-weighted per walker
+// (sampleFirst re-tests e.ps[vpIdx], e.regularDeg[vpIdx], and e.weighted
+// on every step) and draws every random number through the rng.Source
+// interface — a dynamic dispatch per Uint64(). Both costs are pure
+// overhead: the policy decision is invariant across a partition's whole
+// chunk, and the generator's concrete type is known at the call site.
+// The kernels here resolve the policy once at engine build time and take
+// the concrete *rng.XorShift1024Star so the xorshift1024* state update
+// inlines into the sampling loop, leaving a few cache-resident loads
+// plus the draw per walker-step — the per-step cost the paper's §5.2
+// breakdown claims.
+//
+// Every kernel preserves the scalar path's per-walker draw order exactly;
+// sample_equiv_test.go locks both paths bitwise against a frozen copy of
+// the pre-kernel scalar code.
+
+// kernelKind identifies one partition's specialized sample kernel.
+type kernelKind uint8
+
+const (
+	// kernEmpty marks an all-degree-0 partition: walkers stay in place
+	// and draw nothing.
+	kernEmpty kernelKind = iota
+	// kernPS consumes per-vertex pre-sampled buffers, refilling inline:
+	// one Offsets load pair yields base offset and degree, random reads
+	// stay confined to one adjacency list, and the refill keeps its
+	// sequential write stream.
+	kernPS
+	// kernPSWeighted is kernPS with alias-table refills.
+	kernPSWeighted
+	// kernDSRegular direct-samples a uniform-degree partition by pure
+	// arithmetic indexing into its contiguous edge block: no Offsets
+	// loads, no degree test, one bounded draw per walker.
+	kernDSRegular
+	// kernDSCSR is the mixed-degree direct-sampling fallback: one Offsets
+	// load pair, one bounded draw.
+	kernDSCSR
+	// kernDSWeighted direct-samples through per-vertex alias tables.
+	kernDSWeighted
+)
+
+// vpKernel carries one partition's kernel selection plus the loads the
+// scalar path re-derived per walker: the PS state, the partition's base
+// edge offset, and its uniform degree (DS-regular only).
+type vpKernel struct {
+	kind  kernelKind
+	st    *psState
+	start graph.VID
+	base  uint64
+	deg   uint32
+}
+
+// buildKernels resolves every partition's sample kernel from the plan,
+// the PS allocation, and the degree shape. Called once by New; tests
+// rebuild after mutating regularDeg to force the fallback kernels.
+func (e *Engine) buildKernels() {
+	e.kern = make([]vpKernel, e.plan.NumVPs())
+	for i, vp := range e.plan.VPs {
+		k := vpKernel{start: vp.Start, base: e.g.Offsets[vp.Start]}
+		switch {
+		case e.regularDeg[i] == 0:
+			k.kind = kernEmpty
+		case e.ps[i] != nil:
+			k.st = e.ps[i]
+			if e.weighted != nil {
+				k.kind = kernPSWeighted
+			} else {
+				k.kind = kernPS
+			}
+		case e.weighted != nil:
+			k.kind = kernDSWeighted
+		case e.regularDeg[i] > 0:
+			k.kind = kernDSRegular
+			k.deg = uint32(e.regularDeg[i])
+		default:
+			k.kind = kernDSCSR
+		}
+		e.kern[i] = k
+	}
+}
+
+// runChunkKernel advances a first-order chunk through the partition's
+// kernel. Draw-for-draw identical to the scalar sampleFirst loop.
+func (e *Engine) runChunkKernel(vpIdx int, chunk []graph.VID, src *rng.XorShift1024Star) {
+	switch k := &e.kern[vpIdx]; k.kind {
+	case kernEmpty:
+	case kernPS:
+		e.kernChunkPS(k.st, chunk, src)
+	case kernPSWeighted:
+		e.kernChunkPSWeighted(k.st, chunk, src)
+	case kernDSRegular:
+		kernChunkRegular(e.g.Targets, k, chunk, src)
+	case kernDSCSR:
+		kernChunkCSR(e.g.Offsets, e.g.Targets, chunk, src)
+	case kernDSWeighted:
+		e.kernChunkWeighted(chunk, src)
+	}
+}
+
+// kernChunkPS is the PS kernel: refill is fused with consumption, so a
+// drained buffer is repopulated and read in the same pass over the chunk.
+func (e *Engine) kernChunkPS(st *psState, chunk []graph.VID, src *rng.XorShift1024Star) {
+	offs, targets := e.g.Offsets, e.g.Targets
+	base, start := st.base, st.start
+	buf, remaining := st.buf, st.remaining
+	for j, v := range chunk {
+		off := offs[v]
+		d := uint32(offs[v+1] - off)
+		if d == 0 {
+			continue // dead end: walker stays, no draw
+		}
+		bo := off - base
+		rem := remaining[v-start]
+		if rem == 0 {
+			adj := targets[off : off+uint64(d)]
+			fill := buf[bo : bo+uint64(d)]
+			for i := range fill {
+				fill[i] = adj[src.Uint32n(d)]
+			}
+			rem = d
+		}
+		chunk[j] = buf[bo+uint64(d-rem)]
+		remaining[v-start] = rem - 1
+	}
+}
+
+// kernChunkPSWeighted is kernChunkPS with alias-table refills.
+func (e *Engine) kernChunkPSWeighted(st *psState, chunk []graph.VID, src *rng.XorShift1024Star) {
+	offs := e.g.Offsets
+	ws := e.weighted
+	base, start := st.base, st.start
+	buf, remaining := st.buf, st.remaining
+	for j, v := range chunk {
+		off := offs[v]
+		d := uint32(offs[v+1] - off)
+		if d == 0 {
+			continue
+		}
+		bo := off - base
+		rem := remaining[v-start]
+		if rem == 0 {
+			fill := buf[bo : bo+uint64(d)]
+			for i := range fill {
+				fill[i] = ws.NextFrom(v, src)
+			}
+			rem = d
+		}
+		chunk[j] = buf[bo+uint64(d-rem)]
+		remaining[v-start] = rem - 1
+	}
+}
+
+// kernChunkRegular is the DS kernel for uniform-degree partitions: the
+// walker's edge block is located arithmetically (§4.2's compact storage),
+// so the loop body is one bounded draw and one Targets load.
+func kernChunkRegular(targets []graph.VID, k *vpKernel, chunk []graph.VID, src *rng.XorShift1024Star) {
+	d := k.deg
+	base, start := k.base, uint64(k.start)
+	for j, v := range chunk {
+		chunk[j] = targets[base+(uint64(v)-start)*uint64(d)+uint64(src.Uint32n(d))]
+	}
+}
+
+// kernChunkCSR is the mixed-degree DS fallback.
+func kernChunkCSR(offs []uint64, targets []graph.VID, chunk []graph.VID, src *rng.XorShift1024Star) {
+	for j, v := range chunk {
+		off := offs[v]
+		d := uint32(offs[v+1] - off)
+		if d == 0 {
+			continue
+		}
+		chunk[j] = targets[off+uint64(src.Uint32n(d))]
+	}
+}
+
+// kernChunkWeighted is the weighted DS kernel: one alias draw per walker.
+func (e *Engine) kernChunkWeighted(chunk []graph.VID, src *rng.XorShift1024Star) {
+	offs := e.g.Offsets
+	ws := e.weighted
+	for j, v := range chunk {
+		if offs[v+1] == offs[v] {
+			continue
+		}
+		chunk[j] = ws.NextFrom(v, src)
+	}
+}
+
+// nextPSFrom is nextPS with the state loads hoisted and a concrete
+// generator: the candidate draw of the second-order kernels on PS
+// partitions. Degree must be nonzero. (Second-order walks are never
+// weighted — Spec.Validate rejects the combination — so refills are
+// always uniform here.)
+func (e *Engine) nextPSFrom(st *psState, v graph.VID, src *rng.XorShift1024Star) graph.VID {
+	offs := e.g.Offsets
+	off := offs[v]
+	d := uint32(offs[v+1] - off)
+	bo := off - st.base
+	rem := st.remaining[v-st.start]
+	if rem == 0 {
+		adj := e.g.Targets[off : off+uint64(d)]
+		fill := st.buf[bo : bo+uint64(d)]
+		for i := range fill {
+			fill[i] = adj[src.Uint32n(d)]
+		}
+		rem = d
+	}
+	st.remaining[v-st.start] = rem - 1
+	return st.buf[bo+uint64(d-rem)]
+}
+
+// drawCand draws one first-order candidate for second-order rejection
+// sampling through the partition's kernel. Callers filter degree < 2.
+func (e *Engine) drawCand(k *vpKernel, v graph.VID, src *rng.XorShift1024Star) graph.VID {
+	switch k.kind {
+	case kernPS, kernPSWeighted:
+		return e.nextPSFrom(k.st, v, src)
+	case kernDSRegular:
+		d := k.deg
+		return e.g.Targets[k.base+(uint64(v)-uint64(k.start))*uint64(d)+uint64(src.Uint32n(d))]
+	default: // kernDSCSR; weighted second-order is rejected at build
+		off := e.g.Offsets[v]
+		d := uint32(e.g.Offsets[v+1] - off)
+		return e.g.Targets[off+uint64(src.Uint32n(d))]
+	}
+}
+
+// kernSecondWalk advances a short second-order segment walker by walker —
+// the below-batchThreshold path — with the kernel and rejection bound
+// hoisted out of the loop.
+func (e *Engine) kernSecondWalk(vpIdx int, seg, prev []graph.VID, src *rng.XorShift1024Star) {
+	k := &e.kern[vpIdx]
+	maxW := e.maxWeight()
+	offs, targets := e.g.Offsets, e.g.Targets
+	for j := range seg {
+		v := seg[j]
+		d := uint32(offs[v+1] - offs[v])
+		var next graph.VID
+		switch {
+		case d == 0:
+			next = v // dead end: stay, predecessor becomes self
+		case d == 1:
+			// Only continuation: take it unconditionally (rejection could
+			// spin forever on custom weight 0).
+			next = targets[offs[v]]
+		default:
+			p := prev[j]
+			for {
+				x := e.drawCand(k, v, src)
+				w := e.secondOrderWeight(p, v, x)
+				if w >= maxW || src.Float64()*maxW < w {
+					next = x
+					break
+				}
+			}
+		}
+		prev[j] = v
+		seg[j] = next
+	}
+}
+
+// kernSecondBatched is the kernel form of sampleVPSecondBatched: identical
+// batching, sorting, and acceptance structure, with candidate generation
+// specialized per partition kind in fillCandidates.
+func (e *Engine) kernSecondBatched(vpIdx int, chunk, aux []graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+	k := &e.kern[vpIdx]
+	maxW := e.maxWeight()
+	n := len(chunk)
+	if cap(scr.cand) < n {
+		scr.cand = make([]graph.VID, n)
+		scr.pending = make([]uint64, 0, n)
+	}
+	cand := scr.cand[:n]
+	pending := scr.pending[:0]
+	offs, targets := e.g.Offsets, e.g.Targets
+	for i := range chunk {
+		v := chunk[i]
+		switch uint32(offs[v+1] - offs[v]) {
+		case 0:
+			aux[i] = v // dead end: stay, predecessor becomes self
+			continue
+		case 1:
+			// Only continuation: take it unconditionally.
+			aux[i] = v
+			chunk[i] = targets[offs[v]]
+			continue
+		}
+		pending = append(pending, uint64(aux[i])<<32|uint64(uint32(i)))
+	}
+	// Group connectivity checks by predecessor (see the scalar path's
+	// rationale); rejected keys keep their sorted order across rounds.
+	slices.Sort(pending)
+	for len(pending) > 0 {
+		e.fillCandidates(k, chunk, cand, pending, src)
+		next := pending[:0]
+		for _, key := range pending {
+			i := uint32(key)
+			prev, x := graph.VID(key>>32), cand[i]
+			w := e.secondOrderWeight(prev, chunk[i], x)
+			if w >= maxW || src.Float64()*maxW < w {
+				aux[i] = chunk[i]
+				chunk[i] = x
+			} else {
+				next = append(next, key)
+			}
+		}
+		pending = next
+	}
+	scr.pending = pending[:0]
+}
+
+// fillCandidates generates one candidate per pending walker with the
+// partition's kernel selection hoisted out of the round loop entirely —
+// each case is a tight homogeneous pass.
+func (e *Engine) fillCandidates(k *vpKernel, chunk, cand []graph.VID, pending []uint64, src *rng.XorShift1024Star) {
+	switch k.kind {
+	case kernPS, kernPSWeighted:
+		st := k.st
+		for _, key := range pending {
+			i := uint32(key)
+			cand[i] = e.nextPSFrom(st, chunk[i], src)
+		}
+	case kernDSRegular:
+		d := k.deg
+		base, start := k.base, uint64(k.start)
+		targets := e.g.Targets
+		for _, key := range pending {
+			i := uint32(key)
+			cand[i] = targets[base+(uint64(chunk[i])-start)*uint64(d)+uint64(src.Uint32n(d))]
+		}
+	default:
+		offs, targets := e.g.Offsets, e.g.Targets
+		for _, key := range pending {
+			i := uint32(key)
+			v := chunk[i]
+			off := offs[v]
+			cand[i] = targets[off+uint64(src.Uint32n(uint32(offs[v+1]-off)))]
+		}
+	}
+}

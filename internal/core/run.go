@@ -62,7 +62,7 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 	remaining := totalWalkers
 	for remaining > 0 {
 		ep := e.EpisodeWalkers(remaining)
-		if err := e.runEpisode(int(ep), steps, res); err != nil {
+		if err := e.runEpisode(res.Episodes, int(ep), steps, res); err != nil {
 			return nil, err
 		}
 		remaining -= ep
@@ -84,7 +84,7 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 // is allocated here, before the step loop: the loop itself allocates
 // nothing and creates no goroutines (every stage runs on the engine's
 // persistent pool).
-func (e *Engine) runEpisode(walkers, steps int, res *Result) error {
+func (e *Engine) runEpisode(episode, walkers, steps int, res *Result) error {
 	w := make([]graph.VID, walkers)
 	sw := make([]graph.VID, walkers)
 	wNext := make([]graph.VID, walkers)
@@ -98,7 +98,10 @@ func (e *Engine) runEpisode(walkers, steps int, res *Result) error {
 		auxNext = append(auxNext, make([]graph.VID, walkers))
 	}
 
-	initSrc := rng.NewXorShift1024Star(e.cfg.Seed ^ 0x9e3779b97f4a7c15)
+	// Mix the episode index into the init seed so episodes decorrelate
+	// (identical per-episode seeds would replay the same start placement
+	// and walk randomness every round).
+	initSrc := rng.NewXorShift1024Star(rng.Mix64(e.cfg.Seed^0x9e3779b97f4a7c15) + uint64(episode))
 	e.initWalkers(w, initSrc)
 	for c := range auxW {
 		// Predecessors start as the walker's own start vertex, which makes
@@ -118,14 +121,12 @@ func (e *Engine) runEpisode(walkers, steps int, res *Result) error {
 		return err
 	}
 
-	// Per-worker RNG streams and scratch buffers, stable across the
-	// episode.
+	// Per-worker scratch buffers (each carries a generator that the
+	// sample stage reseeds per work item), stable across the episode.
 	workers := e.pool.Workers()
-	srcs := make([]*rng.XorShift1024Star, workers)
-	scratches := make([]*order2Scratch, workers)
-	for i := range srcs {
-		srcs[i] = rng.NewXorShift1024Star(e.cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1)
-		scratches[i] = &order2Scratch{}
+	scratches := make([]*sampleScratch, workers)
+	for i := range scratches {
+		scratches[i] = newSampleScratch()
 	}
 
 	for step := 0; step < steps; step++ {
@@ -134,7 +135,7 @@ func (e *Engine) runEpisode(walkers, steps int, res *Result) error {
 			return err
 		}
 		t1 := time.Now()
-		e.sampleAll(shuffler.VPStart(), sw, auxSW, srcs, scratches, res.VPSteps)
+		e.sampleAll(episode, step, shuffler.VPStart(), sw, auxSW, scratches, res.VPSteps)
 		t2 := time.Now()
 		if err := shuffler.ReverseMulti(w, sw, wNext, auxSW, auxNext); err != nil {
 			return err
@@ -158,49 +159,108 @@ func (e *Engine) runEpisode(walkers, steps int, res *Result) error {
 	return nil
 }
 
-// sampleTask is the sample stage's pool task: workers pull partitions
-// from a shared counter; each partition's walker chunk is private to the
+// sampleItem is one unit of sample-stage work: a partition's whole walker
+// chunk or, for oversized direct-sampling chunks, one sub-shard of it.
+// Each item carries its own RNG seed, derived from (engine seed, episode,
+// step, partition, sub-shard) — never from the claiming worker — so
+// walker trajectories are a pure function of the engine seed, independent
+// of worker count and of the order workers claim items.
+type sampleItem struct {
+	vp     int32
+	lo, hi uint64
+	seed   uint64
+}
+
+// subShardSize is the walker-count granularity for splitting oversized
+// direct-sampling chunks: chunks of at least twice this size are cut into
+// subShardSize pieces (the ragged tail absorbed into the last piece) so
+// one giant DS tail partition cannot serialize the stage behind a single
+// worker. A var so tests can shrink it to force sub-sharding on small
+// inputs.
+var subShardSize = uint64(1) << 16
+
+// sampleSeed derives one work item's RNG seed. Chained Mix64 rounds
+// avalanche every coordinate, so distinct (episode, step, partition,
+// sub-shard) tuples get independent streams.
+func sampleSeed(seed uint64, episode, step, vp, sub int) uint64 {
+	h := rng.Mix64(seed ^ 0x5b8315f3a2ca3357)
+	h = rng.Mix64(h + uint64(episode))
+	h = rng.Mix64(h + uint64(step))
+	h = rng.Mix64(h + uint64(vp))
+	return rng.Mix64(h + uint64(sub))
+}
+
+// sampleTask is the sample stage's pool task: workers pull work items
+// from a shared counter; each item's walker range is private to the
 // worker that claims it, so the stage needs no locks (§4.3). The task
-// struct lives in the Engine and is re-armed per step, keeping the step
-// loop allocation-free.
+// struct (and its item list) lives in the Engine and is re-armed per
+// step, keeping the step loop allocation-free once warm.
 type sampleTask struct {
 	e         *Engine
 	next      atomic.Int64
-	vpStart   []uint64
+	items     []sampleItem
 	sw        []graph.VID
 	auxSW     [][]graph.VID
-	srcs      []*rng.XorShift1024Star
-	scratches []*order2Scratch
+	scratches []*sampleScratch
 	vpSteps   []uint64
 }
 
 // RunShard implements pool.Task for the sample stage.
 func (t *sampleTask) RunShard(_, worker, _ int) {
 	e := t.e
-	numVPs := e.plan.NumVPs()
-	src := t.srcs[worker]
 	scr := t.scratches[worker]
 	for {
-		vp := int(t.next.Add(1))
-		if vp >= numVPs {
+		idx := int(t.next.Add(1))
+		if idx >= len(t.items) {
 			return
 		}
-		chunk := t.sw[t.vpStart[vp]:t.vpStart[vp+1]]
-		aux := sliceAux(t.auxSW, t.vpStart[vp], t.vpStart[vp+1], &scr.auxView)
-		e.sampleVPScratch(vp, chunk, aux, src, scr)
-		atomic.AddUint64(&t.vpSteps[vp], uint64(len(chunk)))
+		it := t.items[idx]
+		scr.src.Reseed(it.seed)
+		chunk := t.sw[it.lo:it.hi]
+		aux := sliceAux(t.auxSW, it.lo, it.hi, &scr.auxView)
+		e.sampleVPScratch(int(it.vp), chunk, aux, scr.src, scr)
+		atomic.AddUint64(&t.vpSteps[it.vp], uint64(len(chunk)))
 	}
 }
 
-// sampleAll runs the sample stage on the persistent pool.
-func (e *Engine) sampleAll(vpStart []uint64, sw []graph.VID, auxSW [][]graph.VID, srcs []*rng.XorShift1024Star, scratches []*order2Scratch, vpSteps []uint64) {
+// sampleAll runs the sample stage on the persistent pool: build the work
+// item list — splitting oversized DS chunks into sub-shards — then let
+// workers claim items off the shared counter.
+func (e *Engine) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID, auxSW [][]graph.VID, scratches []*sampleScratch, vpSteps []uint64) {
 	t := &e.sample
-	t.vpStart, t.sw, t.auxSW = vpStart, sw, auxSW
-	t.srcs, t.scratches, t.vpSteps = srcs, scratches, vpSteps
+	items := t.items[:0]
+	// Only stateless first-order chunks can split: PS partitions share
+	// mutable buffer state across the whole chunk, and higher-order paths
+	// batch over the full chunk.
+	shardable := e.spec.Order == 1 && e.spec.History == nil
+	for vp := 0; vp < e.plan.NumVPs(); vp++ {
+		lo, hi := vpStart[vp], vpStart[vp+1]
+		if lo == hi {
+			continue
+		}
+		if !shardable || hi-lo < 2*subShardSize || e.kern[vp].st != nil {
+			items = append(items, sampleItem{vp: int32(vp), lo: lo, hi: hi,
+				seed: sampleSeed(e.cfg.Seed, episode, step, vp, 0)})
+			continue
+		}
+		a := lo
+		for sub := 0; a < hi; sub++ {
+			b := a + subShardSize
+			if b >= hi || hi-b < subShardSize {
+				b = hi // absorb the ragged tail into the last piece
+			}
+			items = append(items, sampleItem{vp: int32(vp), lo: a, hi: b,
+				seed: sampleSeed(e.cfg.Seed, episode, step, vp, sub)})
+			a = b
+		}
+	}
+	t.items = items
+	t.sw, t.auxSW = sw, auxSW
+	t.scratches, t.vpSteps = scratches, vpSteps
 	t.next.Store(-1)
 	e.pool.Run(t, 0)
-	t.vpStart, t.sw, t.auxSW = nil, nil, nil
-	t.srcs, t.scratches, t.vpSteps = nil, nil, nil
+	t.sw, t.auxSW = nil, nil
+	t.scratches, t.vpSteps = nil, nil
 }
 
 // sliceAux views each aux channel's [lo, hi) range, reusing the worker's

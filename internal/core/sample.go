@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"slices"
 
 	"flashmob/internal/graph"
@@ -136,14 +137,22 @@ func (e *Engine) secondOrderWeight(prev, cur, x graph.VID) float64 {
 	}
 }
 
-// order2Scratch holds per-worker reusable buffers for the batched
-// second-order sample path. pending packs (predecessor VID << 32 | walker
+// sampleScratch holds per-worker reusable state for the sample stage: the
+// reseedable RNG the stage's work items draw from, plus the buffers of the
+// batched second-order path. pending packs (predecessor VID << 32 | walker
 // index) so grouping by predecessor is a flat uint64 sort.
-type order2Scratch struct {
+type sampleScratch struct {
+	src     *rng.XorShift1024Star
 	cand    []graph.VID
 	pending []uint64
 	auxView [][]graph.VID
 	hist    []graph.VID
+}
+
+// newSampleScratch allocates a scratch with its own generator (reseeded
+// per work item by the sample stage).
+func newSampleScratch() *sampleScratch {
+	return &sampleScratch{src: rng.NewXorShift1024Star(0)}
 }
 
 // batchThreshold is the chunk size above which second-order sampling
@@ -153,48 +162,106 @@ const batchThreshold = 64
 // sampleVP advances every walker in one partition's shuffled chunk, in
 // place (§4.2): a single sequential scan of the walker chunk, with all
 // random accesses confined to the partition's working set.
-func (e *Engine) sampleVP(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src rng.Source) {
-	e.sampleVPScratch(vpIdx, chunk, aux, src, &order2Scratch{})
+func (e *Engine) sampleVP(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star) {
+	e.sampleVPScratch(vpIdx, chunk, aux, src, newSampleScratch())
 }
 
-func (e *Engine) sampleVPScratch(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src rng.Source, scr *order2Scratch) {
-	stop := e.spec.StopProb
+// sampleVPScratch dispatches one partition chunk to the walk-shape
+// handler. The PS/DS/weighted kernel selection below it is per-partition
+// (resolved at engine build), so the per-walker inner loops carry no
+// policy branches; Config.ScalarSample routes through the retained
+// generic scalar path instead, which follows the identical draw
+// discipline (the equivalence tests compare the two bitwise).
+func (e *Engine) sampleVPScratch(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
 	if e.spec.History != nil {
 		e.sampleVPHistory(vpIdx, chunk, aux, src, scr)
 		return
 	}
-	order2 := e.spec.Order == 2
-	if order2 && stop == 0 && scr != nil && len(chunk) >= batchThreshold {
-		e.sampleVPSecondBatched(vpIdx, chunk, aux[0], src, scr)
+	if e.spec.StopProb > 0 {
+		e.sampleVPStop(vpIdx, chunk, aux, src, scr)
 		return
 	}
-	n := e.g.NumVertices()
-	for j := range chunk {
-		if stop > 0 && rng.Float64(src) < stop {
-			// Stochastic termination with restart: the walker teleports to
-			// a uniformly random vertex (Monte-Carlo PageRank semantics).
-			nv := graph.VID(rng.Uint32n(src, n))
-			chunk[j] = nv
-			if order2 {
-				aux[0][j] = nv
+	e.sampleVPSegment(vpIdx, chunk, aux, 0, len(chunk), true, src, scr)
+}
+
+// sampleVPSegment advances walkers [lo, hi) of a chunk one step with no
+// restart handling — the shared body of the plain path (whole chunk) and
+// the geometric-skip restart path (the stretches between restarts).
+// allowBatch gates the batched second-order path so segment boundaries do
+// not change which walkers batch relative to the scalar reference.
+func (e *Engine) sampleVPSegment(vpIdx int, chunk []graph.VID, aux [][]graph.VID, lo, hi int, allowBatch bool, src *rng.XorShift1024Star, scr *sampleScratch) {
+	if hi <= lo {
+		return
+	}
+	if e.spec.Order == 2 {
+		seg, prev := chunk[lo:hi], aux[0][lo:hi]
+		if allowBatch && hi-lo >= batchThreshold {
+			if e.cfg.ScalarSample {
+				e.sampleVPSecondBatched(vpIdx, seg, prev, src, scr)
+			} else {
+				e.kernSecondBatched(vpIdx, seg, prev, src, scr)
 			}
-			continue
+			return
 		}
-		v := chunk[j]
+		if e.cfg.ScalarSample {
+			for j := range seg {
+				v := seg[j]
+				next := e.sampleSecond(vpIdx, v, prev[j], src)
+				prev[j] = v
+				seg[j] = next
+			}
+			return
+		}
+		e.kernSecondWalk(vpIdx, seg, prev, src)
+		return
+	}
+	if e.cfg.ScalarSample {
+		seg := chunk[lo:hi]
+		for j := range seg {
+			seg[j] = e.sampleFirst(vpIdx, seg[j], src)
+		}
+		return
+	}
+	e.runChunkKernel(vpIdx, chunk[lo:hi], src)
+}
+
+// sampleVPStop advances a chunk under stochastic termination (Monte-Carlo
+// PageRank semantics): a restarting walker teleports to a uniformly random
+// vertex instead of taking an edge step. Rather than paying one Float64
+// draw per walker to test restart, the distance to the next restart is
+// drawn from the geometric law floor(ln(1-r)/ln(1-p)) and the walkers in
+// between advance through the restart-free segment path. Restarts are
+// i.i.d. Bernoulli(p) per walker-step and the walkers in a chunk are
+// exchangeable, so a fresh geometric gap per chunk is distributionally
+// exact; the non-restarting common case pays no per-walker restart draw.
+func (e *Engine) sampleVPStop(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+	logq := math.Log1p(-e.spec.StopProb) // ln(1-p) < 0, finite for p < 1
+	n := e.g.NumVertices()
+	order2 := e.spec.Order == 2
+	pos := 0
+	for pos < len(chunk) {
+		// gap ≥ 0: how many walkers advance normally before one restarts.
+		// Compare in float64 first — for r near 1 the ratio overflows int.
+		gap := math.Log1p(-src.Float64()) / logq
+		if gap >= float64(len(chunk)-pos) {
+			e.sampleVPSegment(vpIdx, chunk, aux, pos, len(chunk), false, src, scr)
+			return
+		}
+		next := pos + int(gap)
+		e.sampleVPSegment(vpIdx, chunk, aux, pos, next, false, src, scr)
+		nv := graph.VID(src.Uint32n(n))
+		chunk[next] = nv
 		if order2 {
-			next := e.sampleSecond(vpIdx, v, aux[0][j], src)
-			aux[0][j] = v
-			chunk[j] = next
-		} else {
-			chunk[j] = e.sampleFirst(vpIdx, v, src)
+			aux[0][next] = nv
 		}
+		pos = next + 1
 	}
 }
 
 // sampleVPHistory advances order-k walkers: candidates come from the
 // partition's PS/DS machinery, acceptance from the history transition,
 // and every walker's predecessor window shifts by one.
-func (e *Engine) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src rng.Source, scr *order2Scratch) {
+func (e *Engine) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
 	tr := e.spec.History
 	if cap(scr.hist) < tr.Window {
 		scr.hist = make([]graph.VID, tr.Window)
@@ -238,7 +305,7 @@ func (e *Engine) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VID
 // back-to-back and hit cache. Rejected walkers redraw in subsequent
 // rounds; acceptance probability is bounded below by min(1, 1/p, 1/q)/maxW
 // so rounds terminate quickly.
-func (e *Engine) sampleVPSecondBatched(vpIdx int, chunk, aux []graph.VID, src rng.Source, scr *order2Scratch) {
+func (e *Engine) sampleVPSecondBatched(vpIdx int, chunk, aux []graph.VID, src rng.Source, scr *sampleScratch) {
 	maxW := e.maxWeight()
 	n := len(chunk)
 	if cap(scr.cand) < n {
@@ -267,12 +334,15 @@ func (e *Engine) sampleVPSecondBatched(vpIdx int, chunk, aux []graph.VID, src rn
 	// cache, and the walk over predecessors is monotone in VID (hubs
 	// first, matching the degree-sorted layout).
 	slices.Sort(pending)
+	// The PS-vs-DS decision is partition-invariant: resolve it once, not
+	// per pending walker per round.
+	st := e.ps[vpIdx]
 	for len(pending) > 0 {
 		// Candidate generation: local to the partition (pre-sampled
 		// buffers or direct reads), one sequential pass.
 		for _, key := range pending {
 			i := uint32(key)
-			if st := e.ps[vpIdx]; st != nil {
+			if st != nil {
 				cand[i] = e.nextPS(st, chunk[i], src)
 			} else {
 				cand[i] = e.sampleFirst(vpIdx, chunk[i], src)

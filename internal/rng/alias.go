@@ -84,6 +84,18 @@ func (t *AliasTable) Sample(src Source) uint32 {
 	return t.alias[col]
 }
 
+// SampleFrom draws one outcome index in O(1) from a concrete xorshift1024*
+// generator, with the identical draw sequence as Sample (one bounded draw,
+// one Float64). The concrete type lets the weighted sample kernels inline
+// the generator instead of dispatching through Source twice per draw.
+func (t *AliasTable) SampleFrom(x *XorShift1024Star) uint32 {
+	col := x.Uint32n(uint32(len(t.prob)))
+	if x.Float64() < t.prob[col] {
+		return col
+	}
+	return t.alias[col]
+}
+
 // CDF implements inverse-transform sampling (Devroye 2006): a cumulative
 // distribution table sampled by binary search in O(log n). It is the
 // classical alternative to the alias method referenced in the paper's

@@ -1,0 +1,61 @@
+package rng
+
+import "testing"
+
+// The concrete XorShift1024Star methods (Reseed, Uint64n, Uint32n,
+// Float64) and AliasTable.SampleFrom exist so the sample kernels can
+// inline the generator instead of dispatching through Source. They must
+// stay draw-for-draw identical to their interface-typed twins: the
+// engine's bitwise equivalence tests depend on it.
+
+func TestReseedMatchesNew(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)} {
+		fresh := NewXorShift1024Star(seed)
+		reused := NewXorShift1024Star(seed ^ 0x1234)
+		reused.Uint64() // advance so Reseed must also reset p
+		reused.Reseed(seed)
+		for i := 0; i < 64; i++ {
+			if a, b := fresh.Uint64(), reused.Uint64(); a != b {
+				t.Fatalf("seed %#x draw %d: New=%#x Reseed=%#x", seed, i, a, b)
+			}
+		}
+	}
+}
+
+func TestConcreteMethodsMatchPackageFuncs(t *testing.T) {
+	a := NewXorShift1024Star(7)
+	b := NewXorShift1024Star(7)
+	bounds := []uint64{1, 2, 3, 10, 1 << 20, 1<<63 + 12345}
+	for i := 0; i < 2000; i++ {
+		n := bounds[i%len(bounds)]
+		if x, y := Uint64n(a, n), b.Uint64n(n); x != y {
+			t.Fatalf("Uint64n(%d) iter %d: func=%d method=%d", n, i, x, y)
+		}
+		if x, y := Uint32n(a, uint32(i%100+1)), b.Uint32n(uint32(i%100+1)); x != y {
+			t.Fatalf("Uint32n iter %d: func=%d method=%d", i, x, y)
+		}
+		if x, y := Float64(a), b.Float64(); x != y {
+			t.Fatalf("Float64 iter %d: func=%v method=%v", i, x, y)
+		}
+	}
+}
+
+func TestConcreteUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n == 0")
+		}
+	}()
+	NewXorShift1024Star(1).Uint64n(0)
+}
+
+func TestAliasSampleFromMatchesSample(t *testing.T) {
+	tab := NewAliasTable([]float64{3, 1, 0.5, 2, 0.25, 4})
+	a := NewXorShift1024Star(99)
+	b := NewXorShift1024Star(99)
+	for i := 0; i < 5000; i++ {
+		if x, y := tab.Sample(a), tab.SampleFrom(b); x != y {
+			t.Fatalf("iter %d: Sample=%d SampleFrom=%d", i, x, y)
+		}
+	}
+}

@@ -82,16 +82,27 @@ type XorShift1024Star struct {
 // from seed via splitmix64.
 func NewXorShift1024Star(seed uint64) *XorShift1024Star {
 	var g XorShift1024Star
-	sm := NewSplitMix64(seed)
+	g.Reseed(seed)
+	return &g
+}
+
+// Reseed re-expands the 16-word state from seed in place, exactly as
+// NewXorShift1024Star does, without allocating. The sample stage reseeds
+// one scratch generator per (episode, step, partition, sub-shard) work
+// item, which makes walker trajectories a pure function of the engine
+// seed — independent of worker count and scheduling — while keeping the
+// steady-state step loop allocation-free.
+func (x *XorShift1024Star) Reseed(seed uint64) {
+	sm := SplitMix64{state: seed}
 	nonzero := false
-	for i := range g.state {
-		g.state[i] = sm.Uint64()
-		nonzero = nonzero || g.state[i] != 0
+	for i := range x.state {
+		x.state[i] = sm.Uint64()
+		nonzero = nonzero || x.state[i] != 0
 	}
 	if !nonzero {
-		g.state[0] = 1
+		x.state[0] = 1
 	}
-	return &g
+	x.p = 0
 }
 
 // Uint64 returns the next value in the stream.
@@ -104,6 +115,37 @@ func (x *XorShift1024Star) Uint64() uint64 {
 	s0 ^= s0 >> 30
 	x.state[x.p] = s0 ^ s1
 	return x.state[x.p] * 1181783497276652981
+}
+
+// Uint64n returns a uniformly distributed value in [0, n): the
+// devirtualized twin of the package-level Uint64n. Same algorithm, same
+// draw sequence, but the concrete receiver lets the compiler inline the
+// generator into the sample kernels instead of dispatching through
+// Source on every draw.
+func (x *XorShift1024Star) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(x.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(x.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Uint32n returns a uniformly distributed value in [0, n), n nonzero.
+// Devirtualized twin of the package-level Uint32n.
+func (x *XorShift1024Star) Uint32n(n uint32) uint32 {
+	return uint32(x.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniformly distributed value in [0, 1) with 53 bits of
+// precision. Devirtualized twin of the package-level Float64.
+func (x *XorShift1024Star) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
 }
 
 // Uint64n returns a uniformly distributed value in [0, n) drawn from src,
