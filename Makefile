@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: build test race bench bench-shuffle bench-sample
+.PHONY: build test race lint bench bench-shuffle bench-sample
 
 build:
 	$(GO) build ./...
+
+# Formatting, vet, and documentation coverage (the CI lint leg).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/doccheck -strict . -strict ./internal/obs ./internal/... ./cmd/... ./examples/...
 
 test:
 	$(GO) test ./...

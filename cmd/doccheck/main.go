@@ -1,0 +1,202 @@
+// Command doccheck verifies documentation coverage: every package under
+// the given directories must have a package doc comment, and — for
+// packages passed with the -exported flag semantics below — every exported
+// top-level identifier must carry a doc comment.
+//
+// Usage:
+//
+//	doccheck [-strict pkgdir]... [pkgdir]...
+//
+// Plain directories are checked for a package comment only; -strict
+// directories (repeatable) additionally require a doc comment on every
+// exported const, var, type, func, method, and struct field. The repo's CI
+// lint leg runs it as:
+//
+//	go run ./cmd/doccheck -strict . -strict ./internal/obs ./internal/... ./cmd/...
+//
+// so the public flashmob surface and the metrics package are held to the
+// strict standard and everything else must at least explain itself at the
+// package level. Exits non-zero listing every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// strictDirs collects the repeatable -strict flag.
+type strictDirs []string
+
+func (s *strictDirs) String() string     { return strings.Join(*s, ",") }
+func (s *strictDirs) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var strict strictDirs
+	flag.Var(&strict, "strict", "directory whose exported identifiers must all be documented (repeatable)")
+	flag.Parse()
+
+	var problems []string
+	for _, dir := range strict {
+		problems = append(problems, checkDir(dir, true)...)
+	}
+	for _, dir := range flag.Args() {
+		problems = append(problems, checkDir(dir, false)...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory (expanding a trailing /... into a
+// recursive walk) and returns its documentation violations.
+func checkDir(dir string, strict bool) []string {
+	if rest, ok := strings.CutSuffix(dir, "/..."); ok {
+		var out []string
+		filepath.WalkDir(rest, func(path string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			if base := d.Name(); strings.HasPrefix(base, ".") || base == "testdata" {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				out = append(out, checkOne(path, strict)...)
+			}
+			return nil
+		})
+		return out
+	}
+	return checkOne(dir, strict)
+}
+
+// hasGoFiles reports whether dir directly contains a non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkOne checks a single package directory.
+func checkOne(dir string, strict bool) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", dir, err)}
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package doc comment", dir, pkg.Name))
+		}
+		if !strict {
+			continue
+		}
+		for name, f := range pkg.Files {
+			out = append(out, checkFile(fset, name, f)...)
+		}
+	}
+	return out
+}
+
+// checkFile reports every exported top-level identifier of one file that
+// lacks a doc comment.
+func checkFile(fset *token.FileSet, name string, f *ast.File) []string {
+	var out []string
+	complain := func(pos token.Pos, what, ident string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, ident))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil && receiverExported(d) {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				complain(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			checkGenDecl(d, complain)
+		}
+	}
+	return out
+}
+
+// receiverExported reports whether a method's receiver type is itself
+// exported (methods on unexported types need no doc).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+// checkGenDecl walks a const/var/type declaration group. A doc comment on
+// the group covers every spec in it; otherwise each exported spec needs
+// its own.
+func checkGenDecl(d *ast.GenDecl, complain func(token.Pos, string, string)) {
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+				complain(s.Pos(), "type", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				for _, field := range st.Fields.List {
+					for _, fn := range field.Names {
+						if fn.IsExported() && field.Doc == nil && field.Comment == nil {
+							complain(field.Pos(), "field", s.Name.Name+"."+fn.Name)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if n.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					complain(n.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}

@@ -76,7 +76,15 @@ func flashMobEngine(g *graph.CSR, spec algo.Spec, cfg benchConfig, extra func(*c
 	if extra != nil {
 		extra(&ecfg)
 	}
-	return core.New(g, spec, ecfg)
+	if collector != nil {
+		ecfg.Metrics = true
+	}
+	e, err := core.New(g, spec, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	collector.register(e.MetricsReport)
+	return e, nil
 }
 
 // planFor builds the MCKP plan for a graph under the scaled simulation

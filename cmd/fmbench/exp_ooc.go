@@ -61,11 +61,13 @@ func expOOC(w io.Writer, cfg benchConfig) error {
 			BlockBudget: budget,
 			Seed:        cfg.Seed,
 			Workers:     cfg.Workers,
+			Metrics:     collector != nil,
 		})
 		if err != nil {
 			gf.Close()
 			return err
 		}
+		collector.register(e.MetricsReport)
 		res, err := e.Run(0, cfg.Steps)
 		gf.Close()
 		if err != nil {

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/core"
+	"flashmob/internal/obs"
+)
+
+// expReport demonstrates the observability layer end to end: it runs one
+// metered DeepWalk on the YT stand-in, prints an annotated summary of the
+// headline counters (the "anatomy of a run" walkthrough in the README),
+// and then emits the full JSON report — the same document `-metrics`
+// writes and docs/OBSERVABILITY.md documents field by field.
+func expReport(w io.Writer, cfg benchConfig) error {
+	g, err := presetGraph("YT", cfg)
+	if err != nil {
+		return err
+	}
+	e, err := flashMobEngine(g, algo.DeepWalk(), cfg, func(c *core.Config) {
+		c.Metrics = true
+	})
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	res, err := e.Run(0, cfg.Steps)
+	if err != nil {
+		return err
+	}
+	rep := res.Report
+	if rep == nil {
+		return fmt.Errorf("report: engine produced no metrics report")
+	}
+
+	fmt.Fprintf(w, "run: %d walkers x %d steps, %.1f ns/step\n\n",
+		res.Walkers, res.Steps, res.PerStepNS())
+
+	fmt.Fprintln(w, "-- run shape --")
+	for _, name := range []string{"core_episodes_total", "core_steps_total", "core_walkers_total", "core_sample_subshards_total"} {
+		if c, ok := rep.Counter(name); ok {
+			fmt.Fprintf(w, "%-32s %12d  (%s)\n", c.Name, c.Value, c.Help)
+		}
+	}
+
+	fmt.Fprintln(w, "\n-- per-step stage time (mean over steps) --")
+	for _, name := range []string{"core_sample_step_ns", "core_shuffle_fwd_step_ns", "core_shuffle_rev_step_ns", "core_sample_items_per_step"} {
+		if h, ok := rep.Histogram(name); ok {
+			fmt.Fprintf(w, "%-32s mean %12.0f %-5s over %d obs\n", h.Name, h.Mean(), h.Unit, h.Count)
+		}
+	}
+
+	fmt.Fprintln(w, "\n-- sample kernel mix (walker-steps per specialized kernel) --")
+	if v, ok := rep.Vector("core_sample_kernel_walker_steps"); ok {
+		total := v.Total()
+		for i, val := range v.Values {
+			if val == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-32s %12d  (%.1f%%)\n", v.Labels[i], val, 100*float64(val)/float64(total))
+		}
+	}
+
+	fmt.Fprintln(w, "\n-- worker pool --")
+	for _, name := range []string{"pool_runs_total", "pool_barrier_wait_ns"} {
+		if c, ok := rep.Counter(name); ok {
+			fmt.Fprintf(w, "%-32s %12d  (%s)\n", c.Name, c.Value, c.Help)
+		}
+	}
+	if v, ok := rep.Vector("pool_worker_busy_ns"); ok {
+		fmt.Fprintf(w, "%-32s %12d  summed over %d workers\n", v.Name, v.Total(), len(v.Values))
+	}
+
+	fmt.Fprintf(w, "\n-- full JSON report (schema_version %d; every field documented in docs/OBSERVABILITY.md) --\n",
+		obs.ReportSchemaVersion)
+	return rep.WriteJSON(w)
+}

@@ -71,6 +71,7 @@ var experiments = []experiment{
 	{"prep", "pre-processing overhead: counting sort + MCKP planning", expPrep},
 	{"ooc", "out-of-core walking: disk-streamed graph vs in-memory (§5.4 future work)", expOOC},
 	{"ablate", "design-choice ablations: LLC policy, prefetcher, regular DS indexing (simulated)", expAblate},
+	{"report", "observability demo: one metered DeepWalk run, annotated counters + full JSON report (docs/OBSERVABILITY.md)", expReport},
 }
 
 func main() {
@@ -81,9 +82,14 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads")
 		minCSR  = flag.Uint64("mincsr", 48<<20, "minimum CSR bytes for DRAM-resident wall-clock experiments")
+		metrics = flag.String("metrics", "", "write a JSON metrics report for every engine-backed run to this file (see docs/OBSERVABILITY.md)")
 		list    = flag.Bool("list", false, "list experiments")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		collector = &metricsCollector{}
+	}
 
 	if *list || *expFlag == "" {
 		fmt.Println("experiments:")
@@ -122,11 +128,19 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
+		collector.setExperiment(e.name)
 		if err := e.run(os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "fmbench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+	if *metrics != "" {
+		if err := collector.writeFile(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "fmbench: writing -metrics file: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics report written to %s\n", *metrics)
 	}
 }
 

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+
+	"flashmob/internal/obs"
+)
+
+// metricsCollector gathers metric reports from every engine the harness
+// builds while the -metrics flag is set. Engines register a snapshot
+// closure at construction time (flashMobEngine, oocEngine); the snapshots
+// are taken when the file is written, so each report covers everything the
+// engine did. A nil collector (no -metrics flag) disables registration.
+type metricsCollector struct {
+	mu      sync.Mutex
+	exp     string // experiment currently running
+	entries []metricsEntry
+}
+
+// metricsEntry pairs one engine's snapshot closure with the experiment
+// that created it.
+type metricsEntry struct {
+	exp  string
+	snap func() *obs.Report
+}
+
+// collector is the process-wide sink, non-nil only when -metrics is set.
+var collector *metricsCollector
+
+// setExperiment records which experiment subsequent engines belong to.
+func (c *metricsCollector) setExperiment(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.exp = name
+	c.mu.Unlock()
+}
+
+// register adds one engine's report closure under the current experiment.
+func (c *metricsCollector) register(snap func() *obs.Report) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.entries = append(c.entries, metricsEntry{exp: c.exp, snap: snap})
+	c.mu.Unlock()
+}
+
+// reportFile is the JSON document -metrics writes: one report per engine
+// built during the run, tagged with its experiment, in construction order.
+type reportFile struct {
+	SchemaVersion int            `json:"schema_version"`
+	Reports       []taggedReport `json:"reports"`
+}
+
+// taggedReport is one engine's report plus the experiment that ran it.
+type taggedReport struct {
+	Experiment string      `json:"experiment"`
+	Report     *obs.Report `json:"report"`
+}
+
+// writeFile snapshots every registered engine and writes the combined
+// JSON document to path.
+func (c *metricsCollector) writeFile(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := reportFile{SchemaVersion: obs.ReportSchemaVersion}
+	for _, e := range c.entries {
+		r := e.snap()
+		if r == nil {
+			continue
+		}
+		out.Reports = append(out.Reports, taggedReport{Experiment: e.exp, Report: r})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/graph"
+	"flashmob/internal/obs"
+	"flashmob/internal/ooc"
+)
+
+// collectReports runs one core engine and one ooc engine through the
+// -metrics collector machinery and returns the parsed report file.
+func collectReports(t *testing.T) reportFile {
+	t.Helper()
+	cfg := tinyConfig()
+	old := collector
+	collector = &metricsCollector{}
+	defer func() { collector = old }()
+	collector.setExperiment("test")
+
+	g, err := presetGraph("YT", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := flashMobEngine(g, algo.DeepWalk(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Run(0, cfg.Steps); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteBinary(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gf, err := graph.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	oe, err := ooc.New(gf, ooc.Config{Seed: cfg.Seed, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector.register(oe.MetricsReport)
+	if _, err := oe.Run(0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "metrics.json")
+	if err := collector.writeFile(out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rf reportFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	return rf
+}
+
+// TestMetricsFileSchema verifies the -metrics collector end to end: the
+// file parses, carries the schema version, and tags every report with
+// its experiment.
+func TestMetricsFileSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine run skipped in -short")
+	}
+	rf := collectReports(t)
+	if rf.SchemaVersion != obs.ReportSchemaVersion {
+		t.Errorf("schema_version %d, want %d", rf.SchemaVersion, obs.ReportSchemaVersion)
+	}
+	if len(rf.Reports) != 2 {
+		t.Fatalf("got %d reports, want 2 (core + ooc)", len(rf.Reports))
+	}
+	for _, r := range rf.Reports {
+		if r.Experiment != "test" {
+			t.Errorf("report tagged %q, want \"test\"", r.Experiment)
+		}
+		if r.Report == nil || len(r.Report.Counters) == 0 {
+			t.Error("report missing counters")
+		}
+	}
+}
+
+// TestEveryMetricDocumented enforces the documentation contract: every
+// metric name that can appear in a report, and every JSON field the
+// report schema emits, must be mentioned in docs/OBSERVABILITY.md.
+func TestEveryMetricDocumented(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine run skipped in -short")
+	}
+	docBytes, err := os.ReadFile(filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("docs/OBSERVABILITY.md missing: %v", err)
+	}
+	doc := string(docBytes)
+
+	rf := collectReports(t)
+	for _, tagged := range rf.Reports {
+		r := tagged.Report
+		var names []string
+		for _, c := range r.Counters {
+			names = append(names, c.Name)
+		}
+		for _, g := range r.Gauges {
+			names = append(names, g.Name)
+		}
+		for _, h := range r.Histograms {
+			names = append(names, h.Name)
+		}
+		for _, v := range r.Vectors {
+			names = append(names, v.Name)
+		}
+		for _, n := range names {
+			if !strings.Contains(doc, "`"+n+"`") {
+				t.Errorf("metric %q not documented in docs/OBSERVABILITY.md", n)
+			}
+		}
+	}
+
+	// The JSON schema fields themselves.
+	for _, field := range []string{
+		`"schema_version"`, `"counters"`, `"gauges"`, `"histograms"`, `"vectors"`,
+		`"name"`, `"unit"`, `"stage"`, `"help"`, `"value"`,
+		`"count"`, `"sum"`, `"buckets"`, `"le"`, `"labels"`, `"values"`,
+		`"reports"`, `"experiment"`, `"report"`,
+	} {
+		if !strings.Contains(doc, field) {
+			t.Errorf("JSON field %s not documented in docs/OBSERVABILITY.md", field)
+		}
+	}
+}

@@ -102,6 +102,13 @@ type Options struct {
 	// retaining history. Vertex IDs are in the internal degree-sorted
 	// numbering; slices are reused and must be copied if kept.
 	EdgeStream func(step int, cur, next []VID)
+	// Metrics enables the observability layer: per-stage and
+	// per-partition counters and latency histograms, pool busy/barrier
+	// accounting, and runtime/pprof stage labels on worker goroutines.
+	// Each Walk's Result then carries a Report snapshot. Off by default;
+	// docs/OBSERVABILITY.md documents every metric and the measured
+	// overhead.
+	Metrics bool
 }
 
 // System is a ready-to-walk FlashMob instance: the graph has been
@@ -140,6 +147,7 @@ func New(g *Graph, opt Options) (*System, error) {
 	if opt.EdgeUniformInit {
 		cfg.Init = core.InitEdgeUniform
 	}
+	cfg.Metrics = opt.Metrics
 	cfg.StepSink = opt.EdgeStream
 	engine, err := core.New(reorder.Graph, opt.Algorithm, cfg)
 	if err != nil {

@@ -14,7 +14,7 @@ import (
 // undirectedTestGraph builds a small degree-sorted undirected power-law
 // graph (symmetric edges, so the uniform walk's stationary distribution is
 // proportional to degree).
-func undirectedTestGraph(t *testing.T, n uint32, seed uint64) *graph.CSR {
+func undirectedTestGraph(t testing.TB, n uint32, seed uint64) *graph.CSR {
 	t.Helper()
 	dir, err := gen.PowerLaw(gen.PowerLawConfig{
 		NumVertices: n, AvgDegree: 6, Alpha: 0.7, Seed: seed,

@@ -78,6 +78,13 @@ type Config struct {
 	// this switch exists for the fmbench scalar-vs-kernels comparison and
 	// the equivalence tests themselves.
 	ScalarSample bool
+	// Metrics enables the observability layer (internal/obs): per-stage
+	// and per-partition counters and latency histograms accumulated on the
+	// engine's registry, pool busy/barrier accounting, and runtime/pprof
+	// stage labels on worker goroutines. Off by default; when off, every
+	// recording site reduces to a nil check (see docs/OBSERVABILITY.md for
+	// the metric reference and the measured overhead).
+	Metrics bool
 	// StepSink, when non-nil, receives every iteration's sampled edges in
 	// walker order: cur[j] → next[j] is walker j's transition at the
 	// given step. This is the paper's streaming output mode (§4.3:
@@ -116,6 +123,9 @@ type Engine struct {
 	// weighted is the alias-table sampler for weighted walks (nil
 	// otherwise).
 	weighted *algo.WeightedSampler
+
+	// metrics is the observability state (nil unless Config.Metrics).
+	metrics *engineMetrics
 }
 
 // psState holds one PS partition's pre-sampled edge buffers: vertex v in
@@ -219,6 +229,10 @@ func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
 		}
 	}
 	e.buildKernels()
+	if cfg.Metrics {
+		e.metrics = newEngineMetrics(e)
+		e.sample.m = e.metrics
+	}
 	return e, nil
 }
 

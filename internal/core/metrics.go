@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+
+	"flashmob/internal/obs"
+)
+
+// kernelKindNames labels the kernel-kind slots of the
+// core_sample_kernel_walker_steps vector, in kernelKind order.
+var kernelKindNames = []string{"empty", "ps", "ps-weighted", "ds-regular", "ds-csr", "ds-weighted"}
+
+// engineMetrics is the engine's observability state, built once per
+// engine when Config.Metrics is set; a nil *engineMetrics disables every
+// recording site (the off path is one nil check per site, none of them
+// per walker). All metric pointers are resolved here at build time so the
+// hot path never consults the registry.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	// Run-level accounting.
+	runs, episodes, steps, walkers *obs.Counter
+
+	// Per-step stage durations (one observation per pipeline step).
+	sampleStepNS, shuffleFwdStepNS, shuffleRevStepNS *obs.Histogram
+
+	// Sample-stage structure: work items per step, and how many of them
+	// were sub-shards of split oversized DS chunks.
+	sampleItems     *obs.Histogram
+	sampleSubShards *obs.Counter
+
+	// Per-partition accounting: walker-steps sampled and sample time, and
+	// walker-steps per kernel kind (the §4.2 specialization mix).
+	vpWalkerSteps *obs.CounterVec
+	vpSampleNS    *obs.CounterVec
+	kernelSteps   *obs.CounterVec
+
+	// pool carries the worker pool's busy/barrier accounting.
+	pool *obs.PoolMetrics
+
+	// pprof label contexts: sampleCtx tags the sample stage as a whole,
+	// vpCtx[i] additionally tags partition i while a worker samples it.
+	sampleCtx context.Context
+	vpCtx     []context.Context
+}
+
+// newEngineMetrics builds the engine's metric set and label contexts and
+// attaches the pool accounting.
+func newEngineMetrics(e *Engine) *engineMetrics {
+	reg := obs.NewRegistry()
+	nvp := e.plan.NumVPs()
+	m := &engineMetrics{
+		reg: reg,
+		runs: reg.Counter(obs.Desc{
+			Name: "core_runs_total", Unit: "count", Stage: "run",
+			Help: "Engine.Run invocations",
+		}),
+		episodes: reg.Counter(obs.Desc{
+			Name: "core_episodes_total", Unit: "count", Stage: "run",
+			Help: "memory-budgeted episodes executed",
+		}),
+		steps: reg.Counter(obs.Desc{
+			Name: "core_steps_total", Unit: "count", Stage: "run",
+			Help: "pipeline steps executed (episodes × walk length)",
+		}),
+		walkers: reg.Counter(obs.Desc{
+			Name: "core_walkers_total", Unit: "walkers", Stage: "run",
+			Help: "walkers advanced across all episodes",
+		}),
+		sampleStepNS: reg.Histogram(obs.Desc{
+			Name: "core_sample_step_ns", Unit: "ns", Stage: "sample",
+			Help: "sample-stage wall time per pipeline step",
+		}),
+		shuffleFwdStepNS: reg.Histogram(obs.Desc{
+			Name: "core_shuffle_fwd_step_ns", Unit: "ns", Stage: "shuffle",
+			Help: "forward-shuffle (count+scatter+inner) wall time per pipeline step",
+		}),
+		shuffleRevStepNS: reg.Histogram(obs.Desc{
+			Name: "core_shuffle_rev_step_ns", Unit: "ns", Stage: "shuffle",
+			Help: "reverse-shuffle (gather) wall time per pipeline step",
+		}),
+		sampleItems: reg.Histogram(obs.Desc{
+			Name: "core_sample_items_per_step", Unit: "count", Stage: "sample",
+			Help: "sample-stage work items per step (non-empty partitions plus DS sub-shards)",
+		}),
+		sampleSubShards: reg.Counter(obs.Desc{
+			Name: "core_sample_subshards_total", Unit: "count", Stage: "sample",
+			Help: "work items produced by splitting oversized direct-sampling chunks",
+		}),
+		vpWalkerSteps: reg.CounterVec(obs.Desc{
+			Name: "core_vp_walker_steps", Unit: "walkers", Stage: "sample",
+			Help: "walker-steps sampled per vertex partition (Fig 10b weighting); index is the VP",
+		}, nvp, nil),
+		vpSampleNS: reg.CounterVec(obs.Desc{
+			Name: "core_vp_sample_ns", Unit: "ns", Stage: "sample",
+			Help: "sample wall time accumulated per vertex partition (work items attributed to their VP); index is the VP",
+		}, nvp, nil),
+		kernelSteps: reg.CounterVec(obs.Desc{
+			Name: "core_sample_kernel_walker_steps", Unit: "walkers", Stage: "sample",
+			Help: "walker-steps advanced per specialized kernel kind (§4.2 policy mix)",
+		}, len(kernelKindNames), kernelKindNames),
+		pool:      obs.NewPoolMetrics(reg, e.pool.Workers()),
+		sampleCtx: pprof.WithLabels(context.Background(), pprof.Labels("stage", "sample")),
+		vpCtx:     make([]context.Context, nvp),
+	}
+	for i := range m.vpCtx {
+		m.vpCtx[i] = pprof.WithLabels(context.Background(),
+			pprof.Labels("stage", "sample", "vp", strconv.Itoa(i)))
+	}
+	e.pool.SetMetrics(m.pool)
+	return m
+}
+
+// MetricsReport snapshots the engine's metrics registry, accumulated
+// across every Run since the engine was built. Returns nil when the
+// engine was created without Config.Metrics.
+func (e *Engine) MetricsReport() *obs.Report {
+	if e.metrics == nil {
+		return nil
+	}
+	return e.metrics.reg.Snapshot()
+}

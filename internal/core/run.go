@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"runtime/pprof"
 	"sync/atomic"
 	"time"
 
 	"flashmob/internal/graph"
+	"flashmob/internal/obs"
 	"flashmob/internal/rng"
 	"flashmob/internal/walk"
 )
@@ -33,6 +35,10 @@ type Result struct {
 	// VPSteps[i] counts walker-steps sampled in partition i, for the
 	// Figure 10b walker-step weighting.
 	VPSteps []uint64
+	// Report is the observability snapshot taken at the end of the run
+	// (nil unless Config.Metrics). Values accumulate across an engine's
+	// runs; see docs/OBSERVABILITY.md for the metric reference.
+	Report *obs.Report
 }
 
 // PerStepNS returns the headline metric: average wall nanoseconds per
@@ -73,6 +79,11 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 	res.Duration = time.Since(start)
 	res.ShuffleTime = res.ShuffleFwdTime + res.ShuffleRevTime
 	res.OtherTime = res.Duration - res.SampleTime - res.ShuffleTime
+	if m := e.metrics; m != nil {
+		m.runs.Inc()
+		m.walkers.Add(res.Walkers)
+		res.Report = m.reg.Snapshot()
+	}
 	return res, nil
 }
 
@@ -120,6 +131,10 @@ func (e *Engine) runEpisode(episode, walkers, steps int, res *Result) error {
 	if err != nil {
 		return err
 	}
+	if e.metrics != nil {
+		e.metrics.episodes.Inc()
+		shuffler.SetPprofLabels(true)
+	}
 
 	// Per-worker scratch buffers (each carries a generator that the
 	// sample stage reseeds per work item), stable across the episode.
@@ -144,6 +159,12 @@ func (e *Engine) runEpisode(episode, walkers, steps int, res *Result) error {
 		res.ShuffleFwdTime += t1.Sub(t0)
 		res.SampleTime += t2.Sub(t1)
 		res.ShuffleRevTime += t3.Sub(t2)
+		if m := e.metrics; m != nil {
+			m.steps.Inc()
+			m.shuffleFwdStepNS.Observe(uint64(t1.Sub(t0)))
+			m.sampleStepNS.Observe(uint64(t2.Sub(t1)))
+			m.shuffleRevStepNS.Observe(uint64(t3.Sub(t2)))
+		}
 
 		if e.cfg.StepSink != nil {
 			e.cfg.StepSink(step, w, wNext)
@@ -197,6 +218,7 @@ func sampleSeed(seed uint64, episode, step, vp, sub int) uint64 {
 // step, keeping the step loop allocation-free once warm.
 type sampleTask struct {
 	e         *Engine
+	m         *engineMetrics // nil unless Config.Metrics; set once at build
 	next      atomic.Int64
 	items     []sampleItem
 	sw        []graph.VID
@@ -218,7 +240,21 @@ func (t *sampleTask) RunShard(_, worker, _ int) {
 		scr.src.Reseed(it.seed)
 		chunk := t.sw[it.lo:it.hi]
 		aux := sliceAux(t.auxSW, it.lo, it.hi, &scr.auxView)
-		e.sampleVPScratch(int(it.vp), chunk, aux, scr.src, scr)
+		if m := t.m; m != nil {
+			// Per-item attribution: label the worker with the partition it
+			// is sampling and charge the item's wall time and walker count
+			// to that partition and its kernel kind. All per-item, never
+			// per-walker — items are chunk-sized, so the overhead stays in
+			// the noise (measured in EXPERIMENTS.md).
+			pprof.SetGoroutineLabels(m.vpCtx[it.vp])
+			t0 := time.Now()
+			e.sampleVPScratch(int(it.vp), chunk, aux, scr.src, scr)
+			m.vpSampleNS.Add(int(it.vp), uint64(time.Since(t0)))
+			m.vpWalkerSteps.Add(int(it.vp), uint64(len(chunk)))
+			m.kernelSteps.Add(int(e.kern[it.vp].kind), uint64(len(chunk)))
+		} else {
+			e.sampleVPScratch(int(it.vp), chunk, aux, scr.src, scr)
+		}
 		atomic.AddUint64(&t.vpSteps[it.vp], uint64(len(chunk)))
 	}
 }
@@ -229,6 +265,7 @@ func (t *sampleTask) RunShard(_, worker, _ int) {
 func (e *Engine) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID, auxSW [][]graph.VID, scratches []*sampleScratch, vpSteps []uint64) {
 	t := &e.sample
 	items := t.items[:0]
+	subShards := 0
 	// Only stateless first-order chunks can split: PS partitions share
 	// mutable buffer state across the whole chunk, and higher-order paths
 	// batch over the full chunk.
@@ -252,13 +289,20 @@ func (e *Engine) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID, 
 			items = append(items, sampleItem{vp: int32(vp), lo: a, hi: b,
 				seed: sampleSeed(e.cfg.Seed, episode, step, vp, sub)})
 			a = b
+			subShards++
 		}
 	}
 	t.items = items
 	t.sw, t.auxSW = sw, auxSW
 	t.scratches, t.vpSteps = scratches, vpSteps
 	t.next.Store(-1)
-	e.pool.Run(t, 0)
+	if m := e.metrics; m != nil {
+		m.sampleItems.Observe(uint64(len(items)))
+		m.sampleSubShards.Add(uint64(subShards))
+		e.pool.RunCtx(t, 0, m.sampleCtx)
+	} else {
+		e.pool.Run(t, 0)
+	}
 	t.sw, t.auxSW = nil, nil
 	t.scratches, t.vpSteps = nil, nil
 }

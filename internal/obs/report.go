@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ReportSchemaVersion identifies the JSON layout of Report. Bump it when
+// a field is renamed or removed (additions are backward compatible);
+// docs/OBSERVABILITY.md documents the current schema.
+const ReportSchemaVersion = 1
+
+// Report is a frozen snapshot of a Registry: plain values, safe to retain,
+// compare, and serialize after the engine that produced it is gone. Within
+// each section metrics are sorted by name, so the JSON encoding of two
+// reports from identically-built registries is structurally identical.
+type Report struct {
+	// SchemaVersion is ReportSchemaVersion at snapshot time.
+	SchemaVersion int `json:"schema_version"`
+	// Counters holds the frozen counters, sorted by metric name; like all
+	// sections, it is omitted from JSON when empty.
+	Counters []CounterSnap `json:"counters,omitempty"`
+	// Gauges holds the frozen gauges, sorted by metric name.
+	Gauges []GaugeSnap `json:"gauges,omitempty"`
+	// Histograms holds the frozen histograms, sorted by metric name.
+	Histograms []HistSnap `json:"histograms,omitempty"`
+	// Vectors holds the frozen counter vectors, sorted by metric name.
+	Vectors []VecSnap `json:"vectors,omitempty"`
+}
+
+// CounterSnap is one frozen counter.
+type CounterSnap struct {
+	Desc
+	// Value is the counter's total at snapshot time.
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is one frozen gauge.
+type GaugeSnap struct {
+	Desc
+	// Value is the gauge's level at snapshot time.
+	Value int64 `json:"value"`
+}
+
+// BucketSnap is one non-empty histogram bucket: Count observations with
+// value ≤ Le (and greater than the previous bucket's bound).
+type BucketSnap struct {
+	// Le is the bucket's inclusive upper bound.
+	Le uint64 `json:"le"`
+	// Count is how many observations fell in this bucket.
+	Count uint64 `json:"count"`
+}
+
+// HistSnap is one frozen histogram; only non-empty buckets appear.
+type HistSnap struct {
+	Desc
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// Sum is the sum of all observed values (Sum/Count is the mean).
+	Sum uint64 `json:"sum"`
+	// Buckets lists the non-empty power-of-two buckets in ascending
+	// bound order.
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// Mean returns the histogram's average observed value (0 when empty).
+func (h HistSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// VecSnap is one frozen counter vector. Labels, when present, name the
+// indices; otherwise the index itself identifies the slot (partition or
+// worker number).
+type VecSnap struct {
+	Desc
+	// Labels names the slots when the vector was registered with labels.
+	Labels []string `json:"labels,omitempty"`
+	// Values holds every slot's total, including zero slots, so the index
+	// is always meaningful.
+	Values []uint64 `json:"values"`
+}
+
+// Total returns the sum over the vector's slots.
+func (v VecSnap) Total() uint64 {
+	var t uint64
+	for _, x := range v.Values {
+		t += x
+	}
+	return t
+}
+
+// Counter returns the named counter snapshot.
+func (r *Report) Counter(name string) (CounterSnap, bool) {
+	for _, c := range r.Counters {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return CounterSnap{}, false
+}
+
+// Gauge returns the named gauge snapshot.
+func (r *Report) Gauge(name string) (GaugeSnap, bool) {
+	for _, g := range r.Gauges {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GaugeSnap{}, false
+}
+
+// Histogram returns the named histogram snapshot.
+func (r *Report) Histogram(name string) (HistSnap, bool) {
+	for _, h := range r.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistSnap{}, false
+}
+
+// Vector returns the named vector snapshot.
+func (r *Report) Vector(name string) (VecSnap, bool) {
+	for _, v := range r.Vectors {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return VecSnap{}, false
+}
+
+// WriteJSON writes the report as indented JSON — the stable encoding
+// fmbench's -metrics flag and the report experiment emit.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

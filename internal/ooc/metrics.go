@@ -1,0 +1,70 @@
+package ooc
+
+import "flashmob/internal/obs"
+
+// oocMetrics is the out-of-core engine's observability state, built once
+// per engine when Config.Metrics is set; a nil *oocMetrics disables every
+// recording site. The streaming loop records per block, never per walker.
+type oocMetrics struct {
+	reg *obs.Registry
+
+	runs, steps   *obs.Counter
+	blocks, bytes *obs.Counter
+	skipped       *obs.Counter
+	ioWaitNS      *obs.Counter
+
+	// Per-block distributions: streamed block size and in-memory sample
+	// time over the block's walkers.
+	blockBytes    *obs.Histogram
+	blockSampleNS *obs.Histogram
+}
+
+// newOOCMetrics builds the engine's metric set.
+func newOOCMetrics() *oocMetrics {
+	reg := obs.NewRegistry()
+	return &oocMetrics{
+		reg: reg,
+		runs: reg.Counter(obs.Desc{
+			Name: "ooc_runs_total", Unit: "count", Stage: "run",
+			Help: "Engine.Run invocations",
+		}),
+		steps: reg.Counter(obs.Desc{
+			Name: "ooc_steps_total", Unit: "count", Stage: "run",
+			Help: "pipeline steps executed",
+		}),
+		blocks: reg.Counter(obs.Desc{
+			Name: "ooc_blocks_read_total", Unit: "count", Stage: "stream",
+			Help: "partition edge blocks streamed from disk",
+		}),
+		bytes: reg.Counter(obs.Desc{
+			Name: "ooc_bytes_read_total", Unit: "bytes", Stage: "stream",
+			Help: "edge-block bytes streamed from disk",
+		}),
+		skipped: reg.Counter(obs.Desc{
+			Name: "ooc_blocks_skipped_total", Unit: "count", Stage: "stream",
+			Help: "partition blocks skipped because no walker landed there this step",
+		}),
+		ioWaitNS: reg.Counter(obs.Desc{
+			Name: "ooc_io_wait_ns", Unit: "ns", Stage: "stream",
+			Help: "time the sample loop spent blocked on disk reads, after prefetch overlap",
+		}),
+		blockBytes: reg.Histogram(obs.Desc{
+			Name: "ooc_block_bytes", Unit: "bytes", Stage: "stream",
+			Help: "streamed edge-block size per read",
+		}),
+		blockSampleNS: reg.Histogram(obs.Desc{
+			Name: "ooc_block_sample_ns", Unit: "ns", Stage: "sample",
+			Help: "in-memory sample time per streamed block",
+		}),
+	}
+}
+
+// MetricsReport snapshots the engine's metrics registry, accumulated
+// across every Run since the engine was built. Returns nil when the
+// engine was created without Config.Metrics.
+func (e *Engine) MetricsReport() *obs.Report {
+	if e.metrics == nil {
+		return nil
+	}
+	return e.metrics.reg.Snapshot()
+}

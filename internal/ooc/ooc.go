@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"flashmob/internal/graph"
+	"flashmob/internal/obs"
 	"flashmob/internal/part"
 	"flashmob/internal/profile"
 	"flashmob/internal/rng"
@@ -35,6 +36,10 @@ type Config struct {
 	Workers int
 	// RecordHistory keeps the W_i arrays (for tests; memory heavy).
 	RecordHistory bool
+	// Metrics enables the observability layer: streaming and sampling
+	// counters accumulated on a registry and snapshotted into
+	// Result.Report. Off by default (see docs/OBSERVABILITY.md).
+	Metrics bool
 }
 
 // Result reports an out-of-core run.
@@ -50,6 +55,9 @@ type Result struct {
 	IOWait time.Duration
 	// History holds recorded W_i arrays when requested.
 	History *walk.History
+	// Report is the metrics snapshot of this run (nil unless
+	// Config.Metrics; see docs/OBSERVABILITY.md for the field reference).
+	Report *obs.Report
 }
 
 // PerStepNS returns wall nanoseconds per walker-step.
@@ -75,6 +83,8 @@ type Engine struct {
 	cfg  Config
 	// maxBlock is the largest partition edge block (entries).
 	maxBlock uint64
+	// metrics is the observability state (nil unless Config.Metrics).
+	metrics *oocMetrics
 }
 
 // New prepares an engine over an opened graph file. The partition plan is
@@ -98,7 +108,11 @@ func New(gf *graph.File, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{gf: gf, plan: plan, cfg: cfg, maxBlock: maxBlock}, nil
+	e := &Engine{gf: gf, plan: plan, cfg: cfg, maxBlock: maxBlock}
+	if cfg.Metrics {
+		e.metrics = newOOCMetrics()
+	}
+	return e, nil
 }
 
 // Plan returns the streaming partition plan.
@@ -206,8 +220,14 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 	bufA := make([]graph.VID, e.maxBlock)
 	bufB := make([]graph.VID, e.maxBlock)
 
+	if m := e.metrics; m != nil {
+		m.runs.Inc()
+	}
 	start := time.Now()
 	for st := 0; st < steps; st++ {
+		if m := e.metrics; m != nil {
+			m.steps.Inc()
+		}
 		if err := shuffler.Forward(w, sw, nil, nil); err != nil {
 			return nil, err
 		}
@@ -225,12 +245,24 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 			if !ok {
 				break
 			}
-			res.IOWait += time.Since(t0)
+			wait := time.Since(t0)
+			res.IOWait += wait
 			if load.err != nil {
 				return nil, load.err
 			}
-			res.BytesRead += uint64(len(load.buf)) * 4
-			e.sampleBlock(load, sw[vpStart[load.vp]:vpStart[load.vp+1]], src)
+			blockBytes := uint64(len(load.buf)) * 4
+			res.BytesRead += blockBytes
+			if m := e.metrics; m != nil {
+				m.ioWaitNS.Add(uint64(wait))
+				m.blocks.Inc()
+				m.bytes.Add(blockBytes)
+				m.blockBytes.Observe(blockBytes)
+				s0 := time.Now()
+				e.sampleBlock(load, sw[vpStart[load.vp]:vpStart[load.vp+1]], src)
+				m.blockSampleNS.Observe(uint64(time.Since(s0)))
+			} else {
+				e.sampleBlock(load, sw[vpStart[load.vp]:vpStart[load.vp+1]], src)
+			}
 		}
 
 		if err := shuffler.Reverse(w, sw, wNext, nil, nil); err != nil {
@@ -244,6 +276,9 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 		}
 	}
 	res.Duration = time.Since(start)
+	if m := e.metrics; m != nil {
+		res.Report = m.reg.Snapshot()
+	}
 	return res, nil
 }
 
@@ -256,6 +291,9 @@ func (e *Engine) prefetch(vpStart []uint64, bufA, bufB []graph.VID, out chan<- b
 	which := 0
 	for vp := 0; vp < e.plan.NumVPs(); vp++ {
 		if vpStart[vp] == vpStart[vp+1] {
+			if m := e.metrics; m != nil {
+				m.skipped.Inc()
+			}
 			continue // no walkers here this step: skip the disk read
 		}
 		vpMeta := e.plan.VPs[vp]

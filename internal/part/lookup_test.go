@@ -39,8 +39,8 @@ func TestLookupMatchesPlanArithmetic(t *testing.T) {
 		v               uint32
 		groupLog, vpLog uint
 	}{
-		{64, 5, 3},                  // direct, tiny
-		{1000, 6, 4},                // direct, ragged final group
+		{64, 5, 3},                   // direct, tiny
+		{1000, 6, 4},                 // direct, ragged final group
 		{directLookupMax, 12, 8},     // direct, at the threshold
 		{directLookupMax + 7, 12, 8}, // two-level, just past it
 		{1 << 19, 13, 9},             // two-level, power of two

@@ -7,11 +7,22 @@
 // per worker for the lifetime of the engine and replays them through
 // Task phases: Run is a phase barrier that costs two channel operations
 // per worker and allocates nothing in steady state.
+//
+// The pool carries the engine's observability hooks: SetMetrics attaches
+// an obs.PoolMetrics (per-worker busy time, barrier wait, run count) and
+// RunCtx labels the workers with a pprof label context for the duration
+// of a phase, so CPU profiles attribute stage time out of the box. Both
+// are nil by default and cost one nil check per phase when off.
 package pool
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
+	"time"
+
+	"flashmob/internal/obs"
 )
 
 // Task is a unit of phased parallel work. RunShard executes one phase's
@@ -33,6 +44,8 @@ type pool struct {
 	workers int
 	task    Task
 	phase   int
+	ctx     context.Context  // pprof label context for the current phase (nil: none)
+	metrics *obs.PoolMetrics // nil: no accounting
 	start   []chan struct{}
 	wg      sync.WaitGroup
 	once    sync.Once
@@ -58,7 +71,16 @@ func New(workers int) *Pool {
 
 func (p *pool) work(worker int, start <-chan struct{}) {
 	for range start {
-		p.task.RunShard(p.phase, worker, p.workers)
+		if p.ctx != nil {
+			pprof.SetGoroutineLabels(p.ctx)
+		}
+		if m := p.metrics; m != nil {
+			t0 := time.Now()
+			p.task.RunShard(p.phase, worker, p.workers)
+			m.BusyNS.Add(worker, uint64(time.Since(t0)))
+		} else {
+			p.task.RunShard(p.phase, worker, p.workers)
+		}
 		p.wg.Done()
 	}
 }
@@ -66,22 +88,63 @@ func (p *pool) work(worker int, start <-chan struct{}) {
 // Workers returns the pool size, including the caller's slot 0.
 func (p *pool) Workers() int { return p.workers }
 
+// SetMetrics attaches (or, with nil, detaches) the pool's accounting.
+// The metric vector must be sized for Workers slots. Not safe to call
+// concurrently with Run.
+func (p *pool) SetMetrics(m *obs.PoolMetrics) { p.metrics = m }
+
 // Run executes one phase of t on every worker and returns when all shards
 // have finished (a phase barrier). The caller runs shard 0 itself.
 // Steady-state calls perform no allocations and create no goroutines.
-func (p *pool) Run(t Task, phase int) {
+func (p *pool) Run(t Task, phase int) { p.RunCtx(t, phase, nil) }
+
+// RunCtx is Run with a pprof label context: every worker (including the
+// caller's slot) carries ctx's labels while executing its shard, so CPU
+// profiles split by stage. The caller's own labels are restored before
+// returning; a nil ctx leaves labels untouched.
+func (p *pool) RunCtx(t Task, phase int, ctx context.Context) {
+	m := p.metrics
 	if p.workers == 1 {
-		t.RunShard(phase, 0, 1)
+		if ctx != nil {
+			pprof.SetGoroutineLabels(ctx)
+		}
+		if m != nil {
+			t0 := time.Now()
+			t.RunShard(phase, 0, 1)
+			m.BusyNS.Add(0, uint64(time.Since(t0)))
+			m.Runs.Inc()
+		} else {
+			t.RunShard(phase, 0, 1)
+		}
+		if ctx != nil {
+			pprof.SetGoroutineLabels(context.Background())
+		}
 		return
 	}
-	p.task, p.phase = t, phase
+	p.task, p.phase, p.ctx = t, phase, ctx
 	p.wg.Add(p.workers - 1)
 	for _, ch := range p.start {
 		ch <- struct{}{}
 	}
-	t.RunShard(phase, 0, p.workers)
-	p.wg.Wait()
-	p.task = nil
+	if ctx != nil {
+		pprof.SetGoroutineLabels(ctx)
+	}
+	if m != nil {
+		t0 := time.Now()
+		t.RunShard(phase, 0, p.workers)
+		done := time.Now()
+		m.BusyNS.Add(0, uint64(done.Sub(t0)))
+		p.wg.Wait()
+		m.BarrierWaitNS.Add(uint64(time.Since(done)))
+		m.Runs.Inc()
+	} else {
+		t.RunShard(phase, 0, p.workers)
+		p.wg.Wait()
+	}
+	if ctx != nil {
+		pprof.SetGoroutineLabels(context.Background())
+	}
+	p.task, p.ctx = nil, nil
 }
 
 // Close releases the worker goroutines. It is idempotent; the pool must

@@ -20,7 +20,9 @@
 package walk
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 
 	"flashmob/internal/graph"
@@ -84,6 +86,11 @@ type Shuffler struct {
 	wcIdx      [][]uint32
 	wcFill     [][]uint8
 	wcChannels int // channel count wcBuf is sized for (-1: unsized)
+
+	// pprof label contexts applied to workers while a pass runs (nil: no
+	// labels). The forward context covers count/scatter/inner phases, the
+	// reverse context the gather (see SetPprofLabels).
+	fwdCtx, revCtx context.Context
 
 	// In-flight pass state, published to workers through the pool's phase
 	// barrier.
@@ -205,6 +212,20 @@ func (s *Shuffler) ensureWC(channels int) {
 		s.wcBuf[w] = make([]graph.VID, len(s.plan.Bins())*stride)
 	}
 	s.wcChannels = channels
+}
+
+// SetPprofLabels attaches (or, with off, removes) runtime/pprof labels to
+// the shuffle passes: workers carry stage=shuffle plus dir=fwd (count,
+// scatter, inner phases) or dir=rev (gather) while a pass runs, so CPU
+// profiles attribute shuffle time per direction out of the box. Off by
+// default; the engine turns it on together with metrics collection.
+func (s *Shuffler) SetPprofLabels(on bool) {
+	if !on {
+		s.fwdCtx, s.revCtx = nil, nil
+		return
+	}
+	s.fwdCtx = pprof.WithLabels(context.Background(), pprof.Labels("stage", "shuffle", "dir", "fwd"))
+	s.revCtx = pprof.WithLabels(context.Background(), pprof.Labels("stage", "shuffle", "dir", "rev"))
 }
 
 // VPStart returns, after a Forward pass, the slot offsets per VP: walkers
@@ -371,8 +392,12 @@ func (s *Shuffler) RunShard(phase, worker, workers int) {
 // else by spawning a goroutine wave (the pre-pool behaviour, kept for
 // one-shot callers and benchmarks).
 func (s *Shuffler) run(phase int) {
+	ctx := s.fwdCtx
+	if phase == phaseGather {
+		ctx = s.revCtx
+	}
 	if s.pool != nil {
-		s.pool.Run(s, phase)
+		s.pool.RunCtx(s, phase, ctx)
 		return
 	}
 	if s.workers == 1 {
@@ -382,10 +407,16 @@ func (s *Shuffler) run(phase int) {
 	var wg sync.WaitGroup
 	for wk := 0; wk < s.workers; wk++ {
 		wg.Add(1)
-		go func(wk int) {
+		// ctx is passed as an argument, not captured: a reference capture
+		// would heap-allocate the variable on every run() call, including
+		// the pooled fast path above.
+		go func(wk int, ctx context.Context) {
 			defer wg.Done()
+			if ctx != nil {
+				pprof.SetGoroutineLabels(ctx)
+			}
 			s.RunShard(phase, wk, s.workers)
-		}(wk)
+		}(wk, ctx)
 	}
 	wg.Wait()
 }

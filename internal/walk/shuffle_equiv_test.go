@@ -224,9 +224,9 @@ func TestWriteCombiningEquivalence(t *testing.T) {
 	}
 	shapes := []planShape{
 		{256, 6, 4, false},
-		{256, 6, 4, true},   // extra-shuffle bins
-		{512, 7, 3, true},   // wide inner bins
-		{100, 5, 2, true},   // ragged final group
+		{256, 6, 4, true},      // extra-shuffle bins
+		{512, 7, 3, true},      // wide inner bins
+		{100, 5, 2, true},      // ragged final group
 		{1 << 10, 8, 8, false}, // one VP per group
 	}
 	for _, shape := range shapes {

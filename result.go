@@ -6,8 +6,16 @@ import (
 
 	"flashmob/internal/core"
 	"flashmob/internal/graph"
+	"flashmob/internal/obs"
 	"flashmob/internal/stats"
 )
+
+// Report is a point-in-time snapshot of the engine's metrics registry:
+// counters, gauges, histograms, and labelled counter vectors, each carrying
+// its own descriptor (name, unit, stage, help). Returned by Result.Report
+// when Options.Metrics is set; serialize with its WriteJSON method. Every
+// field is documented in docs/OBSERVABILITY.md.
+type Report = obs.Report
 
 // Result reports a completed walk. Vertex IDs in every accessor are the
 // caller's original IDs (the internal degree-sorted renumbering is
@@ -64,6 +72,9 @@ func (r *Result) DegreeGroupStats(g *Graph) ([]stats.GroupStats, error) {
 
 // Timing breaks down the run's wall time by pipeline stage.
 type Timing struct {
+	// Total is the whole run's wall time; Sample and Shuffle are the two
+	// pipeline stages' shares, and Other is everything else (episode
+	// setup, walker init, history writes).
 	Total, Sample, Shuffle, Other time.Duration
 }
 
@@ -88,3 +99,8 @@ func (r *Result) TotalSteps() uint64 { return r.inner.TotalSteps }
 
 // Episodes returns how many memory-budgeted rounds the run took.
 func (r *Result) Episodes() int { return r.inner.Episodes }
+
+// Report returns the run's metrics snapshot, accumulated on the System's
+// registry across every Walk since it was built. Nil unless the System
+// was created with Options.Metrics.
+func (r *Result) Report() *Report { return r.inner.Report }
