@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench bench-shuffle bench-sample
+.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,10 @@ lint:
 	$(GO) run ./cmd/doccheck -strict . -strict ./internal/obs ./internal/... ./cmd/... ./examples/...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/pool/ ./internal/walk/ ./internal/core/
+	$(GO) test -race -shuffle=on . ./internal/pool/ ./internal/walk/ ./internal/core/
 
 # Go-native component benchmarks (small, cache-resident scales).
 bench:
@@ -36,6 +36,12 @@ bench-shuffle-component:
 # in the repo root.
 bench-sample:
 	$(GO) run ./cmd/fmbench -exp sample
+
+# Concurrent sessions sharing one engine build: aggregate
+# walker-steps/s at 1/2/4/8 simultaneous Walks. Writes
+# BENCH_concurrent.json in the repo root.
+bench-concurrent:
+	$(GO) run ./cmd/fmbench -exp concurrent
 
 # Equivalence + determinism gate for the sample kernels.
 bench-sample-equiv:

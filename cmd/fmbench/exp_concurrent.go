@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/core"
+)
+
+// concurrentVariant is one measured session count: N goroutines each
+// running a full Walk on the same engine at the same time.
+type concurrentVariant struct {
+	Sessions    int     `json:"sessions"`
+	WallSeconds float64 `json:"wall_seconds"`
+	StepsPerSec float64 `json:"agg_walker_steps_per_sec"`
+	NSPerStep   float64 `json:"agg_ns_per_walker_step"`
+	Speedup     float64 `json:"speedup_vs_one"`
+}
+
+// concurrentReport is the schema of BENCH_concurrent.json.
+type concurrentReport struct {
+	Experiment string              `json:"experiment"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Graph      string              `json:"graph"`
+	Workers    int                 `json:"workers"`
+	WalkersPer uint64              `json:"walkers_per_session"`
+	Steps      int                 `json:"steps"`
+	Variants   []concurrentVariant `json:"variants"`
+}
+
+// expConcurrent measures how aggregate throughput behaves when several
+// sessions share one engine build. Each session submits its phases to
+// the shared worker pool, which serializes multi-worker phases, so the
+// interesting question is how much of the per-phase setup, barrier, and
+// episode bookkeeping overlaps: near-1× means phases already saturate
+// the pool, above 1× means concurrent sessions fill each other's gaps.
+func expConcurrent(w io.Writer, cfg benchConfig) error {
+	const graphName = "YT"
+	g, err := presetGraphSized(graphName, cfg, cfg.MinCSR)
+	if err != nil {
+		return err
+	}
+	e, err := flashMobEngine(g, algo.DeepWalk(), cfg, nil)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+
+	// One warm-up run sizes the session pool's buffers and faults in the
+	// graph, so the N=1 baseline is not charged for first-touch costs.
+	warm, err := e.Run(0, cfg.Steps)
+	if err != nil {
+		return err
+	}
+
+	rep := concurrentReport{
+		Experiment: "concurrent",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Graph:      graphName,
+		Workers:    cfg.Workers,
+		WalkersPer: warm.Walkers,
+		Steps:      cfg.Steps,
+	}
+
+	row(w, "sessions", "wall-s", "steps/s", "ns/step", "speedup")
+	var base float64
+	for _, sessions := range []int{1, 2, 4, 8} {
+		results := make([]*core.Result, sessions)
+		errs := make([]error, sessions)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = e.Run(0, cfg.Steps)
+			}(i)
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		var totalSteps uint64
+		for i := 0; i < sessions; i++ {
+			if errs[i] != nil {
+				return fmt.Errorf("session %d of %d: %w", i, sessions, errs[i])
+			}
+			totalSteps += results[i].TotalSteps
+		}
+		v := concurrentVariant{
+			Sessions:    sessions,
+			WallSeconds: wall.Seconds(),
+			StepsPerSec: float64(totalSteps) / wall.Seconds(),
+			NSPerStep:   float64(wall.Nanoseconds()) / float64(totalSteps),
+		}
+		if base == 0 {
+			base = v.StepsPerSec
+		}
+		v.Speedup = v.StepsPerSec / base
+		rep.Variants = append(rep.Variants, v)
+		row(w, fmt.Sprintf("%d", sessions), f2(v.WallSeconds),
+			fmt.Sprintf("%.2fM", v.StepsPerSec/1e6), ns(v.NSPerStep),
+			fmt.Sprintf("%.2fx", v.Speedup))
+	}
+
+	f, err := os.Create("BENCH_concurrent.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nwrote BENCH_concurrent.json")
+	return nil
+}

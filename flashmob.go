@@ -29,6 +29,7 @@
 package flashmob
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -40,6 +41,10 @@ import (
 	"flashmob/internal/part"
 	"flashmob/internal/profile"
 )
+
+// ErrClosed is returned by Walk and NewSession after Close has released
+// the System's worker pool. Test with errors.Is.
+var ErrClosed = core.ErrClosed
 
 // VID is a vertex identifier.
 type VID = graph.VID
@@ -112,7 +117,11 @@ type Options struct {
 }
 
 // System is a ready-to-walk FlashMob instance: the graph has been
-// degree-sorted, partitioned, and assigned sampling policies.
+// degree-sorted, partitioned, and assigned sampling policies. The System
+// itself is the immutable build — graph, plan, kernels, worker pool; all
+// per-run state lives in sessions, so Walk is safe to call from any
+// number of goroutines, and concurrent Walks produce the same
+// trajectories the same calls produce serially.
 type System struct {
 	engine  *core.Engine
 	reorder *graph.Reordering
@@ -156,12 +165,18 @@ func New(g *Graph, opt Options) (*System, error) {
 	return &System{engine: engine, reorder: reorder}, nil
 }
 
-// Close releases the system's persistent worker pool. Optional — an
-// unreachable System is reclaimed by a finalizer — but deterministic.
+// Close releases the system's persistent worker pool, first waiting for
+// in-flight Walks and open Sessions to finish. Idempotent; Walk and
+// NewSession return ErrClosed afterwards. Optional — an unreachable
+// System is reclaimed by a finalizer — but deterministic.
 func (s *System) Close() { s.engine.Close() }
 
 // Walk advances walkers (0 = |V|) for steps steps (0 = the algorithm's
-// default) and returns the result.
+// default) and returns the result. Safe for concurrent callers: each call
+// acquires its own session, and concurrent calls interleave their
+// pipeline phases on the shared worker pool while producing
+// bitwise-identical trajectories to the same calls run serially. Returns
+// ErrClosed after Close.
 func (s *System) Walk(walkers uint64, steps int) (*Result, error) {
 	res, err := s.engine.Run(walkers, steps)
 	if err != nil {
@@ -169,6 +184,46 @@ func (s *System) Walk(walkers uint64, steps int) (*Result, error) {
 	}
 	return &Result{inner: res, reorder: s.reorder}, nil
 }
+
+// Session is an explicit run handle on a System: a reserved set of
+// per-run buffers plus, when Options.Metrics is set, a private metrics
+// registry, so each Result.Report from this session covers exactly the
+// session's own Walks. Use it to cancel long walks via context, or to
+// amortize session setup across many Walks from one goroutine. A Session
+// is not itself concurrency-safe — one Walk at a time per session;
+// concurrency comes from multiple sessions (or concurrent System.Walk
+// calls, which manage sessions implicitly).
+type Session struct {
+	inner   *core.Session
+	reorder *graph.Reordering
+}
+
+// NewSession acquires a run handle. A nil ctx means context.Background();
+// a canceled ctx makes the session's Walks abort between pipeline steps
+// with the context's error. Close the session to release its buffers back
+// to the System (a System.Close blocks until every open session closes).
+// Returns ErrClosed after System.Close.
+func (s *System) NewSession(ctx context.Context) (*Session, error) {
+	inner, err := s.engine.NewSession(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("flashmob: %w", err)
+	}
+	return &Session{inner: inner, reorder: s.reorder}, nil
+}
+
+// Walk advances walkers (0 = |V|) for steps steps (0 = the algorithm's
+// default) on this session.
+func (s *Session) Walk(walkers uint64, steps int) (*Result, error) {
+	res, err := s.inner.Run(walkers, steps)
+	if err != nil {
+		return nil, fmt.Errorf("flashmob: %w", err)
+	}
+	return &Result{inner: res, reorder: s.reorder}, nil
+}
+
+// Close releases the session's buffers back to the System and folds its
+// metrics into the System-lifetime aggregate. Idempotent.
+func (s *Session) Close() { s.inner.Close() }
 
 // PlanSummary describes the partitioning decision in effect.
 type PlanSummary struct {

@@ -2,13 +2,24 @@
 // sample/shuffle random-walk pipeline over a degree-sorted, partitioned
 // graph, with per-partition pre-sampling (PS) or direct sampling (DS)
 // policies chosen by the MCKP planner (§4).
+//
+// The engine is split into an immutable build and per-run sessions: New
+// resolves everything that depends only on the graph, the walk spec, and
+// the plan (kernel table, degree classification, alias tables, cost
+// model, the persistent worker pool), while every Run — or every
+// explicitly held Session — owns its own mutable state (PS buffers,
+// work-item lists, scratches, metrics registry). Runs from concurrent
+// goroutines therefore share one build and interleave their stage
+// phases on the shared pool.
 package core
 
 import (
 	"cmp"
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
+	"sync"
 
 	"flashmob/internal/algo"
 	"flashmob/internal/graph"
@@ -18,6 +29,10 @@ import (
 	"flashmob/internal/profile"
 	"flashmob/internal/rng"
 )
+
+// ErrClosed is returned by Run and NewSession after Close has released
+// the engine's worker pool.
+var ErrClosed = errors.New("core: engine closed")
 
 // PlannerKind selects how the engine partitions the graph.
 type PlannerKind int
@@ -79,22 +94,29 @@ type Config struct {
 	// the equivalence tests themselves.
 	ScalarSample bool
 	// Metrics enables the observability layer (internal/obs): per-stage
-	// and per-partition counters and latency histograms accumulated on the
-	// engine's registry, pool busy/barrier accounting, and runtime/pprof
-	// stage labels on worker goroutines. Off by default; when off, every
-	// recording site reduces to a nil check (see docs/OBSERVABILITY.md for
-	// the metric reference and the measured overhead).
+	// and per-partition counters and latency histograms collected on a
+	// per-session registry (each Result.Report describes its own run),
+	// folded into an engine-lifetime aggregate on session close, plus
+	// pool busy/barrier accounting and runtime/pprof stage labels on
+	// worker goroutines. Off by default; when off, every recording site
+	// reduces to a nil check (see docs/OBSERVABILITY.md for the metric
+	// reference and the measured overhead).
 	Metrics bool
 	// StepSink, when non-nil, receives every iteration's sampled edges in
 	// walker order: cur[j] → next[j] is walker j's transition at the
 	// given step. This is the paper's streaming output mode (§4.3:
 	// "stream the sampled edges to the GPU performing graph embedding
 	// training") — no history is retained for the caller. The slices are
-	// reused across steps; the sink must copy anything it keeps.
+	// reused across steps; the sink must copy anything it keeps. With
+	// concurrent sessions the sink is called from multiple goroutines.
 	StepSink func(step int, cur, next []graph.VID)
 }
 
-// Engine runs FlashMob walks over one graph with one algorithm spec.
+// Engine is the immutable build of one graph + one algorithm spec: the
+// plan, the kernel table, the degree classification, and the persistent
+// worker pool, all resolved once by New. Mutable run state lives in
+// Sessions; Run (and therefore System.Walk) is safe to call from
+// concurrent goroutines, each call running on its own session.
 type Engine struct {
 	g    *graph.CSR
 	spec algo.Spec
@@ -102,41 +124,44 @@ type Engine struct {
 	plan *part.Plan
 
 	// pool is the persistent worker set every stage of every step runs
-	// on: created once here, reused across all steps and episodes, so the
-	// steady-state step loop spawns no goroutines.
+	// on: created once here and shared by all sessions, whose phases it
+	// multiplexes, so the steady-state step loop spawns no goroutines.
 	pool *pool.Pool
-	// sample is the reusable pool task of the sample stage.
-	sample sampleTask
 
 	// regularDeg[i] is the uniform degree of VP i when all its vertices
 	// share one degree (the simplified direct-indexing fast path of §4.2),
 	// or -1 for mixed-degree partitions.
 	regularDeg []int64
 
-	// Pre-sampling state, indexed by VP (nil for DS partitions).
-	ps []*psState
+	// psVP[i] marks VP i as pre-sampling: sessions allocate their own
+	// psState buffers for these partitions (the buffers are consumed and
+	// refilled during sampling, so they cannot be shared across runs).
+	psVP []bool
 
 	// kern[i] is VP i's specialized sample kernel, resolved once at build
 	// time from the plan, the PS allocation, and the degree shape (§4.2).
+	// The template's st pointers are nil; each session binds copies to
+	// its own psState.
 	kern []vpKernel
 
 	// weighted is the alias-table sampler for weighted walks (nil
 	// otherwise).
 	weighted *algo.WeightedSampler
 
-	// metrics is the observability state (nil unless Config.Metrics).
+	// metrics is the engine-lifetime aggregate registry (nil unless
+	// Config.Metrics): sessions record into their own registries and fold
+	// them in here on close. It also carries the shared pprof label
+	// contexts.
 	metrics *engineMetrics
-}
 
-// psState holds one PS partition's pre-sampled edge buffers: vertex v in
-// the VP owns buf[off(v):off(v)+d(v)], refilled in batch when drained
-// (§4.2). Offsets reuse the CSR's, rebased to the VP start.
-type psState struct {
-	start graph.VID // first vertex of the VP
-	base  uint64    // g.Offsets[start]
-	buf   []graph.VID
-	// remaining[v-start] counts unconsumed samples of v's buffer.
-	remaining []uint32
+	// Session lifecycle: NewSession refuses after Close, Close waits for
+	// active sessions to finish before releasing the pool, and finished
+	// sessions park in sessions for reuse (their PS buffers are the
+	// dominant allocation).
+	mu       sync.Mutex
+	closed   bool
+	active   sync.WaitGroup
+	sessions sync.Pool
 }
 
 // New builds an engine. The graph must be degree-sorted (descending); use
@@ -166,7 +191,6 @@ func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
 	}
 	e := &Engine{g: g, spec: spec, cfg: cfg}
 	e.pool = pool.New(cfg.Workers)
-	e.sample.e = e
 
 	if spec.Weighted {
 		ws, err := algo.NewWeightedSampler(g)
@@ -207,9 +231,9 @@ func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
 	}
 	e.plan = plan
 
-	// Classify partitions and allocate PS buffers.
+	// Classify partitions; the PS buffers themselves are per-session.
 	e.regularDeg = make([]int64, plan.NumVPs())
-	e.ps = make([]*psState, plan.NumVPs())
+	e.psVP = make([]bool, plan.NumVPs())
 	for i, vp := range plan.VPs {
 		first := g.Degree(vp.Start)
 		last := g.Degree(vp.End - 1)
@@ -218,20 +242,11 @@ func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
 		} else {
 			e.regularDeg[i] = -1
 		}
-		if vp.Policy == profile.PS {
-			edges := g.Offsets[vp.End] - g.Offsets[vp.Start]
-			e.ps[i] = &psState{
-				start:     vp.Start,
-				base:      g.Offsets[vp.Start],
-				buf:       make([]graph.VID, edges),
-				remaining: make([]uint32, vp.End-vp.Start),
-			}
-		}
+		e.psVP[i] = vp.Policy == profile.PS
 	}
 	e.buildKernels()
 	if cfg.Metrics {
-		e.metrics = newEngineMetrics(e)
-		e.sample.m = e.metrics
+		e.metrics = newEngineMetrics(e, nil)
 	}
 	return e, nil
 }
@@ -239,10 +254,21 @@ func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
 // Plan returns the partitioning decision in effect.
 func (e *Engine) Plan() *part.Plan { return e.plan }
 
-// Close releases the engine's worker pool. Optional: an unreachable
-// engine's pool is reclaimed by a finalizer, but Close frees the parked
-// goroutines deterministically.
-func (e *Engine) Close() { e.pool.Close() }
+// Close releases the engine's worker pool: it waits for active sessions
+// to finish, then frees the parked goroutines. Idempotent; Run and
+// NewSession return ErrClosed afterwards. Optional — an unreachable
+// engine's pool is reclaimed by a finalizer — but deterministic.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.active.Wait()
+	e.pool.Close()
+}
 
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *graph.CSR { return e.g }

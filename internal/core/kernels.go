@@ -61,9 +61,11 @@ type vpKernel struct {
 	deg   uint32
 }
 
-// buildKernels resolves every partition's sample kernel from the plan,
-// the PS allocation, and the degree shape. Called once by New; tests
-// rebuild after mutating regularDeg to force the fallback kernels.
+// buildKernels resolves every partition's sample kernel template from
+// the plan, the PS policy, and the degree shape. Called once by New;
+// tests rebuild after mutating regularDeg to force the fallback kernels.
+// The template's st pointers stay nil — each session copies the table and
+// binds its own psState (Session.rebind).
 func (e *Engine) buildKernels() {
 	e.kern = make([]vpKernel, e.plan.NumVPs())
 	for i, vp := range e.plan.VPs {
@@ -71,8 +73,7 @@ func (e *Engine) buildKernels() {
 		switch {
 		case e.regularDeg[i] == 0:
 			k.kind = kernEmpty
-		case e.ps[i] != nil:
-			k.st = e.ps[i]
+		case e.psVP[i]:
 			if e.weighted != nil {
 				k.kind = kernPSWeighted
 			} else {
@@ -92,8 +93,9 @@ func (e *Engine) buildKernels() {
 
 // runChunkKernel advances a first-order chunk through the partition's
 // kernel. Draw-for-draw identical to the scalar sampleFirst loop.
-func (e *Engine) runChunkKernel(vpIdx int, chunk []graph.VID, src *rng.XorShift1024Star) {
-	switch k := &e.kern[vpIdx]; k.kind {
+func (s *Session) runChunkKernel(vpIdx int, chunk []graph.VID, src *rng.XorShift1024Star) {
+	e := s.e
+	switch k := &s.kern[vpIdx]; k.kind {
 	case kernEmpty:
 	case kernPS:
 		e.kernChunkPS(k.st, chunk, src)
@@ -238,8 +240,9 @@ func (e *Engine) drawCand(k *vpKernel, v graph.VID, src *rng.XorShift1024Star) g
 // kernSecondWalk advances a short second-order segment walker by walker —
 // the below-batchThreshold path — with the kernel and rejection bound
 // hoisted out of the loop.
-func (e *Engine) kernSecondWalk(vpIdx int, seg, prev []graph.VID, src *rng.XorShift1024Star) {
-	k := &e.kern[vpIdx]
+func (s *Session) kernSecondWalk(vpIdx int, seg, prev []graph.VID, src *rng.XorShift1024Star) {
+	e := s.e
+	k := &s.kern[vpIdx]
 	maxW := e.maxWeight()
 	offs, targets := e.g.Offsets, e.g.Targets
 	for j := range seg {
@@ -272,8 +275,9 @@ func (e *Engine) kernSecondWalk(vpIdx int, seg, prev []graph.VID, src *rng.XorSh
 // kernSecondBatched is the kernel form of sampleVPSecondBatched: identical
 // batching, sorting, and acceptance structure, with candidate generation
 // specialized per partition kind in fillCandidates.
-func (e *Engine) kernSecondBatched(vpIdx int, chunk, aux []graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
-	k := &e.kern[vpIdx]
+func (s *Session) kernSecondBatched(vpIdx int, chunk, aux []graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+	e := s.e
+	k := &s.kern[vpIdx]
 	maxW := e.maxWeight()
 	n := len(chunk)
 	if cap(scr.cand) < n {

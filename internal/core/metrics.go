@@ -12,10 +12,14 @@ import (
 // core_sample_kernel_walker_steps vector, in kernelKind order.
 var kernelKindNames = []string{"empty", "ps", "ps-weighted", "ds-regular", "ds-csr", "ds-weighted"}
 
-// engineMetrics is the engine's observability state, built once per
-// engine when Config.Metrics is set; a nil *engineMetrics disables every
-// recording site (the off path is one nil check per site, none of them
-// per walker). All metric pointers are resolved here at build time so the
+// engineMetrics is one complete metric set over one registry, built when
+// Config.Metrics is set; a nil *engineMetrics disables every recording
+// site (the off path is one nil check per site, none of them per walker).
+// Two instances exist per metrics-enabled engine: the engine-lifetime
+// aggregate built by New, and a fresh per-session set built on every
+// session acquisition — sessions record into their own registries (so
+// each Result.Report describes its own run) and fold into the aggregate
+// on Session.Close. All metric pointers are resolved here up front so the
 // hot path never consults the registry.
 type engineMetrics struct {
 	reg *obs.Registry
@@ -46,9 +50,12 @@ type engineMetrics struct {
 	vpCtx     []context.Context
 }
 
-// newEngineMetrics builds the engine's metric set and label contexts and
-// attaches the pool accounting.
-func newEngineMetrics(e *Engine) *engineMetrics {
+// newEngineMetrics builds one metric set. proto, when non-nil, is the
+// engine's aggregate set: the new set shares its pprof label contexts
+// (labels are identical across sessions — only the counters are
+// per-session) instead of rebuilding one context per partition per
+// acquisition.
+func newEngineMetrics(e *Engine, proto *engineMetrics) *engineMetrics {
 	reg := obs.NewRegistry()
 	nvp := e.plan.NumVPs()
 	m := &engineMetrics{
@@ -101,21 +108,26 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 			Name: "core_sample_kernel_walker_steps", Unit: "walkers", Stage: "sample",
 			Help: "walker-steps advanced per specialized kernel kind (§4.2 policy mix)",
 		}, len(kernelKindNames), kernelKindNames),
-		pool:      obs.NewPoolMetrics(reg, e.pool.Workers()),
-		sampleCtx: pprof.WithLabels(context.Background(), pprof.Labels("stage", "sample")),
-		vpCtx:     make([]context.Context, nvp),
+		pool: obs.NewPoolMetrics(reg, e.pool.Workers()),
 	}
+	if proto != nil {
+		m.sampleCtx = proto.sampleCtx
+		m.vpCtx = proto.vpCtx
+		return m
+	}
+	m.sampleCtx = pprof.WithLabels(context.Background(), pprof.Labels("stage", "sample"))
+	m.vpCtx = make([]context.Context, nvp)
 	for i := range m.vpCtx {
 		m.vpCtx[i] = pprof.WithLabels(context.Background(),
 			pprof.Labels("stage", "sample", "vp", strconv.Itoa(i)))
 	}
-	e.pool.SetMetrics(m.pool)
 	return m
 }
 
-// MetricsReport snapshots the engine's metrics registry, accumulated
-// across every Run since the engine was built. Returns nil when the
-// engine was created without Config.Metrics.
+// MetricsReport snapshots the engine-lifetime aggregate registry: the
+// fold of every session closed since the engine was built (an open
+// session's counts arrive when it closes). Returns nil when the engine
+// was created without Config.Metrics.
 func (e *Engine) MetricsReport() *obs.Report {
 	if e.metrics == nil {
 		return nil

@@ -163,6 +163,12 @@ func measurePoint(geom mem.Geometry, pol profile.Policy, ws uint64, d uint32, rh
 	if err != nil {
 		return nil, err
 	}
+	defer e.Close()
+	sess, err := e.NewSession(nil)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
 	walkers := int(rho * float64(n) * float64(d))
 	if walkers < 1 {
 		walkers = 1
@@ -181,13 +187,13 @@ func measurePoint(geom mem.Geometry, pol profile.Policy, ws uint64, d uint32, rh
 	}
 	resetChunk()
 	// Warm-up round.
-	e.sampleVP(0, chunk, nil, src)
+	sess.sampleVP(0, chunk, nil, src)
 	var steps uint64
 	var elapsed time.Duration
 	for steps < minSteps {
 		resetChunk()
 		t0 := time.Now()
-		e.sampleVP(0, chunk, nil, src)
+		sess.sampleVP(0, chunk, nil, src)
 		elapsed += time.Since(t0)
 		steps += uint64(walkers)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime/pprof"
 	"sync/atomic"
@@ -35,9 +36,12 @@ type Result struct {
 	// VPSteps[i] counts walker-steps sampled in partition i, for the
 	// Figure 10b walker-step weighting.
 	VPSteps []uint64
-	// Report is the observability snapshot taken at the end of the run
-	// (nil unless Config.Metrics). Values accumulate across an engine's
-	// runs; see docs/OBSERVABILITY.md for the metric reference.
+	// Report is the observability snapshot of the session that executed
+	// the run (nil unless Config.Metrics): it describes this run alone —
+	// or, on an explicitly held Session, everything that session ran so
+	// far. The engine-lifetime aggregate across all closed sessions is
+	// Engine.MetricsReport. See docs/OBSERVABILITY.md for the metric
+	// reference.
 	Report *obs.Report
 }
 
@@ -52,8 +56,27 @@ func (r *Result) PerStepNS() float64 {
 
 // Run advances totalWalkers walkers (0 means |V|) for the given number of
 // steps (0 means the spec's default), splitting into episodes under the
-// memory budget.
+// memory budget. Safe for concurrent callers: each call runs on its own
+// session off the engine's session pool, and concurrent runs with the
+// same parameters produce bitwise-identical trajectories to serial ones.
 func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
+	s, err := e.NewSession(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Run(totalWalkers, steps)
+}
+
+// Run advances totalWalkers walkers (0 means |V|) for the given number of
+// steps (0 means the spec's default), splitting into episodes under the
+// memory budget. One Run at a time per session; the session's context
+// cancels between pipeline steps, returning the context's error.
+func (s *Session) Run(totalWalkers uint64, steps int) (*Result, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	e := s.e
 	if totalWalkers == 0 {
 		totalWalkers = uint64(e.g.NumVertices())
 	}
@@ -67,8 +90,11 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 	start := time.Now()
 	remaining := totalWalkers
 	for remaining > 0 {
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
 		ep := e.EpisodeWalkers(remaining)
-		if err := e.runEpisode(res.Episodes, int(ep), steps, res); err != nil {
+		if err := s.runEpisode(res.Episodes, int(ep), steps, res); err != nil {
 			return nil, err
 		}
 		remaining -= ep
@@ -79,7 +105,7 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 	res.Duration = time.Since(start)
 	res.ShuffleTime = res.ShuffleFwdTime + res.ShuffleRevTime
 	res.OtherTime = res.Duration - res.SampleTime - res.ShuffleTime
-	if m := e.metrics; m != nil {
+	if m := s.m; m != nil {
 		m.runs.Inc()
 		m.walkers.Add(res.Walkers)
 		res.Report = m.reg.Snapshot()
@@ -94,8 +120,9 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 // appending each W_i to the history when recording. All per-episode state
 // is allocated here, before the step loop: the loop itself allocates
 // nothing and creates no goroutines (every stage runs on the engine's
-// persistent pool).
-func (e *Engine) runEpisode(episode, walkers, steps int, res *Result) error {
+// persistent pool, multiplexed across sessions).
+func (s *Session) runEpisode(episode, walkers, steps int, res *Result) error {
+	e := s.e
 	w := make([]graph.VID, walkers)
 	sw := make([]graph.VID, walkers)
 	wNext := make([]graph.VID, walkers)
@@ -131,26 +158,22 @@ func (e *Engine) runEpisode(episode, walkers, steps int, res *Result) error {
 	if err != nil {
 		return err
 	}
-	if e.metrics != nil {
-		e.metrics.episodes.Inc()
+	if s.m != nil {
+		s.m.episodes.Inc()
 		shuffler.SetPprofLabels(true)
-	}
-
-	// Per-worker scratch buffers (each carries a generator that the
-	// sample stage reseeds per work item), stable across the episode.
-	workers := e.pool.Workers()
-	scratches := make([]*sampleScratch, workers)
-	for i := range scratches {
-		scratches[i] = newSampleScratch()
+		shuffler.SetPoolMetrics(s.m.pool)
 	}
 
 	for step := 0; step < steps; step++ {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
 		t0 := time.Now()
 		if err := shuffler.ForwardMulti(w, sw, auxW, auxSW); err != nil {
 			return err
 		}
 		t1 := time.Now()
-		e.sampleAll(episode, step, shuffler.VPStart(), sw, auxSW, scratches, res.VPSteps)
+		s.sampleAll(episode, step, shuffler.VPStart(), sw, auxSW, res.VPSteps)
 		t2 := time.Now()
 		if err := shuffler.ReverseMulti(w, sw, wNext, auxSW, auxNext); err != nil {
 			return err
@@ -159,7 +182,7 @@ func (e *Engine) runEpisode(episode, walkers, steps int, res *Result) error {
 		res.ShuffleFwdTime += t1.Sub(t0)
 		res.SampleTime += t2.Sub(t1)
 		res.ShuffleRevTime += t3.Sub(t2)
-		if m := e.metrics; m != nil {
+		if m := s.m; m != nil {
 			m.steps.Inc()
 			m.shuffleFwdStepNS.Observe(uint64(t1.Sub(t0)))
 			m.sampleStepNS.Observe(uint64(t2.Sub(t1)))
@@ -183,9 +206,10 @@ func (e *Engine) runEpisode(episode, walkers, steps int, res *Result) error {
 // sampleItem is one unit of sample-stage work: a partition's whole walker
 // chunk or, for oversized direct-sampling chunks, one sub-shard of it.
 // Each item carries its own RNG seed, derived from (engine seed, episode,
-// step, partition, sub-shard) — never from the claiming worker — so
-// walker trajectories are a pure function of the engine seed, independent
-// of worker count and of the order workers claim items.
+// step, partition, sub-shard) — never from the claiming worker or the
+// session — so walker trajectories are a pure function of the engine
+// seed, independent of worker count, of the order workers claim items,
+// and of whether other sessions run concurrently.
 type sampleItem struct {
 	vp     int32
 	lo, hi uint64
@@ -214,23 +238,22 @@ func sampleSeed(seed uint64, episode, step, vp, sub int) uint64 {
 // sampleTask is the sample stage's pool task: workers pull work items
 // from a shared counter; each item's walker range is private to the
 // worker that claims it, so the stage needs no locks (§4.3). The task
-// struct (and its item list) lives in the Engine and is re-armed per
+// struct (and its item list) lives in the Session and is re-armed per
 // step, keeping the step loop allocation-free once warm.
 type sampleTask struct {
-	e         *Engine
-	m         *engineMetrics // nil unless Config.Metrics; set once at build
-	next      atomic.Int64
-	items     []sampleItem
-	sw        []graph.VID
-	auxSW     [][]graph.VID
-	scratches []*sampleScratch
-	vpSteps   []uint64
+	s       *Session
+	m       *engineMetrics // nil unless Config.Metrics; set per acquisition
+	next    atomic.Int64
+	items   []sampleItem
+	sw      []graph.VID
+	auxSW   [][]graph.VID
+	vpSteps []uint64
 }
 
 // RunShard implements pool.Task for the sample stage.
 func (t *sampleTask) RunShard(_, worker, _ int) {
-	e := t.e
-	scr := t.scratches[worker]
+	s := t.s
+	scr := s.scratches[worker]
 	for {
 		idx := int(t.next.Add(1))
 		if idx >= len(t.items) {
@@ -248,12 +271,12 @@ func (t *sampleTask) RunShard(_, worker, _ int) {
 			// the noise (measured in EXPERIMENTS.md).
 			pprof.SetGoroutineLabels(m.vpCtx[it.vp])
 			t0 := time.Now()
-			e.sampleVPScratch(int(it.vp), chunk, aux, scr.src, scr)
+			s.sampleVPScratch(int(it.vp), chunk, aux, scr.src, scr)
 			m.vpSampleNS.Add(int(it.vp), uint64(time.Since(t0)))
 			m.vpWalkerSteps.Add(int(it.vp), uint64(len(chunk)))
-			m.kernelSteps.Add(int(e.kern[it.vp].kind), uint64(len(chunk)))
+			m.kernelSteps.Add(int(s.kern[it.vp].kind), uint64(len(chunk)))
 		} else {
-			e.sampleVPScratch(int(it.vp), chunk, aux, scr.src, scr)
+			s.sampleVPScratch(int(it.vp), chunk, aux, scr.src, scr)
 		}
 		atomic.AddUint64(&t.vpSteps[it.vp], uint64(len(chunk)))
 	}
@@ -262,8 +285,9 @@ func (t *sampleTask) RunShard(_, worker, _ int) {
 // sampleAll runs the sample stage on the persistent pool: build the work
 // item list — splitting oversized DS chunks into sub-shards — then let
 // workers claim items off the shared counter.
-func (e *Engine) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID, auxSW [][]graph.VID, scratches []*sampleScratch, vpSteps []uint64) {
-	t := &e.sample
+func (s *Session) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID, auxSW [][]graph.VID, vpSteps []uint64) {
+	e := s.e
+	t := &s.sample
 	items := t.items[:0]
 	subShards := 0
 	// Only stateless first-order chunks can split: PS partitions share
@@ -275,7 +299,7 @@ func (e *Engine) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID, 
 		if lo == hi {
 			continue
 		}
-		if !shardable || hi-lo < 2*subShardSize || e.kern[vp].st != nil {
+		if !shardable || hi-lo < 2*subShardSize || s.kern[vp].st != nil {
 			items = append(items, sampleItem{vp: int32(vp), lo: lo, hi: hi,
 				seed: sampleSeed(e.cfg.Seed, episode, step, vp, 0)})
 			continue
@@ -294,17 +318,17 @@ func (e *Engine) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID, 
 	}
 	t.items = items
 	t.sw, t.auxSW = sw, auxSW
-	t.scratches, t.vpSteps = scratches, vpSteps
+	t.vpSteps = vpSteps
 	t.next.Store(-1)
-	if m := e.metrics; m != nil {
+	if m := s.m; m != nil {
 		m.sampleItems.Observe(uint64(len(items)))
 		m.sampleSubShards.Add(uint64(subShards))
-		e.pool.RunCtx(t, 0, m.sampleCtx)
+		e.pool.Submit(t, 0, m.sampleCtx, m.pool)
 	} else {
-		e.pool.Run(t, 0)
+		e.pool.Submit(t, 0, nil, nil)
 	}
 	t.sw, t.auxSW = nil, nil
-	t.scratches, t.vpSteps = nil, nil
+	t.vpSteps = nil
 }
 
 // sliceAux views each aux channel's [lo, hi) range, reusing the worker's

@@ -53,8 +53,9 @@ func (e *Engine) nextPS(st *psState, v graph.VID, src rng.Source) graph.VID {
 }
 
 // sampleFirst advances a first-order walker at v within partition vpIdx.
-func (e *Engine) sampleFirst(vpIdx int, v graph.VID, src rng.Source) graph.VID {
-	if st := e.ps[vpIdx]; st != nil {
+func (s *Session) sampleFirst(vpIdx int, v graph.VID, src rng.Source) graph.VID {
+	e := s.e
+	if st := s.ps[vpIdx]; st != nil {
 		if e.g.Degree(v) == 0 {
 			return v
 		}
@@ -81,7 +82,8 @@ func (e *Engine) sampleFirst(vpIdx int, v graph.VID, src rng.Source) graph.VID {
 // sampleSecond advances a node2vec walker at v (predecessor prev) via
 // rejection sampling; candidates come from the pre-sampled buffer on PS
 // partitions, batching candidate generation as §5.2 describes.
-func (e *Engine) sampleSecond(vpIdx int, v, prev graph.VID, src rng.Source) graph.VID {
+func (s *Session) sampleSecond(vpIdx int, v, prev graph.VID, src rng.Source) graph.VID {
+	e := s.e
 	d := e.g.Degree(v)
 	if d == 0 {
 		return v
@@ -92,13 +94,13 @@ func (e *Engine) sampleSecond(vpIdx int, v, prev graph.VID, src rng.Source) grap
 		// weights of 0 must not spin forever.
 		return e.g.Neighbors(v)[0]
 	}
-	st := e.ps[vpIdx]
+	st := s.ps[vpIdx]
 	for {
 		var x graph.VID
 		if st != nil {
 			x = e.nextPS(st, v, src)
 		} else {
-			x = e.sampleFirst(vpIdx, v, src)
+			x = s.sampleFirst(vpIdx, v, src)
 		}
 		w := e.secondOrderWeight(prev, v, x)
 		if w >= maxW || rng.Float64(src)*maxW < w {
@@ -162,26 +164,27 @@ const batchThreshold = 64
 // sampleVP advances every walker in one partition's shuffled chunk, in
 // place (§4.2): a single sequential scan of the walker chunk, with all
 // random accesses confined to the partition's working set.
-func (e *Engine) sampleVP(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star) {
-	e.sampleVPScratch(vpIdx, chunk, aux, src, newSampleScratch())
+func (s *Session) sampleVP(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star) {
+	s.sampleVPScratch(vpIdx, chunk, aux, src, newSampleScratch())
 }
 
 // sampleVPScratch dispatches one partition chunk to the walk-shape
 // handler. The PS/DS/weighted kernel selection below it is per-partition
-// (resolved at engine build), so the per-walker inner loops carry no
-// policy branches; Config.ScalarSample routes through the retained
-// generic scalar path instead, which follows the identical draw
-// discipline (the equivalence tests compare the two bitwise).
-func (e *Engine) sampleVPScratch(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
-	if e.spec.History != nil {
-		e.sampleVPHistory(vpIdx, chunk, aux, src, scr)
+// (resolved at engine build, bound to the session's buffers), so the
+// per-walker inner loops carry no policy branches; Config.ScalarSample
+// routes through the retained generic scalar path instead, which follows
+// the identical draw discipline (the equivalence tests compare the two
+// bitwise).
+func (s *Session) sampleVPScratch(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+	if s.e.spec.History != nil {
+		s.sampleVPHistory(vpIdx, chunk, aux, src, scr)
 		return
 	}
-	if e.spec.StopProb > 0 {
-		e.sampleVPStop(vpIdx, chunk, aux, src, scr)
+	if s.e.spec.StopProb > 0 {
+		s.sampleVPStop(vpIdx, chunk, aux, src, scr)
 		return
 	}
-	e.sampleVPSegment(vpIdx, chunk, aux, 0, len(chunk), true, src, scr)
+	s.sampleVPSegment(vpIdx, chunk, aux, 0, len(chunk), true, src, scr)
 }
 
 // sampleVPSegment advances walkers [lo, hi) of a chunk one step with no
@@ -189,40 +192,41 @@ func (e *Engine) sampleVPScratch(vpIdx int, chunk []graph.VID, aux [][]graph.VID
 // the geometric-skip restart path (the stretches between restarts).
 // allowBatch gates the batched second-order path so segment boundaries do
 // not change which walkers batch relative to the scalar reference.
-func (e *Engine) sampleVPSegment(vpIdx int, chunk []graph.VID, aux [][]graph.VID, lo, hi int, allowBatch bool, src *rng.XorShift1024Star, scr *sampleScratch) {
+func (s *Session) sampleVPSegment(vpIdx int, chunk []graph.VID, aux [][]graph.VID, lo, hi int, allowBatch bool, src *rng.XorShift1024Star, scr *sampleScratch) {
 	if hi <= lo {
 		return
 	}
+	e := s.e
 	if e.spec.Order == 2 {
 		seg, prev := chunk[lo:hi], aux[0][lo:hi]
 		if allowBatch && hi-lo >= batchThreshold {
 			if e.cfg.ScalarSample {
-				e.sampleVPSecondBatched(vpIdx, seg, prev, src, scr)
+				s.sampleVPSecondBatched(vpIdx, seg, prev, src, scr)
 			} else {
-				e.kernSecondBatched(vpIdx, seg, prev, src, scr)
+				s.kernSecondBatched(vpIdx, seg, prev, src, scr)
 			}
 			return
 		}
 		if e.cfg.ScalarSample {
 			for j := range seg {
 				v := seg[j]
-				next := e.sampleSecond(vpIdx, v, prev[j], src)
+				next := s.sampleSecond(vpIdx, v, prev[j], src)
 				prev[j] = v
 				seg[j] = next
 			}
 			return
 		}
-		e.kernSecondWalk(vpIdx, seg, prev, src)
+		s.kernSecondWalk(vpIdx, seg, prev, src)
 		return
 	}
 	if e.cfg.ScalarSample {
 		seg := chunk[lo:hi]
 		for j := range seg {
-			seg[j] = e.sampleFirst(vpIdx, seg[j], src)
+			seg[j] = s.sampleFirst(vpIdx, seg[j], src)
 		}
 		return
 	}
-	e.runChunkKernel(vpIdx, chunk[lo:hi], src)
+	s.runChunkKernel(vpIdx, chunk[lo:hi], src)
 }
 
 // sampleVPStop advances a chunk under stochastic termination (Monte-Carlo
@@ -234,7 +238,8 @@ func (e *Engine) sampleVPSegment(vpIdx int, chunk []graph.VID, aux [][]graph.VID
 // i.i.d. Bernoulli(p) per walker-step and the walkers in a chunk are
 // exchangeable, so a fresh geometric gap per chunk is distributionally
 // exact; the non-restarting common case pays no per-walker restart draw.
-func (e *Engine) sampleVPStop(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+func (s *Session) sampleVPStop(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+	e := s.e
 	logq := math.Log1p(-e.spec.StopProb) // ln(1-p) < 0, finite for p < 1
 	n := e.g.NumVertices()
 	order2 := e.spec.Order == 2
@@ -244,11 +249,11 @@ func (e *Engine) sampleVPStop(vpIdx int, chunk []graph.VID, aux [][]graph.VID, s
 		// Compare in float64 first — for r near 1 the ratio overflows int.
 		gap := math.Log1p(-src.Float64()) / logq
 		if gap >= float64(len(chunk)-pos) {
-			e.sampleVPSegment(vpIdx, chunk, aux, pos, len(chunk), false, src, scr)
+			s.sampleVPSegment(vpIdx, chunk, aux, pos, len(chunk), false, src, scr)
 			return
 		}
 		next := pos + int(gap)
-		e.sampleVPSegment(vpIdx, chunk, aux, pos, next, false, src, scr)
+		s.sampleVPSegment(vpIdx, chunk, aux, pos, next, false, src, scr)
 		nv := graph.VID(src.Uint32n(n))
 		chunk[next] = nv
 		if order2 {
@@ -261,7 +266,8 @@ func (e *Engine) sampleVPStop(vpIdx int, chunk []graph.VID, aux [][]graph.VID, s
 // sampleVPHistory advances order-k walkers: candidates come from the
 // partition's PS/DS machinery, acceptance from the history transition,
 // and every walker's predecessor window shifts by one.
-func (e *Engine) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+func (s *Session) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+	e := s.e
 	tr := e.spec.History
 	if cap(scr.hist) < tr.Window {
 		scr.hist = make([]graph.VID, tr.Window)
@@ -281,7 +287,7 @@ func (e *Engine) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VID
 			next = e.g.Neighbors(v)[0]
 		default:
 			for {
-				x := e.sampleFirst(vpIdx, v, src)
+				x := s.sampleFirst(vpIdx, v, src)
 				w := tr.Weight(e.g, hist, v, x)
 				if w >= tr.MaxWeight || rng.Float64(src)*tr.MaxWeight < w {
 					next = x
@@ -305,7 +311,8 @@ func (e *Engine) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VID
 // back-to-back and hit cache. Rejected walkers redraw in subsequent
 // rounds; acceptance probability is bounded below by min(1, 1/p, 1/q)/maxW
 // so rounds terminate quickly.
-func (e *Engine) sampleVPSecondBatched(vpIdx int, chunk, aux []graph.VID, src rng.Source, scr *sampleScratch) {
+func (s *Session) sampleVPSecondBatched(vpIdx int, chunk, aux []graph.VID, src rng.Source, scr *sampleScratch) {
+	e := s.e
 	maxW := e.maxWeight()
 	n := len(chunk)
 	if cap(scr.cand) < n {
@@ -336,7 +343,7 @@ func (e *Engine) sampleVPSecondBatched(vpIdx int, chunk, aux []graph.VID, src rn
 	slices.Sort(pending)
 	// The PS-vs-DS decision is partition-invariant: resolve it once, not
 	// per pending walker per round.
-	st := e.ps[vpIdx]
+	st := s.ps[vpIdx]
 	for len(pending) > 0 {
 		// Candidate generation: local to the partition (pre-sampled
 		// buffers or direct reads), one sequential pass.
@@ -345,7 +352,7 @@ func (e *Engine) sampleVPSecondBatched(vpIdx int, chunk, aux []graph.VID, src rn
 			if st != nil {
 				cand[i] = e.nextPS(st, chunk[i], src)
 			} else {
-				cand[i] = e.sampleFirst(vpIdx, chunk[i], src)
+				cand[i] = s.sampleFirst(vpIdx, chunk[i], src)
 			}
 		}
 		next := pending[:0]

@@ -38,13 +38,14 @@ type refSampler struct {
 	weighted   *algo.WeightedSampler
 }
 
-func newRefSampler(e *Engine) *refSampler {
+func newRefSampler(s *Session) *refSampler {
+	e := s.e
 	r := &refSampler{
 		g: e.g, spec: e.spec, plan: e.plan,
 		regularDeg: e.regularDeg, weighted: e.weighted,
 	}
-	r.ps = make([]*psState, len(e.ps))
-	for i, st := range e.ps {
+	r.ps = make([]*psState, len(s.ps))
+	for i, st := range s.ps {
 		if st == nil {
 			continue
 		}
@@ -340,7 +341,17 @@ func TestSampleKernelsMatchFrozenScalar(t *testing.T) {
 			defer eK.Close()
 			eS := newEngine(t, sc.g, sc.spec, cfgS)
 			defer eS.Close()
-			ref := newRefSampler(eK)
+			sK, err := eK.NewSession(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sK.Close()
+			sS, err := eS.NewSession(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sS.Close()
+			ref := newRefSampler(sK)
 
 			setup := rng.NewXorShift1024Star(0x5eed)
 			srcK := rng.NewXorShift1024Star(0)
@@ -382,12 +393,12 @@ func TestSampleKernelsMatchFrozenScalar(t *testing.T) {
 						chunkK := slices.Clone(master)
 						auxK := slices.Clone(masterAux)
 						srcK.Reseed(seed)
-						eK.sampleVPScratch(vp, chunkK, wrap(auxK), srcK, scrK)
+						sK.sampleVPScratch(vp, chunkK, wrap(auxK), srcK, scrK)
 
 						chunkS := slices.Clone(master)
 						auxS := slices.Clone(masterAux)
 						srcS.Reseed(seed)
-						eS.sampleVPScratch(vp, chunkS, wrap(auxS), srcS, scrS)
+						sS.sampleVPScratch(vp, chunkS, wrap(auxS), srcS, scrS)
 
 						chunkR := slices.Clone(master)
 						auxR := slices.Clone(masterAux)
@@ -600,7 +611,9 @@ func TestDSRegularVsCSRKernels(t *testing.T) {
 			}
 			e.buildKernels()
 			for i := range e.kern {
-				if e.ps[i] == nil && e.kern[i].kind != kernDSCSR {
+				// A uniform-DS plan has no PS partitions, so every kernel
+				// must fall back to CSR.
+				if e.kern[i].kind != kernDSCSR {
 					t.Fatalf("vp %d: expected kernDSCSR after forcing, got %d", i, e.kern[i].kind)
 				}
 			}

@@ -234,6 +234,77 @@ func (r *Registry) Snapshot() *Report {
 	return rep
 }
 
+// FoldInto accumulates every metric recorded on r into the same-named
+// metric of dst: counters and vector slots add, gauges add their reading,
+// histograms merge count, sum, and buckets. This is the session-to-
+// aggregate path — a per-run registry folds its totals into an engine-
+// lifetime registry built with the same metric set when the run
+// completes. Metrics with no same-named counterpart in dst are skipped;
+// vectors fold over the shorter of the two lengths. Safe for concurrent
+// use with recording and snapshots on either registry, but two
+// registries must not FoldInto each other concurrently in opposite
+// directions.
+func (r *Registry) FoldInto(dst *Registry) {
+	if dst == nil || dst == r {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	counters := make(map[string]*Counter, len(dst.counters))
+	for _, e := range dst.counters {
+		counters[e.desc.Name] = e.m
+	}
+	for _, e := range r.counters {
+		if c := counters[e.desc.Name]; c != nil {
+			c.Add(e.m.Value())
+		}
+	}
+	gauges := make(map[string]*Gauge, len(dst.gauges))
+	for _, e := range dst.gauges {
+		gauges[e.desc.Name] = e.m
+	}
+	for _, e := range r.gauges {
+		if g := gauges[e.desc.Name]; g != nil {
+			g.Add(e.m.Value())
+		}
+	}
+	hists := make(map[string]*Histogram, len(dst.hists))
+	for _, e := range dst.hists {
+		hists[e.desc.Name] = e.m
+	}
+	for _, e := range r.hists {
+		h := hists[e.desc.Name]
+		if h == nil {
+			continue
+		}
+		h.count.Add(e.m.count.Load())
+		h.sum.Add(e.m.sum.Load())
+		for i := 0; i < histBuckets; i++ {
+			if c := e.m.buckets[i].Load(); c != 0 {
+				h.buckets[i].Add(c)
+			}
+		}
+	}
+	vecs := make(map[string]*CounterVec, len(dst.vecs))
+	for _, e := range dst.vecs {
+		vecs[e.desc.Name] = e.m
+	}
+	for _, e := range r.vecs {
+		v := vecs[e.desc.Name]
+		if v == nil {
+			continue
+		}
+		n := min(e.m.Len(), v.Len())
+		for i := 0; i < n; i++ {
+			if c := e.m.Value(i); c != 0 {
+				v.Add(i, c)
+			}
+		}
+	}
+}
+
 // snapHistogram freezes one histogram, keeping only non-empty buckets.
 func snapHistogram(d Desc, h *Histogram) HistSnap {
 	s := HistSnap{Desc: d, Count: h.Count(), Sum: h.Sum()}

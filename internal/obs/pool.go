@@ -3,8 +3,10 @@ package obs
 // PoolMetrics is the metric set a persistent worker pool records into
 // (internal/pool): phase-barrier executions, per-worker shard busy time,
 // and the time the caller spends parked on the barrier after finishing
-// its own shard. Engines build one with NewPoolMetrics and hand it to
-// pool.SetMetrics; a nil *PoolMetrics disables collection.
+// its own shard. Engines build one with NewPoolMetrics per session and
+// pass it to pool.Submit with each phase (pool.SetMetrics remains the
+// single-owner default for Run/RunCtx); a nil *PoolMetrics disables
+// collection.
 type PoolMetrics struct {
 	// Runs counts phase barriers executed (one per pool.Run call).
 	Runs *Counter

@@ -5,14 +5,18 @@
 // for every stage of every step costs both the spawn itself and the loss
 // of the scheduler's thread affinity. A Pool instead parks one goroutine
 // per worker for the lifetime of the engine and replays them through
-// Task phases: Run is a phase barrier that costs two channel operations
-// per worker and allocates nothing in steady state.
+// Task phases: a phase barrier costs two channel operations per worker
+// and allocates nothing in steady state.
 //
-// The pool carries the engine's observability hooks: SetMetrics attaches
-// an obs.PoolMetrics (per-worker busy time, barrier wait, run count) and
-// RunCtx labels the workers with a pprof label context for the duration
-// of a phase, so CPU profiles attribute stage time out of the box. Both
-// are nil by default and cost one nil check per phase when off.
+// Submit is the phase-submission path shared by concurrent sessions: any
+// number of goroutines may Submit phases and the pool multiplexes them,
+// running one phase at a time across the full worker set. Each
+// submission carries its own observability hooks — an obs.PoolMetrics
+// (per-worker busy time, barrier wait, run count) and a pprof label
+// context applied to the workers for the duration of the phase — so
+// concurrent sessions account their pool time separately. Both are nil
+// by default and cost one nil check per phase when off. Run/RunCtx are
+// the single-owner convenience forms, paired with SetMetrics.
 package pool
 
 import (
@@ -42,13 +46,19 @@ type Pool struct {
 
 type pool struct {
 	workers int
-	task    Task
-	phase   int
-	ctx     context.Context  // pprof label context for the current phase (nil: none)
-	metrics *obs.PoolMetrics // nil: no accounting
+	metrics *obs.PoolMetrics // Run/RunCtx default accounting (nil: none)
 	start   []chan struct{}
 	wg      sync.WaitGroup
 	once    sync.Once
+
+	// mu serializes Submit's multi-worker path: concurrent submitters
+	// each get the whole worker set for one phase at a time, so the
+	// in-flight fields below are owned by exactly one submission.
+	mu    sync.Mutex
+	task  Task
+	phase int
+	ctx   context.Context  // pprof label context for the current phase (nil: none)
+	curM  *obs.PoolMetrics // the current submission's accounting (nil: none)
 }
 
 // New builds a pool of the given size (≤ 0 means 1). Worker 0 is the
@@ -74,7 +84,7 @@ func (p *pool) work(worker int, start <-chan struct{}) {
 		if p.ctx != nil {
 			pprof.SetGoroutineLabels(p.ctx)
 		}
-		if m := p.metrics; m != nil {
+		if m := p.curM; m != nil {
 			t0 := time.Now()
 			p.task.RunShard(p.phase, worker, p.workers)
 			m.BusyNS.Add(worker, uint64(time.Since(t0)))
@@ -88,23 +98,38 @@ func (p *pool) work(worker int, start <-chan struct{}) {
 // Workers returns the pool size, including the caller's slot 0.
 func (p *pool) Workers() int { return p.workers }
 
-// SetMetrics attaches (or, with nil, detaches) the pool's accounting.
-// The metric vector must be sized for Workers slots. Not safe to call
-// concurrently with Run.
+// SetMetrics attaches (or, with nil, detaches) the default accounting
+// used by Run and RunCtx. The metric vector must be sized for Workers
+// slots. Not safe to call concurrently with Run; Submit callers pass
+// their accounting per submission instead.
 func (p *pool) SetMetrics(m *obs.PoolMetrics) { p.metrics = m }
 
 // Run executes one phase of t on every worker and returns when all shards
 // have finished (a phase barrier). The caller runs shard 0 itself.
 // Steady-state calls perform no allocations and create no goroutines.
-func (p *pool) Run(t Task, phase int) { p.RunCtx(t, phase, nil) }
+func (p *pool) Run(t Task, phase int) { p.Submit(t, phase, nil, p.metrics) }
 
 // RunCtx is Run with a pprof label context: every worker (including the
 // caller's slot) carries ctx's labels while executing its shard, so CPU
 // profiles split by stage. The caller's own labels are restored before
 // returning; a nil ctx leaves labels untouched.
 func (p *pool) RunCtx(t Task, phase int, ctx context.Context) {
-	m := p.metrics
+	p.Submit(t, phase, ctx, p.metrics)
+}
+
+// Submit executes one phase of t across the full worker set and returns
+// when all shards have finished — the phase barrier shared by concurrent
+// sessions. Submissions from different goroutines are serialized: each
+// phase gets every worker, so multiplexing N sessions interleaves their
+// phases rather than splitting the workers. The submitting goroutine
+// runs shard 0 itself; m (which must be sized for Workers slots) and ctx
+// attach this submission's accounting and pprof labels, either may be
+// nil. Steady-state calls perform no allocations and create no
+// goroutines.
+func (p *pool) Submit(t Task, phase int, ctx context.Context, m *obs.PoolMetrics) {
 	if p.workers == 1 {
+		// Inline path: no shared in-flight state is touched, so
+		// single-worker submissions need no serialization.
 		if ctx != nil {
 			pprof.SetGoroutineLabels(ctx)
 		}
@@ -121,7 +146,8 @@ func (p *pool) RunCtx(t Task, phase int, ctx context.Context) {
 		}
 		return
 	}
-	p.task, p.phase, p.ctx = t, phase, ctx
+	p.mu.Lock()
+	p.task, p.phase, p.ctx, p.curM = t, phase, ctx, m
 	p.wg.Add(p.workers - 1)
 	for _, ch := range p.start {
 		ch <- struct{}{}
@@ -144,7 +170,8 @@ func (p *pool) RunCtx(t Task, phase int, ctx context.Context) {
 	if ctx != nil {
 		pprof.SetGoroutineLabels(context.Background())
 	}
-	p.task, p.ctx = nil, nil
+	p.task, p.ctx, p.curM = nil, nil, nil
+	p.mu.Unlock()
 }
 
 // Close releases the worker goroutines. It is idempotent; the pool must

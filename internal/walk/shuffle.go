@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"flashmob/internal/graph"
+	"flashmob/internal/obs"
 	"flashmob/internal/part"
 	"flashmob/internal/pool"
 )
@@ -91,6 +92,12 @@ type Shuffler struct {
 	// labels). The forward context covers count/scatter/inner phases, the
 	// reverse context the gather (see SetPprofLabels).
 	fwdCtx, revCtx context.Context
+
+	// pm is the pool accounting every phase submission carries (nil: no
+	// accounting). Per-shuffler rather than pool-global so concurrent
+	// sessions attribute their pool time to their own registries (see
+	// SetPoolMetrics).
+	pm *obs.PoolMetrics
 
 	// In-flight pass state, published to workers through the pool's phase
 	// barrier.
@@ -227,6 +234,12 @@ func (s *Shuffler) SetPprofLabels(on bool) {
 	s.fwdCtx = pprof.WithLabels(context.Background(), pprof.Labels("stage", "shuffle", "dir", "fwd"))
 	s.revCtx = pprof.WithLabels(context.Background(), pprof.Labels("stage", "shuffle", "dir", "rev"))
 }
+
+// SetPoolMetrics attaches (or, with nil, detaches) the pool accounting
+// the shuffler's phase submissions carry: busy time, barrier wait, and
+// run counts land in m. Per-shuffler so the engine can hand each session
+// its own metric set; a shuffler without a pool ignores it.
+func (s *Shuffler) SetPoolMetrics(m *obs.PoolMetrics) { s.pm = m }
 
 // VPStart returns, after a Forward pass, the slot offsets per VP: walkers
 // of VP i occupy shuffled slots [VPStart()[i], VPStart()[i+1]).
@@ -397,7 +410,7 @@ func (s *Shuffler) run(phase int) {
 		ctx = s.revCtx
 	}
 	if s.pool != nil {
-		s.pool.RunCtx(s, phase, ctx)
+		s.pool.Submit(s, phase, ctx, s.pm)
 		return
 	}
 	if s.workers == 1 {

@@ -10,10 +10,10 @@ import (
 	"flashmob/internal/stats"
 )
 
-// Report is a point-in-time snapshot of the engine's metrics registry:
-// counters, gauges, histograms, and labelled counter vectors, each carrying
-// its own descriptor (name, unit, stage, help). Returned by Result.Report
-// when Options.Metrics is set; serialize with its WriteJSON method. Every
+// Report is a point-in-time snapshot of a metrics registry: counters,
+// gauges, histograms, and labelled counter vectors, each carrying its own
+// descriptor (name, unit, stage, help). Returned by Result.Report when
+// Options.Metrics is set; serialize with its WriteJSON method. Every
 // field is documented in docs/OBSERVABILITY.md.
 type Report = obs.Report
 
@@ -100,7 +100,10 @@ func (r *Result) TotalSteps() uint64 { return r.inner.TotalSteps }
 // Episodes returns how many memory-budgeted rounds the run took.
 func (r *Result) Episodes() int { return r.inner.Episodes }
 
-// Report returns the run's metrics snapshot, accumulated on the System's
-// registry across every Walk since it was built. Nil unless the System
-// was created with Options.Metrics.
+// Report returns the run's metrics snapshot: System.Walk results describe
+// that Walk alone; results from an explicitly held Session cover the
+// session's Walks so far. The System-lifetime aggregate (every closed
+// session folded together) is not exposed here — fmbench and tests reach
+// it through the engine's MetricsReport. Nil unless the System was
+// created with Options.Metrics.
 func (r *Result) Report() *Report { return r.inner.Report }
