@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent
+.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent bench-serve
 
 build:
 	$(GO) build ./...
@@ -9,13 +9,13 @@ build:
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/doccheck -strict . -strict ./internal/obs ./internal/... ./cmd/... ./examples/...
+	$(GO) run ./cmd/doccheck -strict . -strict ./internal/obs -strict ./internal/serve ./internal/... ./cmd/... ./examples/...
 
 test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race -shuffle=on . ./internal/pool/ ./internal/walk/ ./internal/core/
+	$(GO) test -race -shuffle=on . ./internal/pool/ ./internal/walk/ ./internal/core/ ./internal/serve/
 
 # Go-native component benchmarks (small, cache-resident scales).
 bench:
@@ -42,6 +42,12 @@ bench-sample:
 # BENCH_concurrent.json in the repo root.
 bench-concurrent:
 	$(GO) run ./cmd/fmbench -exp concurrent
+
+# The walk-query service under open-loop load: batch-size-1 baseline vs
+# coalescing at several micro-batching windows, mixed request sizes.
+# Writes BENCH_serve.json in the repo root (docs/SERVING.md).
+bench-serve:
+	$(GO) run ./cmd/fmbench -exp serve
 
 # Equivalence + determinism gate for the sample kernels.
 bench-sample-equiv:

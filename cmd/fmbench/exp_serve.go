@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"flashmob"
+	"flashmob/internal/serve"
+)
+
+// serveVariant is one measured server configuration under the same
+// open-loop load.
+type serveVariant struct {
+	Name             string  `json:"name"`
+	WindowMS         float64 `json:"window_ms"`
+	MaxBatchRequests int     `json:"max_batch_requests"`
+	Offered          int     `json:"offered_requests"`
+	Served           int     `json:"served"`
+	Shed             int     `json:"shed"`
+	Failed           int     `json:"failed"`
+	ReqPerSec        float64 `json:"served_req_per_sec"`
+	Goodput          float64 `json:"goodput_walker_steps_per_sec"`
+	P50MS            float64 `json:"served_p50_ms"`
+	P99MS            float64 `json:"served_p99_ms"`
+	MeanBatch        float64 `json:"mean_batch_requests"`
+	Speedup          float64 `json:"goodput_vs_batch1"`
+}
+
+// serveReport is the schema of BENCH_serve.json.
+type serveReport struct {
+	Experiment string         `json:"experiment"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Graph      string         `json:"graph"`
+	Workers    int            `json:"workers"`
+	Steps      int            `json:"steps"`
+	MixWalkers []int          `json:"mix_walkers"`
+	OfferedQPS float64        `json:"offered_qps"`
+	Variants   []serveVariant `json:"variants"`
+}
+
+// expServe measures what micro-batching buys a walk-query service: the
+// same open-loop request mix is offered — at ~3× the no-coalescing
+// capacity, calibrated on this host — to a batch-size-1 server (every
+// request its own engine run) and to coalescing servers at several
+// batching windows. The coalescing servers amortize per-run overhead
+// across the batch, so they serve the same load with higher goodput and
+// a tail no worse; the batch-size-1 server saturates and sheds.
+func expServe(w io.Writer, cfg benchConfig) error {
+	const graphName = "YT"
+	g, err := presetGraphSized(graphName, cfg, cfg.MinCSR)
+	if err != nil {
+		return err
+	}
+	mix := []int{8, 32, 128}
+
+	// Calibrate: median solo-request latency on a batch-size-1 server
+	// bounds its capacity at Executors/latency requests per second.
+	solo, err := soloLatency(g, cfg, mix)
+	if err != nil {
+		return err
+	}
+	const executors = 2
+	capacity := float64(executors) / solo.Seconds()
+	qps := 3 * capacity
+	// Bound the run: 2 seconds of offered load, at least 200 requests so
+	// percentiles mean something, at most 3000 so slow hosts finish.
+	offered := int(qps * 2)
+	if offered < 200 {
+		offered = 200
+	}
+	if offered > 3000 {
+		offered = 3000
+	}
+	fmt.Fprintf(w, "calibration: solo run %.2fms -> batch-size-1 capacity ~%.0f req/s; offering %.0f req/s (%d requests)\n\n",
+		float64(solo)/float64(time.Millisecond), capacity, qps, offered)
+
+	rep := serveReport{
+		Experiment: "serve",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Graph:      graphName,
+		Workers:    cfg.Workers,
+		Steps:      cfg.Steps,
+		MixWalkers: mix,
+		OfferedQPS: qps,
+	}
+
+	type variantCfg struct {
+		name   string
+		window time.Duration
+		maxReq int
+	}
+	variants := []variantCfg{
+		{"batch1", time.Millisecond, 1},
+		{"window-1ms", time.Millisecond, 0},
+		{"window-4ms", 4 * time.Millisecond, 0},
+		{"window-16ms", 16 * time.Millisecond, 0},
+	}
+
+	row(w, "variant", "served", "shed", "req/s", "goodput", "p50-ms", "p99-ms", "batch", "vs-b1")
+	var base float64
+	for _, vc := range variants {
+		v, err := runServeVariant(g, cfg, vc.name, vc.window, vc.maxReq, executors, mix, qps, offered)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = v.Goodput
+		}
+		v.Speedup = v.Goodput / base
+		rep.Variants = append(rep.Variants, v)
+		row(w, v.Name, big(uint64(v.Served)), big(uint64(v.Shed)),
+			fmt.Sprintf("%.0f", v.ReqPerSec), fmt.Sprintf("%.2fM", v.Goodput/1e6),
+			f2(v.P50MS), f2(v.P99MS), f2(v.MeanBatch), fmt.Sprintf("%.2fx", v.Speedup))
+	}
+
+	f, err := os.Create("BENCH_serve.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nwrote BENCH_serve.json")
+	return nil
+}
+
+// newServeServer builds a fresh system (the serve server owns and closes
+// it) and an HTTP listener on an ephemeral port.
+func newServeServer(fg *flashmob.Graph, cfg benchConfig, window time.Duration, maxReq, executors int) (*serve.Server, *http.Server, string, error) {
+	spec := flashmob.DeepWalk()
+	sys, err := flashmob.New(fg, flashmob.Options{
+		Algorithm: spec, Workers: cfg.Workers, Seed: cfg.Seed, RecordPaths: true,
+	})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	srv, err := serve.New([]serve.Backend{{Name: "deepwalk", Sys: sys, Spec: spec}}, serve.Config{
+		MaxWait:          window,
+		MaxBatchRequests: maxReq,
+		Executors:        executors,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		sys.Close()
+		return nil, nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return srv, hs, "http://" + ln.Addr().String(), nil
+}
+
+// soloLatency measures the median latency of sequential single requests
+// against a batch-size-1 server: the per-request cost when nothing is
+// amortized.
+func soloLatency(fg *flashmob.Graph, cfg benchConfig, mix []int) (time.Duration, error) {
+	srv, hs, url, err := newServeServer(fg, cfg, time.Millisecond, 1, 2)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { hs.Close(); srv.Close() }()
+	client := &http.Client{}
+	var lat []time.Duration
+	for i := 0; i < 24; i++ {
+		t0 := time.Now()
+		status, err := postServe(client, url, mix[i%len(mix)], cfg.Steps)
+		if err != nil {
+			return 0, err
+		}
+		if status != 200 {
+			return 0, fmt.Errorf("calibration request got status %d", status)
+		}
+		if i >= 4 { // skip warm-up
+			lat = append(lat, time.Since(t0))
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[len(lat)/2], nil
+}
+
+// postServe issues one walk query and discards the body.
+func postServe(client *http.Client, url string, walkers, steps int) (int, error) {
+	body, _ := json.Marshal(serve.WalkRequest{Walkers: walkers, Steps: steps})
+	resp, err := client.Post(url+"/v1/walk", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// runServeVariant offers the open-loop load to one server configuration
+// and folds the client-side observations into a serveVariant.
+func runServeVariant(fg *flashmob.Graph, cfg benchConfig, name string, window time.Duration, maxReq, executors int, mix []int, qps float64, offered int) (serveVariant, error) {
+	srv, hs, url, err := newServeServer(fg, cfg, window, maxReq, executors)
+	if err != nil {
+		return serveVariant{}, err
+	}
+	defer func() { hs.Close(); srv.Close() }()
+
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: 512},
+	}
+	// Warm the engine (first-touch faults, session pool) off the clock.
+	if _, err := postServe(client, url, 64, cfg.Steps); err != nil {
+		return serveVariant{}, err
+	}
+
+	type obs struct {
+		status  int
+		walkers int
+		latency time.Duration
+	}
+	results := make([]obs, offered)
+	interval := time.Duration(float64(time.Second) / qps)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < offered; i++ {
+		// Open loop: requests fire on the schedule no matter how slow the
+		// server is; lateness is the server's problem, not the clients'.
+		if sleep := start.Add(time.Duration(i) * interval).Sub(time.Now()); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			walkers := mix[i%len(mix)]
+			t0 := time.Now()
+			status, err := postServe(client, url, walkers, cfg.Steps)
+			if err != nil {
+				status = -1
+			}
+			results[i] = obs{status: status, walkers: walkers, latency: time.Since(t0)}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	v := serveVariant{
+		Name:             name,
+		WindowMS:         float64(window) / float64(time.Millisecond),
+		MaxBatchRequests: maxReq,
+		Offered:          offered,
+	}
+	var lat []time.Duration
+	var walkerSteps float64
+	for _, r := range results {
+		switch r.status {
+		case 200:
+			v.Served++
+			lat = append(lat, r.latency)
+			walkerSteps += float64(r.walkers * cfg.Steps)
+		case 503:
+			v.Shed++
+		default:
+			v.Failed++
+		}
+	}
+	if v.Served > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		v.P50MS = float64(lat[len(lat)/2]) / float64(time.Millisecond)
+		v.P99MS = float64(lat[len(lat)*99/100]) / float64(time.Millisecond)
+		v.ReqPerSec = float64(v.Served) / wall.Seconds()
+		v.Goodput = walkerSteps / wall.Seconds()
+	}
+	if h, ok := srv.Metrics().Histogram("serve_batch_requests"); ok && h.Count > 0 {
+		v.MeanBatch = float64(h.Sum) / float64(h.Count)
+	}
+	return v, nil
+}

@@ -69,6 +69,7 @@ var experiments = []experiment{
 	{"shuffle", "§4.3 shuffle stage at DRAM scale: write-combining × pool variants + end-to-end split (writes BENCH_shuffle.json)", expShuffle},
 	{"sample", "§4.2 sample stage at DRAM scale: scalar vs specialized kernels across partition classes (writes BENCH_sample.json)", expSample},
 	{"concurrent", "concurrent sessions on one engine build: aggregate walker-steps/s vs session count (writes BENCH_concurrent.json)", expConcurrent},
+	{"serve", "walk-query serving: open-loop load on batch-size-1 vs coalescing windows (writes BENCH_serve.json)", expServe},
 	{"prep", "pre-processing overhead: counting sort + MCKP planning", expPrep},
 	{"ooc", "out-of-core walking: disk-streamed graph vs in-memory (§5.4 future work)", expOOC},
 	{"ablate", "design-choice ablations: LLC policy, prefetcher, regular DS indexing (simulated)", expAblate},

@@ -1,0 +1,156 @@
+// Command fmserve serves walk queries over HTTP: it builds one FlashMob
+// system per requested algorithm and exposes the batched, load-shedding
+// walk service of internal/serve (POST /v1/walk, GET /v1/plan,
+// GET /healthz, GET /metrics — see docs/SERVING.md).
+//
+// Usage:
+//
+//	fmserve -preset YT -scalediv 100 -algos deepwalk -addr :8080
+//	fmserve -graph yt.bin -algos deepwalk,node2vec -p 0.5 -q 2 -window 4ms
+//
+// With -addr :0 the kernel picks a free port; the chosen address is
+// printed as "fmserve: listening on ADDR" so scripts (the CI smoke leg,
+// fmbench) can parse it. SIGINT/SIGTERM shut down gracefully: the
+// listener stops accepting, in-flight batches drain, then the systems
+// close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"flashmob"
+	"flashmob/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		graphPath  = flag.String("graph", "", "graph file (binary CSR or text edge list)")
+		undirected = flag.Bool("undirected", false, "treat edge-list input as undirected")
+		preset     = flag.String("preset", "", "generate a paper-preset graph instead (YT/TW/FS/UK/YH)")
+		scaleDiv   = flag.Uint("scalediv", 100, "preset downscale divisor")
+		algos      = flag.String("algos", "deepwalk", "comma-separated walks to serve: deepwalk, node2vec, pagerank (first = default)")
+		p          = flag.Float64("p", 1, "node2vec return parameter")
+		q          = flag.Float64("q", 1, "node2vec in-out parameter")
+		damping    = flag.Float64("damping", 0.85, "pagerank damping")
+		seed       = flag.Uint64("seed", 42, "random seed (builds and per-batch sampling seeds)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads per system")
+		metrics    = flag.Bool("metrics", true, "enable engine metrics (reported under /metrics)")
+
+		window      = flag.Duration("window", 2*time.Millisecond, "micro-batching window")
+		maxWalkers  = flag.Int("max-batch-walkers", 8192, "walker budget per batch (and per-request cap)")
+		maxRequests = flag.Int("max-batch-requests", 0, "request cap per batch (0 = unlimited, 1 = no coalescing)")
+		queueDepth  = flag.Int("queue-depth", 256, "admission queue bound per algorithm")
+		executors   = flag.Int("executors", 2, "concurrent batch executions per algorithm")
+		timeout     = flag.Duration("timeout", 2*time.Second, "default request deadline")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *preset, uint32(*scaleDiv), *seed, *undirected)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fmserve: graph |V|=%d |E|=%d CSR=%.1fMB\n",
+		g.NumVertices(), g.NumEdges(), float64(g.SizeBytes())/(1<<20))
+
+	var backends []serve.Backend
+	for _, name := range strings.Split(*algos, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		var spec flashmob.Algorithm
+		switch name {
+		case "deepwalk":
+			spec = flashmob.DeepWalk()
+		case "node2vec":
+			spec = flashmob.Node2Vec(*p, *q)
+		case "pagerank":
+			spec = flashmob.PageRankWalk(*damping)
+		default:
+			fatal(fmt.Errorf("unknown algorithm %q", name))
+		}
+		sys, err := flashmob.New(g, flashmob.Options{
+			Algorithm:   spec,
+			Workers:     *workers,
+			Seed:        *seed,
+			RecordPaths: true,
+			Metrics:     *metrics,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("build %s: %w", name, err))
+		}
+		backends = append(backends, serve.Backend{Name: name, Sys: sys, Spec: spec})
+		fmt.Printf("fmserve: serving %s (%d VPs)\n", name, sys.Plan().NumVPs)
+	}
+	if len(backends) == 0 {
+		fatal(fmt.Errorf("-algos named no algorithms"))
+	}
+
+	srv, err := serve.New(backends, serve.Config{
+		MaxBatchWalkers:  *maxWalkers,
+		MaxBatchRequests: *maxRequests,
+		MaxWait:          *window,
+		QueueDepth:       *queueDepth,
+		Executors:        *executors,
+		DefaultTimeout:   *timeout,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// Parseable by scripts; keep the exact "listening on " prefix.
+	fmt.Printf("fmserve: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("fmserve: %s, draining\n", sig)
+	case err := <-done:
+		fatal(err)
+	}
+	// Stop accepting and let connected requests finish (their batches are
+	// still executing), then drain the batching pipeline and close the
+	// systems.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	_ = hs.Shutdown(ctx)
+	cancel()
+	srv.Close()
+	fmt.Println("fmserve: drained, bye")
+}
+
+func loadGraph(path, preset string, scaleDiv uint32, seed uint64, undirected bool) (*flashmob.Graph, error) {
+	switch {
+	case path != "":
+		return flashmob.LoadFile(path, undirected)
+	case preset != "":
+		return flashmob.Generate(preset, scaleDiv, seed)
+	default:
+		return nil, fmt.Errorf("one of -graph or -preset is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fmserve: %v\n", err)
+	os.Exit(1)
+}

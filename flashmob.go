@@ -221,9 +221,34 @@ func (s *Session) Walk(walkers uint64, steps int) (*Result, error) {
 	return &Result{inner: res, reorder: s.reorder}, nil
 }
 
+// WalkSeeded is Walk with a per-run seed overriding Options.Seed: walker
+// placement and every edge draw derive from the given seed, so on a
+// freshly acquired session the trajectories are a pure function of
+// (System build, seed, walkers, steps) — reproducible no matter what
+// other runs execute before, after, or concurrently on other sessions.
+// This is the hook internal/serve uses to answer seeded walk queries
+// identically whether they ride a batch alone or coalesced with others.
+// Runs after the first on the same session inherit the PS buffer state
+// earlier runs left behind; acquire a fresh session per run when
+// reproducibility matters.
+func (s *Session) WalkSeeded(seed uint64, walkers uint64, steps int) (*Result, error) {
+	res, err := s.inner.RunSeeded(seed, walkers, steps)
+	if err != nil {
+		return nil, fmt.Errorf("flashmob: %w", err)
+	}
+	return &Result{inner: res, reorder: s.reorder}, nil
+}
+
 // Close releases the session's buffers back to the System and folds its
 // metrics into the System-lifetime aggregate. Idempotent.
 func (s *Session) Close() { s.inner.Close() }
+
+// MetricsReport snapshots the System-lifetime metrics aggregate: the fold
+// of every session closed since the System was built (an open session's
+// counts arrive when it closes). Nil unless the System was created with
+// Options.Metrics. Individual runs' snapshots are Result.Report; this is
+// the view GET /metrics on an fmserve server exposes per engine.
+func (s *System) MetricsReport() *Report { return s.engine.MetricsReport() }
 
 // PlanSummary describes the partitioning decision in effect.
 type PlanSummary struct {

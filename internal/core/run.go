@@ -73,9 +73,22 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 // memory budget. One Run at a time per session; the session's context
 // cancels between pipeline steps, returning the context's error.
 func (s *Session) Run(totalWalkers uint64, steps int) (*Result, error) {
+	return s.RunSeeded(s.e.cfg.Seed, totalWalkers, steps)
+}
+
+// RunSeeded is Run with a per-run seed overriding Config.Seed: walker
+// placement and every sample draw derive from the given seed instead of
+// the engine's. On a freshly acquired session, trajectories are a pure
+// function of (engine build, seed, totalWalkers, steps) — the hook the
+// serving layer uses to give independently seeded requests reproducible
+// walks on one shared engine. Runs after the first on the same session
+// see the PS buffers the earlier runs left behind; acquire a new session
+// when reproducibility matters.
+func (s *Session) RunSeeded(seed uint64, totalWalkers uint64, steps int) (*Result, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	s.runSeed = seed
 	e := s.e
 	if totalWalkers == 0 {
 		totalWalkers = uint64(e.g.NumVertices())
@@ -139,7 +152,7 @@ func (s *Session) runEpisode(episode, walkers, steps int, res *Result) error {
 	// Mix the episode index into the init seed so episodes decorrelate
 	// (identical per-episode seeds would replay the same start placement
 	// and walk randomness every round).
-	initSrc := rng.NewXorShift1024Star(rng.Mix64(e.cfg.Seed^0x9e3779b97f4a7c15) + uint64(episode))
+	initSrc := rng.NewXorShift1024Star(rng.Mix64(s.runSeed^0x9e3779b97f4a7c15) + uint64(episode))
 	e.initWalkers(w, initSrc)
 	for c := range auxW {
 		// Predecessors start as the walker's own start vertex, which makes
@@ -301,7 +314,7 @@ func (s *Session) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID,
 		}
 		if !shardable || hi-lo < 2*subShardSize || s.kern[vp].st != nil {
 			items = append(items, sampleItem{vp: int32(vp), lo: lo, hi: hi,
-				seed: sampleSeed(e.cfg.Seed, episode, step, vp, 0)})
+				seed: sampleSeed(s.runSeed, episode, step, vp, 0)})
 			continue
 		}
 		a := lo
@@ -311,7 +324,7 @@ func (s *Session) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID,
 				b = hi // absorb the ragged tail into the last piece
 			}
 			items = append(items, sampleItem{vp: int32(vp), lo: a, hi: b,
-				seed: sampleSeed(e.cfg.Seed, episode, step, vp, sub)})
+				seed: sampleSeed(s.runSeed, episode, step, vp, sub)})
 			a = b
 			subShards++
 		}

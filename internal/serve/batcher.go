@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"flashmob"
+	"flashmob/internal/rng"
+)
+
+// pending is one admitted walk query waiting for its batch: the
+// normalized request plus the channel its outcome is delivered on.
+type pending struct {
+	walkers  int
+	steps    int // resolved: never 0
+	seed     uint64
+	seeded   bool
+	enq      time.Time
+	deadline time.Time
+	resp     chan outcome // capacity 1; exactly one outcome per pending
+}
+
+// outcome is what the executor (or the shedding path) delivers back to
+// the waiting handler.
+type outcome struct {
+	status        int // http.StatusOK or the shed/failure code
+	errMsg        string
+	retry         bool // advertise Retry-After on the error
+	steps         int
+	batchRequests int
+	runWalkers    int
+	paths         [][]flashmob.VID
+	execStart     time.Time
+	runDur        time.Duration
+}
+
+// backend is one served algorithm's batching pipeline: an admission
+// queue feeding a dispatcher that assembles batches, feeding executors
+// that run them on engine sessions.
+type backend struct {
+	s       *Server
+	name    string
+	sys     *flashmob.System
+	spec    flashmob.Algorithm
+	queue   chan *pending
+	batches chan []*pending
+}
+
+// Enqueue errors, mapped to HTTP by the handler.
+var (
+	errOverloaded = errors.New("serve: admission queue full")
+	errClosed     = errors.New("serve: server closed")
+)
+
+// enqueue admits p or reports why it cannot: a closed server or a full
+// queue. The read lock pairs with Close's write lock so the queue is
+// never closed between the check and the send.
+func (b *backend) enqueue(p *pending) error {
+	s := b.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errClosed
+	}
+	select {
+	case b.queue <- p:
+		s.m.requests.Inc()
+		s.m.queueDepth.Add(1)
+		return nil
+	default:
+		return errOverloaded
+	}
+}
+
+// expired reports whether p's deadline has passed.
+func (p *pending) expired() bool { return time.Now().After(p.deadline) }
+
+// shed answers p with a load-shedding 503 and charges the given counter.
+func (b *backend) shed(p *pending, why string, counter interface{ Inc() }) {
+	counter.Inc()
+	p.resp <- outcome{status: 503, errMsg: why, retry: true}
+}
+
+// dispatch is the backend's micro-batcher: it opens a batch on the first
+// queued request, then collects more until the walker budget or request
+// cap is hit, a request does not fit (it carries over to the next
+// batch), or the max-wait window closes. Expired requests are shed at
+// dequeue, before they can occupy batch budget. When the queue closes
+// (server shutdown) the remaining admitted requests are still drained
+// into final batches.
+func (b *backend) dispatch() {
+	defer b.s.wg.Done()
+	defer close(b.batches)
+	cfg := &b.s.cfg
+	var carry *pending
+	for {
+		first := carry
+		carry = nil
+		if first == nil {
+			var ok bool
+			first, ok = <-b.queue
+			if !ok {
+				return
+			}
+			b.s.m.queueDepth.Add(-1)
+		}
+		if first.expired() {
+			b.shed(first, "deadline expired while queued", b.s.m.shedExpired)
+			continue
+		}
+		batch := append(make([]*pending, 0, 8), first)
+		walkers := first.walkers
+		window := time.NewTimer(cfg.MaxWait)
+	collect:
+		for walkers < cfg.MaxBatchWalkers &&
+			(cfg.MaxBatchRequests == 0 || len(batch) < cfg.MaxBatchRequests) {
+			select {
+			case p, ok := <-b.queue:
+				if !ok {
+					break collect
+				}
+				b.s.m.queueDepth.Add(-1)
+				if p.expired() {
+					b.shed(p, "deadline expired while queued", b.s.m.shedExpired)
+					continue
+				}
+				if walkers+p.walkers > cfg.MaxBatchWalkers {
+					carry = p
+					break collect
+				}
+				batch = append(batch, p)
+				walkers += p.walkers
+			case <-window.C:
+				break collect
+			}
+		}
+		window.Stop()
+		b.s.m.batches.Inc()
+		b.s.m.batchRequests.Observe(uint64(len(batch)))
+		b.s.m.batchWalkers.Observe(uint64(walkers))
+		b.batches <- batch
+	}
+}
+
+// executor drains assembled batches and runs them; several run per
+// backend, each batch on its own freshly acquired engine session.
+func (b *backend) executor() {
+	defer b.s.wg.Done()
+	for batch := range b.batches {
+		b.execute(batch)
+	}
+}
+
+// runGroup is one engine run's worth of a batch: requests answered from
+// a single walker array.
+type runGroup struct {
+	steps   int
+	walkers int
+	seed    uint64
+	seeded  bool
+	reqs    []*pending
+}
+
+// execute runs one batch: expired requests are shed now (the second and
+// last deadline checkpoint), the rest split into run groups — unseeded
+// requests coalesce per step count and share one per-batch-seeded run;
+// each seeded request gets a private run so its trajectories cannot
+// depend on its neighbors — and every run's walker array is demuxed back
+// to its requests.
+func (b *backend) execute(batch []*pending) {
+	live := batch[:0]
+	for _, p := range batch {
+		if p.expired() {
+			b.shed(p, "deadline expired before execution", b.s.m.shedExpired)
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	execStart := time.Now()
+
+	var groups []*runGroup
+	bySteps := make(map[int]*runGroup)
+	for _, p := range live {
+		if p.seeded {
+			groups = append(groups, &runGroup{
+				steps: p.steps, walkers: p.walkers, seed: p.seed, seeded: true,
+				reqs: []*pending{p},
+			})
+			continue
+		}
+		g := bySteps[p.steps]
+		if g == nil {
+			g = &runGroup{
+				steps: p.steps,
+				seed:  rng.Mix64(b.s.cfg.Seed ^ rng.Mix64(b.s.runSeq.Add(1))),
+			}
+			bySteps[p.steps] = g
+			groups = append(groups, g)
+		}
+		g.reqs = append(g.reqs, p)
+		g.walkers += p.walkers
+	}
+	for _, g := range groups {
+		b.runOne(len(live), execStart, g)
+	}
+}
+
+// runOne executes one group's engine run on a fresh session and demuxes
+// the per-request slices of the walker array. A fresh session per run is
+// what makes seeded runs reproducible: session acquisition resets the PS
+// buffers, so the trajectories depend only on (build, seed, walkers,
+// steps).
+func (b *backend) runOne(batchRequests int, execStart time.Time, g *runGroup) {
+	t0 := time.Now()
+	paths, steps, err := b.walk(g)
+	runDur := time.Since(t0)
+	b.s.m.runs.Inc()
+	b.s.m.runNS.Observe(uint64(runDur))
+	if err != nil {
+		status, msg, retry := 500, err.Error(), false
+		if errors.Is(err, flashmob.ErrClosed) {
+			status, msg, retry = 503, "server closed", false
+			b.s.m.shedClosed.Add(uint64(len(g.reqs)))
+		} else {
+			b.s.m.failed.Add(uint64(len(g.reqs)))
+		}
+		for _, p := range g.reqs {
+			p.resp <- outcome{status: status, errMsg: msg, retry: retry}
+		}
+		return
+	}
+	off := 0
+	for _, p := range g.reqs {
+		p.resp <- outcome{
+			status:        200,
+			steps:         steps,
+			batchRequests: batchRequests,
+			runWalkers:    g.walkers,
+			paths:         paths[off : off+p.walkers],
+			execStart:     execStart,
+			runDur:        runDur,
+		}
+		off += p.walkers
+	}
+}
+
+// walk performs the engine run for one group and returns the translated
+// trajectories (one per walker, in request order).
+func (b *backend) walk(g *runGroup) ([][]flashmob.VID, int, error) {
+	sess, err := b.sys.NewSession(context.Background())
+	if err != nil {
+		return nil, 0, err
+	}
+	defer sess.Close()
+	res, err := sess.WalkSeeded(g.seed, uint64(g.walkers), g.steps)
+	if err != nil {
+		return nil, 0, err
+	}
+	paths, err := res.Paths()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(paths) != g.walkers {
+		// A memory-budgeted system splits runs into episodes and keeps
+		// only the last episode's history; serving requires the whole
+		// walker array, so refuse rather than demux garbage.
+		return nil, 0, errors.New("run split into episodes (system built with a MemoryBudget?); cannot demux")
+	}
+	return paths, res.Steps(), nil
+}

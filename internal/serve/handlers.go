@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxBodyBytes bounds a request body; walk queries are a few hundred
+// bytes.
+const maxBodyBytes = 1 << 20
+
+// writeJSON encodes one response body (the structs in wire.go encode
+// with deterministic field order).
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+// writeErr answers with an ErrorResponse; when retry is set the 503
+// carries the Retry-After hint (header in whole seconds, body in ms).
+func (s *Server) writeErr(w http.ResponseWriter, status int, msg string, retry bool) {
+	body := ErrorResponse{SchemaVersion: SchemaVersion, Error: msg}
+	if retry {
+		ms := float64(s.cfg.MaxWait) / float64(time.Millisecond)
+		if ms < 1 {
+			ms = 1
+		}
+		body.RetryAfterMS = ms
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ms/1000))))
+	}
+	writeJSON(w, status, body)
+}
+
+// handleWalk is POST /v1/walk: validate, admit, wait for the batch
+// outcome, and answer with the demuxed trajectories.
+func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, "POST only", false)
+		return
+	}
+	var req WalkRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error(), false)
+		return
+	}
+	b := s.backends[0]
+	if req.Algorithm != "" {
+		var ok bool
+		if b, ok = s.byName[req.Algorithm]; !ok {
+			s.writeErr(w, http.StatusBadRequest, "unknown algorithm "+strconv.Quote(req.Algorithm), false)
+			return
+		}
+	}
+	if req.Walkers < 1 || req.Walkers > s.cfg.MaxWalkersPerRequest {
+		s.writeErr(w, http.StatusBadRequest,
+			"walkers must be in [1, "+strconv.Itoa(s.cfg.MaxWalkersPerRequest)+"]", false)
+		return
+	}
+	steps := req.Steps
+	if steps == 0 {
+		steps = b.spec.Steps
+	}
+	if steps < 1 || steps > s.cfg.MaxSteps {
+		s.writeErr(w, http.StatusBadRequest,
+			"steps must be in [1, "+strconv.Itoa(s.cfg.MaxSteps)+"]", false)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS * float64(time.Millisecond))
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	now := time.Now()
+	p := &pending{
+		walkers:  req.Walkers,
+		steps:    steps,
+		enq:      now,
+		deadline: now.Add(timeout),
+		resp:     make(chan outcome, 1),
+	}
+	if req.Seed != nil {
+		p.seed, p.seeded = *req.Seed, true
+	}
+	if err := b.enqueue(p); err != nil {
+		if err == errClosed {
+			s.m.shedClosed.Inc()
+			s.writeErr(w, http.StatusServiceUnavailable, "server closed", false)
+		} else {
+			s.m.shedOverload.Inc()
+			s.writeErr(w, http.StatusServiceUnavailable, "admission queue full", true)
+		}
+		return
+	}
+	out := <-p.resp
+	if out.status != http.StatusOK {
+		s.writeErr(w, out.status, out.errMsg, out.retry)
+		return
+	}
+	s.m.served.Inc()
+	s.m.queueNS.Observe(uint64(out.execStart.Sub(p.enq)))
+	s.m.latencyNS.Observe(uint64(time.Since(p.enq)))
+	resp := WalkResponse{
+		SchemaVersion: SchemaVersion,
+		Algorithm:     b.name,
+		Walkers:       p.walkers,
+		Steps:         out.steps,
+		Seeded:        p.seeded,
+		Coalesced:     out.batchRequests > 1,
+		BatchRequests: out.batchRequests,
+		RunWalkers:    out.runWalkers,
+		Paths:         out.paths,
+		QueueMS:       float64(out.execStart.Sub(p.enq)) / float64(time.Millisecond),
+		RunMS:         float64(out.runDur) / float64(time.Millisecond),
+	}
+	if p.seeded {
+		resp.Seed = p.seed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePlan is GET /v1/plan: every served algorithm's partitioning
+// summary.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeErr(w, http.StatusMethodNotAllowed, "GET only", false)
+		return
+	}
+	resp := PlanResponse{SchemaVersion: SchemaVersion}
+	for _, b := range s.backends {
+		p := b.sys.Plan()
+		resp.Algorithms = append(resp.Algorithms, PlanEntry{
+			Algorithm:  b.name,
+			NumVPs:     p.NumVPs,
+			NumGroups:  p.NumGroups,
+			Bins:       p.Bins,
+			PSVertices: p.PSVertices,
+			DSVertices: p.DSVertices,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealth is GET /healthz: 200 while serving, 503 once shutdown has
+// begun so load balancers drain the instance.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeErr(w, http.StatusMethodNotAllowed, "GET only", false)
+		return
+	}
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	resp := HealthResponse{Status: "ok", UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond)}
+	status := http.StatusOK
+	if closed {
+		resp.Status = "closed"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleMetrics is GET /metrics: the serving layer's obs report plus
+// each engine's lifetime aggregate when engine metrics are on.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeErr(w, http.StatusMethodNotAllowed, "GET only", false)
+		return
+	}
+	resp := MetricsResponse{SchemaVersion: SchemaVersion, Server: s.Metrics()}
+	for _, b := range s.backends {
+		if rep := b.sys.MetricsReport(); rep != nil {
+			resp.Engines = append(resp.Engines, EngineReport{Algorithm: b.name, Report: rep})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

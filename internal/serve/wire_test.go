@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"flashmob"
+)
+
+// reqBody marshals a request for raw http.Post calls.
+func reqBody(t *testing.T, req WalkRequest) io.Reader {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
+}
+
+// TestWalkResponseSchemaStable pins the wire schema byte for byte:
+// encoding/json emits struct fields in declaration order, so the
+// response body's field order is deterministic and part of the contract
+// documented in docs/SERVING.md. Renaming or reordering a field fails
+// here first.
+func TestWalkResponseSchemaStable(t *testing.T) {
+	wr := WalkResponse{
+		SchemaVersion: 1,
+		Algorithm:     "deepwalk",
+		Walkers:       2,
+		Steps:         1,
+		Seeded:        true,
+		Seed:          9,
+		Coalesced:     true,
+		BatchRequests: 3,
+		RunWalkers:    2,
+		Paths:         [][]flashmob.VID{{1, 2}, {3, 4}},
+		QueueMS:       0.5,
+		RunMS:         1.5,
+	}
+	want := `{"schema_version":1,"algorithm":"deepwalk","walkers":2,"steps":1,` +
+		`"seeded":true,"seed":9,"coalesced":true,"batch_requests":3,"run_walkers":2,` +
+		`"paths":[[1,2],[3,4]],"queue_ms":0.5,"run_ms":1.5}`
+	got, err := json.Marshal(wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("WalkResponse encoding drifted:\n got %s\nwant %s", got, want)
+	}
+
+	// Two encodings of the same value are byte-identical.
+	again, err := json.Marshal(wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Error("WalkResponse encoding is not deterministic")
+	}
+
+	ew := ErrorResponse{SchemaVersion: 1, Error: "admission queue full", RetryAfterMS: 2}
+	wantErr := `{"schema_version":1,"error":"admission queue full","retry_after_ms":2}`
+	gotErr, err := json.Marshal(ew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotErr) != wantErr {
+		t.Errorf("ErrorResponse encoding drifted:\n got %s\nwant %s", gotErr, wantErr)
+	}
+}
+
+// wireStructs lists every body type a client can receive or send.
+var wireStructs = []any{
+	WalkRequest{}, WalkResponse{}, ErrorResponse{},
+	PlanResponse{}, PlanEntry{}, MetricsResponse{}, EngineReport{}, HealthResponse{},
+}
+
+// jsonFields extracts the json tag names of a struct.
+func jsonFields(v any) []string {
+	var out []string
+	rt := reflect.TypeOf(v)
+	for i := 0; i < rt.NumField(); i++ {
+		tag := rt.Field(i).Tag.Get("json")
+		if name, _, _ := strings.Cut(tag, ","); name != "" && name != "-" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// servingDoc loads docs/SERVING.md.
+func servingDoc(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "SERVING.md"))
+	if err != nil {
+		t.Fatalf("docs/SERVING.md missing: %v", err)
+	}
+	return string(data)
+}
+
+// TestEveryWireFieldDocumented extends the repo's schema-documentation
+// contract (cmd/fmbench's TestEveryMetricDocumented) to the serving wire
+// types: every JSON field a client can see must appear in
+// docs/SERVING.md.
+func TestEveryWireFieldDocumented(t *testing.T) {
+	doc := servingDoc(t)
+	for _, v := range wireStructs {
+		for _, f := range jsonFields(v) {
+			if !strings.Contains(doc, `"`+f+`"`) {
+				t.Errorf("wire field %q of %T not documented in docs/SERVING.md", f, v)
+			}
+		}
+	}
+}
+
+// TestEveryServeMetricDocumented holds the serve registry to the same
+// standard as the engine registries: every metric that can appear in
+// GET /metrics must be documented in docs/SERVING.md.
+func TestEveryServeMetricDocumented(t *testing.T) {
+	doc := servingDoc(t)
+	rep := newServeMetrics().reg.Snapshot()
+	var names []string
+	for _, c := range rep.Counters {
+		names = append(names, c.Name)
+	}
+	for _, g := range rep.Gauges {
+		names = append(names, g.Name)
+	}
+	for _, h := range rep.Histograms {
+		names = append(names, h.Name)
+	}
+	for _, v := range rep.Vectors {
+		names = append(names, v.Name)
+	}
+	if len(names) == 0 {
+		t.Fatal("serve registry is empty")
+	}
+	for _, n := range names {
+		if !strings.Contains(doc, "`"+n+"`") {
+			t.Errorf("metric %q not documented in docs/SERVING.md", n)
+		}
+	}
+}
