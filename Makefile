@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent bench-serve
+.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent bench-serve bench-mixed
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,13 @@ bench-concurrent:
 # Writes BENCH_serve.json in the repo root (docs/SERVING.md).
 bench-serve:
 	$(GO) run ./cmd/fmbench -exp serve
+
+# Mixed-cohort batch execution under closed-loop mixed-algorithm
+# traffic: one mixed run per wave vs the fragmented per-(algorithm,
+# steps) baseline, mean/std over 5 repeats. Writes BENCH_mixed.json in
+# the repo root (docs/SERVING.md).
+bench-mixed:
+	$(GO) run ./cmd/fmbench -exp mixed -repeats 5
 
 # Equivalence + determinism gate for the sample kernels.
 bench-sample-equiv:

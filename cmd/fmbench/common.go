@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"flashmob/internal/algo"
 	"flashmob/internal/core"
@@ -113,3 +114,22 @@ func degS(v float64) string { return fmt.Sprintf("%.1f", v) }
 
 // deepWalk is a shorthand for tests and experiments.
 func deepWalk() algo.Spec { return algo.DeepWalk() }
+
+// meanStd returns the arithmetic mean and population standard deviation
+// of xs (both 0 for an empty slice) — what repeated measurements record
+// in their BENCH_*.json output.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}

@@ -1,0 +1,325 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"flashmob"
+	"flashmob/internal/serve"
+)
+
+// mixedAlgos is the served algorithm mix: a uniform first-order walk, a
+// second-order node2vec walk, and a PPR-style stochastic-termination
+// walk — one backend each, all sharing one built system.
+var mixedAlgos = []string{"deepwalk", "node2vec", "pagerank"}
+
+// mixedVariant is one measured server configuration under the same
+// closed-loop mixed-algorithm load, aggregated over repeats.
+type mixedVariant struct {
+	Name            string  `json:"name"`
+	SplitCohortRuns bool    `json:"split_cohort_runs"`
+	Served          int     `json:"served"`
+	Shed            int     `json:"shed"`
+	Failed          int     `json:"failed"`
+	ReqPerSec       float64 `json:"served_req_per_sec"`
+	Goodput         float64 `json:"goodput_walker_steps_per_sec"`
+	GoodputStd      float64 `json:"goodput_std"`
+	P50MS           float64 `json:"served_p50_ms"`
+	P99MS           float64 `json:"served_p99_ms"`
+	P99StdMS        float64 `json:"p99_std_ms"`
+	RunsPerBatch    float64 `json:"runs_per_batch"`
+	CohortsPerRun   float64 `json:"mean_run_cohorts"`
+	RunMS           float64 `json:"mean_run_ms"`
+	Speedup         float64 `json:"goodput_vs_split"`
+}
+
+// mixedReport is the schema of BENCH_mixed.json.
+type mixedReport struct {
+	Experiment string         `json:"experiment"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Graph      string         `json:"graph"`
+	Workers    int            `json:"workers"`
+	Steps      int            `json:"steps"`
+	Algorithms []string       `json:"algorithms"`
+	MixWalkers []int          `json:"mix_walkers"`
+	MixSteps   []int          `json:"mix_steps"`
+	Clients    int            `json:"clients"`
+	Requests   int            `json:"requests_per_repeat"`
+	Repeats    int            `json:"repeats"`
+	Variants   []mixedVariant `json:"variants"`
+}
+
+// expMixed measures what mixed-cohort execution buys a walk-query
+// service under realistic heterogeneous traffic: the same closed-loop
+// load — seeded (reproducible) uniform + node2vec + PPR requests of
+// 8/32/128 walkers at half/1x/2x the configured step count — is served
+// once with SplitCohortRuns and once with mixed-cohort runs, where a
+// whole wave is one engine run whatever algorithms and step counts it
+// holds (shorter cohorts retire from the sweep early). Every request
+// carries a seed because that is the traffic mixed execution exists
+// for: a seeded request needs a private cohort (its trajectories may
+// not depend on its neighbors), so without mixed runs it cannot
+// coalesce at all — the fragmented baseline degenerates to one engine
+// run per request, paying the session, walker-array, and
+// partition-sweep overhead once per request per wave, while the mixed
+// server pays it once for the whole wave. Closed-loop clients keep
+// both servers saturated, so the goodput ratio is the capacity ratio.
+func expMixed(w io.Writer, cfg benchConfig) error {
+	const graphName = "YH"
+	g, err := presetGraphSized(graphName, cfg, cfg.MinCSR)
+	if err != nil {
+		return err
+	}
+	mix := []int{8, 32, 128}
+	// Embedding-style walk lengths: 32/64/128 at the default -steps 16,
+	// centered on the 80-step standard of the DeepWalk/node2vec papers.
+	stepsMix := []int{cfg.Steps * 2, cfg.Steps * 4, cfg.Steps * 8}
+	for i := range stepsMix {
+		if stepsMix[i] < 1 {
+			stepsMix[i] = 1
+		}
+	}
+	const (
+		clients   = 36
+		perClient = 16
+		executors = 1
+		batchCap  = clients
+	)
+	reps := cfg.Repeats
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Fprintf(w, "closed loop: %d clients x %d requests, %d algorithms x %v walkers x %v steps, x%d repeats per variant\n\n",
+		clients, perClient, len(mixedAlgos), mix, stepsMix, reps)
+
+	rep := mixedReport{
+		Experiment: "mixed",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Graph:      graphName,
+		Workers:    cfg.Workers,
+		Steps:      cfg.Steps,
+		Algorithms: mixedAlgos,
+		MixWalkers: mix,
+		MixSteps:   stepsMix,
+		Clients:    clients,
+		Requests:   clients * perClient,
+		Repeats:    reps,
+	}
+
+	variants := []struct {
+		name  string
+		split bool
+	}{
+		{"split-cohort-runs", true},
+		{"mixed", false},
+	}
+	row(w, "variant", "served", "req/s", "goodput", "p50-ms", "p99-ms", "run-ms", "runs/batch", "cohorts/run", "vs-split")
+	var base float64
+	for _, vc := range variants {
+		runs := make([]mixedVariant, 0, reps)
+		for r := 0; r < reps; r++ {
+			one, err := runMixedVariant(g, cfg, vc.name, vc.split, clients, perClient, executors, batchCap, mix, stepsMix)
+			if err != nil {
+				return err
+			}
+			runs = append(runs, one)
+		}
+		v := foldMixedRepeats(runs)
+		if base == 0 {
+			base = v.Goodput
+		}
+		v.Speedup = v.Goodput / base
+		rep.Variants = append(rep.Variants, v)
+		row(w, v.Name, big(uint64(v.Served)), fmt.Sprintf("%.0f", v.ReqPerSec),
+			fmt.Sprintf("%.2fM", v.Goodput/1e6), f2(v.P50MS), f2(v.P99MS), f2(v.RunMS),
+			f2(v.RunsPerBatch), f2(v.CohortsPerRun), fmt.Sprintf("%.2fx", v.Speedup))
+	}
+
+	f, err := os.Create("BENCH_mixed.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nwrote BENCH_mixed.json")
+	return nil
+}
+
+// newMixedServeServer builds one shared system (DeepWalk build primary)
+// serving all three algorithm backends — the cmd/fmserve shared-build
+// topology — on an ephemeral port. The partition plan is priced for
+// wave-sized walker counts (PlanWalkers, the fmserve -plan-walkers knob)
+// rather than the |V|-walker bulk default: at serving densities
+// pre-sampling's degree-sized hub refills are almost entirely wasted, so
+// the serving-aware plan direct-samples instead. Both variants share the
+// build, so the split/mixed ratio still isolates run fragmentation.
+func newMixedServeServer(fg *flashmob.Graph, cfg benchConfig, split bool, executors, batchCap int) (*serve.Server, *http.Server, string, error) {
+	sys, err := flashmob.New(fg, flashmob.Options{
+		Algorithm: flashmob.DeepWalk(), Workers: cfg.Workers, Seed: cfg.Seed, RecordPaths: true,
+		PlanWalkers: 2048,
+	})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	srv, err := serve.New([]serve.Backend{
+		{Name: "deepwalk", Sys: sys, Spec: flashmob.DeepWalk()},
+		{Name: "node2vec", Sys: sys, Spec: flashmob.Node2Vec(4, 0.25)},
+		{Name: "pagerank", Sys: sys, Spec: flashmob.PageRankWalk(0.85)},
+	}, serve.Config{
+		MaxWait:          10 * time.Millisecond,
+		MaxBatchRequests: batchCap,
+		Executors:        executors,
+		Seed:             cfg.Seed,
+		SplitCohortRuns:  split,
+	})
+	if err != nil {
+		sys.Close()
+		return nil, nil, "", err
+	}
+	return listenServe(srv)
+}
+
+// postServeAlgo issues one walk query against a named backend (seeded
+// when seed is non-nil) and discards the body.
+func postServeAlgo(client *http.Client, url, algo string, walkers, steps int, seed *uint64) (int, error) {
+	body, _ := json.Marshal(serve.WalkRequest{Walkers: walkers, Steps: steps, Algorithm: algo, Seed: seed})
+	resp, err := client.Post(url+"/v1/walk", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// runMixedVariant drives one closed-loop repeat against a fresh server
+// and folds the client- and server-side observations into a
+// mixedVariant.
+func runMixedVariant(fg *flashmob.Graph, cfg benchConfig, name string, split bool, clients, perClient, executors, batchCap int, mix, stepsMix []int) (mixedVariant, error) {
+	srv, hs, url, err := newMixedServeServer(fg, cfg, split, executors, batchCap)
+	if err != nil {
+		return mixedVariant{}, err
+	}
+	defer func() { hs.Close(); srv.Close() }()
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	// Warm the engine and every backend off the clock.
+	for _, a := range mixedAlgos {
+		if _, err := postServeAlgo(client, url, a, 64, cfg.Steps, nil); err != nil {
+			return mixedVariant{}, err
+		}
+	}
+
+	type obs struct {
+		status      int
+		walkerSteps int
+		latency     time.Duration
+	}
+	results := make([]obs, clients*perClient)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				// Closed-loop clients advance in near-lockstep (a wave
+				// releases them together), so offset the rotations by client:
+				// at any instant the client population covers all three
+				// algorithms at all three step counts and walker sizes, and
+				// every wave fragments the split baseline into its full
+				// per-(algorithm, steps) group spread.
+				idx := c*perClient + j
+				algo := mixedAlgos[(c+j)%len(mixedAlgos)]
+				steps := stepsMix[(c/len(mixedAlgos)+2*j)%len(stepsMix)]
+				walkers := mix[(c/len(mixedAlgos)+j)%len(mix)]
+				seed := uint64(1 + idx) // reproducible queries: unique seed per request
+				t0 := time.Now()
+				status, err := postServeAlgo(client, url, algo, walkers, steps, &seed)
+				if err != nil {
+					status = -1
+				}
+				results[idx] = obs{status: status, walkerSteps: walkers * steps, latency: time.Since(t0)}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	v := mixedVariant{Name: name, SplitCohortRuns: split}
+	var lat []time.Duration
+	var walkerSteps float64
+	for _, r := range results {
+		switch r.status {
+		case 200:
+			v.Served++
+			lat = append(lat, r.latency)
+			walkerSteps += float64(r.walkerSteps)
+		case 503:
+			v.Shed++
+		default:
+			v.Failed++
+		}
+	}
+	if v.Served > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		v.P50MS = float64(lat[len(lat)/2]) / float64(time.Millisecond)
+		v.P99MS = float64(lat[len(lat)*99/100]) / float64(time.Millisecond)
+		v.ReqPerSec = float64(v.Served) / wall.Seconds()
+		v.Goodput = walkerSteps / wall.Seconds()
+	}
+	runsC, _ := srv.Metrics().Counter("serve_runs_total")
+	batchesC, _ := srv.Metrics().Counter("serve_batches_total")
+	if batchesC.Value > 0 {
+		v.RunsPerBatch = float64(runsC.Value) / float64(batchesC.Value)
+	}
+	if h, ok := srv.Metrics().Histogram("serve_run_cohorts"); ok && h.Count > 0 {
+		v.CohortsPerRun = float64(h.Sum) / float64(h.Count)
+	}
+	if h, ok := srv.Metrics().Histogram("serve_batch_run_ns"); ok && h.Count > 0 {
+		v.RunMS = float64(h.Sum) / float64(h.Count) / 1e6
+	}
+	return v, nil
+}
+
+// foldMixedRepeats collapses per-repeat measurements of one variant into
+// one record, mirroring foldServeRepeats: counts become per-repeat means
+// (rounded), rates and latencies carry the mean, goodput and tail
+// latency also record the standard deviation.
+func foldMixedRepeats(runs []mixedVariant) mixedVariant {
+	v := runs[0]
+	col := func(f func(mixedVariant) float64) []float64 {
+		xs := make([]float64, len(runs))
+		for i, r := range runs {
+			xs[i] = f(r)
+		}
+		return xs
+	}
+	m := func(f func(mixedVariant) float64) float64 { mean, _ := meanStd(col(f)); return mean }
+	v.Served = int(m(func(r mixedVariant) float64 { return float64(r.Served) }) + 0.5)
+	v.Shed = int(m(func(r mixedVariant) float64 { return float64(r.Shed) }) + 0.5)
+	v.Failed = int(m(func(r mixedVariant) float64 { return float64(r.Failed) }) + 0.5)
+	v.ReqPerSec = m(func(r mixedVariant) float64 { return r.ReqPerSec })
+	v.Goodput, v.GoodputStd = meanStd(col(func(r mixedVariant) float64 { return r.Goodput }))
+	v.P50MS = m(func(r mixedVariant) float64 { return r.P50MS })
+	v.P99MS, v.P99StdMS = meanStd(col(func(r mixedVariant) float64 { return r.P99MS }))
+	v.RunsPerBatch = m(func(r mixedVariant) float64 { return r.RunsPerBatch })
+	v.CohortsPerRun = m(func(r mixedVariant) float64 { return r.CohortsPerRun })
+	v.RunMS = m(func(r mixedVariant) float64 { return r.RunMS })
+	return v
+}

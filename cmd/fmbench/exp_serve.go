@@ -29,8 +29,10 @@ type serveVariant struct {
 	Failed           int     `json:"failed"`
 	ReqPerSec        float64 `json:"served_req_per_sec"`
 	Goodput          float64 `json:"goodput_walker_steps_per_sec"`
+	GoodputStd       float64 `json:"goodput_std"`
 	P50MS            float64 `json:"served_p50_ms"`
 	P99MS            float64 `json:"served_p99_ms"`
+	P99StdMS         float64 `json:"p99_std_ms"`
 	MeanBatch        float64 `json:"mean_batch_requests"`
 	Speedup          float64 `json:"goodput_vs_batch1"`
 }
@@ -44,7 +46,33 @@ type serveReport struct {
 	Steps      int            `json:"steps"`
 	MixWalkers []int          `json:"mix_walkers"`
 	OfferedQPS float64        `json:"offered_qps"`
+	Repeats    int            `json:"repeats"`
 	Variants   []serveVariant `json:"variants"`
+}
+
+// foldServeRepeats collapses per-repeat measurements of one variant into
+// one record: request counts become per-repeat means (rounded), rates
+// and latencies carry the mean across repeats, and goodput and tail
+// latency additionally record the standard deviation.
+func foldServeRepeats(runs []serveVariant) serveVariant {
+	v := runs[0]
+	col := func(f func(serveVariant) float64) []float64 {
+		xs := make([]float64, len(runs))
+		for i, r := range runs {
+			xs[i] = f(r)
+		}
+		return xs
+	}
+	m := func(f func(serveVariant) float64) float64 { mean, _ := meanStd(col(f)); return mean }
+	v.Served = int(m(func(r serveVariant) float64 { return float64(r.Served) }) + 0.5)
+	v.Shed = int(m(func(r serveVariant) float64 { return float64(r.Shed) }) + 0.5)
+	v.Failed = int(m(func(r serveVariant) float64 { return float64(r.Failed) }) + 0.5)
+	v.ReqPerSec = m(func(r serveVariant) float64 { return r.ReqPerSec })
+	v.Goodput, v.GoodputStd = meanStd(col(func(r serveVariant) float64 { return r.Goodput }))
+	v.P50MS = m(func(r serveVariant) float64 { return r.P50MS })
+	v.P99MS, v.P99StdMS = meanStd(col(func(r serveVariant) float64 { return r.P99MS }))
+	v.MeanBatch = m(func(r serveVariant) float64 { return r.MeanBatch })
+	return v
 }
 
 // expServe measures what micro-batching buys a walk-query service: the
@@ -83,6 +111,10 @@ func expServe(w io.Writer, cfg benchConfig) error {
 	fmt.Fprintf(w, "calibration: solo run %.2fms -> batch-size-1 capacity ~%.0f req/s; offering %.0f req/s (%d requests)\n\n",
 		float64(solo)/float64(time.Millisecond), capacity, qps, offered)
 
+	reps := cfg.Repeats
+	if reps < 1 {
+		reps = 1
+	}
 	rep := serveReport{
 		Experiment: "serve",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -91,6 +123,7 @@ func expServe(w io.Writer, cfg benchConfig) error {
 		Steps:      cfg.Steps,
 		MixWalkers: mix,
 		OfferedQPS: qps,
+		Repeats:    reps,
 	}
 
 	type variantCfg struct {
@@ -108,10 +141,15 @@ func expServe(w io.Writer, cfg benchConfig) error {
 	row(w, "variant", "served", "shed", "req/s", "goodput", "p50-ms", "p99-ms", "batch", "vs-b1")
 	var base float64
 	for _, vc := range variants {
-		v, err := runServeVariant(g, cfg, vc.name, vc.window, vc.maxReq, executors, mix, qps, offered)
-		if err != nil {
-			return err
+		runs := make([]serveVariant, 0, reps)
+		for r := 0; r < reps; r++ {
+			one, err := runServeVariant(g, cfg, vc.name, vc.window, vc.maxReq, executors, mix, qps, offered)
+			if err != nil {
+				return err
+			}
+			runs = append(runs, one)
 		}
+		v := foldServeRepeats(runs)
 		if base == 0 {
 			base = v.Goodput
 		}
@@ -159,6 +197,12 @@ func newServeServer(fg *flashmob.Graph, cfg benchConfig, window time.Duration, m
 		sys.Close()
 		return nil, nil, "", err
 	}
+	return listenServe(srv)
+}
+
+// listenServe attaches an ephemeral-port HTTP listener to a serve.Server
+// and returns the base URL clients should hit.
+func listenServe(srv *serve.Server) (*serve.Server, *http.Server, string, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		srv.Close()

@@ -42,6 +42,10 @@ type benchConfig struct {
 	// ProfMaxEdges caps the synthetic-partition size of profiling
 	// micro-benchmarks (memory safety on small hosts).
 	ProfMaxEdges uint64
+	// Repeats is how many times measurement-style experiments rerun each
+	// configuration; their BENCH_*.json output then records mean and
+	// standard deviation across the repeats (0 behaves as 1).
+	Repeats int
 }
 
 type experiment struct {
@@ -70,6 +74,7 @@ var experiments = []experiment{
 	{"sample", "§4.2 sample stage at DRAM scale: scalar vs specialized kernels across partition classes (writes BENCH_sample.json)", expSample},
 	{"concurrent", "concurrent sessions on one engine build: aggregate walker-steps/s vs session count (writes BENCH_concurrent.json)", expConcurrent},
 	{"serve", "walk-query serving: open-loop load on batch-size-1 vs coalescing windows (writes BENCH_serve.json)", expServe},
+	{"mixed", "mixed-algorithm serving: one mixed-cohort run per wave vs the fragmented per-(algorithm, steps) baseline (writes BENCH_mixed.json)", expMixed},
 	{"prep", "pre-processing overhead: counting sort + MCKP planning", expPrep},
 	{"ooc", "out-of-core walking: disk-streamed graph vs in-memory (§5.4 future work)", expOOC},
 	{"ablate", "design-choice ablations: LLC policy, prefetcher, regular DS indexing (simulated)", expAblate},
@@ -84,6 +89,7 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads")
 		minCSR  = flag.Uint64("mincsr", 48<<20, "minimum CSR bytes for DRAM-resident wall-clock experiments")
+		repeats = flag.Int("repeats", 1, "repeat each measured configuration N times; BENCH_*.json records mean/std")
 		metrics = flag.String("metrics", "", "write a JSON metrics report for every engine-backed run to this file (see docs/OBSERVABILITY.md)")
 		list    = flag.Bool("list", false, "list experiments")
 	)
@@ -113,6 +119,7 @@ func main() {
 		MinSteps:     300_000,
 		MinCSR:       *minCSR,
 		ProfMaxEdges: 1 << 26,
+		Repeats:      *repeats,
 	}
 
 	names := strings.Split(*expFlag, ",")

@@ -1,7 +1,9 @@
 // Command fmserve serves walk queries over HTTP: it builds one FlashMob
-// system per requested algorithm and exposes the batched, load-shedding
-// walk service of internal/serve (POST /v1/walk, GET /v1/plan,
-// GET /healthz, GET /metrics — see docs/SERVING.md).
+// system shared by every requested algorithm (so a wave of mixed
+// algorithms executes as a single mixed-cohort engine run) and exposes
+// the batched, load-shedding walk service of internal/serve
+// (POST /v1/walk, GET /v1/plan, GET /healthz, GET /metrics — see
+// docs/SERVING.md).
 //
 // Usage:
 //
@@ -46,6 +48,7 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "random seed (builds and per-batch sampling seeds)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads per system")
 		metrics    = flag.Bool("metrics", true, "enable engine metrics (reported under /metrics)")
+		planFor    = flag.Uint64("plan-walkers", 0, "walker count the partition planner prices for (0 = |V|, the bulk-throughput default; set to the typical wave size for serving workloads)")
 
 		window      = flag.Duration("window", 2*time.Millisecond, "micro-batching window")
 		maxWalkers  = flag.Int("max-batch-walkers", 8192, "walker budget per batch (and per-request cap)")
@@ -53,6 +56,7 @@ func main() {
 		queueDepth  = flag.Int("queue-depth", 256, "admission queue bound per algorithm")
 		executors   = flag.Int("executors", 2, "concurrent batch executions per algorithm")
 		timeout     = flag.Duration("timeout", 2*time.Second, "default request deadline")
+		splitRuns   = flag.Bool("split-cohort-runs", false, "one engine run per (algorithm, steps) cohort instead of one mixed run per wave (benchmark baseline)")
 	)
 	flag.Parse()
 
@@ -63,7 +67,15 @@ func main() {
 	fmt.Printf("fmserve: graph |V|=%d |E|=%d CSR=%.1fMB\n",
 		g.NumVertices(), g.NumEdges(), float64(g.SizeBytes())/(1<<20))
 
-	var backends []serve.Backend
+	// Every served walk here is unweighted, so one build carries them
+	// all: backends share a single system (the first algorithm is the
+	// build primary) and so form one engine group whose waves run as
+	// mixed-cohort batches.
+	type served struct {
+		name string
+		spec flashmob.Algorithm
+	}
+	var walks []served
 	for _, name := range strings.Split(*algos, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -80,21 +92,26 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown algorithm %q", name))
 		}
-		sys, err := flashmob.New(g, flashmob.Options{
-			Algorithm:   spec,
-			Workers:     *workers,
-			Seed:        *seed,
-			RecordPaths: true,
-			Metrics:     *metrics,
-		})
-		if err != nil {
-			fatal(fmt.Errorf("build %s: %w", name, err))
-		}
-		backends = append(backends, serve.Backend{Name: name, Sys: sys, Spec: spec})
-		fmt.Printf("fmserve: serving %s (%d VPs)\n", name, sys.Plan().NumVPs)
+		walks = append(walks, served{name: name, spec: spec})
 	}
-	if len(backends) == 0 {
+	if len(walks) == 0 {
 		fatal(fmt.Errorf("-algos named no algorithms"))
+	}
+	sys, err := flashmob.New(g, flashmob.Options{
+		Algorithm:   walks[0].spec,
+		Workers:     *workers,
+		Seed:        *seed,
+		RecordPaths: true,
+		Metrics:     *metrics,
+		PlanWalkers: *planFor,
+	})
+	if err != nil {
+		fatal(fmt.Errorf("build: %w", err))
+	}
+	var backends []serve.Backend
+	for _, w := range walks {
+		backends = append(backends, serve.Backend{Name: w.name, Sys: sys, Spec: w.spec})
+		fmt.Printf("fmserve: serving %s (%d VPs, shared build)\n", w.name, sys.Plan().NumVPs)
 	}
 
 	srv, err := serve.New(backends, serve.Config{
@@ -105,6 +122,7 @@ func main() {
 		Executors:        *executors,
 		DefaultTimeout:   *timeout,
 		Seed:             *seed,
+		SplitCohortRuns:  *splitRuns,
 	})
 	if err != nil {
 		fatal(err)

@@ -90,6 +90,13 @@ type Options struct {
 	// TargetGroups and MaxBins are the paper's G and P hyper-parameters
 	// (defaults 128 and 2048).
 	TargetGroups, MaxBins int
+	// PlanWalkers is the walker count the partition planner should price
+	// for (default |V|). The MCKP plan picks pre-sampling exactly where
+	// walker density amortizes buffer refills; a serving system that runs
+	// small batches should set this to its typical batch size so sparse
+	// runs direct-sample instead of paying degree-sized refills per hub
+	// visit. Planning only — any walker count still runs correctly.
+	PlanWalkers uint64
 	// MemoryBudget caps walker-array bytes per episode (0 = unlimited).
 	MemoryBudget uint64
 	// RecordPaths keeps full walk histories so Paths() works.
@@ -151,6 +158,7 @@ func New(g *Graph, opt Options) (*System, error) {
 		Part: part.Config{
 			TargetGroups: opt.TargetGroups,
 			MaxBins:      opt.MaxBins,
+			Walkers:      opt.PlanWalkers,
 		},
 	}
 	if opt.EdgeUniformInit {

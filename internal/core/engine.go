@@ -141,8 +141,11 @@ type Engine struct {
 	// kern[i] is VP i's specialized sample kernel, resolved once at build
 	// time from the plan, the PS allocation, and the degree shape (§4.2).
 	// The template's st pointers are nil; each session binds copies to
-	// its own psState.
-	kern []vpKernel
+	// its own psState. kernUW is the unweighted-spec template for cohorts
+	// of a mixed run walking unweighted specs on a weighted build (nil on
+	// unweighted builds, where it would equal kern).
+	kern   []vpKernel
+	kernUW []vpKernel
 
 	// weighted is the alias-table sampler for weighted walks (nil
 	// otherwise).
@@ -279,11 +282,15 @@ func (e *Engine) Spec() algo.Spec { return e.spec }
 // auxChannels returns the number of per-walker predecessor channels the
 // walk carries: k-1 for order-k walks (1 for node2vec), 0 for first-order
 // walks.
-func (e *Engine) auxChannels() int {
-	if e.spec.History != nil {
-		return e.spec.History.Window
+func (e *Engine) auxChannels() int { return auxChannelsFor(&e.spec) }
+
+// auxChannelsFor is auxChannels for an arbitrary spec — mixed runs size
+// their aux arrays to the widest cohort.
+func auxChannelsFor(sp *algo.Spec) int {
+	if sp.History != nil {
+		return sp.History.Window
 	}
-	if e.spec.Order == 2 {
+	if sp.Order == 2 {
 		return 1
 	}
 	return 0

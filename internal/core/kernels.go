@@ -10,7 +10,7 @@ import (
 // Specialized per-partition sample kernels (§4.2).
 //
 // The scalar path in sample.go decides PS-vs-DS-vs-weighted per walker
-// (sampleFirst re-tests e.ps[vpIdx], e.regularDeg[vpIdx], and e.weighted
+// (sampleFirst re-tests c.ps[vpIdx], e.regularDeg[vpIdx], and c.weighted
 // on every step) and draws every random number through the rng.Source
 // interface — a dynamic dispatch per Uint64(). Both costs are pure
 // overhead: the policy decision is invariant across a partition's whole
@@ -61,25 +61,29 @@ type vpKernel struct {
 	deg   uint32
 }
 
-// buildKernels resolves every partition's sample kernel template from
-// the plan, the PS policy, and the degree shape. Called once by New;
-// tests rebuild after mutating regularDeg to force the fallback kernels.
-// The template's st pointers stay nil — each session copies the table and
-// binds its own psState (Session.rebind).
-func (e *Engine) buildKernels() {
-	e.kern = make([]vpKernel, e.plan.NumVPs())
+// kernelTable resolves every partition's sample kernel from the plan, the
+// PS policy, and the degree shape, into dst (allocated when nil or too
+// short). weighted selects the alias-table kernels — a parameter rather
+// than e.weighted because cohorts of a mixed run may walk unweighted
+// specs on a weighted build. The st pointers stay nil: callers bind a
+// psState set (Session.rebind, cohortState.bind).
+func (e *Engine) kernelTable(weighted bool, dst []vpKernel) []vpKernel {
+	if cap(dst) < e.plan.NumVPs() {
+		dst = make([]vpKernel, e.plan.NumVPs())
+	}
+	dst = dst[:e.plan.NumVPs()]
 	for i, vp := range e.plan.VPs {
 		k := vpKernel{start: vp.Start, base: e.g.Offsets[vp.Start]}
 		switch {
 		case e.regularDeg[i] == 0:
 			k.kind = kernEmpty
 		case e.psVP[i]:
-			if e.weighted != nil {
+			if weighted {
 				k.kind = kernPSWeighted
 			} else {
 				k.kind = kernPS
 			}
-		case e.weighted != nil:
+		case weighted:
 			k.kind = kernDSWeighted
 		case e.regularDeg[i] > 0:
 			k.kind = kernDSRegular
@@ -87,33 +91,45 @@ func (e *Engine) buildKernels() {
 		default:
 			k.kind = kernDSCSR
 		}
-		e.kern[i] = k
+		dst[i] = k
+	}
+	return dst
+}
+
+// buildKernels resolves the engine-spec kernel template — plus the
+// unweighted-spec variant on weighted builds, so cohort binds are a copy
+// rather than a per-partition re-resolution. Called once by New; tests
+// rebuild after mutating regularDeg to force the fallback kernels.
+func (e *Engine) buildKernels() {
+	e.kern = e.kernelTable(e.weighted != nil, e.kern)
+	if e.weighted != nil {
+		e.kernUW = e.kernelTable(false, e.kernUW)
 	}
 }
 
 // runChunkKernel advances a first-order chunk through the partition's
 // kernel. Draw-for-draw identical to the scalar sampleFirst loop.
-func (s *Session) runChunkKernel(vpIdx int, chunk []graph.VID, src *rng.XorShift1024Star) {
-	e := s.e
-	switch k := &s.kern[vpIdx]; k.kind {
+func (c *cohortCtx) runChunkKernel(vpIdx int, chunk []graph.VID, src *rng.XorShift1024Star) {
+	e := c.e
+	switch k := &c.kern[vpIdx]; k.kind {
 	case kernEmpty:
 	case kernPS:
-		e.kernChunkPS(k.st, chunk, src)
+		c.kernChunkPS(k.st, chunk, src)
 	case kernPSWeighted:
-		e.kernChunkPSWeighted(k.st, chunk, src)
+		c.kernChunkPSWeighted(k.st, chunk, src)
 	case kernDSRegular:
 		kernChunkRegular(e.g.Targets, k, chunk, src)
 	case kernDSCSR:
 		kernChunkCSR(e.g.Offsets, e.g.Targets, chunk, src)
 	case kernDSWeighted:
-		e.kernChunkWeighted(chunk, src)
+		c.kernChunkWeighted(chunk, src)
 	}
 }
 
 // kernChunkPS is the PS kernel: refill is fused with consumption, so a
 // drained buffer is repopulated and read in the same pass over the chunk.
-func (e *Engine) kernChunkPS(st *psState, chunk []graph.VID, src *rng.XorShift1024Star) {
-	offs, targets := e.g.Offsets, e.g.Targets
+func (c *cohortCtx) kernChunkPS(st *psState, chunk []graph.VID, src *rng.XorShift1024Star) {
+	offs, targets := c.e.g.Offsets, c.e.g.Targets
 	base, start := st.base, st.start
 	buf, remaining := st.buf, st.remaining
 	for j, v := range chunk {
@@ -138,9 +154,9 @@ func (e *Engine) kernChunkPS(st *psState, chunk []graph.VID, src *rng.XorShift10
 }
 
 // kernChunkPSWeighted is kernChunkPS with alias-table refills.
-func (e *Engine) kernChunkPSWeighted(st *psState, chunk []graph.VID, src *rng.XorShift1024Star) {
-	offs := e.g.Offsets
-	ws := e.weighted
+func (c *cohortCtx) kernChunkPSWeighted(st *psState, chunk []graph.VID, src *rng.XorShift1024Star) {
+	offs := c.e.g.Offsets
+	ws := c.weighted
 	base, start := st.base, st.start
 	buf, remaining := st.buf, st.remaining
 	for j, v := range chunk {
@@ -187,9 +203,9 @@ func kernChunkCSR(offs []uint64, targets []graph.VID, chunk []graph.VID, src *rn
 }
 
 // kernChunkWeighted is the weighted DS kernel: one alias draw per walker.
-func (e *Engine) kernChunkWeighted(chunk []graph.VID, src *rng.XorShift1024Star) {
-	offs := e.g.Offsets
-	ws := e.weighted
+func (c *cohortCtx) kernChunkWeighted(chunk []graph.VID, src *rng.XorShift1024Star) {
+	offs := c.e.g.Offsets
+	ws := c.weighted
 	for j, v := range chunk {
 		if offs[v+1] == offs[v] {
 			continue
@@ -203,14 +219,14 @@ func (e *Engine) kernChunkWeighted(chunk []graph.VID, src *rng.XorShift1024Star)
 // partitions. Degree must be nonzero. (Second-order walks are never
 // weighted — Spec.Validate rejects the combination — so refills are
 // always uniform here.)
-func (e *Engine) nextPSFrom(st *psState, v graph.VID, src *rng.XorShift1024Star) graph.VID {
-	offs := e.g.Offsets
+func (c *cohortCtx) nextPSFrom(st *psState, v graph.VID, src *rng.XorShift1024Star) graph.VID {
+	offs := c.e.g.Offsets
 	off := offs[v]
 	d := uint32(offs[v+1] - off)
 	bo := off - st.base
 	rem := st.remaining[v-st.start]
 	if rem == 0 {
-		adj := e.g.Targets[off : off+uint64(d)]
+		adj := c.e.g.Targets[off : off+uint64(d)]
 		fill := st.buf[bo : bo+uint64(d)]
 		for i := range fill {
 			fill[i] = adj[src.Uint32n(d)]
@@ -223,27 +239,27 @@ func (e *Engine) nextPSFrom(st *psState, v graph.VID, src *rng.XorShift1024Star)
 
 // drawCand draws one first-order candidate for second-order rejection
 // sampling through the partition's kernel. Callers filter degree < 2.
-func (e *Engine) drawCand(k *vpKernel, v graph.VID, src *rng.XorShift1024Star) graph.VID {
+func (c *cohortCtx) drawCand(k *vpKernel, v graph.VID, src *rng.XorShift1024Star) graph.VID {
 	switch k.kind {
 	case kernPS, kernPSWeighted:
-		return e.nextPSFrom(k.st, v, src)
+		return c.nextPSFrom(k.st, v, src)
 	case kernDSRegular:
 		d := k.deg
-		return e.g.Targets[k.base+(uint64(v)-uint64(k.start))*uint64(d)+uint64(src.Uint32n(d))]
+		return c.e.g.Targets[k.base+(uint64(v)-uint64(k.start))*uint64(d)+uint64(src.Uint32n(d))]
 	default: // kernDSCSR; weighted second-order is rejected at build
-		off := e.g.Offsets[v]
-		d := uint32(e.g.Offsets[v+1] - off)
-		return e.g.Targets[off+uint64(src.Uint32n(d))]
+		off := c.e.g.Offsets[v]
+		d := uint32(c.e.g.Offsets[v+1] - off)
+		return c.e.g.Targets[off+uint64(src.Uint32n(d))]
 	}
 }
 
 // kernSecondWalk advances a short second-order segment walker by walker —
 // the below-batchThreshold path — with the kernel and rejection bound
 // hoisted out of the loop.
-func (s *Session) kernSecondWalk(vpIdx int, seg, prev []graph.VID, src *rng.XorShift1024Star) {
-	e := s.e
-	k := &s.kern[vpIdx]
-	maxW := e.maxWeight()
+func (c *cohortCtx) kernSecondWalk(vpIdx int, seg, prev []graph.VID, src *rng.XorShift1024Star) {
+	e := c.e
+	k := &c.kern[vpIdx]
+	maxW := c.maxWeight()
 	offs, targets := e.g.Offsets, e.g.Targets
 	for j := range seg {
 		v := seg[j]
@@ -259,8 +275,8 @@ func (s *Session) kernSecondWalk(vpIdx int, seg, prev []graph.VID, src *rng.XorS
 		default:
 			p := prev[j]
 			for {
-				x := e.drawCand(k, v, src)
-				w := e.secondOrderWeight(p, v, x)
+				x := c.drawCand(k, v, src)
+				w := c.secondOrderWeight(p, v, x)
 				if w >= maxW || src.Float64()*maxW < w {
 					next = x
 					break
@@ -275,10 +291,10 @@ func (s *Session) kernSecondWalk(vpIdx int, seg, prev []graph.VID, src *rng.XorS
 // kernSecondBatched is the kernel form of sampleVPSecondBatched: identical
 // batching, sorting, and acceptance structure, with candidate generation
 // specialized per partition kind in fillCandidates.
-func (s *Session) kernSecondBatched(vpIdx int, chunk, aux []graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
-	e := s.e
-	k := &s.kern[vpIdx]
-	maxW := e.maxWeight()
+func (c *cohortCtx) kernSecondBatched(vpIdx int, chunk, aux []graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+	e := c.e
+	k := &c.kern[vpIdx]
+	maxW := c.maxWeight()
 	n := len(chunk)
 	if cap(scr.cand) < n {
 		scr.cand = make([]graph.VID, n)
@@ -305,12 +321,12 @@ func (s *Session) kernSecondBatched(vpIdx int, chunk, aux []graph.VID, src *rng.
 	// rationale); rejected keys keep their sorted order across rounds.
 	slices.Sort(pending)
 	for len(pending) > 0 {
-		e.fillCandidates(k, chunk, cand, pending, src)
+		c.fillCandidates(k, chunk, cand, pending, src)
 		next := pending[:0]
 		for _, key := range pending {
 			i := uint32(key)
 			prev, x := graph.VID(key>>32), cand[i]
-			w := e.secondOrderWeight(prev, chunk[i], x)
+			w := c.secondOrderWeight(prev, chunk[i], x)
 			if w >= maxW || src.Float64()*maxW < w {
 				aux[i] = chunk[i]
 				chunk[i] = x
@@ -326,24 +342,24 @@ func (s *Session) kernSecondBatched(vpIdx int, chunk, aux []graph.VID, src *rng.
 // fillCandidates generates one candidate per pending walker with the
 // partition's kernel selection hoisted out of the round loop entirely —
 // each case is a tight homogeneous pass.
-func (e *Engine) fillCandidates(k *vpKernel, chunk, cand []graph.VID, pending []uint64, src *rng.XorShift1024Star) {
+func (c *cohortCtx) fillCandidates(k *vpKernel, chunk, cand []graph.VID, pending []uint64, src *rng.XorShift1024Star) {
 	switch k.kind {
 	case kernPS, kernPSWeighted:
 		st := k.st
 		for _, key := range pending {
 			i := uint32(key)
-			cand[i] = e.nextPSFrom(st, chunk[i], src)
+			cand[i] = c.nextPSFrom(st, chunk[i], src)
 		}
 	case kernDSRegular:
 		d := k.deg
 		base, start := k.base, uint64(k.start)
-		targets := e.g.Targets
+		targets := c.e.g.Targets
 		for _, key := range pending {
 			i := uint32(key)
 			cand[i] = targets[base+(uint64(chunk[i])-start)*uint64(d)+uint64(src.Uint32n(d))]
 		}
 	default:
-		offs, targets := e.g.Offsets, e.g.Targets
+		offs, targets := c.e.g.Offsets, c.e.g.Targets
 		for _, key := range pending {
 			i := uint32(key)
 			v := chunk[i]

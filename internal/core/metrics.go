@@ -5,12 +5,37 @@ import (
 	"runtime/pprof"
 	"strconv"
 
+	"flashmob/internal/algo"
 	"flashmob/internal/obs"
 )
 
 // kernelKindNames labels the kernel-kind slots of the
 // core_sample_kernel_walker_steps vector, in kernelKind order.
 var kernelKindNames = []string{"empty", "ps", "ps-weighted", "ds-regular", "ds-csr", "ds-weighted"}
+
+// cohortClassNames labels the walk-shape slots of the
+// core_cohort_walker_steps vector, in classifySpec order.
+var cohortClassNames = []string{"uniform", "weighted", "node2vec", "order-k", "stop"}
+
+// classifySpec maps a walk spec to its cohortClassNames slot. Precedence
+// mirrors the sample-stage dispatch: a bounded-history transition is
+// "order-k" whatever else it sets, plain second order is "node2vec",
+// stochastic termination is "stop", weight-proportional first order is
+// "weighted", and everything else is the "uniform" first-order walk.
+func classifySpec(sp *algo.Spec) int {
+	switch {
+	case sp.History != nil:
+		return 3
+	case sp.Order == 2:
+		return 2
+	case sp.StopProb > 0:
+		return 4
+	case sp.Weighted:
+		return 1
+	default:
+		return 0
+	}
+}
 
 // engineMetrics is one complete metric set over one registry, built when
 // Config.Metrics is set; a nil *engineMetrics disables every recording
@@ -40,6 +65,13 @@ type engineMetrics struct {
 	vpWalkerSteps *obs.CounterVec
 	vpSampleNS    *obs.CounterVec
 	kernelSteps   *obs.CounterVec
+
+	// Mixed-run accounting: walker-steps per walk shape (solo runs charge
+	// their single shape), RunMixed invocations, and the cohort count each
+	// mixed run carried.
+	cohortSteps     *obs.CounterVec
+	mixedRuns       *obs.Counter
+	mixedRunCohorts *obs.Histogram
 
 	// pool carries the worker pool's busy/barrier accounting.
 	pool *obs.PoolMetrics
@@ -108,6 +140,18 @@ func newEngineMetrics(e *Engine, proto *engineMetrics) *engineMetrics {
 			Name: "core_sample_kernel_walker_steps", Unit: "walkers", Stage: "sample",
 			Help: "walker-steps advanced per specialized kernel kind (§4.2 policy mix)",
 		}, len(kernelKindNames), kernelKindNames),
+		cohortSteps: reg.CounterVec(obs.Desc{
+			Name: "core_cohort_walker_steps", Unit: "walkers", Stage: "sample",
+			Help: "walker-steps advanced per walk shape (cohorts of mixed runs and solo runs alike)",
+		}, len(cohortClassNames), cohortClassNames),
+		mixedRuns: reg.Counter(obs.Desc{
+			Name: "core_mixed_runs_total", Unit: "count", Stage: "run",
+			Help: "RunMixed invocations (multi-cohort shared-pipeline runs)",
+		}),
+		mixedRunCohorts: reg.Histogram(obs.Desc{
+			Name: "core_mixed_run_cohorts", Unit: "count", Stage: "run",
+			Help: "cohorts carried per RunMixed invocation",
+		}),
 		pool: obs.NewPoolMetrics(reg, e.pool.Workers()),
 	}
 	if proto != nil {

@@ -1,0 +1,536 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"slices"
+	"time"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/graph"
+	"flashmob/internal/obs"
+	"flashmob/internal/rng"
+	"flashmob/internal/walk"
+)
+
+// Cohort describes one walker population of a mixed run: its own walk
+// spec, walker count, step count, and seed. Cohorts of one RunMixed share
+// the engine's partition sweep, shuffle, and write-combined bin staging,
+// but sample through per-cohort kernel bindings and private PS buffers,
+// so each cohort's trajectories are a pure function of (engine build,
+// cohort spec, cohort seed, walkers, steps) — bitwise-identical to the
+// same cohort running alone via RunSeeded, whatever its co-batched
+// neighbors do.
+type Cohort struct {
+	// Spec is the cohort's walk. Any spec the engine build supports is
+	// allowed: weighted specs additionally require the engine itself to
+	// have been built with a weighted primary spec (the alias tables are
+	// a build-time artifact).
+	Spec algo.Spec
+	// Walkers is the cohort's walker count (0 means |V|).
+	Walkers uint64
+	// Steps is the cohort's walk length (0 means Spec.Steps). Cohorts
+	// with fewer steps retire early: the sweep shrinks to the still-active
+	// walker prefix instead of padding everyone to the longest walk.
+	Steps int
+	// Seed drives the cohort's walker placement and every sample draw,
+	// exactly as RunSeeded's seed does for a solo run.
+	Seed uint64
+}
+
+// CohortResult reports one cohort's slice of a mixed run.
+type CohortResult struct {
+	// Walkers is the cohort's walker count.
+	Walkers uint64
+	// Steps is the cohort's resolved walk length.
+	Steps int
+	// TotalSteps is Walkers × Steps.
+	TotalSteps uint64
+	// History holds the cohort's recorded W_i arrays when
+	// Config.RecordHistory is set (each cohort records into its own
+	// history — cohorts retire at different steps, so one shared history
+	// would be ragged).
+	History *walk.History
+}
+
+// MixedResult reports a completed mixed run: per-cohort outcomes in the
+// caller's cohort order plus the run-level aggregates and stage timings.
+type MixedResult struct {
+	// Cohorts holds one result per requested cohort, in request order.
+	Cohorts []CohortResult
+	// Walkers is the total walker count across cohorts.
+	Walkers uint64
+	// TotalSteps is the sum of the cohorts' walker-steps.
+	TotalSteps uint64
+	// Duration is total wall time; SampleTime and ShuffleTime are the
+	// stage splits, OtherTime the remainder (init, output).
+	Duration, SampleTime, ShuffleTime, OtherTime time.Duration
+	// ShuffleFwdTime and ShuffleRevTime split ShuffleTime into the forward
+	// scatter and the reverse gather pass.
+	ShuffleFwdTime, ShuffleRevTime time.Duration
+	// VPSteps[i] counts walker-steps sampled in partition i across all
+	// cohorts.
+	VPSteps []uint64
+	// Report is the observability snapshot of the session that executed
+	// the run (nil unless Config.Metrics).
+	Report *obs.Report
+}
+
+// PerStepNS returns average wall nanoseconds per walker-step across the
+// whole mixed run.
+func (r *MixedResult) PerStepNS() float64 {
+	if r.TotalSteps == 0 {
+		return 0
+	}
+	return float64(r.Duration.Nanoseconds()) / float64(r.TotalSteps)
+}
+
+// cohortState is one cohort slot's pooled per-run state: a private
+// psState set (PS buffer consumption is mutable, so co-batched cohorts
+// cannot share one) and a kernel table rebound to it per run. Sessions
+// keep these across mixed runs — the PS buffers are the dominant
+// allocation, exactly like the session's primary set.
+type cohortState struct {
+	ps   []*psState
+	kern []vpKernel
+	cx   cohortCtx
+}
+
+// newCohortState allocates one cohort slot's buffers.
+func (e *Engine) newCohortState() *cohortState {
+	cs := &cohortState{ps: make([]*psState, e.plan.NumVPs())}
+	for i, vp := range e.plan.VPs {
+		if !e.psVP[i] {
+			continue
+		}
+		edges := e.g.Offsets[vp.End] - e.g.Offsets[vp.Start]
+		cs.ps[i] = &psState{
+			start:     vp.Start,
+			base:      e.g.Offsets[vp.Start],
+			buf:       make([]graph.VID, edges),
+			remaining: make([]uint32, vp.End-vp.Start),
+		}
+	}
+	return cs
+}
+
+// bind arms the slot for one run of spec: the kernel table is rebuilt for
+// the spec's weighting, the PS buffers are reset to empty, and the
+// context is pointed at them — making every run's cohort state
+// indistinguishable from a freshly built one, the same discipline as
+// Session.rebind.
+func (cs *cohortState) bind(e *Engine, spec *algo.Spec) {
+	var ws *algo.WeightedSampler
+	if spec.Weighted {
+		ws = e.weighted
+	}
+	// The kernel table depends only on (plan, PS policy, weighting), so
+	// binding copies the engine's prebuilt template for the spec's
+	// weighting — one memmove — instead of re-resolving every partition's
+	// kernel on each run.
+	tpl := e.kern
+	if e.weighted != nil && ws == nil {
+		tpl = e.kernUW
+	}
+	if cap(cs.kern) < len(tpl) {
+		cs.kern = make([]vpKernel, len(tpl))
+	}
+	cs.kern = cs.kern[:len(tpl)]
+	copy(cs.kern, tpl)
+	for i, st := range cs.ps {
+		if st == nil {
+			continue
+		}
+		clear(st.remaining)
+		cs.kern[i].st = st
+	}
+	cs.cx = cohortCtx{e: e, spec: spec, kern: cs.kern, ps: cs.ps,
+		weighted: ws, class: classifySpec(spec)}
+}
+
+// cohortSlots grows the session's pooled cohort state to n slots and
+// returns it.
+func (s *Session) cohortSlots(n int) []*cohortState {
+	for len(s.cohorts) < n {
+		s.cohorts = append(s.cohorts, s.e.newCohortState())
+	}
+	return s.cohorts[:n]
+}
+
+// RunMixed executes the given cohorts as one shared pipeline run on a
+// fresh session. See Session.RunMixed.
+func (e *Engine) RunMixed(cohorts []Cohort) (*MixedResult, error) {
+	s, err := e.NewSession(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.RunMixed(cohorts)
+}
+
+// RunMixed advances every cohort through one shared sample→shuffle
+// pipeline: all cohorts' walkers travel in one walker array (contiguous
+// cohort segments), shuffle together, and are sampled in one partition
+// sweep per step, with each partition chunk dispatched per cohort segment
+// to that cohort's kernels. Cohorts with shorter walks retire from the
+// sweep as their steps complete — the active walker set shrinks instead
+// of padding to the longest cohort.
+//
+// Determinism: each cohort's trajectories are bitwise-identical to the
+// same (spec, seed, walkers, steps) running alone on a fresh session via
+// RunSeeded — walker init and every sample draw derive from the cohort's
+// own seed, PS buffers are per-cohort, and the shuffle permutation within
+// every partition chunk preserves walker order, so a cohort's walkers see
+// the same draws whatever rides alongside. (A solo RunSeeded must fit in
+// one episode for the comparison: mixed runs never episode-split, and
+// return an error when a MemoryBudget would force them to.)
+func (s *Session) RunMixed(cohorts []Cohort) (*MixedResult, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	e := s.e
+	if len(cohorts) == 0 {
+		return nil, fmt.Errorf("core: mixed run needs at least one cohort")
+	}
+
+	// Resolve defaults and validate each cohort against the build.
+	resolved := make([]Cohort, len(cohorts))
+	copy(resolved, cohorts)
+	channels := 0
+	var totalWalkers uint64
+	for i := range resolved {
+		c := &resolved[i]
+		if err := c.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("core: cohort %d: %w", i, err)
+		}
+		if c.Spec.Weighted {
+			if c.Spec.Order == 2 {
+				return nil, fmt.Errorf("core: cohort %d: weighted second-order walks are not supported", i)
+			}
+			if e.weighted == nil {
+				return nil, fmt.Errorf("core: cohort %d is weighted but the engine was built without weighted sampling (build with a weighted primary spec)", i)
+			}
+		}
+		if c.Walkers == 0 {
+			c.Walkers = uint64(e.g.NumVertices())
+		}
+		if c.Steps == 0 {
+			c.Steps = c.Spec.Steps
+		}
+		if c.Steps < 0 {
+			return nil, fmt.Errorf("core: cohort %d: negative step count", i)
+		}
+		if ch := auxChannelsFor(&c.Spec); ch > channels {
+			channels = ch
+		}
+		totalWalkers += c.Walkers
+	}
+	if e.cfg.MemoryBudget != 0 {
+		if need := totalWalkers * (12 + 12*uint64(channels)); need > e.cfg.MemoryBudget {
+			return nil, fmt.Errorf("core: mixed run needs %d walker-array bytes but the memory budget is %d (mixed runs do not split into episodes)", need, e.cfg.MemoryBudget)
+		}
+	}
+
+	// Execution order: longest walks first, so at every step the active
+	// cohorts are a prefix and retirement just shrinks the walker arrays.
+	// The stable sort keeps equal-step cohorts in caller order.
+	order := make([]int, len(resolved))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortStableFunc(order, func(a, b int) int {
+		return resolved[b].Steps - resolved[a].Steps
+	})
+	offs := make([]uint64, len(order)+1)
+	for k, i := range order {
+		offs[k+1] = offs[k] + resolved[i].Walkers
+	}
+
+	// Per-cohort sampling state: private PS buffers, kernel tables bound
+	// to them, the cohort's spec and seed.
+	slots := s.cohortSlots(len(order))
+	for k, i := range order {
+		slots[k].bind(e, &resolved[i].Spec)
+	}
+
+	res := &MixedResult{
+		Cohorts: make([]CohortResult, len(resolved)),
+		Walkers: totalWalkers,
+		VPSteps: make([]uint64, e.plan.NumVPs()),
+	}
+	start := time.Now()
+
+	w := make([]graph.VID, totalWalkers)
+	sw := make([]graph.VID, totalWalkers)
+	wNext := make([]graph.VID, totalWalkers)
+	auxW := make([][]graph.VID, channels)
+	auxSW := make([][]graph.VID, channels)
+	auxNext := make([][]graph.VID, channels)
+	for c := 0; c < channels; c++ {
+		auxW[c] = make([]graph.VID, totalWalkers)
+		auxSW[c] = make([]graph.VID, totalWalkers)
+		auxNext[c] = make([]graph.VID, totalWalkers)
+	}
+
+	// Per-cohort init, the exact solo formula at episode 0: a cohort's
+	// start placement depends only on its own seed and segment length.
+	histories := make([]*walk.History, len(order))
+	for k, i := range order {
+		c := &resolved[i]
+		seg := w[offs[k]:offs[k+1]]
+		initSrc := rng.NewXorShift1024Star(rng.Mix64(c.Seed ^ 0x9e3779b97f4a7c15))
+		e.initWalkers(seg, initSrc)
+		for ch := 0; ch < auxChannelsFor(&c.Spec); ch++ {
+			copy(auxW[ch][offs[k]:offs[k+1]], seg)
+		}
+		if e.cfg.RecordHistory {
+			histories[k] = walk.NewHistory(len(seg))
+			if err := histories[k].Append(seg); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	maxSteps := 0
+	for _, c := range resolved {
+		if c.Steps > maxSteps {
+			maxSteps = c.Steps
+		}
+	}
+
+	// Per-(partition, cohort) walker counts, recomputed each step from the
+	// pre-shuffle walker array: the shuffle is stable (walkers of one
+	// partition keep ascending walker-array order), so a cohort's walkers
+	// form one contiguous subrange of every partition chunk, located by
+	// these counts.
+	lk := e.plan.Lookup()
+	nvp := e.plan.NumVPs()
+	cohCounts := make([][]uint32, len(order))
+	for k := range cohCounts {
+		cohCounts[k] = make([]uint32, nvp)
+	}
+	// occ[vp*occWords+w] holds bit k of word w set iff cohort k has
+	// walkers in partition vp this step: most (partition, cohort) cells
+	// are empty once walkers spread out, so sampleMixed walks the set
+	// bits instead of scanning every active cohort at every occupied
+	// partition.
+	occWords := (len(order) + 63) / 64
+	occ := make([]uint64, nvp*occWords)
+
+	if s.m != nil {
+		s.m.episodes.Inc()
+	}
+
+	var shuffler *walk.Shuffler
+	fwdW, fwdSW := make([][]graph.VID, channels), make([][]graph.VID, channels)
+	revSW, revNext := make([][]graph.VID, channels), make([][]graph.VID, channels)
+	active := len(order)
+	curWalkers := -1
+	for step := 0; step < maxSteps; step++ {
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Retire cohorts whose walks completed: the active set is the
+		// prefix still owing steps.
+		for active > 0 && resolved[order[active-1]].Steps <= step {
+			active--
+		}
+		aw := int(offs[active])
+		if aw == 0 {
+			break
+		}
+		if aw != curWalkers {
+			// Build the shuffler once at full size; retirements shrink it in
+			// place (its scratch is plan-sized, so Resize allocates nothing —
+			// a graph-sized rebuild mid-run would dwarf the steps it serves).
+			if shuffler == nil {
+				var err error
+				shuffler, err = walk.NewShufflerPool(e.plan, aw, e.pool)
+				if err != nil {
+					return nil, err
+				}
+				if s.m != nil {
+					shuffler.SetPprofLabels(true)
+					shuffler.SetPoolMetrics(s.m.pool)
+				}
+			} else if err := shuffler.Resize(aw); err != nil {
+				return nil, err
+			}
+			for c := 0; c < channels; c++ {
+				fwdW[c], fwdSW[c] = auxW[c][:aw], auxSW[c][:aw]
+				revSW[c], revNext[c] = auxSW[c][:aw], auxNext[c][:aw]
+			}
+			curWalkers = aw
+		}
+
+		// Reset only the cells the previous step touched — occ still holds
+		// them, and they number ~active walkers, far fewer than the dense
+		// active×NumVPs clear.
+		for vp := 0; vp < nvp; vp++ {
+			base := vp * occWords
+			for wd := 0; wd < occWords; wd++ {
+				m := occ[base+wd]
+				for m != 0 {
+					k := wd<<6 + bits.TrailingZeros64(m)
+					m &= m - 1
+					cohCounts[k][vp] = 0
+				}
+			}
+		}
+		clear(occ)
+		for k := 0; k < active; k++ {
+			counts := cohCounts[k]
+			bit := uint64(1) << (uint(k) & 63)
+			wd := k >> 6
+			for _, v := range w[offs[k]:offs[k+1]] {
+				vp := lk.VPOf(v)
+				counts[vp]++
+				occ[vp*occWords+wd] |= bit
+			}
+		}
+
+		t0 := time.Now()
+		if err := shuffler.ForwardMulti(w[:aw], sw[:aw], fwdW, fwdSW); err != nil {
+			return nil, err
+		}
+		t1 := time.Now()
+		s.sampleMixed(step, shuffler.VPStart(), sw[:aw], fwdSW, resolved, order[:active], offs, cohCounts, occ, occWords, res.VPSteps)
+		t2 := time.Now()
+		if err := shuffler.ReverseMulti(w[:aw], sw[:aw], wNext[:aw], revSW, revNext); err != nil {
+			return nil, err
+		}
+		t3 := time.Now()
+		res.ShuffleFwdTime += t1.Sub(t0)
+		res.SampleTime += t2.Sub(t1)
+		res.ShuffleRevTime += t3.Sub(t2)
+		if m := s.m; m != nil {
+			m.steps.Inc()
+			m.shuffleFwdStepNS.Observe(uint64(t1.Sub(t0)))
+			m.sampleStepNS.Observe(uint64(t2.Sub(t1)))
+			m.shuffleRevStepNS.Observe(uint64(t3.Sub(t2)))
+		}
+
+		if e.cfg.StepSink != nil {
+			// The sink sees the still-active walker prefix: cur[j] → next[j]
+			// is position j's transition this step, cohort segments in the
+			// same contiguous layout the run was built with.
+			e.cfg.StepSink(step, w[:aw], wNext[:aw])
+		}
+		w, wNext = wNext, w
+		auxW, auxNext = auxNext, auxW
+		for c := 0; c < channels; c++ {
+			// The swapped channel views must follow their backing arrays.
+			fwdW[c] = auxW[c][:aw]
+			revNext[c] = auxNext[c][:aw]
+		}
+		if e.cfg.RecordHistory {
+			for k := 0; k < active; k++ {
+				if err := histories[k].Append(w[offs[k]:offs[k+1]]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	for k, i := range order {
+		c := &resolved[i]
+		res.Cohorts[i] = CohortResult{
+			Walkers:    c.Walkers,
+			Steps:      c.Steps,
+			TotalSteps: c.Walkers * uint64(c.Steps),
+			History:    histories[k],
+		}
+		res.TotalSteps += res.Cohorts[i].TotalSteps
+	}
+	res.Duration = time.Since(start)
+	res.ShuffleTime = res.ShuffleFwdTime + res.ShuffleRevTime
+	res.OtherTime = res.Duration - res.SampleTime - res.ShuffleTime
+	if m := s.m; m != nil {
+		m.runs.Inc()
+		m.mixedRuns.Inc()
+		m.mixedRunCohorts.Observe(uint64(len(resolved)))
+		m.walkers.Add(totalWalkers)
+		res.Report = m.reg.Snapshot()
+	}
+	return res, nil
+}
+
+// sampleMixed runs one mixed sample stage: each partition chunk is cut
+// into per-cohort subranges (located by the stable-shuffle counts) and
+// every subrange becomes a work item carrying its cohort's context and a
+// seed derived from the cohort's own seed — the same
+// (seed, episode=0, step, vp, sub) discipline as a solo run, so a
+// cohort's draws are independent of its neighbors, the worker count, and
+// the claim order. The occ bitmask narrows the per-partition cohort scan
+// to exactly the cohorts present in the chunk; set bits are visited in
+// ascending cohort order, so the item list (and the offset accumulation)
+// is identical to the dense scan's.
+func (s *Session) sampleMixed(step int, vpStart []uint64, sw []graph.VID, auxSW [][]graph.VID, resolved []Cohort, activeOrder []int, offs []uint64, cohCounts [][]uint32, occ []uint64, occWords int, vpSteps []uint64) {
+	e := s.e
+	t := &s.sample
+	items := t.items[:0]
+	subShards := 0
+	// Each cohort's per-step seed prefix is constant across the partition
+	// sweep; fold it once per cohort instead of per (partition, cohort)
+	// item.
+	prefixes := t.prefixes[:0]
+	for _, i := range activeOrder {
+		prefixes = append(prefixes, sampleSeedPrefix(resolved[i].Seed, 0, step))
+	}
+	t.prefixes = prefixes
+	for vp := 0; vp < e.plan.NumVPs(); vp++ {
+		lo, hi := vpStart[vp], vpStart[vp+1]
+		if lo == hi {
+			continue
+		}
+		acc := lo
+		base := vp * occWords
+		for wd := 0; wd < occWords; wd++ {
+			m := occ[base+wd]
+			for m != 0 {
+				k := wd<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
+				i := activeOrder[k]
+				nk := uint64(cohCounts[k][vp])
+				clo, chi := acc, acc+nk
+				acc = chi
+				c := &resolved[i]
+				cx := &s.cohorts[k].cx
+				// Only stateless first-order chunks can split, exactly as in
+				// the solo path; sub-shard boundaries are cohort-local so they
+				// match the solo run of the same cohort.
+				shardable := c.Spec.Order == 1 && c.Spec.History == nil
+				if !shardable || nk < 2*subShardSize || cx.kern[vp].st != nil {
+					items = append(items, sampleItem{vp: int32(vp), lo: clo, hi: chi,
+						seed: sampleSeedAt(prefixes[k], vp, 0), cx: cx})
+					continue
+				}
+				a := clo
+				for sub := 0; a < chi; sub++ {
+					b := a + subShardSize
+					if b >= chi || chi-b < subShardSize {
+						b = chi // absorb the ragged tail into the last piece
+					}
+					items = append(items, sampleItem{vp: int32(vp), lo: a, hi: b,
+						seed: sampleSeedAt(prefixes[k], vp, sub), cx: cx})
+					a = b
+					subShards++
+				}
+			}
+		}
+	}
+	t.items = items
+	t.sw, t.auxSW = sw, auxSW
+	t.vpSteps = vpSteps
+	t.next.Store(-1)
+	if m := s.m; m != nil {
+		m.sampleItems.Observe(uint64(len(items)))
+		m.sampleSubShards.Add(uint64(subShards))
+		e.pool.Submit(t, 0, m.sampleCtx, m.pool)
+	} else {
+		e.pool.Submit(t, 0, nil, nil)
+	}
+	t.sw, t.auxSW = nil, nil
+	t.vpSteps = nil
+}

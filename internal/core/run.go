@@ -227,6 +227,11 @@ type sampleItem struct {
 	vp     int32
 	lo, hi uint64
 	seed   uint64
+	// cx is the sampling context the item executes under: the session's
+	// primary context for solo runs, the owning cohort's for mixed runs —
+	// which is how one sample stage interleaves work items of different
+	// walk specs.
+	cx *cohortCtx
 }
 
 // subShardSize is the walker-count granularity for splitting oversized
@@ -239,13 +244,25 @@ var subShardSize = uint64(1) << 16
 
 // sampleSeed derives one work item's RNG seed. Chained Mix64 rounds
 // avalanche every coordinate, so distinct (episode, step, partition,
-// sub-shard) tuples get independent streams.
+// sub-shard) tuples get independent streams. The (seed, episode, step)
+// coordinates are constant across one step's whole item list, so the
+// item-building loops fold them once with sampleSeedPrefix and finish
+// each item with sampleSeedAt — bit-identical to the full chain.
 func sampleSeed(seed uint64, episode, step, vp, sub int) uint64 {
+	return sampleSeedAt(sampleSeedPrefix(seed, episode, step), vp, sub)
+}
+
+// sampleSeedPrefix folds sampleSeed's per-step coordinates.
+func sampleSeedPrefix(seed uint64, episode, step int) uint64 {
 	h := rng.Mix64(seed ^ 0x5b8315f3a2ca3357)
 	h = rng.Mix64(h + uint64(episode))
-	h = rng.Mix64(h + uint64(step))
-	h = rng.Mix64(h + uint64(vp))
-	return rng.Mix64(h + uint64(sub))
+	return rng.Mix64(h + uint64(step))
+}
+
+// sampleSeedAt finishes sampleSeed's chain for one (partition,
+// sub-shard) item.
+func sampleSeedAt(prefix uint64, vp, sub int) uint64 {
+	return rng.Mix64(rng.Mix64(prefix+uint64(vp)) + uint64(sub))
 }
 
 // sampleTask is the sample stage's pool task: workers pull work items
@@ -261,37 +278,51 @@ type sampleTask struct {
 	sw      []graph.VID
 	auxSW   [][]graph.VID
 	vpSteps []uint64
+	// prefixes[k] is active cohort k's folded per-step seed prefix
+	// (mixed runs; see sampleSeedPrefix).
+	prefixes []uint64
 }
+
+// itemClaim is how many work items one shared-counter claim covers:
+// sparse runs (serving waves) produce a few walkers per item, so
+// claiming singly would spend a noticeable share of the stage on the
+// atomic. Claim order never affects results — every item carries its
+// own seed and writes a disjoint walker range.
+const itemClaim = 4
 
 // RunShard implements pool.Task for the sample stage.
 func (t *sampleTask) RunShard(_, worker, _ int) {
 	s := t.s
 	scr := s.scratches[worker]
 	for {
-		idx := int(t.next.Add(1))
-		if idx >= len(t.items) {
+		end := int(t.next.Add(itemClaim)) + 1
+		if end-itemClaim >= len(t.items) {
 			return
 		}
-		it := t.items[idx]
-		scr.src.Reseed(it.seed)
-		chunk := t.sw[it.lo:it.hi]
-		aux := sliceAux(t.auxSW, it.lo, it.hi, &scr.auxView)
-		if m := t.m; m != nil {
-			// Per-item attribution: label the worker with the partition it
-			// is sampling and charge the item's wall time and walker count
-			// to that partition and its kernel kind. All per-item, never
-			// per-walker — items are chunk-sized, so the overhead stays in
-			// the noise (measured in EXPERIMENTS.md).
-			pprof.SetGoroutineLabels(m.vpCtx[it.vp])
-			t0 := time.Now()
-			s.sampleVPScratch(int(it.vp), chunk, aux, scr.src, scr)
-			m.vpSampleNS.Add(int(it.vp), uint64(time.Since(t0)))
-			m.vpWalkerSteps.Add(int(it.vp), uint64(len(chunk)))
-			m.kernelSteps.Add(int(s.kern[it.vp].kind), uint64(len(chunk)))
-		} else {
-			s.sampleVPScratch(int(it.vp), chunk, aux, scr.src, scr)
+		for idx := end - itemClaim; idx < end && idx < len(t.items); idx++ {
+			it := t.items[idx]
+			scr.src.Reseed(it.seed)
+			chunk := t.sw[it.lo:it.hi]
+			aux := sliceAux(t.auxSW, it.lo, it.hi, &scr.auxView)
+			if m := t.m; m != nil {
+				// Per-item attribution: label the worker with the partition it
+				// is sampling and charge the item's wall time and walker count
+				// to that partition, its kernel kind, and its cohort's walk
+				// shape. All per-item, never per-walker — items are
+				// chunk-sized, so the overhead stays in the noise (measured in
+				// EXPERIMENTS.md).
+				pprof.SetGoroutineLabels(m.vpCtx[it.vp])
+				t0 := time.Now()
+				it.cx.sampleVPScratch(int(it.vp), chunk, aux, scr.src, scr)
+				m.vpSampleNS.Add(int(it.vp), uint64(time.Since(t0)))
+				m.vpWalkerSteps.Add(int(it.vp), uint64(len(chunk)))
+				m.kernelSteps.Add(int(it.cx.kern[it.vp].kind), uint64(len(chunk)))
+				m.cohortSteps.Add(it.cx.class, uint64(len(chunk)))
+			} else {
+				it.cx.sampleVPScratch(int(it.vp), chunk, aux, scr.src, scr)
+			}
+			atomic.AddUint64(&t.vpSteps[it.vp], uint64(len(chunk)))
 		}
-		atomic.AddUint64(&t.vpSteps[it.vp], uint64(len(chunk)))
 	}
 }
 
@@ -307,6 +338,7 @@ func (s *Session) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID,
 	// mutable buffer state across the whole chunk, and higher-order paths
 	// batch over the full chunk.
 	shardable := e.spec.Order == 1 && e.spec.History == nil
+	prefix := sampleSeedPrefix(s.runSeed, episode, step)
 	for vp := 0; vp < e.plan.NumVPs(); vp++ {
 		lo, hi := vpStart[vp], vpStart[vp+1]
 		if lo == hi {
@@ -314,7 +346,7 @@ func (s *Session) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID,
 		}
 		if !shardable || hi-lo < 2*subShardSize || s.kern[vp].st != nil {
 			items = append(items, sampleItem{vp: int32(vp), lo: lo, hi: hi,
-				seed: sampleSeed(s.runSeed, episode, step, vp, 0)})
+				seed: sampleSeedAt(prefix, vp, 0), cx: &s.cx})
 			continue
 		}
 		a := lo
@@ -324,7 +356,7 @@ func (s *Session) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID,
 				b = hi // absorb the ragged tail into the last piece
 			}
 			items = append(items, sampleItem{vp: int32(vp), lo: a, hi: b,
-				seed: sampleSeed(s.runSeed, episode, step, vp, sub)})
+				seed: sampleSeedAt(prefix, vp, sub), cx: &s.cx})
 			a = b
 			subShards++
 		}

@@ -4,33 +4,59 @@ import (
 	"math"
 	"slices"
 
+	"flashmob/internal/algo"
 	"flashmob/internal/graph"
 	"flashmob/internal/rng"
 )
 
+// cohortCtx binds one walk spec to the per-run sampling state that
+// executes it: the spec itself, a kernel table whose st pointers are bound
+// to this context's PS buffers, and the weighted sampler when (and only
+// when) the spec samples by weight. Every function of the sample stage
+// hangs off this receiver, so one stage can interleave work items of
+// different walks without sharing mutable state: the solo run path uses
+// the session's primary context (spec = the engine's, state = the
+// session's), and RunMixed gives each cohort its own.
+type cohortCtx struct {
+	e    *Engine
+	spec *algo.Spec
+
+	// kern is this context's kernel table with st bound to ps below.
+	kern []vpKernel
+	// ps[i] is partition i's pre-sample state (nil for DS partitions),
+	// private to this context.
+	ps []*psState
+	// weighted is the engine's alias-table sampler when spec.Weighted,
+	// nil otherwise — a cohort with a uniform spec on a weighted build
+	// must not draw by weight.
+	weighted *algo.WeightedSampler
+	// class indexes cohortClassNames for the per-walk-shape metrics.
+	class int
+}
+
 // drawEdge samples one out-edge target of v according to the walk's
 // first-order distribution (uniform or weight-proportional), reading the
 // adjacency list directly. Degree must be nonzero.
-func (e *Engine) drawEdge(v graph.VID, src rng.Source) graph.VID {
-	if e.weighted != nil {
-		return e.weighted.Next(v, src)
+func (c *cohortCtx) drawEdge(v graph.VID, src rng.Source) graph.VID {
+	if c.weighted != nil {
+		return c.weighted.Next(v, src)
 	}
-	adj := e.g.Neighbors(v)
+	adj := c.e.g.Neighbors(v)
 	return adj[rng.Uint32n(src, uint32(len(adj)))]
 }
 
 // refill repopulates v's pre-sampled edge buffer with d(v) fresh samples —
 // the PS production step (§4.2): random reads confined to one adjacency
 // list, one sequential write stream into the buffer.
-func (e *Engine) refill(st *psState, v graph.VID, d uint32, src rng.Source) {
-	off := e.g.Offsets[v] - st.base
+func (c *cohortCtx) refill(st *psState, v graph.VID, d uint32, src rng.Source) {
+	off := c.e.g.Offsets[v] - st.base
 	buf := st.buf[off : off+uint64(d)]
-	if e.weighted != nil {
+	if c.weighted != nil {
 		for k := range buf {
-			buf[k] = e.weighted.Next(v, src)
+			buf[k] = c.weighted.Next(v, src)
 		}
 	} else {
-		adj := e.g.Neighbors(v)
+		adj := c.e.g.Neighbors(v)
 		for k := range buf {
 			buf[k] = adj[rng.Uint32n(src, d)]
 		}
@@ -40,31 +66,31 @@ func (e *Engine) refill(st *psState, v graph.VID, d uint32, src rng.Source) {
 
 // nextPS consumes one pre-sampled edge of v, refilling the buffer when
 // drained — the PS consumption step. Degree must be nonzero.
-func (e *Engine) nextPS(st *psState, v graph.VID, src rng.Source) graph.VID {
+func (c *cohortCtx) nextPS(st *psState, v graph.VID, src rng.Source) graph.VID {
 	idx := v - st.start
-	d := e.g.Degree(v)
+	d := c.e.g.Degree(v)
 	if st.remaining[idx] == 0 {
-		e.refill(st, v, d, src)
+		c.refill(st, v, d, src)
 	}
-	off := e.g.Offsets[v] - st.base
+	off := c.e.g.Offsets[v] - st.base
 	sample := st.buf[off+uint64(d-st.remaining[idx])]
 	st.remaining[idx]--
 	return sample
 }
 
 // sampleFirst advances a first-order walker at v within partition vpIdx.
-func (s *Session) sampleFirst(vpIdx int, v graph.VID, src rng.Source) graph.VID {
-	e := s.e
-	if st := s.ps[vpIdx]; st != nil {
+func (c *cohortCtx) sampleFirst(vpIdx int, v graph.VID, src rng.Source) graph.VID {
+	e := c.e
+	if st := c.ps[vpIdx]; st != nil {
 		if e.g.Degree(v) == 0 {
 			return v
 		}
-		return e.nextPS(st, v, src)
+		return c.nextPS(st, v, src)
 	}
 	// DS: uniform-degree partitions use pure-arithmetic indexing into the
 	// partition's contiguous edge block (the compact storage of §4.2);
 	// mixed-degree partitions fall back to CSR.
-	if reg := e.regularDeg[vpIdx]; reg >= 0 && e.weighted == nil {
+	if reg := e.regularDeg[vpIdx]; reg >= 0 && c.weighted == nil {
 		if reg == 0 {
 			return v
 		}
@@ -76,33 +102,33 @@ func (s *Session) sampleFirst(vpIdx int, v graph.VID, src rng.Source) graph.VID 
 	if e.g.Degree(v) == 0 {
 		return v
 	}
-	return e.drawEdge(v, src)
+	return c.drawEdge(v, src)
 }
 
 // sampleSecond advances a node2vec walker at v (predecessor prev) via
 // rejection sampling; candidates come from the pre-sampled buffer on PS
 // partitions, batching candidate generation as §5.2 describes.
-func (s *Session) sampleSecond(vpIdx int, v, prev graph.VID, src rng.Source) graph.VID {
-	e := s.e
+func (c *cohortCtx) sampleSecond(vpIdx int, v, prev graph.VID, src rng.Source) graph.VID {
+	e := c.e
 	d := e.g.Degree(v)
 	if d == 0 {
 		return v
 	}
-	maxW := e.maxWeight()
+	maxW := c.maxWeight()
 	if d == 1 {
 		// A single neighbour is the walk's only continuation; custom
 		// weights of 0 must not spin forever.
 		return e.g.Neighbors(v)[0]
 	}
-	st := s.ps[vpIdx]
+	st := c.ps[vpIdx]
 	for {
 		var x graph.VID
 		if st != nil {
-			x = e.nextPS(st, v, src)
+			x = c.nextPS(st, v, src)
 		} else {
-			x = s.sampleFirst(vpIdx, v, src)
+			x = c.sampleFirst(vpIdx, v, src)
 		}
-		w := e.secondOrderWeight(prev, v, x)
+		w := c.secondOrderWeight(prev, v, x)
 		if w >= maxW || rng.Float64(src)*maxW < w {
 			return x
 		}
@@ -110,32 +136,32 @@ func (s *Session) sampleSecond(vpIdx int, v, prev graph.VID, src rng.Source) gra
 }
 
 // maxWeight returns the rejection bound of the active second-order walk.
-func (e *Engine) maxWeight() float64 {
-	if tr := e.spec.Custom; tr != nil {
+func (c *cohortCtx) maxWeight() float64 {
+	if tr := c.spec.Custom; tr != nil {
 		return tr.MaxWeight
 	}
 	maxW := 1.0
-	if 1/e.spec.P > maxW {
-		maxW = 1 / e.spec.P
+	if 1/c.spec.P > maxW {
+		maxW = 1 / c.spec.P
 	}
-	if 1/e.spec.Q > maxW {
-		maxW = 1 / e.spec.Q
+	if 1/c.spec.Q > maxW {
+		maxW = 1 / c.spec.Q
 	}
 	return maxW
 }
 
 // secondOrderWeight evaluates the active walk's transition weight.
-func (e *Engine) secondOrderWeight(prev, cur, x graph.VID) float64 {
-	if tr := e.spec.Custom; tr != nil {
-		return tr.Weight(e.g, prev, cur, x)
+func (c *cohortCtx) secondOrderWeight(prev, cur, x graph.VID) float64 {
+	if tr := c.spec.Custom; tr != nil {
+		return tr.Weight(c.e.g, prev, cur, x)
 	}
 	switch {
 	case x == prev:
-		return 1 / e.spec.P
-	case e.g.HasEdge(prev, x):
+		return 1 / c.spec.P
+	case c.e.g.HasEdge(prev, x):
 		return 1
 	default:
-		return 1 / e.spec.Q
+		return 1 / c.spec.Q
 	}
 }
 
@@ -165,26 +191,33 @@ const batchThreshold = 64
 // place (§4.2): a single sequential scan of the walker chunk, with all
 // random accesses confined to the partition's working set.
 func (s *Session) sampleVP(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star) {
-	s.sampleVPScratch(vpIdx, chunk, aux, src, newSampleScratch())
+	s.cx.sampleVPScratch(vpIdx, chunk, aux, src, newSampleScratch())
+}
+
+// sampleVPScratch runs the session's primary walk (the engine spec) over
+// one partition chunk — the solo-run entry point, retained so the
+// equivalence suites drive the exact call the solo pipeline makes.
+func (s *Session) sampleVPScratch(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+	s.cx.sampleVPScratch(vpIdx, chunk, aux, src, scr)
 }
 
 // sampleVPScratch dispatches one partition chunk to the walk-shape
 // handler. The PS/DS/weighted kernel selection below it is per-partition
-// (resolved at engine build, bound to the session's buffers), so the
+// (resolved at engine build, bound to the context's buffers), so the
 // per-walker inner loops carry no policy branches; Config.ScalarSample
 // routes through the retained generic scalar path instead, which follows
 // the identical draw discipline (the equivalence tests compare the two
 // bitwise).
-func (s *Session) sampleVPScratch(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
-	if s.e.spec.History != nil {
-		s.sampleVPHistory(vpIdx, chunk, aux, src, scr)
+func (c *cohortCtx) sampleVPScratch(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+	if c.spec.History != nil {
+		c.sampleVPHistory(vpIdx, chunk, aux, src, scr)
 		return
 	}
-	if s.e.spec.StopProb > 0 {
-		s.sampleVPStop(vpIdx, chunk, aux, src, scr)
+	if c.spec.StopProb > 0 {
+		c.sampleVPStop(vpIdx, chunk, aux, src, scr)
 		return
 	}
-	s.sampleVPSegment(vpIdx, chunk, aux, 0, len(chunk), true, src, scr)
+	c.sampleVPSegment(vpIdx, chunk, aux, 0, len(chunk), true, src, scr)
 }
 
 // sampleVPSegment advances walkers [lo, hi) of a chunk one step with no
@@ -192,41 +225,40 @@ func (s *Session) sampleVPScratch(vpIdx int, chunk []graph.VID, aux [][]graph.VI
 // the geometric-skip restart path (the stretches between restarts).
 // allowBatch gates the batched second-order path so segment boundaries do
 // not change which walkers batch relative to the scalar reference.
-func (s *Session) sampleVPSegment(vpIdx int, chunk []graph.VID, aux [][]graph.VID, lo, hi int, allowBatch bool, src *rng.XorShift1024Star, scr *sampleScratch) {
+func (c *cohortCtx) sampleVPSegment(vpIdx int, chunk []graph.VID, aux [][]graph.VID, lo, hi int, allowBatch bool, src *rng.XorShift1024Star, scr *sampleScratch) {
 	if hi <= lo {
 		return
 	}
-	e := s.e
-	if e.spec.Order == 2 {
+	if c.spec.Order == 2 {
 		seg, prev := chunk[lo:hi], aux[0][lo:hi]
 		if allowBatch && hi-lo >= batchThreshold {
-			if e.cfg.ScalarSample {
-				s.sampleVPSecondBatched(vpIdx, seg, prev, src, scr)
+			if c.e.cfg.ScalarSample {
+				c.sampleVPSecondBatched(vpIdx, seg, prev, src, scr)
 			} else {
-				s.kernSecondBatched(vpIdx, seg, prev, src, scr)
+				c.kernSecondBatched(vpIdx, seg, prev, src, scr)
 			}
 			return
 		}
-		if e.cfg.ScalarSample {
+		if c.e.cfg.ScalarSample {
 			for j := range seg {
 				v := seg[j]
-				next := s.sampleSecond(vpIdx, v, prev[j], src)
+				next := c.sampleSecond(vpIdx, v, prev[j], src)
 				prev[j] = v
 				seg[j] = next
 			}
 			return
 		}
-		s.kernSecondWalk(vpIdx, seg, prev, src)
+		c.kernSecondWalk(vpIdx, seg, prev, src)
 		return
 	}
-	if e.cfg.ScalarSample {
+	if c.e.cfg.ScalarSample {
 		seg := chunk[lo:hi]
 		for j := range seg {
-			seg[j] = s.sampleFirst(vpIdx, seg[j], src)
+			seg[j] = c.sampleFirst(vpIdx, seg[j], src)
 		}
 		return
 	}
-	s.runChunkKernel(vpIdx, chunk[lo:hi], src)
+	c.runChunkKernel(vpIdx, chunk[lo:hi], src)
 }
 
 // sampleVPStop advances a chunk under stochastic termination (Monte-Carlo
@@ -238,22 +270,21 @@ func (s *Session) sampleVPSegment(vpIdx int, chunk []graph.VID, aux [][]graph.VI
 // i.i.d. Bernoulli(p) per walker-step and the walkers in a chunk are
 // exchangeable, so a fresh geometric gap per chunk is distributionally
 // exact; the non-restarting common case pays no per-walker restart draw.
-func (s *Session) sampleVPStop(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
-	e := s.e
-	logq := math.Log1p(-e.spec.StopProb) // ln(1-p) < 0, finite for p < 1
-	n := e.g.NumVertices()
-	order2 := e.spec.Order == 2
+func (c *cohortCtx) sampleVPStop(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+	logq := math.Log1p(-c.spec.StopProb) // ln(1-p) < 0, finite for p < 1
+	n := c.e.g.NumVertices()
+	order2 := c.spec.Order == 2
 	pos := 0
 	for pos < len(chunk) {
 		// gap ≥ 0: how many walkers advance normally before one restarts.
 		// Compare in float64 first — for r near 1 the ratio overflows int.
 		gap := math.Log1p(-src.Float64()) / logq
 		if gap >= float64(len(chunk)-pos) {
-			s.sampleVPSegment(vpIdx, chunk, aux, pos, len(chunk), false, src, scr)
+			c.sampleVPSegment(vpIdx, chunk, aux, pos, len(chunk), false, src, scr)
 			return
 		}
 		next := pos + int(gap)
-		s.sampleVPSegment(vpIdx, chunk, aux, pos, next, false, src, scr)
+		c.sampleVPSegment(vpIdx, chunk, aux, pos, next, false, src, scr)
 		nv := graph.VID(src.Uint32n(n))
 		chunk[next] = nv
 		if order2 {
@@ -266,17 +297,17 @@ func (s *Session) sampleVPStop(vpIdx int, chunk []graph.VID, aux [][]graph.VID, 
 // sampleVPHistory advances order-k walkers: candidates come from the
 // partition's PS/DS machinery, acceptance from the history transition,
 // and every walker's predecessor window shifts by one.
-func (s *Session) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
-	e := s.e
-	tr := e.spec.History
+func (c *cohortCtx) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VID, src *rng.XorShift1024Star, scr *sampleScratch) {
+	e := c.e
+	tr := c.spec.History
 	if cap(scr.hist) < tr.Window {
 		scr.hist = make([]graph.VID, tr.Window)
 	}
 	hist := scr.hist[:tr.Window]
 	for j := range chunk {
 		v := chunk[j]
-		for c := 0; c < tr.Window; c++ {
-			hist[c] = aux[c][j]
+		for ch := 0; ch < tr.Window; ch++ {
+			hist[ch] = aux[ch][j]
 		}
 		var next graph.VID
 		switch d := e.g.Degree(v); {
@@ -287,7 +318,7 @@ func (s *Session) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VI
 			next = e.g.Neighbors(v)[0]
 		default:
 			for {
-				x := s.sampleFirst(vpIdx, v, src)
+				x := c.sampleFirst(vpIdx, v, src)
 				w := tr.Weight(e.g, hist, v, x)
 				if w >= tr.MaxWeight || rng.Float64(src)*tr.MaxWeight < w {
 					next = x
@@ -295,8 +326,8 @@ func (s *Session) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VI
 				}
 			}
 		}
-		for c := tr.Window - 1; c > 0; c-- {
-			aux[c][j] = aux[c-1][j]
+		for ch := tr.Window - 1; ch > 0; ch-- {
+			aux[ch][j] = aux[ch-1][j]
 		}
 		aux[0][j] = v
 		chunk[j] = next
@@ -311,9 +342,9 @@ func (s *Session) sampleVPHistory(vpIdx int, chunk []graph.VID, aux [][]graph.VI
 // back-to-back and hit cache. Rejected walkers redraw in subsequent
 // rounds; acceptance probability is bounded below by min(1, 1/p, 1/q)/maxW
 // so rounds terminate quickly.
-func (s *Session) sampleVPSecondBatched(vpIdx int, chunk, aux []graph.VID, src rng.Source, scr *sampleScratch) {
-	e := s.e
-	maxW := e.maxWeight()
+func (c *cohortCtx) sampleVPSecondBatched(vpIdx int, chunk, aux []graph.VID, src rng.Source, scr *sampleScratch) {
+	e := c.e
+	maxW := c.maxWeight()
 	n := len(chunk)
 	if cap(scr.cand) < n {
 		scr.cand = make([]graph.VID, n)
@@ -343,23 +374,23 @@ func (s *Session) sampleVPSecondBatched(vpIdx int, chunk, aux []graph.VID, src r
 	slices.Sort(pending)
 	// The PS-vs-DS decision is partition-invariant: resolve it once, not
 	// per pending walker per round.
-	st := s.ps[vpIdx]
+	st := c.ps[vpIdx]
 	for len(pending) > 0 {
 		// Candidate generation: local to the partition (pre-sampled
 		// buffers or direct reads), one sequential pass.
 		for _, key := range pending {
 			i := uint32(key)
 			if st != nil {
-				cand[i] = e.nextPS(st, chunk[i], src)
+				cand[i] = c.nextPS(st, chunk[i], src)
 			} else {
-				cand[i] = s.sampleFirst(vpIdx, chunk[i], src)
+				cand[i] = c.sampleFirst(vpIdx, chunk[i], src)
 			}
 		}
 		next := pending[:0]
 		for _, key := range pending {
 			i := uint32(key)
 			prev, x := graph.VID(key>>32), cand[i]
-			w := e.secondOrderWeight(prev, chunk[i], x)
+			w := c.secondOrderWeight(prev, chunk[i], x)
 			if w >= maxW || rng.Float64(src)*maxW < w {
 				aux[i] = chunk[i]
 				chunk[i] = x

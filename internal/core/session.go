@@ -48,6 +48,16 @@ type Session struct {
 	// are picked up.
 	kern []vpKernel
 
+	// cx is the session's primary sampling context: the engine's spec
+	// bound to the session's kern/ps above. Every solo run samples through
+	// it; mixed runs use per-cohort contexts instead (cohorts below).
+	cx cohortCtx
+
+	// cohorts holds pooled per-cohort state for RunMixed (private PS
+	// buffers and kernel tables, one entry per cohort slot), grown on
+	// demand and reused across the session's mixed runs.
+	cohorts []*cohortState
+
 	// sample is the session's pool task for the sample stage, re-armed per
 	// step; items is its reusable work-item list.
 	sample sampleTask
@@ -124,6 +134,8 @@ func (e *Engine) newSessionState() *Session {
 		s.scratches[i] = newSampleScratch()
 	}
 	s.sample.s = s
+	s.cx = cohortCtx{e: e, spec: &e.spec, kern: s.kern, ps: s.ps,
+		weighted: e.weighted, class: classifySpec(&e.spec)}
 	return s
 }
 

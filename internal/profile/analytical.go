@@ -26,6 +26,21 @@ func NewAnalyticalModel(g mem.Geometry) *AnalyticalModel {
 	return &AnalyticalModel{Geom: g, UsableFraction: 0.75}
 }
 
+// sparsePlanRho is the global walker density (walkers per edge) below
+// which PS pricing charges refill waste. Every default plan — |V| walkers,
+// so ρ = 1/avgDegree ≥ ~0.02 on real degree distributions — sits above
+// the gate and is priced exactly as before; only explicitly serving-sized
+// plans (part.Config.Walkers a few thousand on a multi-million-edge
+// graph) enter the sparse regime.
+const sparsePlanRho = 0.01
+
+// sparseHorizonSteps is the walk length over which a sparse-regime refill
+// can amortize before its buffers are reset. Serving walks here are short
+// (tens of steps); using a short horizon errs toward DS, which is the
+// safe side — an under-amortized PS pick costs degree-sized refills,
+// an over-charged one costs a single extra random read.
+const sparseHorizonSteps = 16
+
 // fitLevel returns where a working set of ws bytes resides.
 func (m *AnalyticalModel) fitLevel(ws uint64) mem.Location {
 	f := m.UsableFraction
@@ -125,12 +140,30 @@ func (m *AnalyticalModel) SampleStepNS(p Policy, shape VPShape) float64 {
 			batch = 1
 		}
 
+		// Refill waste: a refill produces d samples up front, but over a
+		// walk of sparseHorizonSteps steps a vertex only consumes about
+		// ρ·d per step. Dense runs (ρ ≥ sparsePlanRho — every default
+		// |V|-walker plan, where ρ = 1/avgDegree) drain buffers fully and
+		// are priced exactly as before; below the gate the unconsumed
+		// rest is charged to the samples actually drawn, which is what
+		// makes the planner direct-sample for serving-sized batches
+		// instead of paying degree-sized hub refills per visit.
+		waste := 1.0
+		if rho < sparsePlanRho {
+			if consumed := rho * d * sparseHorizonSteps; consumed < d {
+				if consumed < 1 {
+					consumed = 1
+				}
+				waste = d / consumed
+			}
+		}
+
 		// Production (refill): random reads within one adjacency list
 		// (which fits a level on its own) + a sequential write stream +
 		// per-refill vertex metadata amortized over the d samples
 		// produced.
 		adjLoc := m.fitLevel(uint64(d * 4))
-		prod := m.rand(adjLoc) + m.seq(loc)*4/8 + m.rand(loc)/d
+		prod := (m.rand(adjLoc) + m.seq(loc)*4/8 + m.rand(loc)/d) * waste
 
 		// Consumption: the vertex's buffer-cursor seek (shared by the
 		// batch), plus the sequential read of the pre-sampled line, whose

@@ -12,6 +12,7 @@ import (
 // pending is one admitted walk query waiting for its batch: the
 // normalized request plus the channel its outcome is delivered on.
 type pending struct {
+	b        *backend // the algorithm backend the request routed to
 	walkers  int
 	steps    int // resolved: never 0
 	seed     uint64
@@ -30,21 +31,44 @@ type outcome struct {
 	steps         int
 	batchRequests int
 	runWalkers    int
+	runCohorts    int
 	paths         [][]flashmob.VID
 	execStart     time.Time
 	runDur        time.Duration
 }
 
-// backend is one served algorithm's batching pipeline: an admission
-// queue feeding a dispatcher that assembles batches, feeding executors
-// that run them on engine sessions.
+// backend is one served algorithm: the route name, the spec that
+// resolves default step counts, and the engine group that executes its
+// requests. Backends sharing one built system share one engine group —
+// and therefore one queue, one batching window, and one mixed engine run
+// per wave.
 type backend struct {
-	s       *Server
-	name    string
-	sys     *flashmob.System
-	spec    flashmob.Algorithm
-	queue   chan *pending
-	batches chan []*pending
+	name string
+	sys  *flashmob.System
+	spec flashmob.Algorithm
+	g    *engineGroup
+}
+
+// engineGroup is one built system's batching pipeline: an admission
+// queue shared by every backend routed to the system, a dispatcher that
+// assembles cross-algorithm batches, and executors that run each batch
+// as one mixed-cohort engine run.
+type engineGroup struct {
+	s        *Server
+	sys      *flashmob.System
+	backends []*backend
+	queue    chan *pending
+	batches  chan []*pending
+	// free recycles batch slices between executors and the dispatcher so
+	// the steady-state dispatch path allocates nothing per batch.
+	free chan []*pending
+	// sessions pools engine sessions across waves (capacity Executors):
+	// acquiring a session allocates walker arrays and per-cohort slots, so
+	// reusing one turns that into a per-group rather than per-wave cost.
+	// Mixed runs rebind every cohort slot from its spec before stepping,
+	// which makes a pooled session's runs bitwise-identical to a fresh
+	// session's — Server.Close drains and closes whatever is pooled.
+	sessions chan *flashmob.Session
 }
 
 // Enqueue errors, mapped to HTTP by the handler.
@@ -57,14 +81,14 @@ var (
 // queue. The read lock pairs with Close's write lock so the queue is
 // never closed between the check and the send.
 func (b *backend) enqueue(p *pending) error {
-	s := b.s
+	s := b.g.s
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return errClosed
 	}
 	select {
-	case b.queue <- p:
+	case b.g.queue <- p:
 		s.m.requests.Inc()
 		s.m.queueDepth.Add(1)
 		return nil
@@ -77,52 +101,72 @@ func (b *backend) enqueue(p *pending) error {
 func (p *pending) expired() bool { return time.Now().After(p.deadline) }
 
 // shed answers p with a load-shedding 503 and charges the given counter.
-func (b *backend) shed(p *pending, why string, counter interface{ Inc() }) {
+func (g *engineGroup) shed(p *pending, why string, counter interface{ Inc() }) {
 	counter.Inc()
 	p.resp <- outcome{status: 503, errMsg: why, retry: true}
 }
 
-// dispatch is the backend's micro-batcher: it opens a batch on the first
-// queued request, then collects more until the walker budget or request
-// cap is hit, a request does not fit (it carries over to the next
-// batch), or the max-wait window closes. Expired requests are shed at
-// dequeue, before they can occupy batch budget. When the queue closes
-// (server shutdown) the remaining admitted requests are still drained
-// into final batches.
-func (b *backend) dispatch() {
-	defer b.s.wg.Done()
-	defer close(b.batches)
-	cfg := &b.s.cfg
+// newBatch takes a recycled batch slice or allocates the first few.
+func (g *engineGroup) newBatch(first *pending) []*pending {
+	select {
+	case b := <-g.free:
+		return append(b, first)
+	default:
+		return append(make([]*pending, 0, 16), first)
+	}
+}
+
+// recycle returns a drained batch slice to the dispatcher.
+func (g *engineGroup) recycle(batch []*pending) {
+	select {
+	case g.free <- batch[:0]:
+	default:
+	}
+}
+
+// dispatch is the group's micro-batcher: it opens a batch on the first
+// queued request — whatever algorithm it routed to — then collects more
+// until the walker budget or request cap is hit, a request does not fit
+// (it carries over to the next batch), or the max-wait window closes.
+// Requests for different algorithms and step counts land in one batch;
+// the executor runs them as cohorts of a single mixed engine run.
+// Expired requests are shed at dequeue, before they can occupy batch
+// budget. When the queue closes (server shutdown) the remaining admitted
+// requests are still drained into final batches.
+func (g *engineGroup) dispatch() {
+	defer g.s.wg.Done()
+	defer close(g.batches)
+	cfg := &g.s.cfg
 	var carry *pending
 	for {
 		first := carry
 		carry = nil
 		if first == nil {
 			var ok bool
-			first, ok = <-b.queue
+			first, ok = <-g.queue
 			if !ok {
 				return
 			}
-			b.s.m.queueDepth.Add(-1)
+			g.s.m.queueDepth.Add(-1)
 		}
 		if first.expired() {
-			b.shed(first, "deadline expired while queued", b.s.m.shedExpired)
+			g.shed(first, "deadline expired while queued", g.s.m.shedExpired)
 			continue
 		}
-		batch := append(make([]*pending, 0, 8), first)
+		batch := g.newBatch(first)
 		walkers := first.walkers
 		window := time.NewTimer(cfg.MaxWait)
 	collect:
 		for walkers < cfg.MaxBatchWalkers &&
 			(cfg.MaxBatchRequests == 0 || len(batch) < cfg.MaxBatchRequests) {
 			select {
-			case p, ok := <-b.queue:
+			case p, ok := <-g.queue:
 				if !ok {
 					break collect
 				}
-				b.s.m.queueDepth.Add(-1)
+				g.s.m.queueDepth.Add(-1)
 				if p.expired() {
-					b.shed(p, "deadline expired while queued", b.s.m.shedExpired)
+					g.shed(p, "deadline expired while queued", g.s.m.shedExpired)
 					continue
 				}
 				if walkers+p.walkers > cfg.MaxBatchWalkers {
@@ -136,25 +180,30 @@ func (b *backend) dispatch() {
 			}
 		}
 		window.Stop()
-		b.s.m.batches.Inc()
-		b.s.m.batchRequests.Observe(uint64(len(batch)))
-		b.s.m.batchWalkers.Observe(uint64(walkers))
-		b.batches <- batch
+		g.s.m.batches.Inc()
+		g.s.m.batchRequests.Observe(uint64(len(batch)))
+		g.s.m.batchWalkers.Observe(uint64(walkers))
+		g.batches <- batch
 	}
 }
 
 // executor drains assembled batches and runs them; several run per
-// backend, each batch on its own freshly acquired engine session.
-func (b *backend) executor() {
-	defer b.s.wg.Done()
-	for batch := range b.batches {
-		b.execute(batch)
+// group, each batch on a session from the group's pool. Each executor
+// owns one waveScratch, so the batch→cohort assembly reuses its group
+// and cohort storage across batches.
+func (g *engineGroup) executor() {
+	defer g.s.wg.Done()
+	var ws waveScratch
+	for batch := range g.batches {
+		g.execute(&ws, batch)
+		g.recycle(batch)
 	}
 }
 
-// runGroup is one engine run's worth of a batch: requests answered from
-// a single walker array.
+// runGroup is one cohort's worth of a batch: requests answered from one
+// contiguous segment of a mixed run's walker array.
 type runGroup struct {
+	b       *backend
 	steps   int
 	walkers int
 	seed    uint64
@@ -162,17 +211,84 @@ type runGroup struct {
 	reqs    []*pending
 }
 
+// waveScratch is an executor's reusable batch-assembly state: the cohort
+// groups and the cohort specs derived from them. Group entries keep
+// their request-slice capacity across batches, so assembling a
+// steady-state wave allocates nothing (batcher_test.go pins this).
+type waveScratch struct {
+	groups  []runGroup
+	cohorts []flashmob.CohortSpec
+}
+
+// reset empties the scratch, retaining every group's reqs capacity.
+func (ws *waveScratch) reset() {
+	ws.groups = ws.groups[:0]
+	ws.cohorts = ws.cohorts[:0]
+}
+
+// addGroup appends a cohort group, reusing a previously grown entry's
+// storage when one is available.
+func (ws *waveScratch) addGroup(b *backend, steps int, seed uint64, seeded bool, p *pending) {
+	if len(ws.groups) < cap(ws.groups) {
+		ws.groups = ws.groups[:len(ws.groups)+1]
+	} else {
+		ws.groups = append(ws.groups, runGroup{})
+	}
+	grp := &ws.groups[len(ws.groups)-1]
+	grp.b, grp.steps, grp.walkers, grp.seed, grp.seeded = b, steps, p.walkers, seed, seeded
+	grp.reqs = append(grp.reqs[:0], p)
+}
+
+// assemble splits a batch into cohort groups: each seeded request gets a
+// private cohort (so its trajectories cannot depend on its neighbors);
+// unseeded requests coalesce per (algorithm, steps) into one shared
+// per-wave-seeded cohort. Linear scans replace the per-batch map the
+// grouping used to allocate — waves hold a handful of distinct
+// (algorithm, steps) pairs.
+func (ws *waveScratch) assemble(s *Server, live []*pending) {
+	ws.reset()
+	for _, p := range live {
+		if p.seeded {
+			ws.addGroup(p.b, p.steps, p.seed, true, p)
+			continue
+		}
+		found := false
+		for i := range ws.groups {
+			grp := &ws.groups[i]
+			if !grp.seeded && grp.b == p.b && grp.steps == p.steps {
+				grp.reqs = append(grp.reqs, p)
+				grp.walkers += p.walkers
+				found = true
+				break
+			}
+		}
+		if !found {
+			ws.addGroup(p.b, p.steps, rng.Mix64(s.cfg.Seed^rng.Mix64(s.runSeq.Add(1))), false, p)
+		}
+	}
+	for i := range ws.groups {
+		grp := &ws.groups[i]
+		ws.cohorts = append(ws.cohorts, flashmob.CohortSpec{
+			Algorithm: grp.b.spec,
+			Walkers:   uint64(grp.walkers),
+			Steps:     grp.steps,
+			Seed:      grp.seed,
+		})
+	}
+}
+
 // execute runs one batch: expired requests are shed now (the second and
-// last deadline checkpoint), the rest split into run groups — unseeded
-// requests coalesce per step count and share one per-batch-seeded run;
-// each seeded request gets a private run so its trajectories cannot
-// depend on its neighbors — and every run's walker array is demuxed back
-// to its requests.
-func (b *backend) execute(batch []*pending) {
+// last deadline checkpoint), the rest assemble into cohort groups, and
+// the whole wave executes as one mixed engine run — every algorithm and
+// step count in the batch sharing one partition sweep — whose walker
+// array is demuxed per cohort, per request. With Config.SplitCohortRuns
+// set, each cohort instead gets its own engine run (the fragmented
+// pre-mixed behavior, kept as the benchmark baseline).
+func (g *engineGroup) execute(ws *waveScratch, batch []*pending) {
 	live := batch[:0]
 	for _, p := range batch {
 		if p.expired() {
-			b.shed(p, "deadline expired before execution", b.s.m.shedExpired)
+			g.shed(p, "deadline expired before execution", g.s.m.shedExpired)
 			continue
 		}
 		live = append(live, p)
@@ -181,65 +297,102 @@ func (b *backend) execute(batch []*pending) {
 		return
 	}
 	execStart := time.Now()
+	ws.assemble(g.s, live)
 
-	var groups []*runGroup
-	bySteps := make(map[int]*runGroup)
-	for _, p := range live {
-		if p.seeded {
-			groups = append(groups, &runGroup{
-				steps: p.steps, walkers: p.walkers, seed: p.seed, seeded: true,
-				reqs: []*pending{p},
-			})
-			continue
-		}
-		g := bySteps[p.steps]
-		if g == nil {
-			g = &runGroup{
-				steps: p.steps,
-				seed:  rng.Mix64(b.s.cfg.Seed ^ rng.Mix64(b.s.runSeq.Add(1))),
-			}
-			bySteps[p.steps] = g
-			groups = append(groups, g)
-		}
-		g.reqs = append(g.reqs, p)
-		g.walkers += p.walkers
-	}
-	for _, g := range groups {
-		b.runOne(len(live), execStart, g)
-	}
-}
-
-// runOne executes one group's engine run on a fresh session and demuxes
-// the per-request slices of the walker array. A fresh session per run is
-// what makes seeded runs reproducible: session acquisition resets the PS
-// buffers, so the trajectories depend only on (build, seed, walkers,
-// steps).
-func (b *backend) runOne(batchRequests int, execStart time.Time, g *runGroup) {
-	t0 := time.Now()
-	paths, steps, err := b.walk(g)
-	runDur := time.Since(t0)
-	b.s.m.runs.Inc()
-	b.s.m.runNS.Observe(uint64(runDur))
-	if err != nil {
-		status, msg, retry := 500, err.Error(), false
-		if errors.Is(err, flashmob.ErrClosed) {
-			status, msg, retry = 503, "server closed", false
-			b.s.m.shedClosed.Add(uint64(len(g.reqs)))
-		} else {
-			b.s.m.failed.Add(uint64(len(g.reqs)))
-		}
-		for _, p := range g.reqs {
-			p.resp <- outcome{status: status, errMsg: msg, retry: retry}
+	if g.s.cfg.SplitCohortRuns {
+		for i := range ws.groups {
+			g.runSolo(len(live), execStart, &ws.groups[i])
 		}
 		return
 	}
+
+	t0 := time.Now()
+	res, err := g.walkMixed(ws.cohorts)
+	runDur := time.Since(t0)
+	g.s.m.runs.Inc()
+	g.s.m.runNS.Observe(uint64(runDur))
+	g.s.m.runCohorts.Observe(uint64(len(ws.groups)))
+	if err != nil {
+		g.fail(ws.groups, err)
+		return
+	}
+	for i := range ws.groups {
+		grp := &ws.groups[i]
+		paths, perr := res.Paths(i)
+		if perr != nil {
+			g.failGroup(grp, perr)
+			continue
+		}
+		g.deliver(len(live), len(ws.groups), execStart, runDur, grp, paths)
+	}
+}
+
+// walkMixed performs the wave's engine run on a pooled session,
+// acquiring a fresh one only when the pool is empty. Reuse does not cost
+// reproducibility: a mixed run rebinds every cohort slot from its spec —
+// kernels, PS buffers, cursors — before the first step, so each cohort's
+// trajectories depend only on (build, algorithm, seed, walkers, steps),
+// exactly as on a fresh session. A session whose run failed is closed
+// rather than pooled; a healthy one goes back unless the pool is full.
+func (g *engineGroup) walkMixed(cohorts []flashmob.CohortSpec) (*flashmob.MixedResult, error) {
+	var sess *flashmob.Session
+	select {
+	case sess = <-g.sessions:
+	default:
+		var err error
+		sess, err = g.sys.NewSession(context.Background())
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := sess.WalkMixed(cohorts)
+	if err != nil {
+		sess.Close()
+		return nil, err
+	}
+	select {
+	case g.sessions <- sess:
+	default:
+		sess.Close()
+	}
+	return res, nil
+}
+
+// fail answers every request of every group with the mapped engine
+// error.
+func (g *engineGroup) fail(groups []runGroup, err error) {
+	for i := range groups {
+		g.failGroup(&groups[i], err)
+	}
+}
+
+// failGroup answers one group's requests with the mapped engine error:
+// ErrClosed becomes the shutdown 503, anything else a 500.
+func (g *engineGroup) failGroup(grp *runGroup, err error) {
+	status, msg := 500, err.Error()
+	if errors.Is(err, flashmob.ErrClosed) {
+		status, msg = 503, "server closed"
+		g.s.m.shedClosed.Add(uint64(len(grp.reqs)))
+	} else {
+		g.s.m.failed.Add(uint64(len(grp.reqs)))
+	}
+	for _, p := range grp.reqs {
+		p.resp <- outcome{status: status, errMsg: msg}
+	}
+}
+
+// deliver demuxes one cohort's trajectories to its requests: each
+// request's walkers are a contiguous slice of the cohort's walker array,
+// in enqueue order.
+func (g *engineGroup) deliver(batchRequests, runCohorts int, execStart time.Time, runDur time.Duration, grp *runGroup, paths [][]flashmob.VID) {
 	off := 0
-	for _, p := range g.reqs {
+	for _, p := range grp.reqs {
 		p.resp <- outcome{
 			status:        200,
-			steps:         steps,
+			steps:         grp.steps,
 			batchRequests: batchRequests,
-			runWalkers:    g.walkers,
+			runWalkers:    grp.walkers,
+			runCohorts:    runCohorts,
 			paths:         paths[off : off+p.walkers],
 			execStart:     execStart,
 			runDur:        runDur,
@@ -248,27 +401,32 @@ func (b *backend) runOne(batchRequests int, execStart time.Time, g *runGroup) {
 	}
 }
 
-// walk performs the engine run for one group and returns the translated
-// trajectories (one per walker, in request order).
-func (b *backend) walk(g *runGroup) ([][]flashmob.VID, int, error) {
-	sess, err := b.sys.NewSession(context.Background())
+// runSolo executes one cohort group as its own engine run (the
+// SplitCohortRuns baseline) and demuxes the per-request slices. It still
+// runs through the mixed entry point — a one-cohort mixed run is
+// bitwise-identical to the solo engine path, and the cohort's algorithm
+// may differ from the shared system's build primary — so the baseline
+// measures run fragmentation alone, nothing else.
+func (g *engineGroup) runSolo(batchRequests int, execStart time.Time, grp *runGroup) {
+	t0 := time.Now()
+	res, err := g.walkMixed([]flashmob.CohortSpec{{
+		Algorithm: grp.b.spec,
+		Walkers:   uint64(grp.walkers),
+		Steps:     grp.steps,
+		Seed:      grp.seed,
+	}})
+	runDur := time.Since(t0)
+	g.s.m.runs.Inc()
+	g.s.m.runNS.Observe(uint64(runDur))
+	g.s.m.runCohorts.Observe(1)
 	if err != nil {
-		return nil, 0, err
+		g.failGroup(grp, err)
+		return
 	}
-	defer sess.Close()
-	res, err := sess.WalkSeeded(g.seed, uint64(g.walkers), g.steps)
+	paths, err := res.Paths(0)
 	if err != nil {
-		return nil, 0, err
+		g.failGroup(grp, err)
+		return
 	}
-	paths, err := res.Paths()
-	if err != nil {
-		return nil, 0, err
-	}
-	if len(paths) != g.walkers {
-		// A memory-budgeted system splits runs into episodes and keeps
-		// only the last episode's history; serving requires the whole
-		// walker array, so refuse rather than demux garbage.
-		return nil, 0, errors.New("run split into episodes (system built with a MemoryBudget?); cannot demux")
-	}
-	return paths, res.Steps(), nil
+	g.deliver(batchRequests, 1, execStart, runDur, grp, paths)
 }

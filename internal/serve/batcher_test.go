@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAssembleAllocatesNothing pins the steady-state cost of batch
+// assembly: once a waveScratch has warmed to a wave's shape, splitting a
+// batch into cohort groups allocates nothing — no per-batch map, no
+// fresh runGroup structs, no regrown request slices (the pooled
+// equivalent of the engine's own zero-alloc step loop).
+func TestAssembleAllocatesNothing(t *testing.T) {
+	s := &Server{cfg: Config{Seed: 7}.withDefaults()}
+	b1 := &backend{name: "deepwalk"}
+	b2 := &backend{name: "node2vec"}
+	now := time.Now()
+	mk := func(b *backend, walkers, steps int, seed uint64, seeded bool) *pending {
+		return &pending{b: b, walkers: walkers, steps: steps, seed: seed, seeded: seeded,
+			enq: now, deadline: now.Add(time.Hour)}
+	}
+	// A representative wave: two coalescible unseeded groups across two
+	// algorithms and step counts, plus two private seeded cohorts.
+	live := []*pending{
+		mk(b1, 8, 5, 0, false),
+		mk(b2, 32, 5, 0, false),
+		mk(b1, 16, 5, 0, false),
+		mk(b1, 4, 9, 11, true),
+		mk(b2, 128, 5, 0, false),
+		mk(b2, 2, 5, 22, true),
+	}
+	var ws waveScratch
+	ws.assemble(s, live) // warm up group and cohort storage
+	if len(ws.groups) != 4 {
+		t.Fatalf("assembled %d groups, want 4 (two coalesced + two seeded)", len(ws.groups))
+	}
+	allocs := testing.AllocsPerRun(100, func() { ws.assemble(s, live) })
+	if allocs != 0 {
+		t.Errorf("assemble allocated %.1f objects per batch, want 0", allocs)
+	}
+
+	// The grouping itself must be right: unseeded same-(backend, steps)
+	// requests share a cohort, seeded ones never do.
+	var coalesced *runGroup
+	for i := range ws.groups {
+		g := &ws.groups[i]
+		if g.b == b1 && !g.seeded {
+			coalesced = g
+		}
+		if g.seeded && len(g.reqs) != 1 {
+			t.Errorf("seeded group holds %d requests, want 1", len(g.reqs))
+		}
+	}
+	if coalesced == nil || len(coalesced.reqs) != 2 || coalesced.walkers != 8+16 {
+		t.Fatalf("deepwalk unseeded group misassembled: %+v", coalesced)
+	}
+}

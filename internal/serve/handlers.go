@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -19,6 +21,79 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(body)
+}
+
+// respBufs recycles walk-response encode buffers: trajectories dominate
+// the body (a wave can carry hundreds of kilobytes of path JSON), and
+// pooling keeps the per-response garbage to the bytes actually written.
+var respBufs = sync.Pool{New: func() any { b := make([]byte, 0, 16<<10); return &b }}
+
+// pathsNullToken is the placeholder encodeWalkResponse splices the fast
+// path array over.
+var pathsNullToken = []byte(`"paths":null`)
+
+// encodeWalkResponse marshals a 200 walk response byte-identically to
+// encoding/json, but writes the paths array — the bulk of the body, pure
+// numbers — with strconv instead of per-element reflection: the envelope
+// is marshaled with Paths nil and the fast-encoded array spliced over
+// the "paths":null placeholder. buf is the (pooled) destination,
+// returned with the encoding appended. Falls back to nil (caller uses
+// writeJSON) if the envelope cannot be marshaled or the placeholder is
+// not found.
+func encodeWalkResponse(buf []byte, resp *WalkResponse) []byte {
+	paths := resp.Paths
+	resp.Paths = nil
+	head, err := json.Marshal(resp)
+	resp.Paths = paths
+	if err != nil || paths == nil {
+		return nil
+	}
+	i := bytes.Index(head, pathsNullToken)
+	if i < 0 {
+		return nil
+	}
+	buf = append(buf, head[:i+len(`"paths":`)]...)
+	buf = append(buf, '[')
+	for pi, p := range paths {
+		if pi > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '[')
+		for vi, v := range p {
+			if vi > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendUint(buf, uint64(v), 10)
+		}
+		buf = append(buf, ']')
+	}
+	buf = append(buf, ']')
+	buf = append(buf, head[i+len(pathsNullToken):]...)
+	return append(buf, '\n')
+}
+
+// writeWalkResponse answers a served walk with the fast paths encoder,
+// falling back to the generic encoder when it does not apply (e.g. a
+// response with no trajectories).
+func writeWalkResponse(w http.ResponseWriter, resp *WalkResponse) {
+	bp := respBufs.Get().(*[]byte)
+	buf := encodeWalkResponse((*bp)[:0], resp)
+	if buf == nil {
+		respBufs.Put(bp)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Explicit length keeps large trajectory bodies out of chunked
+	// encoding (one frame, cheaper client reads).
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+	// Keep moderate buffers; let one-off giants go to the collector.
+	if cap(buf) <= 4<<20 {
+		*bp = buf[:0]
+		respBufs.Put(bp)
+	}
 }
 
 // writeErr answers with an ErrorResponse; when retry is set the 503
@@ -81,6 +156,7 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 	}
 	now := time.Now()
 	p := &pending{
+		b:        b,
 		walkers:  req.Walkers,
 		steps:    steps,
 		enq:      now,
@@ -117,6 +193,7 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 		Coalesced:     out.batchRequests > 1,
 		BatchRequests: out.batchRequests,
 		RunWalkers:    out.runWalkers,
+		RunCohorts:    out.runCohorts,
 		Paths:         out.paths,
 		QueueMS:       float64(out.execStart.Sub(p.enq)) / float64(time.Millisecond),
 		RunMS:         float64(out.runDur) / float64(time.Millisecond),
@@ -124,7 +201,7 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 	if p.seeded {
 		resp.Seed = p.seed
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWalkResponse(w, &resp)
 }
 
 // handlePlan is GET /v1/plan: every served algorithm's partitioning

@@ -24,6 +24,10 @@ type serveMetrics struct {
 	batchRequests *obs.Histogram
 	batchWalkers  *obs.Histogram
 
+	// runCohorts is the cohort count per engine run: 1 for solo runs,
+	// more when a wave mixed algorithms or step counts into one run.
+	runCohorts *obs.Histogram
+
 	// Latency: queue wait and end-to-end per request, wall time per
 	// engine run.
 	queueNS   *obs.Histogram
@@ -79,6 +83,10 @@ func newServeMetrics() *serveMetrics {
 		batchWalkers: reg.Histogram(obs.Desc{
 			Name: "serve_batch_walkers", Unit: "walkers", Stage: "serve",
 			Help: "walkers per executed scheduling batch",
+		}),
+		runCohorts: reg.Histogram(obs.Desc{
+			Name: "serve_run_cohorts", Unit: "count", Stage: "serve",
+			Help: "cohorts per engine run (1 = solo, more = mixed-algorithm wave)",
 		}),
 		queueNS: reg.Histogram(obs.Desc{
 			Name: "serve_request_queue_ns", Unit: "ns", Stage: "serve",

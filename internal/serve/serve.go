@@ -7,20 +7,29 @@
 // (session setup, walker arrays, a shuffler, per-step stage overhead over
 // every partition) for a handful of walkers, while coalescing them into
 // one shared engine run pays it once. The server therefore admits
-// requests into a bounded queue, a per-algorithm micro-batcher collects
+// requests into a bounded queue, a per-engine micro-batcher collects
 // them into batches (closed by a max-walkers budget or a max-wait
 // window), and executors run each batch on pooled engine sessions,
 // demuxing per-request slices of the walker array back to the callers.
+//
+// Batches mix algorithms: backends that share one built system share one
+// queue, and each wave executes as a single mixed-cohort engine run
+// (System.WalkMixed) — requests for different algorithms and step counts
+// become cohorts of one shared partition sweep instead of fragmenting
+// into one engine run per (algorithm, steps) pair. docs/SERVING.md spells
+// out what still fragments a batch.
 //
 // Admission control protects the engine: a full queue answers 503 with
 // Retry-After, requests whose deadline passes while queued are shed
 // before execution, and Close drains in-flight batches before closing
 // the underlying systems (late requests get the ErrClosed-mapped 503).
 //
-// Determinism: a request carrying a seed gets a private engine run on a
-// fresh session, so its trajectories are a pure function of (build, seed,
-// walkers, steps) — identical whether it rode a batch alone or coalesced
-// with others. Unseeded requests share one per-batch-seeded run and are
+// Determinism: a request carrying a seed gets a private cohort of its
+// wave's run, and mixed runs rebind every cohort from its spec before
+// stepping, so its trajectories are a pure function of (build, algorithm,
+// seed, walkers, steps) — identical whether it rode a batch alone,
+// coalesced with others, or executed on a pooled session an earlier wave
+// used. Unseeded requests share one per-batch-seeded cohort and are
 // sliced out of its walker array.
 //
 // docs/SERVING.md documents the endpoints, the wire schema, and the
@@ -46,8 +55,11 @@ type Backend struct {
 	// Sys is the built system. It must be built with RecordPaths (the
 	// responses carry trajectories) and without a MemoryBudget (episode
 	// splitting would drop all but the last episode's history); New
-	// probes both. The server owns the system from New on and closes it
-	// in Close.
+	// probes both. Several backends may share one system: they then share
+	// one batching queue and their requests coalesce into mixed-cohort
+	// runs (the engine samples each cohort with its own algorithm, so one
+	// system serves every unweighted walk shape). The server owns the
+	// system from New on and closes it in Close.
 	Sys *flashmob.System
 	// Spec is the algorithm the system was built with; its Steps field
 	// resolves requests that leave steps at 0.
@@ -85,6 +97,12 @@ type Config struct {
 	MaxSteps int
 	// Seed drives the per-batch seeds of unseeded (sampling-mode) runs.
 	Seed uint64
+	// SplitCohortRuns disables mixed-cohort execution: every cohort of a
+	// wave gets its own engine run, one per (algorithm, steps) pair — the
+	// fragmented pre-mixed behavior, kept as the benchmark baseline
+	// (fmbench -exp mixed). Responses are bitwise-identical either way;
+	// only the goodput differs.
+	SplitCohortRuns bool
 }
 
 // withDefaults resolves the documented defaults.
@@ -126,6 +144,7 @@ type Server struct {
 	m        *serveMetrics
 	backends []*backend
 	byName   map[string]*backend
+	groups   []*engineGroup
 	start    time.Time
 	runSeq   atomic.Uint64
 
@@ -137,9 +156,12 @@ type Server struct {
 }
 
 // New builds a server over the given backends (at least one; the first
-// is the default algorithm). Each backend is probed with a one-walker
-// walk to verify it can produce trajectories; the server owns the
-// backends' systems afterwards and closes them in Close.
+// is the default algorithm). Backends that pass the same *System share
+// one engine group — one queue, one batching window, and mixed-cohort
+// runs across their algorithms; distinct systems batch independently.
+// Each distinct system is probed with a one-walker walk to verify it can
+// produce trajectories; the server owns the systems afterwards and
+// closes them in Close.
 func New(backends []Backend, cfg Config) (*Server, error) {
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("serve: no backends")
@@ -150,6 +172,7 @@ func New(backends []Backend, cfg Config) (*Server, error) {
 		byName: make(map[string]*backend, len(backends)),
 		start:  time.Now(),
 	}
+	bySys := make(map[*flashmob.System]*engineGroup)
 	for _, bk := range backends {
 		if bk.Name == "" || bk.Sys == nil {
 			return nil, fmt.Errorf("serve: backend needs a name and a system")
@@ -157,23 +180,32 @@ func New(backends []Backend, cfg Config) (*Server, error) {
 		if _, dup := s.byName[bk.Name]; dup {
 			return nil, fmt.Errorf("serve: duplicate backend %q", bk.Name)
 		}
-		if err := probe(bk.Sys); err != nil {
-			return nil, fmt.Errorf("serve: backend %q: %w", bk.Name, err)
+		g := bySys[bk.Sys]
+		if g == nil {
+			if err := probe(bk.Sys); err != nil {
+				return nil, fmt.Errorf("serve: backend %q: %w", bk.Name, err)
+			}
+			g = &engineGroup{
+				s:        s,
+				sys:      bk.Sys,
+				queue:    make(chan *pending, s.cfg.QueueDepth),
+				batches:  make(chan []*pending),
+				free:     make(chan []*pending, s.cfg.Executors+1),
+				sessions: make(chan *flashmob.Session, s.cfg.Executors),
+			}
+			bySys[bk.Sys] = g
+			s.groups = append(s.groups, g)
 		}
-		b := &backend{
-			s:       s,
-			name:    bk.Name,
-			sys:     bk.Sys,
-			spec:    bk.Spec,
-			queue:   make(chan *pending, s.cfg.QueueDepth),
-			batches: make(chan []*pending),
-		}
+		b := &backend{name: bk.Name, sys: bk.Sys, spec: bk.Spec, g: g}
+		g.backends = append(g.backends, b)
 		s.byName[bk.Name] = b
 		s.backends = append(s.backends, b)
+	}
+	for _, g := range s.groups {
 		s.wg.Add(1 + s.cfg.Executors)
-		go b.dispatch()
+		go g.dispatch()
 		for i := 0; i < s.cfg.Executors; i++ {
-			go b.executor()
+			go g.executor()
 		}
 	}
 	return s, nil
@@ -216,13 +248,24 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	for _, b := range s.backends {
-		close(b.queue)
+	for _, g := range s.groups {
+		close(g.queue)
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	for _, b := range s.backends {
-		b.sys.Close()
+	for _, g := range s.groups {
+		// Drain the session pool before closing the system: System.Close
+		// blocks until every open session closes.
+		for {
+			select {
+			case sess := <-g.sessions:
+				sess.Close()
+				continue
+			default:
+			}
+			break
+		}
+		g.sys.Close()
 	}
 }
 

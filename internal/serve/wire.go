@@ -54,11 +54,16 @@ type WalkResponse struct {
 	// BatchRequests counts the requests in the scheduling batch this
 	// request rode (including itself).
 	BatchRequests int `json:"batch_requests"`
-	// RunWalkers counts the walkers of the engine run that produced this
-	// response: the whole coalesced group for unseeded requests, the
-	// request's own walkers for seeded ones (which always get a private,
-	// reproducible run).
+	// RunWalkers counts the walkers of the cohort that produced this
+	// response: the whole coalesced (algorithm, steps) group for unseeded
+	// requests, the request's own walkers for seeded ones (which always
+	// get a private, reproducible cohort).
 	RunWalkers int `json:"run_walkers"`
+	// RunCohorts counts the cohorts of the engine run that carried this
+	// request: 1 when the run served a single (algorithm, steps) group,
+	// more when the wave mixed algorithms or step counts into one shared
+	// run.
+	RunCohorts int `json:"run_cohorts"`
 	// Paths holds one trajectory per requested walker, each steps+1
 	// vertices long (start included), in the caller's original vertex
 	// IDs.

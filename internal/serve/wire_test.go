@@ -39,13 +39,14 @@ func TestWalkResponseSchemaStable(t *testing.T) {
 		Coalesced:     true,
 		BatchRequests: 3,
 		RunWalkers:    2,
+		RunCohorts:    2,
 		Paths:         [][]flashmob.VID{{1, 2}, {3, 4}},
 		QueueMS:       0.5,
 		RunMS:         1.5,
 	}
 	want := `{"schema_version":1,"algorithm":"deepwalk","walkers":2,"steps":1,` +
 		`"seeded":true,"seed":9,"coalesced":true,"batch_requests":3,"run_walkers":2,` +
-		`"paths":[[1,2],[3,4]],"queue_ms":0.5,"run_ms":1.5}`
+		`"run_cohorts":2,"paths":[[1,2],[3,4]],"queue_ms":0.5,"run_ms":1.5}`
 	got, err := json.Marshal(wr)
 	if err != nil {
 		t.Fatal(err)
@@ -71,6 +72,54 @@ func TestWalkResponseSchemaStable(t *testing.T) {
 	}
 	if string(gotErr) != wantErr {
 		t.Errorf("ErrorResponse encoding drifted:\n got %s\nwant %s", gotErr, wantErr)
+	}
+}
+
+// TestWalkResponseFastEncoderMatchesJSON pins the handler's fast paths
+// encoder to encoding/json byte for byte (modulo the Encoder's trailing
+// newline), across the omitempty and empty/ragged-paths edge cases.
+func TestWalkResponseFastEncoderMatchesJSON(t *testing.T) {
+	cases := []WalkResponse{
+		{
+			SchemaVersion: 1, Algorithm: "deepwalk", Walkers: 2, Steps: 1,
+			Seeded: true, Seed: 9, Coalesced: true, BatchRequests: 3,
+			RunWalkers: 2, RunCohorts: 2,
+			Paths:   [][]flashmob.VID{{1, 2}, {3, 4294967295}},
+			QueueMS: 0.5, RunMS: 1.5,
+		},
+		{ // unseeded: seed omitted
+			SchemaVersion: 1, Algorithm: "node2vec", Walkers: 1, Steps: 2,
+			Paths: [][]flashmob.VID{{7, 0, 7}},
+		},
+		{ // empty but non-nil paths encode as []
+			SchemaVersion: 1, Algorithm: "pagerank",
+			Paths: [][]flashmob.VID{},
+		},
+		{ // seeded with seed 0: omitempty drops it either way
+			SchemaVersion: 1, Algorithm: "deepwalk", Seeded: true,
+			Paths: [][]flashmob.VID{{}, {5}},
+		},
+	}
+	for i, wr := range cases {
+		want, err := json.Marshal(wr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := encodeWalkResponse(nil, &wr)
+		if got == nil {
+			t.Fatalf("case %d: fast encoder declined", i)
+		}
+		if string(got) != string(want)+"\n" {
+			t.Errorf("case %d: fast encoding drifted:\n got %s\nwant %s", i, got, want)
+		}
+		if wr.Paths == nil {
+			t.Errorf("case %d: encoder must restore resp.Paths", i)
+		}
+	}
+	// Nil paths: the fast path declines and the caller falls back.
+	nilPaths := WalkResponse{SchemaVersion: 1, Algorithm: "deepwalk"}
+	if got := encodeWalkResponse(nil, &nilPaths); got != nil {
+		t.Errorf("fast encoder should decline nil paths, got %s", got)
 	}
 }
 

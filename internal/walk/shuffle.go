@@ -57,6 +57,7 @@ type Shuffler struct {
 	workers int
 
 	numWalkers int
+	maxWalkers int      // construction-time walker capacity (Resize ceiling)
 	vpStart    []uint64 // len NumVPs+1: walker slots per VP in shuffled order
 	binStart   []uint64 // len Bins+1: outer slots per bin
 	// counts[w][vp] is worker w's walker count per VP for its walker range.
@@ -142,6 +143,7 @@ func newShuffler(plan *part.Plan, numWalkers, workers int, p *pool.Pool) (*Shuff
 		pool:       p,
 		workers:    workers,
 		numWalkers: numWalkers,
+		maxWalkers: numWalkers,
 		vpStart:    make([]uint64, plan.NumVPs()+1),
 		binStart:   make([]uint64, len(plan.Bins())+1),
 		counts:     make([][]uint32, workers),
@@ -183,6 +185,24 @@ func newShuffler(plan *part.Plan, numWalkers, workers int, p *pool.Pool) (*Shuff
 	}
 	s.wcBuf = make([][]graph.VID, workers)
 	return s, nil
+}
+
+// Resize re-targets the shuffler at a smaller (or equal) walker count
+// without reallocating. Mixed runs retire whole cohorts between steps;
+// all scratch the shuffler owns is sized by the plan and worker count
+// except the inner-level slot maps, and a shrunken walker set uses a
+// prefix of those. Growing past the construction size is refused —
+// build a new shuffler instead.
+func (s *Shuffler) Resize(numWalkers int) error {
+	if numWalkers < 0 {
+		return fmt.Errorf("walk: negative walker count")
+	}
+	if numWalkers > s.maxWalkers {
+		return fmt.Errorf("walk: Resize to %d walkers exceeds the %d the shuffler was built for",
+			numWalkers, s.maxWalkers)
+	}
+	s.numWalkers = numWalkers
+	return nil
 }
 
 // SetWriteCombining toggles the write-combining staging buffers in both
