@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent bench-serve bench-mixed
+.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent bench-serve bench-mixed bench-ooc
 
 build:
 	$(GO) build ./...
@@ -9,13 +9,13 @@ build:
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/doccheck -strict . -strict ./internal/obs -strict ./internal/serve ./internal/... ./cmd/... ./examples/...
+	$(GO) run ./cmd/doccheck -strict . -strict ./internal/obs -strict ./internal/serve -strict ./internal/ooc ./internal/... ./cmd/... ./examples/...
 
 test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race -shuffle=on . ./internal/pool/ ./internal/walk/ ./internal/core/ ./internal/serve/
+	$(GO) test -race -shuffle=on . ./internal/pool/ ./internal/walk/ ./internal/core/ ./internal/serve/ ./internal/ooc/
 
 # Go-native component benchmarks (small, cache-resident scales).
 bench:
@@ -55,6 +55,12 @@ bench-serve:
 # the repo root (docs/SERVING.md).
 bench-mixed:
 	$(GO) run ./cmd/fmbench -exp mixed -repeats 5
+
+# Out-of-core streaming overlap curve: prefetch depth × IO workers ×
+# parallel sampling × resident-tier budget on a disk-resident graph,
+# mean/std over 5 repeats. Writes BENCH_ooc.json in the repo root.
+bench-ooc:
+	$(GO) run ./cmd/fmbench -exp ooc -repeats 5
 
 # Equivalence + determinism gate for the sample kernels.
 bench-sample-equiv:

@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"flashmob"
 	"flashmob/internal/graph"
@@ -22,25 +24,28 @@ import (
 
 func main() {
 	var (
-		graphPath  = flag.String("graph", "", "graph file (binary CSR or text edge list)")
-		undirected = flag.Bool("undirected", false, "treat edge-list input as undirected")
-		preset     = flag.String("preset", "", "generate a paper-preset graph instead (YT/TW/FS/UK/YH)")
-		scaleDiv   = flag.Uint("scalediv", 100, "preset downscale divisor")
-		algoName   = flag.String("algo", "deepwalk", "walk algorithm: deepwalk, node2vec, pagerank")
-		p          = flag.Float64("p", 1, "node2vec return parameter")
-		q          = flag.Float64("q", 1, "node2vec in-out parameter")
-		damping    = flag.Float64("damping", 0.85, "pagerank damping")
-		walkers    = flag.Uint64("walkers", 0, "walker count (0 = |V|)")
-		steps      = flag.Int("steps", 0, "steps per walker (0 = algorithm default)")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads")
-		seed       = flag.Uint64("seed", 42, "random seed")
-		planner    = flag.String("planner", "mckp", "partition planner: mckp, uniform-ps, uniform-ds, manual")
-		paths      = flag.Bool("paths", false, "record full paths (memory heavy)")
-		oocMode    = flag.Bool("ooc", false, "out-of-core mode: stream the graph from disk (-graph must be a binary CSR; deepwalk only)")
-		oocBudget  = flag.Uint64("oocbudget", 64<<20, "DRAM budget for streamed edge blocks in -ooc mode")
-		corpusOut  = flag.String("corpus", "", "write the walk corpus (one path per line) to this file; implies -paths")
-		edgesOut   = flag.String("edgestream", "", "stream sampled edges to this file in binary format during the walk")
-		planOut    = flag.String("saveplan", "", "write the partition plan as JSON to this file")
+		graphPath   = flag.String("graph", "", "graph file (binary CSR or text edge list)")
+		undirected  = flag.Bool("undirected", false, "treat edge-list input as undirected")
+		preset      = flag.String("preset", "", "generate a paper-preset graph instead (YT/TW/FS/UK/YH)")
+		scaleDiv    = flag.Uint("scalediv", 100, "preset downscale divisor")
+		algoName    = flag.String("algo", "deepwalk", "walk algorithm: deepwalk, node2vec, pagerank")
+		p           = flag.Float64("p", 1, "node2vec return parameter")
+		q           = flag.Float64("q", 1, "node2vec in-out parameter")
+		damping     = flag.Float64("damping", 0.85, "pagerank damping")
+		walkers     = flag.Uint64("walkers", 0, "walker count (0 = |V|)")
+		steps       = flag.Int("steps", 0, "steps per walker (0 = algorithm default)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads")
+		seed        = flag.Uint64("seed", 42, "random seed")
+		planner     = flag.String("planner", "mckp", "partition planner: mckp, uniform-ps, uniform-ds, manual")
+		paths       = flag.Bool("paths", false, "record full paths (memory heavy)")
+		oocMode     = flag.Bool("ooc", false, "out-of-core mode: stream the graph from disk (-graph must be a binary CSR; deepwalk only)")
+		oocBudget   = flag.Uint64("oocbudget", 64<<20, "DRAM budget for streamed edge blocks in -ooc mode")
+		oocDepth    = flag.Int("oocdepth", ooc.DefaultPrefetchDepth, "prefetch ring depth in -ooc mode (1 = no overlap)")
+		oocIOW      = flag.Int("oociow", 0, "IO workers issuing block reads ahead in -ooc mode (0 = auto)")
+		oocResident = flag.Uint64("oocresident", 0, "DRAM budget for pinning hot partition blocks in -ooc mode (0 = off)")
+		corpusOut   = flag.String("corpus", "", "write the walk corpus (one path per line) to this file; implies -paths")
+		edgesOut    = flag.String("edgestream", "", "stream sampled edges to this file in binary format during the walk")
+		planOut     = flag.String("saveplan", "", "write the partition plan as JSON to this file")
 	)
 	flag.Parse()
 
@@ -48,7 +53,7 @@ func main() {
 		if *graphPath == "" {
 			fatal(fmt.Errorf("-ooc requires -graph pointing at a binary CSR file"))
 		}
-		if err := runOOC(*graphPath, *oocBudget, *walkers, *steps, *workers, *seed); err != nil {
+		if err := runOOC(*graphPath, *oocBudget, *oocResident, *walkers, *steps, *workers, *oocDepth, *oocIOW, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -182,30 +187,46 @@ func loadGraph(path, preset string, scaleDiv uint32, seed uint64, undirected boo
 }
 
 // runOOC walks a disk-resident binary CSR with the out-of-core engine.
-func runOOC(path string, budget uint64, walkers uint64, steps, workers int, seed uint64) error {
+func runOOC(path string, budget, residentBudget uint64, walkers uint64, steps, workers, depth, ioWorkers int, seed uint64) error {
 	gf, err := graph.OpenFile(path)
 	if err != nil {
 		return err
 	}
 	defer gf.Close()
 	fmt.Printf("graph (on disk): |V|=%d |E|=%d\n", gf.NumVertices(), gf.NumEdges())
-	e, err := ooc.New(gf, ooc.Config{BlockBudget: budget, Seed: seed, Workers: workers})
+	before := runtime.NumGoroutine()
+	e, err := ooc.New(gf, ooc.Config{
+		BlockBudget: budget, Seed: seed, Workers: workers,
+		PrefetchDepth: depth, IOWorkers: ioWorkers, ResidentBudget: residentBudget,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("plan: %d streaming partitions, block budget %.1fMB\n",
-		e.Plan().NumVPs(), float64(budget)/(1<<20))
+	fmt.Printf("plan: %d streaming partitions, block budget %.1fMB, prefetch depth %d\n",
+		e.Plan().NumVPs(), float64(budget)/(1<<20), depth)
+	if e.ResidentPartitions() > 0 {
+		fmt.Printf("resident tier: %d partitions pinned, %.1fMB\n",
+			e.ResidentPartitions(), float64(e.ResidentBytes())/(1<<20))
+	}
 	if steps == 0 {
 		steps = 80
 	}
-	res, err := e.Run(walkers, steps)
+	res, err := e.Run(context.Background(), walkers, steps)
 	if err != nil {
+		e.Close()
 		return err
 	}
+	e.Close()
 	fmt.Printf("walk: %d walkers × %d steps in %v\n", res.Walkers, res.Steps, res.Duration.Round(1e6))
-	fmt.Printf("per-step: %.1f ns; streamed %.1fMB at %.0fMB/s (io-wait %v)\n",
-		res.PerStepNS(), float64(res.BytesRead)/(1<<20),
-		res.StreamBandwidth()/(1<<20), res.IOWait.Round(1e6))
+	fmt.Printf("per-step: %.1f ns; %d blocks, streamed %.1fMB at %.0fMB/s (io-wait %v); resident hits %d\n",
+		res.PerStepNS(), res.Blocks, float64(res.BytesRead)/(1<<20),
+		res.StreamBandwidth()/(1<<20), res.IOWait.Round(1e6), res.ResidentHits)
+	// Let the closed pool's goroutines unwind so the leak count is honest.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("goroutines leaked: %d\n", max(0, runtime.NumGoroutine()-before))
 	return nil
 }
 

@@ -1,81 +1,214 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"flashmob/internal/algo"
 	"flashmob/internal/graph"
 	"flashmob/internal/ooc"
 )
 
-// expOOC exercises the paper's future-work direction quantified in §5.4:
-// walking a disk-resident graph by streaming its edge blocks through a
-// small DRAM window. For each preset it compares the in-memory engine
-// with the out-of-core engine under a tight block budget, and reports the
-// effective streaming bandwidth (the paper estimates a full-size run
-// needs ~5GB/s, within NVMe range).
+// oocVariant is one measured out-of-core configuration, aggregated over
+// -repeats runs of the same engine.
+type oocVariant struct {
+	Name           string  `json:"name"`
+	Depth          int     `json:"prefetch_depth"`
+	IOWorkers      int     `json:"io_workers"`
+	Workers        int     `json:"workers"`
+	ResidentBudget uint64  `json:"resident_budget_bytes"`
+	ResidentBytes  uint64  `json:"resident_bytes"`
+	ResidentParts  int     `json:"resident_partitions"`
+	NSPerStep      float64 `json:"ns_per_step"`
+	NSPerStepStd   float64 `json:"ns_per_step_std"`
+	IOWaitShare    float64 `json:"io_wait_share"`
+	IOWaitShareStd float64 `json:"io_wait_share_std"`
+	StreamMBps     float64 `json:"stream_mb_per_sec"`
+	BytesRead      uint64  `json:"bytes_read"`
+	Blocks         uint64  `json:"blocks_read"`
+	ResidentHits   uint64  `json:"resident_hits"`
+	Speedup        float64 `json:"speedup_vs_baseline"`
+}
+
+// oocReport is the schema of BENCH_ooc.json: the overlap curve of the
+// streaming engine across prefetch depth, IO workers, sample workers, and
+// the resident-tier budget.
+type oocReport struct {
+	Experiment  string       `json:"experiment"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Graph       string       `json:"graph"`
+	Walkers     uint64       `json:"walkers"`
+	Steps       int          `json:"steps"`
+	BlockBudget uint64       `json:"block_budget_bytes"`
+	CSRBytes    uint64       `json:"csr_bytes"`
+	Repeats     int          `json:"repeats"`
+	ColdCache   bool         `json:"cold_cache"`
+	InMemNS     float64      `json:"in_memory_ns_per_step"`
+	Variants    []oocVariant `json:"variants"`
+}
+
+// expOOC measures the paper's future-work direction (§4.5, §7): walking a
+// disk-resident graph by streaming its edge blocks through a small DRAM
+// window. The experiment sweeps the overlap axes — prefetch depth (1 =
+// the synchronous single-threaded baseline, the engine's old behavior),
+// IO workers issuing reads ahead of the consumer, parallel block sampling
+// on the worker pool, and a resident tier pinning the hottest blocks in
+// RAM — and records the curve in BENCH_ooc.json. Trajectories are
+// identical across every variant (and to the in-memory engine; see
+// internal/ooc's equivalence suite), so the sweep isolates pure overlap.
 func expOOC(w io.Writer, cfg benchConfig) error {
-	row(w, "graph", "in-mem ns/step", "ooc ns/step", "stream MB/s", "io-wait")
+	const graphName = "YT"
+	g, err := presetGraphSized(graphName, cfg, cfg.MinCSR)
+	if err != nil {
+		return err
+	}
+	inMem, err := timeFlashMob(g, algo.DeepWalk(), cfg, nil)
+	if err != nil {
+		return err
+	}
+
 	dir, err := os.MkdirTemp("", "fmbench-ooc")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	for _, name := range presetNames {
-		g, err := presetGraphSized(name, cfg, cfg.MinCSR)
-		if err != nil {
-			return err
-		}
-		inMem, err := timeFlashMob(g, algo.DeepWalk(), cfg, nil)
-		if err != nil {
-			return err
-		}
+	path := filepath.Join(dir, graphName+".bin")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	// Flush dirty pages so DropCache below can actually evict them.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	gf, err := graph.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
 
-		path := filepath.Join(dir, name+".bin")
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := graph.WriteBinary(f, g); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		gf, err := graph.OpenFile(path)
-		if err != nil {
-			return err
-		}
-		// Budget: 1/8 of the graph resident at a time, floored so the
-		// largest single adjacency list still fits a (double-buffered)
-		// block.
-		budget := g.SizeBytes() / 8
-		if floor := uint64(g.MaxDegree()) * 4 * 4; budget < floor {
-			budget = floor
-		}
+	// Budget: 1/8 of the graph resident at a time, floored so the largest
+	// single adjacency list still fits a (double-buffered) block.
+	budget := g.SizeBytes() / 8
+	if floor := uint64(g.MaxDegree()) * graph.VIDBytes * 4; budget < floor {
+		budget = floor
+	}
+	reps := cfg.Repeats
+	if reps < 1 {
+		reps = 1
+	}
+	csrBytes := g.SizeBytes()
+
+	// Measure the steady out-of-core state: the graph file was just
+	// written, so its pages are cache-hot, and warm "reads" are memcpys
+	// that neither block nor overlap — the opposite of the disk-resident
+	// regime this experiment models. ooc.Config.ColdCache evicts before
+	// every step; probe once here so a platform that cannot evict
+	// (non-Linux) records the warm-cache fallback.
+	coldCache := gf.DropCache() == nil
+
+	rep := oocReport{
+		Experiment:  "ooc",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Graph:       graphName,
+		Walkers:     uint64(g.NumVertices()),
+		Steps:       cfg.Steps,
+		BlockBudget: budget,
+		CSRBytes:    csrBytes,
+		Repeats:     reps,
+		ColdCache:   coldCache,
+		InMemNS:     inMem,
+	}
+
+	variants := []oocVariant{
+		{Name: "baseline-sync", Depth: 1, IOWorkers: 1, Workers: 1},
+		{Name: "depth2", Depth: 2, IOWorkers: 1, Workers: 1},
+		{Name: "depth4-io2", Depth: 4, IOWorkers: 2, Workers: 1},
+		{Name: "depth4-io2-par", Depth: 4, IOWorkers: 2, Workers: cfg.Workers},
+		{Name: "depth8-io4-par", Depth: 8, IOWorkers: 4, Workers: cfg.Workers},
+		{Name: "depth8-io4-par-resident", Depth: 8, IOWorkers: 4, Workers: cfg.Workers,
+			ResidentBudget: csrBytes / 4},
+	}
+
+	fmt.Fprintf(w, "graph %s (%d MiB CSR), block budget %d KiB, in-mem %.1f ns/step, x%d repeats\n\n",
+		graphName, csrBytes>>20, budget>>10, inMem, reps)
+	row(w, "variant", "ns/step", "std", "io-wait", "stream MB/s", "blocks", "resident", "speedup")
+	var base float64
+	for i := range variants {
+		v := &variants[i]
 		e, err := ooc.New(gf, ooc.Config{
-			BlockBudget: budget,
-			Seed:        cfg.Seed,
-			Workers:     cfg.Workers,
-			Metrics:     collector != nil,
+			BlockBudget:    budget,
+			Seed:           cfg.Seed,
+			Workers:        v.Workers,
+			PrefetchDepth:  v.Depth,
+			IOWorkers:      v.IOWorkers,
+			ResidentBudget: v.ResidentBudget,
+			ColdCache:      coldCache,
+			Metrics:        collector != nil,
 		})
 		if err != nil {
-			gf.Close()
 			return err
 		}
 		collector.register(e.MetricsReport)
-		res, err := e.Run(0, cfg.Steps)
-		gf.Close()
-		if err != nil {
-			return err
+		v.ResidentBytes = e.ResidentBytes()
+		v.ResidentParts = e.ResidentPartitions()
+
+		perStep := make([]float64, 0, reps)
+		waitShare := make([]float64, 0, reps)
+		var last *ooc.Result
+		for r := 0; r < reps; r++ {
+			res, err := e.Run(context.Background(), 0, cfg.Steps)
+			if err != nil {
+				e.Close()
+				return err
+			}
+			perStep = append(perStep, res.PerStepNS())
+			waitShare = append(waitShare, res.IOWait.Seconds()/res.Duration.Seconds())
+			last = res
 		}
-		row(w, name, ns(inMem), ns(res.PerStepNS()),
-			fmt.Sprintf("%.0f", res.StreamBandwidth()/(1<<20)),
-			pct(res.IOWait.Seconds()/res.Duration.Seconds()))
+		e.Close()
+		v.NSPerStep, v.NSPerStepStd = meanStd(perStep)
+		v.IOWaitShare, v.IOWaitShareStd = meanStd(waitShare)
+		v.BytesRead = last.BytesRead
+		v.Blocks = last.Blocks
+		v.ResidentHits = last.ResidentHits
+		v.StreamMBps = last.StreamBandwidth() / (1 << 20)
+		if base == 0 {
+			base = v.NSPerStep
+		}
+		v.Speedup = base / v.NSPerStep
+		row(w, v.Name, ns(v.NSPerStep), ns(v.NSPerStepStd), pct(v.IOWaitShare),
+			fmt.Sprintf("%.0f", v.StreamMBps), big(v.Blocks), big(v.ResidentHits),
+			fmt.Sprintf("%.2fx", v.Speedup))
 	}
+	rep.Variants = variants
+
+	out, err := os.Create("BENCH_ooc.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nwrote BENCH_ooc.json")
 	return nil
 }

@@ -76,7 +76,7 @@ var experiments = []experiment{
 	{"serve", "walk-query serving: open-loop load on batch-size-1 vs coalescing windows (writes BENCH_serve.json)", expServe},
 	{"mixed", "mixed-algorithm serving: one mixed-cohort run per wave vs the fragmented per-(algorithm, steps) baseline (writes BENCH_mixed.json)", expMixed},
 	{"prep", "pre-processing overhead: counting sort + MCKP planning", expPrep},
-	{"ooc", "out-of-core walking: disk-streamed graph vs in-memory (§5.4 future work)", expOOC},
+	{"ooc", "out-of-core streaming: prefetch depth / IO workers / parallel sampling / resident tier overlap curve (§4.5 future work)", expOOC},
 	{"ablate", "design-choice ablations: LLC policy, prefetcher, regular DS indexing (simulated)", expAblate},
 	{"report", "observability demo: one metered DeepWalk run, annotated counters + full JSON report (docs/OBSERVABILITY.md)", expReport},
 }

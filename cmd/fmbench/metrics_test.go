@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -53,12 +54,13 @@ func collectReports(t *testing.T) reportFile {
 		t.Fatal(err)
 	}
 	defer gf.Close()
-	oe, err := ooc.New(gf, ooc.Config{Seed: cfg.Seed, Metrics: true})
+	oe, err := ooc.New(gf, ooc.Config{Seed: cfg.Seed, Metrics: true, ResidentBudget: 1 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer oe.Close()
 	collector.register(oe.MetricsReport)
-	if _, err := oe.Run(0, 2); err != nil {
+	if _, err := oe.Run(context.Background(), 0, 2); err != nil {
 		t.Fatal(err)
 	}
 

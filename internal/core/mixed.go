@@ -476,7 +476,7 @@ func (s *Session) sampleMixed(step int, vpStart []uint64, sw []graph.VID, auxSW 
 	// item.
 	prefixes := t.prefixes[:0]
 	for _, i := range activeOrder {
-		prefixes = append(prefixes, sampleSeedPrefix(resolved[i].Seed, 0, step))
+		prefixes = append(prefixes, SampleSeedPrefix(resolved[i].Seed, 0, step))
 	}
 	t.prefixes = prefixes
 	for vp := 0; vp < e.plan.NumVPs(); vp++ {
@@ -501,19 +501,19 @@ func (s *Session) sampleMixed(step int, vpStart []uint64, sw []graph.VID, auxSW 
 				// the solo path; sub-shard boundaries are cohort-local so they
 				// match the solo run of the same cohort.
 				shardable := c.Spec.Order == 1 && c.Spec.History == nil
-				if !shardable || nk < 2*subShardSize || cx.kern[vp].st != nil {
+				if !shardable || nk < 2*SubShardSize || cx.kern[vp].st != nil {
 					items = append(items, sampleItem{vp: int32(vp), lo: clo, hi: chi,
-						seed: sampleSeedAt(prefixes[k], vp, 0), cx: cx})
+						seed: SampleSeedAt(prefixes[k], vp, 0), cx: cx})
 					continue
 				}
 				a := clo
 				for sub := 0; a < chi; sub++ {
-					b := a + subShardSize
-					if b >= chi || chi-b < subShardSize {
+					b := a + SubShardSize
+					if b >= chi || chi-b < SubShardSize {
 						b = chi // absorb the ragged tail into the last piece
 					}
 					items = append(items, sampleItem{vp: int32(vp), lo: a, hi: b,
-						seed: sampleSeedAt(prefixes[k], vp, sub), cx: cx})
+						seed: SampleSeedAt(prefixes[k], vp, sub), cx: cx})
 					a = b
 					subShards++
 				}

@@ -234,34 +234,39 @@ type sampleItem struct {
 	cx *cohortCtx
 }
 
-// subShardSize is the walker-count granularity for splitting oversized
+// SubShardSize is the walker-count granularity for splitting oversized
 // direct-sampling chunks: chunks of at least twice this size are cut into
-// subShardSize pieces (the ragged tail absorbed into the last piece) so
+// SubShardSize pieces (the ragged tail absorbed into the last piece) so
 // one giant DS tail partition cannot serialize the stage behind a single
 // worker. A var so tests can shrink it to force sub-sharding on small
-// inputs.
-var subShardSize = uint64(1) << 16
+// inputs. Exported because the out-of-core engine (internal/ooc) must cut
+// its chunks on exactly these boundaries to stay bitwise-identical to the
+// in-memory engine.
+var SubShardSize = uint64(1) << 16
 
 // sampleSeed derives one work item's RNG seed. Chained Mix64 rounds
 // avalanche every coordinate, so distinct (episode, step, partition,
 // sub-shard) tuples get independent streams. The (seed, episode, step)
 // coordinates are constant across one step's whole item list, so the
-// item-building loops fold them once with sampleSeedPrefix and finish
-// each item with sampleSeedAt — bit-identical to the full chain.
+// item-building loops fold them once with SampleSeedPrefix and finish
+// each item with SampleSeedAt — bit-identical to the full chain.
 func sampleSeed(seed uint64, episode, step, vp, sub int) uint64 {
-	return sampleSeedAt(sampleSeedPrefix(seed, episode, step), vp, sub)
+	return SampleSeedAt(SampleSeedPrefix(seed, episode, step), vp, sub)
 }
 
-// sampleSeedPrefix folds sampleSeed's per-step coordinates.
-func sampleSeedPrefix(seed uint64, episode, step int) uint64 {
+// SampleSeedPrefix folds sampleSeed's per-step coordinates. Exported,
+// together with SampleSeedAt and SubShardSize, as the engine's work-item
+// seed schedule: the out-of-core engine reuses it verbatim so its
+// trajectories are bitwise-identical to this engine's on the same plan.
+func SampleSeedPrefix(seed uint64, episode, step int) uint64 {
 	h := rng.Mix64(seed ^ 0x5b8315f3a2ca3357)
 	h = rng.Mix64(h + uint64(episode))
 	return rng.Mix64(h + uint64(step))
 }
 
-// sampleSeedAt finishes sampleSeed's chain for one (partition,
+// SampleSeedAt finishes sampleSeed's chain for one (partition,
 // sub-shard) item.
-func sampleSeedAt(prefix uint64, vp, sub int) uint64 {
+func SampleSeedAt(prefix uint64, vp, sub int) uint64 {
 	return rng.Mix64(rng.Mix64(prefix+uint64(vp)) + uint64(sub))
 }
 
@@ -279,7 +284,7 @@ type sampleTask struct {
 	auxSW   [][]graph.VID
 	vpSteps []uint64
 	// prefixes[k] is active cohort k's folded per-step seed prefix
-	// (mixed runs; see sampleSeedPrefix).
+	// (mixed runs; see SampleSeedPrefix).
 	prefixes []uint64
 }
 
@@ -338,25 +343,25 @@ func (s *Session) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID,
 	// mutable buffer state across the whole chunk, and higher-order paths
 	// batch over the full chunk.
 	shardable := e.spec.Order == 1 && e.spec.History == nil
-	prefix := sampleSeedPrefix(s.runSeed, episode, step)
+	prefix := SampleSeedPrefix(s.runSeed, episode, step)
 	for vp := 0; vp < e.plan.NumVPs(); vp++ {
 		lo, hi := vpStart[vp], vpStart[vp+1]
 		if lo == hi {
 			continue
 		}
-		if !shardable || hi-lo < 2*subShardSize || s.kern[vp].st != nil {
+		if !shardable || hi-lo < 2*SubShardSize || s.kern[vp].st != nil {
 			items = append(items, sampleItem{vp: int32(vp), lo: lo, hi: hi,
-				seed: sampleSeedAt(prefix, vp, 0), cx: &s.cx})
+				seed: SampleSeedAt(prefix, vp, 0), cx: &s.cx})
 			continue
 		}
 		a := lo
 		for sub := 0; a < hi; sub++ {
-			b := a + subShardSize
-			if b >= hi || hi-b < subShardSize {
+			b := a + SubShardSize
+			if b >= hi || hi-b < SubShardSize {
 				b = hi // absorb the ragged tail into the last piece
 			}
 			items = append(items, sampleItem{vp: int32(vp), lo: a, hi: b,
-				seed: sampleSeedAt(prefix, vp, sub), cx: &s.cx})
+				seed: SampleSeedAt(prefix, vp, sub), cx: &s.cx})
 			a = b
 			subShards++
 		}

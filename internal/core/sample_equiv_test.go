@@ -506,7 +506,7 @@ func TestSampleEquivalenceAcrossEpisodes(t *testing.T) {
 	}
 }
 
-// TestSampleDeterminismWithSubShards shrinks subShardSize so oversized-
+// TestSampleDeterminismWithSubShards shrinks SubShardSize so oversized-
 // chunk splitting actually happens on a test-sized graph, then requires
 // every worker count and both sample paths to agree bitwise. (Each
 // sub-shard owns its own RNG stream, so trajectories are a function of
@@ -520,8 +520,8 @@ func TestSampleDeterminismWithSubShards(t *testing.T) {
 		Part: part.Config{TargetGroups: 2, MinVPSizeLog: 1},
 	}
 
-	defer func(old uint64) { subShardSize = old }(subShardSize)
-	subShardSize = 16
+	defer func(old uint64) { SubShardSize = old }(SubShardSize)
+	SubShardSize = 16
 
 	scalar1 := base
 	scalar1.Workers = 1

@@ -10,11 +10,18 @@ package graph
 import (
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // VID is a vertex identifier. After Reorder, VID 0 is the highest-degree
 // vertex, as the paper's partitioner requires (§4.4).
 type VID = uint32
+
+// VIDBytes is the on-disk and in-memory size of one VID (and therefore of
+// one edge target). Byte accounting throughout the repo derives from this
+// constant rather than a literal 4, so a future VID-width change keeps
+// block budgets and streamed-byte metrics honest.
+const VIDBytes = uint64(unsafe.Sizeof(VID(0)))
 
 // CSR is an immutable compressed-sparse-row adjacency structure.
 // Out-edges of vertex v are Targets[Offsets[v]:Offsets[v+1]].

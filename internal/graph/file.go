@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"unsafe"
 )
 
 // File provides random block access to a binary CSR on disk without
@@ -83,25 +84,60 @@ func (gf *File) Degree(v VID) uint32 {
 
 // ReadTargets reads the edge targets with indices [lo, hi) into buf, which
 // must have capacity for hi-lo entries. One sequential pread per call.
+// Allocates a transfer scratch per call; block-streaming hot paths should
+// hold a scratch and use ReadTargetsInto instead.
 func (gf *File) ReadTargets(lo, hi uint64, buf []VID) error {
+	_, err := gf.ReadTargetsInto(lo, hi, buf, nil)
+	return err
+}
+
+// hostLittleEndian reports whether VID's in-memory layout matches the
+// file's little-endian encoding, letting reads land directly in the
+// caller's VID buffer with no decode pass.
+var hostLittleEndian = func() bool {
+	v := VID(1)
+	return *(*byte)(unsafe.Pointer(&v)) == 1
+}()
+
+// ReadTargetsInto is ReadTargets with a caller-owned transfer scratch:
+// on little-endian hosts the pread lands directly in buf's memory (raw
+// is untouched); elsewhere raw is the byte buffer the pread lands in
+// before decoding, grown when too small and returned for reuse. Either
+// way a steady-state block-streaming loop (the out-of-core prefetch
+// pipeline) performs zero allocations and zero copies per read beyond
+// the transfer itself. Safe for concurrent callers holding distinct
+// scratches — the underlying read is a positioned pread.
+func (gf *File) ReadTargetsInto(lo, hi uint64, buf []VID, raw []byte) ([]byte, error) {
 	if hi < lo || hi > gf.numEdges {
-		return fmt.Errorf("graph: target range [%d,%d) out of bounds (|E|=%d)", lo, hi, gf.numEdges)
+		return raw, fmt.Errorf("graph: target range [%d,%d) out of bounds (|E|=%d)", lo, hi, gf.numEdges)
 	}
 	n := int(hi - lo)
 	if len(buf) < n {
-		return fmt.Errorf("graph: buffer holds %d entries, need %d", len(buf), n)
+		return raw, fmt.Errorf("graph: buffer holds %d entries, need %d", len(buf), n)
 	}
 	if n == 0 {
-		return nil
+		return raw, nil
 	}
-	raw := make([]byte, n*4)
-	if _, err := gf.f.ReadAt(raw, gf.targetsOff+int64(lo)*4); err != nil {
-		return fmt.Errorf("graph: read targets [%d,%d): %w", lo, hi, err)
+	need := n * int(VIDBytes)
+	off := gf.targetsOff + int64(lo)*int64(VIDBytes)
+	if hostLittleEndian {
+		dst := unsafe.Slice((*byte)(unsafe.Pointer(&buf[0])), need)
+		if _, err := gf.f.ReadAt(dst, off); err != nil {
+			return raw, fmt.Errorf("graph: read targets [%d,%d): %w", lo, hi, err)
+		}
+		return raw, nil
+	}
+	if cap(raw) < need {
+		raw = make([]byte, need)
+	}
+	raw = raw[:need]
+	if _, err := gf.f.ReadAt(raw, off); err != nil {
+		return raw, fmt.Errorf("graph: read targets [%d,%d): %w", lo, hi, err)
 	}
 	for i := 0; i < n; i++ {
-		buf[i] = VID(binary.LittleEndian.Uint32(raw[i*4:]))
+		buf[i] = VID(binary.LittleEndian.Uint32(raw[i*int(VIDBytes):]))
 	}
-	return nil
+	return raw, nil
 }
 
 // ReadVertexRange reads all targets of vertices [first, last) — the block

@@ -1,0 +1,35 @@
+//go:build linux
+
+package graph
+
+import "syscall"
+
+// DropCache asks the kernel to evict the file's cached pages
+// (posix_fadvise POSIX_FADV_DONTNEED), so subsequent reads hit storage.
+// Out-of-core benchmarks use it to measure the steady disk-resident
+// state honestly: a just-written graph file is page-cache-hot, and warm
+// "reads" are memcpys that neither block nor overlap. Dirty pages are
+// not evicted — sync the file first.
+func (gf *File) DropCache() error {
+	const posixFadvDontneed = 4
+	if _, _, errno := syscall.Syscall6(syscall.SYS_FADVISE64,
+		gf.f.Fd(), 0, 0, posixFadvDontneed, 0, 0); errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// AdviseRandom disables kernel readahead on the file (posix_fadvise
+// POSIX_FADV_RANDOM). The out-of-core engine sets it in cold-cache
+// mode: the engine's prefetch ring already reads exactly the blocks it
+// needs ahead of time, and kernel readahead beyond them both distorts
+// measurement (it hides device time the modeled DRAM-constrained system
+// would pay) and pollutes a cache the regime says is too small to help.
+func (gf *File) AdviseRandom() error {
+	const posixFadvRandom = 1
+	if _, _, errno := syscall.Syscall6(syscall.SYS_FADVISE64,
+		gf.f.Fd(), 0, 0, posixFadvRandom, 0, 0); errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package graph
+
+// DropCache is a no-op where posix_fadvise is unavailable; callers fall
+// back to warm-cache measurement.
+func (gf *File) DropCache() error { return nil }
+
+// AdviseRandom is a no-op where posix_fadvise is unavailable.
+func (gf *File) AdviseRandom() error { return nil }

@@ -1,0 +1,317 @@
+package ooc
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/core"
+	"flashmob/internal/graph"
+)
+
+// coreHistory runs the in-memory engine on the ooc engine's exact plan and
+// seed and returns its recorded trajectories.
+func coreHistory(t *testing.T, g *graph.CSR, e *Engine, seed uint64, walkers uint64, steps int) *core.Result {
+	t.Helper()
+	ce, err := core.New(g, algo.DeepWalk(), core.Config{
+		Workers: 2, Seed: seed, Plan: e.Plan(), RecordHistory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ce.Close()
+	res, err := ce.Run(walkers, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// diffHistories fails the test at the first diverging (step, walker) cell.
+func diffHistories(t *testing.T, label string, got, want interface {
+	NumSteps() int
+	NumWalkers() int
+	At(i, j int) graph.VID
+}) {
+	t.Helper()
+	if got.NumSteps() != want.NumSteps() || got.NumWalkers() != want.NumWalkers() {
+		t.Fatalf("%s: history shape (%d steps × %d walkers) != (%d × %d)",
+			label, got.NumSteps(), got.NumWalkers(), want.NumSteps(), want.NumWalkers())
+	}
+	for i := 0; i < got.NumSteps(); i++ {
+		for j := 0; j < got.NumWalkers(); j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("%s: first divergence at step %d walker %d: ooc %d, core %d",
+					label, i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// TestOOCMatchesInMemoryEngine pins the tentpole's determinism claim: for
+// every prefetch depth / IO worker / sample worker / resident-budget
+// setting, ooc trajectories are bitwise-identical to internal/core running
+// the same plan and seed — the ooc analogue of
+// core.TestConcurrentRunsMatchSerial. Run under -race in CI.
+func TestOOCMatchesInMemoryEngine(t *testing.T) {
+	gf, g := writeGraph(t, 3000, 31)
+	const seed, walkers, steps = 97, uint64(2500), 8
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"depth1-serial", Config{PrefetchDepth: 1, IOWorkers: 1, Workers: 1}},
+		{"depth2-serial", Config{PrefetchDepth: 2, IOWorkers: 1, Workers: 1}},
+		{"depth4-io2-workers4", Config{PrefetchDepth: 4, IOWorkers: 2, Workers: 4}},
+		{"depth8-io4-workers2", Config{PrefetchDepth: 8, IOWorkers: 4, Workers: 2}},
+		{"depth4-resident", Config{PrefetchDepth: 4, IOWorkers: 2, Workers: 4,
+			ResidentBudget: 1 << 20}},
+		{"depth4-all-resident", Config{PrefetchDepth: 4, IOWorkers: 2, Workers: 4,
+			ResidentBudget: 1 << 40}},
+	}
+	var ref *core.Result
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.BlockBudget = 32 << 10
+			cfg.Seed = seed
+			cfg.RecordHistory = true
+			e, err := New(gf, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			res, err := e.Run(context.Background(), walkers, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = coreHistory(t, g, e, seed, walkers, steps)
+			}
+			diffHistories(t, tc.name, res.History, ref.History)
+		})
+	}
+}
+
+// TestOOCMatchesCoreWithSubShards forces the sub-shard path (chunks cut at
+// core.SubShardSize boundaries with per-sub-shard seeds) and checks the
+// cut discipline still matches the in-memory engine bit for bit.
+func TestOOCMatchesCoreWithSubShards(t *testing.T) {
+	old := core.SubShardSize
+	core.SubShardSize = 256
+	defer func() { core.SubShardSize = old }()
+
+	gf, g := writeGraph(t, 1500, 33)
+	const seed, walkers, steps = 41, uint64(4000), 6
+	e, err := New(gf, Config{
+		BlockBudget: 1 << 20, Seed: seed, RecordHistory: true,
+		PrefetchDepth: 4, IOWorkers: 2, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	res, err := e.Run(context.Background(), walkers, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := coreHistory(t, g, e, seed, walkers, steps)
+	diffHistories(t, "subshards", res.History, ref.History)
+}
+
+// TestOOCRingOrderedDeliveryStress hammers the prefetch ring with many
+// more jobs than ring slots across repeated runs. This is the regression
+// test for the token-steal race: with a dynamic job claim, a worker
+// holding job i+depth could take slot (i%depth)'s token before the worker
+// holding job i, delivering blocks out of order — the consumer then pairs
+// job i's walker chunk with a wrong-sized buffer (corruption, or a panic
+// that deadlocked the old defer ordering). Static slot ownership makes
+// delivery ordered; the consumer's load.job assertion and the bitwise
+// check against core would both catch a recurrence.
+func TestOOCRingOrderedDeliveryStress(t *testing.T) {
+	gf, g := writeGraph(t, 4000, 43)
+	const seed, walkers, steps = 7, uint64(3000), 6
+	e, err := New(gf, Config{
+		// A tiny block budget maximizes jobs per step (many partitions),
+		// so every step laps the ring many times per slot.
+		BlockBudget: 8 << 10, Seed: seed, RecordHistory: true,
+		PrefetchDepth: 4, IOWorkers: 4, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if nvp := e.Plan().NumVPs(); nvp < 16 {
+		t.Fatalf("want many streaming partitions to lap the ring, got %d", nvp)
+	}
+	var ref *core.Result
+	for rep := 0; rep < 10; rep++ {
+		res, err := e.Run(context.Background(), walkers, steps)
+		if err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		if ref == nil {
+			ref = coreHistory(t, g, e, seed, walkers, steps)
+		}
+		diffHistories(t, "ring-stress", res.History, ref.History)
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base (with slack for runtime background goroutines) or the deadline
+// passes, returning the final count.
+func waitGoroutines(base int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base || time.Now().After(deadline) {
+			return n
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestOOCRunCancellation covers the context satellite: a canceled context
+// stops the run promptly, reports ctx.Err(), and leaves no prefetch or
+// pool goroutine behind.
+func TestOOCRunCancellation(t *testing.T) {
+	gf, _ := writeGraph(t, 2000, 35)
+	base := runtime.NumGoroutine()
+
+	e, err := New(gf, Config{
+		BlockBudget: 16 << 10, Seed: 3,
+		PrefetchDepth: 4, IOWorkers: 2, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-canceled context: the run must not start stepping.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx, 1000, 10); err != context.Canceled {
+		t.Fatalf("pre-canceled run: err = %v, want context.Canceled", err)
+	}
+
+	// Mid-run cancellation: a run far too long to finish must stop once
+	// the context fires, from inside the streaming loop.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Run(ctx2, 2000, 1<<30)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel2()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("mid-run cancellation: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled run did not return within 10s")
+	}
+
+	e.Close()
+	if n := waitGoroutines(base); n > base {
+		t.Fatalf("goroutine leak: %d before, %d after cancel+Close", base, n)
+	}
+}
+
+// TestOOCResidentTier checks the storage-tier knapsack end to end: pinned
+// partitions stop being streamed, a full budget eliminates disk traffic
+// entirely, and the resident metrics account for it.
+func TestOOCResidentTier(t *testing.T) {
+	gf, _ := writeGraph(t, 2000, 37)
+	const seed, walkers, steps = 11, uint64(3000), 6
+
+	run := func(budget uint64) *Result {
+		t.Helper()
+		e, err := New(gf, Config{
+			BlockBudget: 16 << 10, Seed: seed, ResidentBudget: budget,
+			PrefetchDepth: 4, IOWorkers: 2, Workers: 2, Metrics: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		res, err := e.Run(context.Background(), walkers, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	cold := run(0)
+	if cold.ResidentHits != 0 || cold.Blocks == 0 {
+		t.Fatalf("no-tier run: hits=%d blocks=%d", cold.ResidentHits, cold.Blocks)
+	}
+
+	partial := run(cold.BytesRead / uint64(steps) / 4) // ~25% of one step's volume
+	if partial.ResidentHits == 0 {
+		t.Fatal("partial budget pinned nothing")
+	}
+	if partial.BytesRead >= cold.BytesRead {
+		t.Fatalf("resident tier did not reduce streaming: %d >= %d", partial.BytesRead, cold.BytesRead)
+	}
+	if hit, ok := partial.Report.Counter("ooc_resident_hits_total"); !ok || hit.Value != partial.ResidentHits {
+		t.Fatalf("ooc_resident_hits_total = %+v, want %d", hit, partial.ResidentHits)
+	}
+	if saved, ok := partial.Report.Counter("ooc_resident_saved_bytes_total"); !ok || saved.Value == 0 {
+		t.Fatal("ooc_resident_saved_bytes_total missing or zero")
+	}
+	if gb, ok := partial.Report.Gauge("ooc_resident_bytes"); !ok || gb.Value <= 0 {
+		t.Fatal("ooc_resident_bytes gauge missing or zero")
+	}
+
+	full := run(1 << 40)
+	if full.Blocks != 0 || full.BytesRead != 0 {
+		t.Fatalf("full budget still streamed %d blocks / %d bytes", full.Blocks, full.BytesRead)
+	}
+	if full.ResidentHits == 0 {
+		t.Fatal("full budget recorded no resident hits")
+	}
+}
+
+// TestOOCPrefetchMetrics checks the pipeline's observability: ring
+// occupancy observed per consumed block, raw pread time accounted, and
+// depth-1 occupancy pinned at exactly 1.
+func TestOOCPrefetchMetrics(t *testing.T) {
+	gf, _ := writeGraph(t, 2000, 39)
+	run := func(depth int) *Result {
+		t.Helper()
+		e, err := New(gf, Config{
+			BlockBudget: 16 << 10, Seed: 5, Metrics: true,
+			PrefetchDepth: depth, IOWorkers: 2, Workers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		res, err := e.Run(context.Background(), 3000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(4)
+	occ, ok := res.Report.Histogram("ooc_prefetch_ready")
+	if !ok || occ.Count != res.Blocks {
+		t.Fatalf("ooc_prefetch_ready count = %+v, want one observation per block (%d)", occ, res.Blocks)
+	}
+	if rd, ok := res.Report.Counter("ooc_io_read_ns"); !ok || rd.Value == 0 {
+		t.Fatal("ooc_io_read_ns missing or zero")
+	}
+
+	single := run(1)
+	occ1, ok := single.Report.Histogram("ooc_prefetch_ready")
+	if !ok || occ1.Count == 0 {
+		t.Fatal("depth-1 run recorded no occupancy")
+	}
+	if occ1.Sum != occ1.Count {
+		t.Fatalf("depth-1 occupancy must be exactly 1 per block: sum=%d count=%d", occ1.Sum, occ1.Count)
+	}
+}

@@ -12,11 +12,22 @@ type oocMetrics struct {
 	blocks, bytes *obs.Counter
 	skipped       *obs.Counter
 	ioWaitNS      *obs.Counter
+	ioReadNS      *obs.Counter
 
-	// Per-block distributions: streamed block size and in-memory sample
-	// time over the block's walkers.
+	// Resident-tier accounting: pinned-block sample passes vs. streamed
+	// blocks, bytes saved, and the pin set's size (set once at New).
+	residentHits   *obs.Counter
+	residentMisses *obs.Counter
+	residentSaved  *obs.Counter
+	residentBytes  *obs.Gauge
+	residentParts  *obs.Gauge
+
+	// Per-block distributions: streamed block size, in-memory sample
+	// time over the block's walkers, and prefetch-ring occupancy at the
+	// moment each block is consumed.
 	blockBytes    *obs.Histogram
 	blockSampleNS *obs.Histogram
+	prefetchReady *obs.Histogram
 }
 
 // newOOCMetrics builds the engine's metric set.
@@ -34,7 +45,7 @@ func newOOCMetrics() *oocMetrics {
 		}),
 		blocks: reg.Counter(obs.Desc{
 			Name: "ooc_blocks_read_total", Unit: "count", Stage: "stream",
-			Help: "partition edge blocks streamed from disk",
+			Help: "coalesced IO runs streamed from disk (adjacent partition blocks merge into one pread)",
 		}),
 		bytes: reg.Counter(obs.Desc{
 			Name: "ooc_bytes_read_total", Unit: "bytes", Stage: "stream",
@@ -48,13 +59,41 @@ func newOOCMetrics() *oocMetrics {
 			Name: "ooc_io_wait_ns", Unit: "ns", Stage: "stream",
 			Help: "time the sample loop spent blocked on disk reads, after prefetch overlap",
 		}),
+		ioReadNS: reg.Counter(obs.Desc{
+			Name: "ooc_io_read_ns", Unit: "ns", Stage: "stream",
+			Help: "time spent inside block preads across IO workers (the raw IO cost prefetch overlaps)",
+		}),
+		residentHits: reg.Counter(obs.Desc{
+			Name: "ooc_resident_hits_total", Unit: "count", Stage: "resident",
+			Help: "partition visits served from the pinned resident tier (no disk read)",
+		}),
+		residentMisses: reg.Counter(obs.Desc{
+			Name: "ooc_resident_misses_total", Unit: "count", Stage: "resident",
+			Help: "partition visits not in the resident tier (block streamed from disk)",
+		}),
+		residentSaved: reg.Counter(obs.Desc{
+			Name: "ooc_resident_saved_bytes_total", Unit: "bytes", Stage: "resident",
+			Help: "edge-block bytes not streamed because the partition was pinned",
+		}),
+		residentBytes: reg.Gauge(obs.Desc{
+			Name: "ooc_resident_bytes", Unit: "bytes", Stage: "resident",
+			Help: "DRAM pinned by the resident tier (set at New)",
+		}),
+		residentParts: reg.Gauge(obs.Desc{
+			Name: "ooc_resident_partitions", Unit: "count", Stage: "resident",
+			Help: "partitions pinned by the storage-tier knapsack (set at New)",
+		}),
 		blockBytes: reg.Histogram(obs.Desc{
 			Name: "ooc_block_bytes", Unit: "bytes", Stage: "stream",
-			Help: "streamed edge-block size per read",
+			Help: "bytes per streamed IO run (one pread)",
 		}),
 		blockSampleNS: reg.Histogram(obs.Desc{
 			Name: "ooc_block_sample_ns", Unit: "ns", Stage: "sample",
-			Help: "in-memory sample time per streamed block",
+			Help: "in-memory sample time per streamed IO run",
+		}),
+		prefetchReady: reg.Histogram(obs.Desc{
+			Name: "ooc_prefetch_ready", Unit: "count", Stage: "stream",
+			Help: "blocks already loaded and waiting (ring occupancy, incl. the one being consumed) when the sample loop takes a block; pinned at 1 when depth=1, approaches the ring depth when IO keeps ahead",
 		}),
 	}
 }

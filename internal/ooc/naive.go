@@ -39,7 +39,7 @@ func NaiveDisk(gf *graph.File, walkers uint64, steps int, seed uint64) (*Result,
 			if err := gf.ReadTargets(idx, idx+1, one); err != nil {
 				return nil, err
 			}
-			res.BytesRead += 4
+			res.BytesRead += graph.VIDBytes
 			v = one[0]
 		}
 	}

@@ -1,6 +1,7 @@
 package ooc
 
 import (
+	"context"
 	"testing"
 )
 
@@ -48,7 +49,8 @@ func TestStreamingBeatsNaiveDisk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stream, err := e.Run(walkers, steps)
+	defer e.Close()
+	stream, err := e.Run(context.Background(), walkers, steps)
 	if err != nil {
 		t.Fatal(err)
 	}

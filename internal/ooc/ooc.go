@@ -6,34 +6,81 @@
 // paper estimates a full 80-step DeepWalk needs ~5GB/s of streaming
 // bandwidth, within commodity NVMe range.
 //
+// The engine is overlap-first: an N-deep asynchronous prefetch ring of
+// pooled block buffers keeps IOWorkers reads in flight ahead of the
+// consumer with ordered delivery, each delivered block is sampled in
+// parallel on the engine's worker pool using the in-memory engine's exact
+// per-(step, partition, sub-shard) seed schedule (trajectories are
+// worker-count- and depth-independent, and bitwise-identical to
+// internal/core on the same plan), and a resident tier pins the
+// hottest partition blocks in DRAM — a storage-level MCKP solved with
+// profile.PlanResident — so they are never re-read.
+//
 // The engine processes direct-sampling partitions only: pre-sampling's
 // per-vertex buffers are themselves edge-sized and would defeat the
 // purpose on a disk-resident graph.
 package ooc
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"flashmob/internal/core"
 	"flashmob/internal/graph"
 	"flashmob/internal/obs"
 	"flashmob/internal/part"
+	"flashmob/internal/pool"
 	"flashmob/internal/profile"
 	"flashmob/internal/rng"
 	"flashmob/internal/walk"
 )
 
+// DefaultPrefetchDepth is the prefetch ring size when Config.PrefetchDepth
+// is unset: enough lookahead to hide one block's latency behind sampling
+// plus slack for jitter, without multiplying the buffer footprint much.
+const DefaultPrefetchDepth = 4
+
 // Config tunes the out-of-core engine.
 type Config struct {
-	// BlockBudget is the DRAM allowance for streamed edge blocks; the
-	// engine double-buffers, so each partition's edge block must fit half
-	// of it. Default 64 MiB.
+	// BlockBudget sizes the streamed partitions: every partition's edge
+	// block must fit half of it (the footprint of the classic
+	// double-buffered window, kept as the partitioning rule so plans — and
+	// therefore trajectories — do not change with PrefetchDepth). The
+	// prefetch ring holds up to PrefetchDepth such blocks. Default 64 MiB.
 	BlockBudget uint64
 	// Seed drives sampling.
 	Seed uint64
-	// Workers parallelizes the shuffle stages (sampling streams one
-	// partition at a time by design).
+	// Workers is the engine's worker-pool size, parallelizing both block
+	// sampling and the shuffle stages. Trajectories do not depend on it.
 	Workers int
+	// PrefetchDepth is the number of block buffers in the prefetch ring —
+	// how many reads may be in flight or parked ahead of the consumer.
+	// 1 disables overlap entirely (the synchronous baseline); default
+	// DefaultPrefetchDepth.
+	PrefetchDepth int
+	// IOWorkers is the number of goroutines issuing block reads ahead of
+	// the consumer. Clamped to PrefetchDepth; default min(2, depth).
+	IOWorkers int
+	// ResidentBudget is the DRAM allowance, in bytes, for pinning hot
+	// partition blocks so they are never re-read (0 disables the tier).
+	// The pin set is chosen at New by a storage-level knapsack
+	// (profile.PlanResident) valuing each block by its expected stream-in
+	// time saved per step.
+	ResidentBudget uint64
+	// Storage prices block reads for the resident-tier knapsack; the zero
+	// value means profile.DefaultSSD().
+	Storage profile.StorageParams
+	// ColdCache evicts the graph file's page cache (best-effort,
+	// graph.File.DropCache) before every step, modeling the steady state
+	// of a graph far larger than RAM where no block survives in cache
+	// between steps. Benchmarks use it: a just-written file is
+	// page-cache-hot and its warm "reads" are memcpys that neither block
+	// nor overlap. Trajectories are unaffected.
+	ColdCache bool
 	// RecordHistory keeps the W_i arrays (for tests; memory heavy).
 	RecordHistory bool
 	// Metrics enables the observability layer: streaming and sampling
@@ -44,14 +91,23 @@ type Config struct {
 
 // Result reports an out-of-core run.
 type Result struct {
-	Walkers    uint64
-	Steps      int
+	// Walkers is the number of walkers advanced.
+	Walkers uint64
+	// Steps is the number of pipeline steps taken.
+	Steps int
+	// TotalSteps is Walkers × Steps.
 	TotalSteps uint64
-	Duration   time.Duration
+	// Duration is the wall time of the run.
+	Duration time.Duration
 	// BytesRead is the total edge-block volume streamed from disk.
 	BytesRead uint64
-	// IOWait is time spent blocked on disk reads (after overlap with
-	// sampling via the prefetch buffer).
+	// Blocks is the number of partition blocks streamed from disk.
+	Blocks uint64
+	// ResidentHits counts partition visits served from the pinned
+	// resident tier instead of a disk read.
+	ResidentHits uint64
+	// IOWait is time the consumer spent blocked waiting for block
+	// delivery (after overlap with sampling via the prefetch ring).
 	IOWait time.Duration
 	// History holds recorded W_i arrays when requested.
 	History *walk.History
@@ -76,20 +132,39 @@ func (r *Result) StreamBandwidth() float64 {
 	return float64(r.BytesRead) / r.Duration.Seconds()
 }
 
-// Engine walks a disk-resident graph.
+// Engine walks a disk-resident graph. Build one with New, run walks with
+// Run (one at a time; an Engine is not safe for concurrent Runs), release
+// its worker pool with Close.
 type Engine struct {
 	gf   *graph.File
 	plan *part.Plan
 	cfg  Config
-	// maxBlock is the largest partition edge block (entries).
-	maxBlock uint64
+	// ringCap is the capacity of each prefetch ring buffer, in edge
+	// entries. It doubles as the coalescing cap: adjacent streamed
+	// partitions merge into one IO run until the run would outgrow a
+	// ring buffer. Half the block budget (double-buffer rule), clamped
+	// to what streaming can actually need.
+	ringCap uint64
+	// pool runs block sampling and the shuffle stages.
+	pool *pool.Pool
+	// scratch holds one reseedable sample RNG per pool worker.
+	scratch []*rng.XorShift1024Star
+	// resident holds the pinned edge block of each partition chosen by the
+	// storage-tier knapsack (nil entry = streamed).
+	resident [][]graph.VID
+	// residentBytes is the DRAM spent on pinned blocks.
+	residentBytes uint64
+	// residentCount is the number of pinned partitions.
+	residentCount int
 	// metrics is the observability state (nil unless Config.Metrics).
 	metrics *oocMetrics
 }
 
 // New prepares an engine over an opened graph file. The partition plan is
 // derived from the block budget: uniform power-of-2 DS partitions, each
-// small enough that its edge block fits half the budget.
+// small enough that its edge block fits half the budget. When
+// cfg.ResidentBudget is nonzero the hottest blocks are loaded into DRAM
+// now and pinned for the engine's lifetime.
 func New(gf *graph.File, cfg Config) (*Engine, error) {
 	if gf == nil {
 		return nil, fmt.Errorf("ooc: nil graph file")
@@ -100,6 +175,21 @@ func New(gf *graph.File, cfg Config) (*Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.PrefetchDepth <= 0 {
+		cfg.PrefetchDepth = DefaultPrefetchDepth
+	}
+	if cfg.IOWorkers <= 0 {
+		cfg.IOWorkers = 2
+		if cfg.IOWorkers > cfg.PrefetchDepth {
+			cfg.IOWorkers = cfg.PrefetchDepth
+		}
+	}
+	if cfg.IOWorkers > cfg.PrefetchDepth {
+		cfg.IOWorkers = cfg.PrefetchDepth
+	}
+	if (cfg.Storage == profile.StorageParams{}) {
+		cfg.Storage = profile.DefaultSSD()
+	}
 	n := gf.NumVertices()
 	if n == 0 {
 		return nil, fmt.Errorf("ooc: empty graph")
@@ -108,15 +198,114 @@ func New(gf *graph.File, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{gf: gf, plan: plan, cfg: cfg, maxBlock: maxBlock}
+	ringCap := cfg.BlockBudget / 2 / graph.VIDBytes
+	if ringCap > gf.NumEdges() {
+		ringCap = gf.NumEdges()
+	}
+	if ringCap < maxBlock {
+		ringCap = maxBlock
+	}
+	e := &Engine{gf: gf, plan: plan, cfg: cfg, ringCap: ringCap}
+	if cfg.ColdCache {
+		// The ring reads exactly the runs it needs, ahead of time; kernel
+		// readahead past them only hides device time the modeled
+		// DRAM-constrained regime would pay.
+		_ = gf.AdviseRandom()
+	}
 	if cfg.Metrics {
 		e.metrics = newOOCMetrics()
+	}
+	if err := e.pinResident(); err != nil {
+		return nil, err
+	}
+	e.pool = pool.New(cfg.Workers)
+	e.scratch = make([]*rng.XorShift1024Star, e.pool.Workers())
+	for i := range e.scratch {
+		e.scratch[i] = rng.NewXorShift1024Star(uint64(i) + 1)
 	}
 	return e, nil
 }
 
+// Close releases the engine's worker pool. The graph file stays open (the
+// caller owns it). Idempotent.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+	}
+}
+
 // Plan returns the streaming partition plan.
 func (e *Engine) Plan() *part.Plan { return e.plan }
+
+// ResidentBytes returns the DRAM spent on the pinned resident tier.
+func (e *Engine) ResidentBytes() uint64 { return e.residentBytes }
+
+// ResidentPartitions returns how many partitions the storage-tier
+// knapsack pinned in DRAM.
+func (e *Engine) ResidentPartitions() int { return e.residentCount }
+
+// pinResident solves the storage-level knapsack over the plan's
+// partitions and eagerly loads the chosen blocks. Value of pinning a
+// block = its stream-in time (Storage params) × the probability at least
+// one of |V| walkers touches the partition in a step (degree-proportional
+// landing approximation); weight = its bytes.
+func (e *Engine) pinResident() error {
+	e.resident = make([][]graph.VID, e.plan.NumVPs())
+	if e.cfg.ResidentBudget == 0 {
+		return nil
+	}
+	totalEdges := float64(e.gf.NumEdges())
+	walkers := float64(e.gf.NumVertices())
+	classes := make([]profile.ResidentClass, e.plan.NumVPs())
+	for vp := range classes {
+		vpMeta := e.plan.VPs[vp]
+		edges := e.gf.Offsets[vpMeta.End] - e.gf.Offsets[vpMeta.Start]
+		bytes := edges * graph.VIDBytes
+		touch := 0.0
+		if edges > 0 && totalEdges > 0 {
+			p := float64(edges) / totalEdges
+			if p >= 1 {
+				touch = 1
+			} else {
+				touch = 1 - math.Exp(walkers*math.Log1p(-p))
+			}
+		}
+		classes[vp] = profile.ResidentClass{
+			Bytes:   bytes,
+			SavedNS: touch * e.cfg.Storage.BlockStreamNS(bytes),
+		}
+	}
+	pinned := profile.PlanResident(classes, e.cfg.ResidentBudget)
+	var raw []byte
+	sumStreamed := uint64(0)
+	for vp, pin := range pinned {
+		vpMeta := e.plan.VPs[vp]
+		lo, hi := e.gf.Offsets[vpMeta.Start], e.gf.Offsets[vpMeta.End]
+		if !pin {
+			sumStreamed += hi - lo
+			continue
+		}
+		buf := make([]graph.VID, hi-lo)
+		var err error
+		raw, err = e.gf.ReadTargetsInto(lo, hi, buf, raw)
+		if err != nil {
+			return fmt.Errorf("ooc: load resident block %d: %w", vp, err)
+		}
+		e.resident[vp] = buf
+		e.residentBytes += classes[vp].Bytes
+		e.residentCount++
+	}
+	// Ring buffers never need more than the streamed remainder: even a
+	// maximally coalesced run cannot exceed the sum of non-pinned blocks.
+	if sumStreamed < e.ringCap {
+		e.ringCap = sumStreamed
+	}
+	if m := e.metrics; m != nil {
+		m.residentBytes.Set(int64(e.residentBytes))
+		m.residentParts.Set(int64(e.residentCount))
+	}
+	return nil
+}
 
 // planForBudget cuts the vertex array into equal power-of-2 DS partitions
 // whose largest edge block fits blockBytes.
@@ -139,10 +328,10 @@ func planForBudget(gf *graph.File, blockBytes uint64) (*part.Plan, uint64, error
 				maxBlock = b
 			}
 		}
-		if maxBlock*4 <= blockBytes || szLog == 0 {
-			if maxBlock*4 > blockBytes {
+		if maxBlock*graph.VIDBytes <= blockBytes || szLog == 0 {
+			if maxBlock*graph.VIDBytes > blockBytes {
 				return nil, 0, fmt.Errorf("ooc: a single vertex's adjacency (%dB) exceeds the block budget %dB",
-					maxBlock*4, blockBytes)
+					maxBlock*graph.VIDBytes, blockBytes)
 			}
 			plan, err := singleGroupPlan(n, szLog)
 			if err != nil {
@@ -178,16 +367,102 @@ func singleGroupPlan(n graph.VID, szLog uint) (*part.Plan, error) {
 	return plan, nil
 }
 
-// blockLoad is one prefetched partition edge block.
-type blockLoad struct {
-	vp   int
-	buf  []graph.VID
-	base uint64 // first edge index of the block
-	err  error
+// oocItem is one sample work item: a contiguous walker range of one
+// partition, with its own RNG seed and the edge block it draws from.
+type oocItem struct {
+	buf  []graph.VID // edge block (ring buffer or resident)
+	base uint64      // first edge index of the block
+	lo   uint64      // walker range [lo, hi) in the shuffled array
+	hi   uint64
+	seed uint64
 }
 
-// Run walks totalWalkers walkers (0 = |V|) for the given steps.
-func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
+// oocSampleTask is the pool task advancing walkers over delivered blocks:
+// workers claim items off a shared counter; every item reseeds the
+// worker's scratch RNG with its own (step, partition, sub-shard) seed, so
+// claim order — and therefore worker count — never affects trajectories.
+type oocSampleTask struct {
+	e     *Engine
+	next  atomic.Int64
+	items []oocItem
+	sw    []graph.VID
+}
+
+// RunShard implements pool.Task.
+func (t *oocSampleTask) RunShard(_, worker, _ int) {
+	offs := t.e.gf.Offsets
+	src := t.e.scratch[worker]
+	for {
+		idx := int(t.next.Add(1)) - 1
+		if idx >= len(t.items) {
+			return
+		}
+		it := t.items[idx]
+		src.Reseed(it.seed)
+		chunk := t.sw[it.lo:it.hi]
+		for i, v := range chunk {
+			off := offs[v]
+			d := uint32(offs[v+1] - off)
+			if d == 0 {
+				continue
+			}
+			chunk[i] = it.buf[off-it.base+uint64(src.Uint32n(d))]
+		}
+	}
+}
+
+// appendItems cuts one partition's walker chunk into work items exactly
+// the way internal/core does — same sub-shard boundaries, same seeds
+// (core.SubShardSize / core.SampleSeedAt) — which is what keeps ooc
+// trajectories bitwise-identical to the in-memory engine. Every ooc
+// chunk is shardable in core's sense: first-order walks, no history
+// transition, and DS partitions carry no PS state.
+func appendItems(items []oocItem, vp int, lo, hi uint64, prefix uint64, buf []graph.VID, base uint64) []oocItem {
+	if hi-lo < 2*core.SubShardSize {
+		return append(items, oocItem{buf: buf, base: base, lo: lo, hi: hi,
+			seed: core.SampleSeedAt(prefix, vp, 0)})
+	}
+	a := lo
+	for sub := 0; a < hi; sub++ {
+		b := a + core.SubShardSize
+		if b >= hi || hi-b < core.SubShardSize {
+			b = hi // absorb the ragged tail into the last piece
+		}
+		items = append(items, oocItem{buf: buf, base: base, lo: a, hi: b,
+			seed: core.SampleSeedAt(prefix, vp, sub)})
+		a = b
+	}
+	return items
+}
+
+// streamJob is one IO run of the prefetch ring: adjacent streamed
+// partitions [vp0, vp1) coalesced into a single pread of the edge range
+// [lo, hi). Coalescing decouples the IO unit from the partition
+// geometry: the plan's uniform power-of-2 cut is sized by the hub
+// partition, so a skewed graph yields thousands of KiB-scale tail
+// partitions, and one latency-bound read per partition would leave the
+// device idle between tiny transfers.
+type streamJob struct {
+	vp0, vp1 int    // partition range [vp0, vp1) covered by the run
+	lo, hi   uint64 // edge index range of the run
+}
+
+// blockLoad is one prefetched edge-block run, delivered in job order.
+type blockLoad struct {
+	job    int
+	buf    []graph.VID
+	err    error
+	readNS int64
+}
+
+// Run walks totalWalkers walkers (0 = |V|) for the given steps. ctx
+// cancels the run between and during block waits: on cancellation every
+// prefetch goroutine is drained before Run returns (no leaks) and
+// ctx.Err() is reported. An Engine runs one Run at a time.
+func (e *Engine) Run(ctx context.Context, totalWalkers uint64, steps int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if steps <= 0 {
 		return nil, fmt.Errorf("ooc: steps must be positive")
 	}
@@ -204,7 +479,7 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 		w[j] = graph.VID(uint32(j) % n)
 	}
 
-	shuffler, err := walk.NewShuffler(e.plan, walkers, e.cfg.Workers)
+	shuffler, err := walk.NewShufflerPool(e.plan, walkers, e.pool)
 	if err != nil {
 		return nil, err
 	}
@@ -216,15 +491,25 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 		}
 	}
 
-	src := rng.NewXorShift1024Star(e.cfg.Seed)
-	bufA := make([]graph.VID, e.maxBlock)
-	bufB := make([]graph.VID, e.maxBlock)
+	depth := e.cfg.PrefetchDepth
+	ring := make([][]graph.VID, depth)
+	for i := range ring {
+		ring[i] = make([]graph.VID, e.ringCap)
+	}
+	task := &oocSampleTask{e: e}
+	jobs := make([]streamJob, 0, e.plan.NumVPs())
 
 	if m := e.metrics; m != nil {
 		m.runs.Inc()
 	}
 	start := time.Now()
 	for st := 0; st < steps; st++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if e.cfg.ColdCache {
+			_ = e.gf.DropCache() // best-effort; no-op off Linux
+		}
 		if m := e.metrics; m != nil {
 			m.steps.Inc()
 		}
@@ -232,37 +517,56 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 			return nil, err
 		}
 		vpStart := shuffler.VPStart()
+		prefix := core.SampleSeedPrefix(e.cfg.Seed, 0, st)
 
-		// Stream partitions with one block of lookahead. The channel is
-		// unbuffered and the producer alternates two buffers, so it only
-		// overwrites a buffer after the consumer has moved to the other
-		// one: block k+1 loads from disk while block k is being sampled.
-		loads := make(chan blockLoad)
-		go e.prefetch(vpStart, bufA, bufB, loads)
-		for {
-			t0 := time.Now()
-			load, ok := <-loads
-			if !ok {
-				break
+		// Resident pass: partitions pinned in DRAM sample with no IO.
+		// Streamed partitions with walkers coalesce into IO runs —
+		// adjacent blocks merge until a run would outgrow a ring buffer —
+		// so each pread stays bandwidth-sized even when the partition
+		// geometry is KiB-scale. A resident or walker-free partition
+		// breaks the run (its bytes are never read).
+		items := task.items[:0]
+		jobs = jobs[:0]
+		open := false
+		for vp := 0; vp < e.plan.NumVPs(); vp++ {
+			lo, hi := vpStart[vp], vpStart[vp+1]
+			if buf := e.resident[vp]; buf != nil {
+				open = false
+				if lo == hi {
+					continue
+				}
+				base := e.gf.Offsets[e.plan.VPs[vp].Start]
+				items = appendItems(items, vp, lo, hi, prefix, buf, base)
+				res.ResidentHits++
+				if m := e.metrics; m != nil {
+					m.residentHits.Inc()
+					m.residentSaved.Add(uint64(len(buf)) * graph.VIDBytes)
+				}
+				continue
 			}
-			wait := time.Since(t0)
-			res.IOWait += wait
-			if load.err != nil {
-				return nil, load.err
+			if lo == hi {
+				open = false
+				if m := e.metrics; m != nil {
+					m.skipped.Inc()
+				}
+				continue // no walkers here this step: skip the disk read
 			}
-			blockBytes := uint64(len(load.buf)) * 4
-			res.BytesRead += blockBytes
+			vpMeta := e.plan.VPs[vp]
 			if m := e.metrics; m != nil {
-				m.ioWaitNS.Add(uint64(wait))
-				m.blocks.Inc()
-				m.bytes.Add(blockBytes)
-				m.blockBytes.Observe(blockBytes)
-				s0 := time.Now()
-				e.sampleBlock(load, sw[vpStart[load.vp]:vpStart[load.vp+1]], src)
-				m.blockSampleNS.Observe(uint64(time.Since(s0)))
-			} else {
-				e.sampleBlock(load, sw[vpStart[load.vp]:vpStart[load.vp+1]], src)
+				m.residentMisses.Inc()
 			}
+			elo, ehi := e.gf.Offsets[vpMeta.Start], e.gf.Offsets[vpMeta.End]
+			if open {
+				if run := &jobs[len(jobs)-1]; ehi-run.lo <= e.ringCap {
+					run.vp1, run.hi = vp+1, ehi
+					continue
+				}
+			}
+			jobs = append(jobs, streamJob{vp0: vp, vp1: vp + 1, lo: elo, hi: ehi})
+			open = true
+		}
+		if err := e.streamStep(ctx, jobs, ring, items, task, sw, vpStart, prefix, res); err != nil {
+			return nil, err
 		}
 
 		if err := shuffler.Reverse(w, sw, wNext, nil, nil); err != nil {
@@ -282,43 +586,154 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 	return res, nil
 }
 
-// prefetch loads each non-empty partition's edge block in order,
-// alternating between the two buffers so the consumer can sample one block
-// while the next loads.
-func (e *Engine) prefetch(vpStart []uint64, bufA, bufB []graph.VID, out chan<- blockLoad) {
-	defer close(out)
-	bufs := [2][]graph.VID{bufA, bufB}
-	which := 0
-	for vp := 0; vp < e.plan.NumVPs(); vp++ {
-		if vpStart[vp] == vpStart[vp+1] {
-			if m := e.metrics; m != nil {
-				m.skipped.Inc()
-			}
-			continue // no walkers here this step: skip the disk read
+// streamStep runs one step's prefetch ring: job i is read into ring
+// buffer i%depth, gated by a per-buffer token the consumer releases once
+// it has sampled the buffer's previous occupant. Each ring slot is owned
+// by exactly one IO worker (worker k owns slots s with s%iow == k), and
+// an owner works through its slots' jobs in increasing job order — so
+// the only goroutine ever waiting on a slot's token is the one holding
+// that slot's next in-order job. That static ownership is what makes
+// delivery ordered and the ring deadlock-free: a dynamic job claim would
+// let a worker holding job i+depth steal the slot token from the worker
+// holding job i and deliver out of order. Every goroutine is joined
+// before return on all paths — success, read error, or ctx cancellation
+// (cancel is deferred after the join so even a panic unwind releases the
+// workers first). residentItems (the pinned partitions' walkers) are
+// sampled after the first reads are issued, overlapping with the IO.
+func (e *Engine) streamStep(ctx context.Context, jobs []streamJob, ring [][]graph.VID,
+	residentItems []oocItem, task *oocSampleTask, sw []graph.VID, vpStart []uint64,
+	prefix uint64, res *Result) error {
+	if len(jobs) == 0 {
+		if len(residentItems) > 0 {
+			task.items, task.sw = residentItems, sw
+			task.next.Store(0)
+			e.pool.Submit(task, 0, nil, nil)
 		}
-		vpMeta := e.plan.VPs[vp]
-		lo := e.gf.Offsets[vpMeta.Start]
-		hi := e.gf.Offsets[vpMeta.End]
-		buf := bufs[which][:hi-lo]
-		which ^= 1
-		err := e.gf.ReadTargets(lo, hi, buf)
-		out <- blockLoad{vp: vp, buf: buf, base: lo, err: err}
-		if err != nil {
-			return
-		}
+		return nil
 	}
+	depth := len(ring)
+	ictx, cancel := context.WithCancel(ctx)
+
+	slots := make([]chan blockLoad, depth)
+	bufTok := make([]chan struct{}, depth)
+	for i := 0; i < depth; i++ {
+		slots[i] = make(chan blockLoad, 1)
+		bufTok[i] = make(chan struct{}, 1)
+		bufTok[i] <- struct{}{}
+	}
+	var ready atomic.Int64
+	var wg sync.WaitGroup
+
+	iow := e.cfg.IOWorkers
+	if iow > len(jobs) {
+		iow = len(jobs)
+	}
+	if iow > depth {
+		iow = depth
+	}
+	for k := 0; k < iow; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			var raw []byte
+			for i := 0; i < len(jobs); i++ {
+				slot := i % depth
+				if slot%iow != k {
+					continue // another worker owns this slot
+				}
+				select {
+				case <-bufTok[slot]:
+				case <-ictx.Done():
+					return
+				}
+				j := jobs[i]
+				buf := ring[slot][:j.hi-j.lo]
+				t0 := time.Now()
+				var err error
+				raw, err = e.gf.ReadTargetsInto(j.lo, j.hi, buf, raw)
+				load := blockLoad{job: i, buf: buf, err: err, readNS: int64(time.Since(t0))}
+				ready.Add(1)
+				select {
+				case slots[slot] <- load:
+				case <-ictx.Done():
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}(k)
+	}
+	// LIFO: cancel fires before the join, so every exit path — including
+	// a panic unwinding through here — releases blocked workers first.
+	defer wg.Wait()
+	defer cancel()
+
+	if len(residentItems) > 0 {
+		task.items, task.sw = residentItems, sw
+		task.next.Store(0)
+		e.pool.Submit(task, 0, nil, nil)
+	}
+
+	for i := range jobs {
+		slot := i % depth
+		t0 := time.Now()
+		var load blockLoad
+		select {
+		case load = <-slots[slot]:
+		case <-ictx.Done():
+			return ctx.Err()
+		}
+		wait := time.Since(t0)
+		res.IOWait += wait
+		occ := ready.Add(-1) + 1
+		if load.err != nil {
+			return load.err
+		}
+		if load.job != i {
+			return fmt.Errorf("ooc: prefetch ring delivered job %d where %d was expected", load.job, i)
+		}
+		blockBytes := uint64(len(load.buf)) * graph.VIDBytes
+		res.BytesRead += blockBytes
+		res.Blocks++
+		if m := e.metrics; m != nil {
+			m.ioWaitNS.Add(uint64(wait))
+			m.ioReadNS.Add(uint64(load.readNS))
+			m.prefetchReady.Observe(uint64(occ))
+			m.blocks.Inc()
+			m.bytes.Add(blockBytes)
+			m.blockBytes.Observe(blockBytes)
+			s0 := time.Now()
+			e.sampleRun(task, load.buf, jobs[i], vpStart, sw, prefix)
+			m.blockSampleNS.Observe(uint64(time.Since(s0)))
+		} else {
+			e.sampleRun(task, load.buf, jobs[i], vpStart, sw, prefix)
+		}
+		bufTok[slot] <- struct{}{}
+	}
+	return nil
 }
 
-// sampleBlock advances every walker of one partition using the streamed
-// edge block.
-func (e *Engine) sampleBlock(load blockLoad, chunk []graph.VID, src rng.Source) {
-	gf := e.gf
-	for i, v := range chunk {
-		d := gf.Degree(v)
-		if d == 0 {
-			continue
+// sampleRun advances the walkers of every partition in a delivered IO
+// run on the worker pool: one submit covers the whole run, each
+// partition drawing from its sub-slice of the run buffer. Items are
+// seeded per (step, partition, sub-shard) exactly as if the partitions
+// had been read one block at a time, so coalescing cannot change
+// trajectories.
+func (e *Engine) sampleRun(task *oocSampleTask, buf []graph.VID, j streamJob,
+	vpStart []uint64, sw []graph.VID, prefix uint64) {
+	items := task.items[:0]
+	for vp := j.vp0; vp < j.vp1; vp++ {
+		lo, hi := vpStart[vp], vpStart[vp+1]
+		if lo == hi {
+			continue // cannot happen by construction; guard stays cheap
 		}
-		idx := gf.Offsets[v] - load.base + uint64(rng.Uint32n(src, d))
-		chunk[i] = load.buf[idx]
+		base := e.gf.Offsets[e.plan.VPs[vp].Start]
+		end := e.gf.Offsets[e.plan.VPs[vp].End]
+		items = appendItems(items, vp, lo, hi, prefix, buf[base-j.lo:end-j.lo], base)
 	}
+	task.items, task.sw = items, sw
+	task.next.Store(0)
+	e.pool.Submit(task, 0, nil, nil)
+	task.items = items[:0]
 }

@@ -1,6 +1,7 @@
 package ooc
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -58,7 +59,8 @@ func TestOOCValidWalks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(3000, 10)
+	defer e.Close()
+	res, err := e.Run(context.Background(), 3000, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +95,8 @@ func TestOOCStationaryDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(40000, 12)
+	defer e.Close()
+	res, err := e.Run(context.Background(), 40000, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,10 +130,11 @@ func TestOOCTinyBudgetManyPartitions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer e.Close()
 	if e.Plan().NumVPs() < 8 {
 		t.Fatalf("expected many partitions under tiny budget, got %d", e.Plan().NumVPs())
 	}
-	res, err := e.Run(1000, 5)
+	res, err := e.Run(context.Background(), 1000, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +166,8 @@ func TestOOCSkipsEmptyPartitions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(1, 10)
+	defer e.Close()
+	res, err := e.Run(context.Background(), 1, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +188,8 @@ func TestOOCErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(10, 0); err == nil {
+	defer e.Close()
+	if _, err := e.Run(context.Background(), 10, 0); err == nil {
 		t.Error("zero steps accepted")
 	}
 }
@@ -194,7 +200,8 @@ func TestOOCDefaultWalkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(0, 3)
+	defer e.Close()
+	res, err := e.Run(context.Background(), 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,159 @@
+package profile
+
+// This file extends the offline cost model with a third memory level. The
+// paper's planner prices cache vs. DRAM (§4.4); an out-of-core run adds
+// storage beneath them, and the same knapsack structure applies: pinning a
+// partition's edge block in DRAM costs bytes from a budget and saves that
+// block's stream-in time on every step that touches it.
+
+// StorageParams characterizes the block-storage tier under the out-of-core
+// engine with the two Table-1-style constants a streaming read needs: fixed
+// per-read latency and sequential bandwidth.
+type StorageParams struct {
+	// ReadLatencyNS is the fixed cost of issuing one block read
+	// (syscall + device latency), in nanoseconds.
+	ReadLatencyNS float64
+	// ReadBandwidthBytesPerNS is the sequential read bandwidth in bytes
+	// per nanosecond (1.0 == 1 GB/s). Non-positive means latency-only.
+	ReadBandwidthBytesPerNS float64
+}
+
+// DefaultSSD returns NVMe-flash-class constants (~60µs issue latency,
+// ~2 GB/s sequential reads), the storage analogue of the paper's Table 1
+// DRAM numbers. Like AnalyticalModel, it is deterministic so planner tests
+// behave identically on every machine.
+func DefaultSSD() StorageParams {
+	return StorageParams{ReadLatencyNS: 60_000, ReadBandwidthBytesPerNS: 2.0}
+}
+
+// BlockStreamNS returns the estimated time to stream one block of the given
+// size from storage into DRAM: latency plus transfer.
+func (sp StorageParams) BlockStreamNS(bytes uint64) float64 {
+	if sp.ReadBandwidthBytesPerNS <= 0 {
+		return sp.ReadLatencyNS
+	}
+	return sp.ReadLatencyNS + float64(bytes)/sp.ReadBandwidthBytesPerNS
+}
+
+// StorageModel layers a storage tier beneath an in-memory cost model: the
+// sampling cost of a partition is its in-DRAM cost plus its edge block's
+// stream-in time amortized over the walkers that share the block each step.
+// It satisfies CostModel, so the MCKP partition planner can price an
+// out-of-core run with no structural change — cache→DRAM→SSD is the same
+// knapsack with one more level.
+type StorageModel struct {
+	// Mem prices the in-memory stages (cache vs. DRAM level).
+	Mem CostModel
+	// Storage prices the block reads beneath them.
+	Storage StorageParams
+	// EdgeBytes is the on-disk size of one edge target; the block size of
+	// a partition is EdgeBytes × its edge count.
+	EdgeBytes uint64
+}
+
+// SampleStepNS implements CostModel: in-memory sampling cost plus the
+// partition's stream-in time divided across its expected walkers.
+func (m StorageModel) SampleStepNS(p Policy, shape VPShape) float64 {
+	mem := m.Mem.SampleStepNS(p, shape)
+	edges := shape.AvgDegree * float64(shape.Vertices)
+	walkers := shape.Density * edges
+	if walkers < 1 {
+		walkers = 1
+	}
+	block := m.Storage.BlockStreamNS(uint64(edges) * m.EdgeBytes)
+	return mem + block/walkers
+}
+
+// ShuffleStepNS implements CostModel; shuffling runs on memory-resident
+// walker state, so the storage tier adds nothing.
+func (m StorageModel) ShuffleStepNS() float64 {
+	return m.Mem.ShuffleStepNS()
+}
+
+// ResidentClass is one pin candidate for PlanResident: a partition whose
+// edge block can be held in DRAM instead of re-streamed every step.
+type ResidentClass struct {
+	// Bytes is the DRAM cost of pinning the block.
+	Bytes uint64
+	// SavedNS is the streaming time avoided per step while pinned,
+	// weighted by how often the partition is touched.
+	SavedNS float64
+}
+
+// planResidentGranules caps the knapsack DP width; budgets above it are
+// bucketed into ceil-rounded granules so the table stays small while never
+// overpacking the byte budget.
+const planResidentGranules = 4096
+
+// PlanResident solves the storage-tier knapsack: choose the subset of
+// partitions to pin in DRAM that maximizes total saved streaming time
+// subject to the byte budget. Returns one pin decision per class, in input
+// order. It is the 0/1 sibling of the partition planner's MCKP — each
+// partition independently picks a level (resident vs. streamed), and the
+// DP is exact up to budget granularity (budget/4096 rounding, bytes below
+// that granule never overcommit because weights round up).
+func PlanResident(classes []ResidentClass, budgetBytes uint64) []bool {
+	pinned := make([]bool, len(classes))
+	if budgetBytes == 0 || len(classes) == 0 {
+		return pinned
+	}
+	granule := uint64(1)
+	if budgetBytes > planResidentGranules {
+		granule = (budgetBytes + planResidentGranules - 1) / planResidentGranules
+	}
+	width := int(budgetBytes/granule) + 1
+
+	// Weightless positive-value classes are free wins; take them outside
+	// the DP so zero-byte blocks (empty partitions) never occupy capacity.
+	weights := make([]int, len(classes))
+	for i, c := range classes {
+		if c.SavedNS <= 0 {
+			weights[i] = -1 // never worth pinning
+			continue
+		}
+		if c.Bytes == 0 {
+			pinned[i] = true
+			weights[i] = -1
+			continue
+		}
+		w := int((c.Bytes + granule - 1) / granule)
+		if w >= width {
+			weights[i] = -1 // can never fit alone
+			continue
+		}
+		weights[i] = w
+	}
+
+	best := make([]float64, width)
+	took := make([]bool, len(classes)*width)
+	for i, c := range classes {
+		w := weights[i]
+		if w < 0 {
+			continue
+		}
+		row := took[i*width : (i+1)*width]
+		for b := width - 1; b >= w; b-- {
+			if v := best[b-w] + c.SavedNS; v > best[b] {
+				best[b] = v
+				row[b] = true
+			}
+		}
+	}
+
+	b := 0
+	for cap := 1; cap < width; cap++ {
+		if best[cap] > best[b] {
+			b = cap
+		}
+	}
+	for i := len(classes) - 1; i >= 0; i-- {
+		if weights[i] < 0 {
+			continue
+		}
+		if took[i*width+b] {
+			pinned[i] = true
+			b -= weights[i]
+		}
+	}
+	return pinned
+}

@@ -1,0 +1,127 @@
+package profile
+
+import (
+	"testing"
+
+	"flashmob/internal/mem"
+)
+
+func TestBlockStreamNS(t *testing.T) {
+	sp := StorageParams{ReadLatencyNS: 100, ReadBandwidthBytesPerNS: 2}
+	if got := sp.BlockStreamNS(0); got != 100 {
+		t.Fatalf("empty block: got %v, want latency 100", got)
+	}
+	if got := sp.BlockStreamNS(200); got != 200 {
+		t.Fatalf("200B at 2B/ns: got %v, want 100+100", got)
+	}
+	lat := StorageParams{ReadLatencyNS: 50}
+	if got := lat.BlockStreamNS(1 << 30); got != 50 {
+		t.Fatalf("latency-only params: got %v, want 50", got)
+	}
+}
+
+func TestStorageModelAddsStreamCost(t *testing.T) {
+	mem := NewAnalyticalModel(mem.PaperGeometry())
+	sm := StorageModel{Mem: mem, Storage: DefaultSSD(), EdgeBytes: 4}
+	shape := VPShape{Vertices: 1 << 16, AvgDegree: 16, Density: 0.05}
+	base := mem.SampleStepNS(DS, shape)
+	layered := sm.SampleStepNS(DS, shape)
+	if layered <= base {
+		t.Fatalf("storage tier should add cost: mem=%v layered=%v", base, layered)
+	}
+	edges := shape.AvgDegree * float64(shape.Vertices)
+	wantExtra := sm.Storage.BlockStreamNS(uint64(edges)*4) / (shape.Density * edges)
+	if got := layered - base; got < wantExtra*0.999 || got > wantExtra*1.001 {
+		t.Fatalf("stream share: got %v, want %v", got, wantExtra)
+	}
+	if sm.ShuffleStepNS() != mem.ShuffleStepNS() {
+		t.Fatalf("shuffle cost must pass through unchanged")
+	}
+}
+
+func TestStorageModelMoreWalkersAmortizeBetter(t *testing.T) {
+	sm := StorageModel{Mem: NewAnalyticalModel(mem.PaperGeometry()), Storage: DefaultSSD(), EdgeBytes: 4}
+	sparse := VPShape{Vertices: 1 << 14, AvgDegree: 8, Density: 0.001}
+	dense := sparse
+	dense.Density = 0.5
+	// Per-step stream surcharge shrinks as walkers share the block.
+	sparseExtra := sm.SampleStepNS(DS, sparse) - sm.Mem.SampleStepNS(DS, sparse)
+	denseExtra := sm.SampleStepNS(DS, dense) - sm.Mem.SampleStepNS(DS, dense)
+	if denseExtra >= sparseExtra {
+		t.Fatalf("denser walkers should amortize streaming: sparse=%v dense=%v", sparseExtra, denseExtra)
+	}
+}
+
+func TestPlanResidentPicksHighestValuePerByte(t *testing.T) {
+	classes := []ResidentClass{
+		{Bytes: 100, SavedNS: 1000}, // 10 ns/B
+		{Bytes: 100, SavedNS: 10},   // 0.1 ns/B
+		{Bytes: 100, SavedNS: 500},  // 5 ns/B
+	}
+	got := PlanResident(classes, 200)
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pin[%d]=%v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestPlanResidentExactOverGreedy(t *testing.T) {
+	// Greedy-by-density takes the 60-byte item (10 ns/B) and can then fit
+	// neither 50-byte item; the DP takes both 50s for more total value.
+	classes := []ResidentClass{
+		{Bytes: 60, SavedNS: 600},
+		{Bytes: 50, SavedNS: 400},
+		{Bytes: 50, SavedNS: 400},
+	}
+	got := PlanResident(classes, 100)
+	if got[0] || !got[1] || !got[2] {
+		t.Fatalf("DP should pick the two 50-byte classes, got %v", got)
+	}
+}
+
+func TestPlanResidentEdgeCases(t *testing.T) {
+	if got := PlanResident(nil, 1<<20); len(got) != 0 {
+		t.Fatalf("nil classes: got %v", got)
+	}
+	got := PlanResident([]ResidentClass{{Bytes: 10, SavedNS: 5}}, 0)
+	if got[0] {
+		t.Fatalf("zero budget must pin nothing")
+	}
+	got = PlanResident([]ResidentClass{
+		{Bytes: 0, SavedNS: 5},          // free win
+		{Bytes: 10, SavedNS: 0},         // worthless
+		{Bytes: 1 << 40, SavedNS: 1e12}, // can never fit
+		{Bytes: 4, SavedNS: 3},
+	}, 8)
+	want := []bool{true, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pin[%d]=%v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestPlanResidentRespectsBudgetWithGranules(t *testing.T) {
+	// Budget large enough to trigger granule bucketing; chosen set must
+	// never exceed the byte budget even after rounding.
+	classes := make([]ResidentClass, 64)
+	for i := range classes {
+		classes[i] = ResidentClass{Bytes: uint64(1<<20 + i*4097), SavedNS: float64(1 + i)}
+	}
+	budget := uint64(20 << 20)
+	got := PlanResident(classes, budget)
+	var used uint64
+	for i, p := range got {
+		if p {
+			used += classes[i].Bytes
+		}
+	}
+	if used > budget {
+		t.Fatalf("pinned %d bytes over budget %d", used, budget)
+	}
+	if used == 0 {
+		t.Fatalf("expected some pins under a %d budget", budget)
+	}
+}
