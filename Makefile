@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent bench-serve bench-mixed bench-ooc
+.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent bench-serve bench-mixed bench-ooc bench-grid bench-baseline perf-gate perf-gate-smoke
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ build:
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/doccheck -strict . -strict ./internal/obs -strict ./internal/serve -strict ./internal/ooc ./internal/... ./cmd/... ./examples/...
+	$(GO) run ./cmd/doccheck -strict . -strict ./internal/obs -strict ./internal/serve -strict ./internal/ooc -strict ./internal/perfgate ./internal/... ./cmd/... ./examples/...
 
 test:
 	$(GO) test -shuffle=on ./...
@@ -22,46 +22,86 @@ bench:
 	$(GO) test -run NONE -bench . -benchtime 3x .
 
 # The §4.3 shuffle-stage measurement at DRAM scale: write-combining ×
-# persistent-pool variants plus the end-to-end stage split. Writes
-# BENCH_shuffle.json in the repo root.
+# persistent-pool variants plus the end-to-end stage split. Writes a raw
+# BENCH_shuffle.json under bench/out/.
 bench-shuffle:
-	$(GO) run ./cmd/fmbench -exp shuffle
+	@mkdir -p bench/out
+	$(GO) run ./cmd/fmbench -exp shuffle -outdir bench/out
 
 bench-shuffle-component:
 	$(GO) test -run NONE -bench BenchmarkComponentShuffle -benchtime 3x .
 
 # The §4.2 sample-stage measurement at DRAM scale: generic scalar path vs
 # per-partition specialized kernels across the partition classes
-# {PS, DS-regular, DS-CSR, weighted, node2vec}. Writes BENCH_sample.json
-# in the repo root.
+# {PS, DS-regular, DS-CSR, weighted, node2vec}. Writes a raw BENCH_sample.json
+# under bench/out/.
 bench-sample:
-	$(GO) run ./cmd/fmbench -exp sample
+	@mkdir -p bench/out
+	$(GO) run ./cmd/fmbench -exp sample -outdir bench/out
 
 # Concurrent sessions sharing one engine build: aggregate
-# walker-steps/s at 1/2/4/8 simultaneous Walks. Writes
-# BENCH_concurrent.json in the repo root.
+# walker-steps/s at 1/2/4/8 simultaneous Walks. Writes a raw
+# BENCH_concurrent.json under bench/out/.
 bench-concurrent:
-	$(GO) run ./cmd/fmbench -exp concurrent
+	@mkdir -p bench/out
+	$(GO) run ./cmd/fmbench -exp concurrent -outdir bench/out
 
 # The walk-query service under open-loop load: batch-size-1 baseline vs
 # coalescing at several micro-batching windows, mixed request sizes.
-# Writes BENCH_serve.json in the repo root (docs/SERVING.md).
+# Writes a raw BENCH_serve.json under bench/out/ (docs/SERVING.md).
 bench-serve:
-	$(GO) run ./cmd/fmbench -exp serve
+	@mkdir -p bench/out
+	$(GO) run ./cmd/fmbench -exp serve -outdir bench/out
 
 # Mixed-cohort batch execution under closed-loop mixed-algorithm
 # traffic: one mixed run per wave vs the fragmented per-(algorithm,
-# steps) baseline, mean/std over 5 repeats. Writes BENCH_mixed.json in
-# the repo root (docs/SERVING.md).
+# steps) baseline, mean/std over 5 repeats. Writes a raw BENCH_mixed.json
+# under bench/out/ (docs/SERVING.md).
 bench-mixed:
-	$(GO) run ./cmd/fmbench -exp mixed -repeats 5
+	@mkdir -p bench/out
+	$(GO) run ./cmd/fmbench -exp mixed -repeats 5 -outdir bench/out
 
 # Out-of-core streaming overlap curve: prefetch depth × IO workers ×
 # parallel sampling × resident-tier budget on a disk-resident graph,
-# mean/std over 5 repeats. Writes BENCH_ooc.json in the repo root.
+# mean/std over 5 repeats. Writes a raw BENCH_ooc.json under bench/out/.
 bench-ooc:
-	$(GO) run ./cmd/fmbench -exp ooc -repeats 5
+	@mkdir -p bench/out
+	$(GO) run ./cmd/fmbench -exp ooc -repeats 5 -outdir bench/out
 
 # Equivalence + determinism gate for the sample kernels.
 bench-sample-equiv:
 	$(GO) test -run 'TestSample|TestStopProb|TestDSRegular|TestMCKPPlan' -count=1 ./internal/core/
+
+# The full declarative grid (bench/experiments.json): every experiment x
+# its parameter grid x repeats, aggregated to mean/std/min/max. Writes
+# the versioned BENCH_*.json into the repo root plus CSV/markdown
+# summaries under bench/out/ (docs/BENCHMARKING.md).
+bench-grid:
+	@mkdir -p bench/out
+	$(GO) run ./cmd/fmgrid -manifest bench/experiments.json -out . \
+		-csv bench/out/bench_summary.csv -md bench/out/bench_summary.md
+
+# Intentional baseline refresh: rerun the full grid and commit the
+# results as the new bench/baseline/ trajectory. Only do this when a
+# change is *supposed* to move the numbers; see docs/BENCHMARKING.md.
+bench-baseline:
+	@mkdir -p bench/out
+	$(GO) run ./cmd/fmgrid -manifest bench/experiments.json -out . \
+		-csv bench/out/bench_summary.csv -md bench/out/bench_summary.md \
+		-update-baseline
+
+# The regression gate: rerun the full grid and compare every cell
+# against the committed bench/baseline/ trajectory. Exits non-zero when
+# any gated metric regresses past the manifest's noise band.
+perf-gate:
+	@mkdir -p bench/out
+	$(GO) run ./cmd/fmgrid -manifest bench/experiments.json -out bench/out \
+		-baseline bench/baseline -gate
+
+# The CI smoke leg: a tiny reduced grid (bench/smoke.json) gated on
+# ratio metrics only, so it survives host-to-host variance. Fast enough
+# to run on every push.
+perf-gate-smoke:
+	@mkdir -p bench/out/smoke
+	$(GO) run ./cmd/fmgrid -manifest bench/smoke.json -out bench/out/smoke \
+		-baseline bench/baseline/smoke -gate

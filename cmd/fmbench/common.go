@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
 	"flashmob/internal/algo"
 	"flashmob/internal/core"
@@ -11,8 +14,52 @@ import (
 	"flashmob/internal/graph"
 	"flashmob/internal/mem"
 	"flashmob/internal/part"
+	"flashmob/internal/perfgate"
 	"flashmob/internal/profile"
 )
+
+// benchOutDir is where experiments write their BENCH_*.json artifacts
+// (the -outdir flag; "." when fmbench runs directly from the repo root,
+// a scratch directory when cmd/fmgrid drives it).
+var benchOutDir = "."
+
+// writeBenchJSON stamps the provenance header every benchmark artifact
+// carries — schema_version, git SHA, generation time, host fingerprint
+// (see internal/perfgate and docs/BENCHMARKING.md) — onto one
+// experiment's report and writes it, indented, into the configured
+// output directory.
+func writeBenchJSON(w io.Writer, name string, rep any) error {
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return err
+	}
+	meta := perfgate.NewMeta()
+	doc["schema_version"] = meta.SchemaVersion
+	doc["git_sha"] = meta.GitSHA
+	doc["generated_unix"] = meta.GeneratedUnix
+	doc["host"] = meta.Host
+
+	path := filepath.Join(benchOutDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s\n", path)
+	return nil
+}
 
 // presetNames lists the paper's datasets in Table 4 order.
 var presetNames = []string{"YT", "TW", "FS", "UK", "YH"}

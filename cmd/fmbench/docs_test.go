@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentDocumented enforces the benchmarking book's
+// contract on the experiment index: every -exp name fmbench accepts
+// must be documented in docs/BENCHMARKING.md. Adding an experiment
+// without a methodology section fails here.
+func TestEveryExperimentDocumented(t *testing.T) {
+	doc := readBenchmarkingDoc(t)
+	for _, e := range experiments {
+		if !strings.Contains(doc, "`"+e.name+"`") {
+			t.Errorf("experiment %q not documented in docs/BENCHMARKING.md", e.name)
+		}
+	}
+}
+
+// TestEveryBenchFieldDocumented walks the committed BENCH_*.json grid
+// reports and requires every top-level field — and every field of the
+// per-cell schema, including the folded stat keys — to appear in
+// docs/BENCHMARKING.md. A schema change without a doc update fails
+// here.
+func TestEveryBenchFieldDocumented(t *testing.T) {
+	doc := readBenchmarkingDoc(t)
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed BENCH_*.json found in the repo root")
+	}
+	fields := map[string]bool{}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var top map[string]json.RawMessage
+		if err := json.Unmarshal(data, &top); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for k := range top {
+			fields[k] = true
+		}
+		// The cell schema: cell keys plus the folded stat keys.
+		var cellsDoc struct {
+			Cells []map[string]json.RawMessage `json:"cells"`
+		}
+		if err := json.Unmarshal(data, &cellsDoc); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(cellsDoc.Cells) == 0 {
+			t.Errorf("%s: grid report has no cells", path)
+		}
+		for _, cell := range cellsDoc.Cells {
+			for k := range cell {
+				fields[k] = true
+			}
+			var metrics map[string]map[string]json.RawMessage
+			if raw, ok := cell["metrics"]; ok {
+				if err := json.Unmarshal(raw, &metrics); err != nil {
+					t.Fatalf("%s: metrics: %v", path, err)
+				}
+				for _, stat := range metrics {
+					for k := range stat {
+						fields[k] = true
+					}
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(fields))
+	for k := range fields {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if !strings.Contains(doc, `"`+k+`"`) {
+			t.Errorf("BENCH field %q not documented in docs/BENCHMARKING.md", k)
+		}
+	}
+}
+
+// readBenchmarkingDoc loads docs/BENCHMARKING.md relative to this
+// package.
+func readBenchmarkingDoc(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "BENCHMARKING.md"))
+	if err != nil {
+		t.Fatalf("docs/BENCHMARKING.md missing: %v", err)
+	}
+	return string(data)
+}

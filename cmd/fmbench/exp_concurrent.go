@@ -1,10 +1,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -107,19 +105,5 @@ func expConcurrent(w io.Writer, cfg benchConfig) error {
 			fmt.Sprintf("%.2fx", v.Speedup))
 	}
 
-	f, err := os.Create("BENCH_concurrent.json")
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "\nwrote BENCH_concurrent.json")
-	return nil
+	return writeBenchJSON(w, "BENCH_concurrent.json", rep)
 }

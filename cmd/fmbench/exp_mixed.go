@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -143,21 +142,7 @@ func expMixed(w io.Writer, cfg benchConfig) error {
 			f2(v.RunsPerBatch), f2(v.CohortsPerRun), fmt.Sprintf("%.2fx", v.Speedup))
 	}
 
-	f, err := os.Create("BENCH_mixed.json")
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "\nwrote BENCH_mixed.json")
-	return nil
+	return writeBenchJSON(w, "BENCH_mixed.json", rep)
 }
 
 // newMixedServeServer builds one shared system (DeepWalk build primary)

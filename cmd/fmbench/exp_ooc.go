@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -196,19 +195,5 @@ func expOOC(w io.Writer, cfg benchConfig) error {
 	}
 	rep.Variants = variants
 
-	out, err := os.Create("BENCH_ooc.json")
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		out.Close()
-		return err
-	}
-	if err := out.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "\nwrote BENCH_ooc.json")
-	return nil
+	return writeBenchJSON(w, "BENCH_ooc.json", rep)
 }

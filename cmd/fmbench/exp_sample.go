@@ -1,10 +1,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 
 	"flashmob/internal/algo"
@@ -172,19 +170,5 @@ func expSample(w io.Writer, cfg benchConfig) error {
 		runtime.GC()
 	}
 
-	f, err := os.Create("BENCH_sample.json")
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "\nwrote BENCH_sample.json")
-	return nil
+	return writeBenchJSON(w, "BENCH_sample.json", rep)
 }

@@ -7,7 +7,6 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -160,21 +159,7 @@ func expServe(w io.Writer, cfg benchConfig) error {
 			f2(v.P50MS), f2(v.P99MS), f2(v.MeanBatch), fmt.Sprintf("%.2fx", v.Speedup))
 	}
 
-	f, err := os.Create("BENCH_serve.json")
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "\nwrote BENCH_serve.json")
-	return nil
+	return writeBenchJSON(w, "BENCH_serve.json", rep)
 }
 
 // newServeServer builds a fresh system (the serve server owns and closes

@@ -1,10 +1,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"time"
 
@@ -175,21 +173,7 @@ func expShuffle(w io.Writer, cfg benchConfig) error {
 		row(w, name, ns(ee.NSPerStep), pct(ee.SampleShare), pct(ee.FwdShare), pct(ee.RevShare))
 	}
 
-	f, err := os.Create("BENCH_shuffle.json")
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "\nwrote BENCH_shuffle.json")
-	return nil
+	return writeBenchJSON(w, "BENCH_shuffle.json", rep)
 }
 
 // timeShufflePass times Forward and Reverse separately: one warm-up

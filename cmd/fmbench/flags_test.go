@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flashmob/internal/perfgate"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(1, 4, 2, 8000); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	bad := []struct {
+		name                    string
+		repeats, steps, workers int
+		targetV                 uint
+	}{
+		// -repeats 0 used to be silently coerced to 1; it must be a
+		// usage error so a typo'd grid doesn't quietly drop repeats.
+		{"repeats-0", 0, 4, 2, 8000},
+		{"repeats-negative", -3, 4, 2, 8000},
+		{"steps-0", 1, 0, 2, 8000},
+		{"workers-0", 1, 4, 0, 8000},
+		{"targetv-0", 1, 4, 2, 0},
+		{"targetv-overflow", 1, 4, 2, 1 << 33},
+	}
+	for _, c := range bad {
+		if err := validateFlags(c.repeats, c.steps, c.workers, c.targetV); err == nil {
+			t.Errorf("%s accepted", c.name)
+		} else if !strings.Contains(err.Error(), "-") {
+			t.Errorf("%s error does not name the flag: %v", c.name, err)
+		}
+	}
+}
+
+// TestWriteBenchJSONStamping checks the provenance fields every raw
+// BENCH report must carry under the versioned schema.
+func TestWriteBenchJSONStamping(t *testing.T) {
+	old := benchOutDir
+	benchOutDir = t.TempDir()
+	defer func() { benchOutDir = old }()
+
+	type toy struct {
+		Experiment string  `json:"experiment"`
+		NSPerStep  float64 `json:"ns_per_step"`
+	}
+	var buf bytes.Buffer
+	if err := writeBenchJSON(&buf, "BENCH_toy.json", toy{Experiment: "toy", NSPerStep: 42}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(benchOutDir, "BENCH_toy.json")
+	if !strings.Contains(buf.String(), path) {
+		t.Errorf("writer did not announce %s: %q", path, buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := doc["schema_version"].(float64); !ok || int(v) != perfgate.ReportSchemaVersion {
+		t.Errorf("schema_version = %v, want %d", doc["schema_version"], perfgate.ReportSchemaVersion)
+	}
+	if s, ok := doc["git_sha"].(string); !ok || s == "" {
+		t.Errorf("git_sha = %v", doc["git_sha"])
+	}
+	if _, ok := doc["generated_unix"].(float64); !ok {
+		t.Errorf("generated_unix = %v", doc["generated_unix"])
+	}
+	host, ok := doc["host"].(map[string]any)
+	if !ok {
+		t.Fatalf("host = %v", doc["host"])
+	}
+	for _, k := range []string{"os", "arch", "cpus", "go_version"} {
+		if _, ok := host[k]; !ok {
+			t.Errorf("host fingerprint missing %q", k)
+		}
+	}
+	// The report's own fields must survive the stamping round trip.
+	if doc["experiment"] != "toy" || doc["ns_per_step"].(float64) != 42 {
+		t.Errorf("payload mangled: %v", doc)
+	}
+}

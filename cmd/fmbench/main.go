@@ -44,7 +44,9 @@ type benchConfig struct {
 	ProfMaxEdges uint64
 	// Repeats is how many times measurement-style experiments rerun each
 	// configuration; their BENCH_*.json output then records mean and
-	// standard deviation across the repeats (0 behaves as 1).
+	// standard deviation across the repeats. The -repeats flag is
+	// validated to be >= 1 up front; the zero value (in-process callers
+	// like the test harness) still behaves as 1.
 	Repeats int
 }
 
@@ -91,9 +93,21 @@ func main() {
 		minCSR  = flag.Uint64("mincsr", 48<<20, "minimum CSR bytes for DRAM-resident wall-clock experiments")
 		repeats = flag.Int("repeats", 1, "repeat each measured configuration N times; BENCH_*.json records mean/std")
 		metrics = flag.String("metrics", "", "write a JSON metrics report for every engine-backed run to this file (see docs/OBSERVABILITY.md)")
+		outdir  = flag.String("outdir", ".", "directory BENCH_*.json artifacts are written into (created if missing)")
 		list    = flag.Bool("list", false, "list experiments")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*repeats, *steps, *workers, *targetV); err != nil {
+		fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "fmbench: -outdir: %v\n", err)
+		os.Exit(2)
+	}
+	benchOutDir = *outdir
 
 	if *metrics != "" {
 		collector = &metricsCollector{}
@@ -151,6 +165,31 @@ func main() {
 		}
 		fmt.Printf("metrics report written to %s\n", *metrics)
 	}
+}
+
+// validateFlags rejects nonsensical flag combinations before any
+// experiment runs. -repeats in particular used to coerce 0 to 1
+// silently inside each experiment while the flag's stated contract was
+// "repeat N times" — now every out-of-range value is a usage error up
+// front, so a typo cannot quietly record a single-run artifact that
+// claims repeat semantics.
+func validateFlags(repeats, steps, workers int, targetV uint) error {
+	if repeats < 1 {
+		return fmt.Errorf("-repeats %d: must be >= 1", repeats)
+	}
+	if steps < 1 {
+		return fmt.Errorf("-steps %d: must be >= 1", steps)
+	}
+	if workers < 1 {
+		return fmt.Errorf("-workers %d: must be >= 1", workers)
+	}
+	if targetV == 0 {
+		return fmt.Errorf("-targetv 0: must be >= 1")
+	}
+	if targetV > 1<<31 {
+		return fmt.Errorf("-targetv %d: exceeds the 2^31 vertex-ID space", targetV)
+	}
+	return nil
 }
 
 func findExperiment(name string) (experiment, bool) {

@@ -1,0 +1,198 @@
+// Command fmgrid is the continuous-perf harness: a declarative grid
+// runner over cmd/fmbench plus the regression gate.
+//
+// Driven by an experiments.json manifest (experiment × parameter grid ×
+// repeats, see docs/BENCHMARKING.md), it shells into fmbench once per
+// (cell, repeat), folds every numeric field of the raw reports into
+// mean/std/min/max, writes one versioned BENCH_<exp>.json per
+// experiment plus CSV and markdown summaries, and — when gating —
+// compares each cell against the committed bench/baseline/ trajectory,
+// failing when a metric regresses past the manifest's k·σ noise band.
+//
+// Usage:
+//
+//	fmgrid -manifest bench/experiments.json                  # run, write ./BENCH_*.json + summaries
+//	fmgrid -manifest bench/smoke.json -out bench/out/smoke \
+//	       -baseline bench/baseline/smoke -gate              # the CI leg: run then gate
+//	fmgrid -manifest bench/experiments.json -update-baseline # intentional baseline refresh
+//
+// Exit status: 0 on success, 1 when the gate finds a regression or a
+// schema mismatch, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flashmob/internal/perfgate"
+)
+
+func main() {
+	var (
+		manifestPath = flag.String("manifest", "bench/experiments.json", "experiments.json manifest to run")
+		benchCmd     = flag.String("bench", "go run ./cmd/fmbench", "harness command (space-separated argv prefix)")
+		outDir       = flag.String("out", ".", "directory for the aggregated BENCH_*.json results")
+		baselineDir  = flag.String("baseline", "bench/baseline", "committed baseline directory to gate against")
+		gate         = flag.Bool("gate", false, "compare results against -baseline and exit 1 on regression")
+		update       = flag.Bool("update-baseline", false, "copy this run's results into -baseline (intentional refresh)")
+		csvPath      = flag.String("csv", "", "write a per-metric CSV summary here (default <out>/bench_summary.csv)")
+		mdPath       = flag.String("md", "", "write a markdown summary here (default <out>/bench_summary.md)")
+		only         = flag.String("only", "", "run only these comma-separated experiments from the manifest")
+		verbose      = flag.Bool("v", false, "stream harness output")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "fmgrid: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	m, err := perfgate.LoadManifest(*manifestPath)
+	if err != nil {
+		fatal(2, "fmgrid: %v", err)
+	}
+	experiments := m.Experiments
+	if *only != "" {
+		experiments = selectExperiments(m, *only)
+		if experiments == nil {
+			fatal(2, "fmgrid: -only %q names no experiment in %s", *only, *manifestPath)
+		}
+	}
+
+	runner := &perfgate.Runner{
+		BenchCmd: strings.Fields(*benchCmd),
+		Log:      os.Stdout,
+		Verbose:  *verbose,
+	}
+
+	var reports []*perfgate.GridReport
+	for _, e := range experiments {
+		rep, err := runner.RunExperiment(m, e)
+		if err != nil {
+			fatal(1, "fmgrid: %v", err)
+		}
+		out := filepath.Join(*outDir, e.OutputFile())
+		if err := rep.WriteFile(out); err != nil {
+			fatal(1, "fmgrid: %v", err)
+		}
+		fmt.Printf("wrote %s (%d cells × %d repeats)\n", out, len(rep.Cells), rep.Repeats)
+		reports = append(reports, rep)
+	}
+
+	if err := writeSummaries(reports, m.Gate, *outDir, *csvPath, *mdPath); err != nil {
+		fatal(1, "fmgrid: %v", err)
+	}
+
+	if *update {
+		for i, e := range experiments {
+			dst := filepath.Join(*baselineDir, e.OutputFile())
+			if err := reports[i].WriteFile(dst); err != nil {
+				fatal(1, "fmgrid: updating baseline: %v", err)
+			}
+			fmt.Printf("baseline refreshed: %s\n", dst)
+		}
+	}
+
+	if *gate {
+		os.Exit(runGate(experiments, reports, m.Gate, *baselineDir))
+	}
+}
+
+// runGate compares every fresh report against its committed baseline
+// and returns the process exit code.
+func runGate(experiments []perfgate.Experiment, reports []*perfgate.GridReport, gc perfgate.GateConfig, baselineDir string) int {
+	regressions, failures := 0, 0
+	for i, e := range experiments {
+		base, err := perfgate.ReadGridReport(filepath.Join(baselineDir, e.OutputFile()))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fmgrid: gate %s: no usable baseline: %v\n", e.Name, err)
+			failures++
+			continue
+		}
+		res, err := perfgate.Compare(base, reports[i], gc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fmgrid: %v\n", err)
+			failures++
+			continue
+		}
+		res.Render(os.Stdout)
+		regressions += res.Regressions()
+	}
+	switch {
+	case failures > 0:
+		fmt.Fprintf(os.Stderr, "fmgrid: GATE FAILED: %d experiment(s) could not be compared\n", failures)
+		return 1
+	case regressions > 0:
+		fmt.Fprintf(os.Stderr, "fmgrid: GATE FAILED: %d metric(s) regressed beyond the noise band\n", regressions)
+		return 1
+	default:
+		fmt.Println("fmgrid: gate passed")
+		return 0
+	}
+}
+
+// writeSummaries drops the CSV and markdown views next to the JSON.
+func writeSummaries(reports []*perfgate.GridReport, gc perfgate.GateConfig, outDir, csvPath, mdPath string) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	if csvPath == "" {
+		csvPath = filepath.Join(outDir, "bench_summary.csv")
+	}
+	if mdPath == "" {
+		mdPath = filepath.Join(outDir, "bench_summary.md")
+	}
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	if err := perfgate.WriteCSV(cf, reports); err != nil {
+		cf.Close()
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	mf, err := os.Create(mdPath)
+	if err != nil {
+		return err
+	}
+	if err := perfgate.WriteMarkdown(mf, reports, gc); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", csvPath, mdPath)
+	return nil
+}
+
+// selectExperiments resolves the -only list against the manifest,
+// returning nil when any name is unknown.
+func selectExperiments(m *perfgate.Manifest, only string) []perfgate.Experiment {
+	var out []perfgate.Experiment
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, e := range m.Experiments {
+			if e.Name == name {
+				out = append(out, e)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return out
+}
+
+// fatal prints one line and exits with the given code.
+func fatal(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}

@@ -1,0 +1,138 @@
+package perfgate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stat is one metric folded across a cell's repeats.
+type Stat struct {
+	// Mean is the arithmetic mean across repeats.
+	Mean float64 `json:"mean"`
+	// Std is the population standard deviation across repeats (0 when
+	// N == 1) — the quantity the gate's noise band is derived from.
+	Std float64 `json:"std"`
+	// Min is the smallest observed value.
+	Min float64 `json:"min"`
+	// Max is the largest observed value.
+	Max float64 `json:"max"`
+	// N is the number of repeats folded in.
+	N int `json:"n"`
+}
+
+// foldValues computes a Stat from one metric's per-repeat observations.
+func foldValues(xs []float64) Stat {
+	if len(xs) == 0 {
+		return Stat{}
+	}
+	s := Stat{Min: xs[0], Max: xs[0], N: len(xs)}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(xs)))
+	return s
+}
+
+// CellResult is one grid cell's aggregated measurement: the parameters
+// that produced it, the exact configuration echoed by the runs, and
+// every metric folded across the repeats.
+type CellResult struct {
+	// Params are the grid-cell flag values ("default" cell when empty).
+	Params map[string]string `json:"params,omitempty"`
+	// Repeats is how many runs folded into this cell.
+	Repeats int `json:"repeats"`
+	// Config holds the runs' string/bool leaves (graph names, variant
+	// labels, cold_cache, …), identical across repeats by construction.
+	Config map[string]string `json:"config,omitempty"`
+	// Metrics maps flattened metric key → folded statistics.
+	Metrics map[string]Stat `json:"metrics"`
+}
+
+// Label renders the cell's parameters like Cell.Label.
+func (c *CellResult) Label() string {
+	return Cell{Params: c.Params}.Label()
+}
+
+// MetricKeys returns the cell's metric keys in sorted order.
+func (c *CellResult) MetricKeys() []string {
+	keys := make([]string, 0, len(c.Metrics))
+	for k := range c.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FoldRuns aggregates one cell's repeated runs into a CellResult. Every
+// repeat must expose the same metric and config keys with identical
+// config values: a divergence means the experiment is not measuring the
+// same thing twice (e.g. a variant list changed shape mid-run), which
+// is an error, not something to average over.
+func FoldRuns(cell Cell, runs []*Run) (*CellResult, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("cell %s: no runs to fold", cell.Label())
+	}
+	first := runs[0]
+	for i, r := range runs[1:] {
+		if err := sameShape(first, r); err != nil {
+			return nil, fmt.Errorf("cell %s: repeat %d differs from repeat 0: %w", cell.Label(), i+1, err)
+		}
+	}
+	out := &CellResult{
+		Params:  cell.Params,
+		Repeats: len(runs),
+		Config:  first.Config,
+		Metrics: make(map[string]Stat, len(first.Metrics)),
+	}
+	for key := range first.Metrics {
+		xs := make([]float64, len(runs))
+		for i, r := range runs {
+			xs[i] = r.Metrics[key]
+		}
+		out.Metrics[key] = foldValues(xs)
+	}
+	return out, nil
+}
+
+// sameShape verifies two runs expose identical metric keys and
+// identical config keys and values.
+func sameShape(a, b *Run) error {
+	for k := range a.Metrics {
+		if _, ok := b.Metrics[k]; !ok {
+			return fmt.Errorf("metric %q missing", k)
+		}
+	}
+	for k := range b.Metrics {
+		if _, ok := a.Metrics[k]; !ok {
+			return fmt.Errorf("unexpected metric %q", k)
+		}
+	}
+	for k, v := range a.Config {
+		bv, ok := b.Config[k]
+		if !ok {
+			return fmt.Errorf("config %q missing", k)
+		}
+		if bv != v {
+			return fmt.Errorf("config %q is %q, was %q", k, bv, v)
+		}
+	}
+	for k := range b.Config {
+		if _, ok := a.Config[k]; !ok {
+			return fmt.Errorf("unexpected config %q", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Run is one raw fmbench report flattened into leaves: every numeric
+// leaf keyed by its JSON path becomes a metric; string and bool leaves
+// become configuration (compared exactly, never averaged).
+type Run struct {
+	// Metrics maps flattened key → numeric value.
+	Metrics map[string]float64
+	// Config maps flattened key → the string form of a non-numeric leaf.
+	Config map[string]string
+}
+
+// metaKeys are the provenance fields stamped onto every raw report
+// (see Meta); they describe the run, not the measurement, so the
+// flattener drops them at the top level.
+var metaKeys = map[string]bool{
+	"schema_version": true,
+	"git_sha":        true,
+	"generated_unix": true,
+	"host":           true,
+}
+
+// FlattenJSON decomposes one raw BENCH_*.json document into a Run.
+//
+// Keys are JSON paths: object fields join with ".", array elements of
+// objects become "name[i:label]" where the label is the element's
+// string-valued fields (sorted by field name, "/"-joined) — so
+// "variants[3:pool/wc-gather].ns_per_walker" stays stable and readable
+// even when the array order is what identifies the cell. Arrays of
+// scalars collapse into one Config entry ("8/32/128"). Top-level
+// provenance fields (schema_version, git_sha, generated_unix, host) are
+// dropped: they describe the run, not the measurement.
+func FlattenJSON(data []byte) (*Run, error) {
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("flatten: %w", err)
+	}
+	r := &Run{Metrics: map[string]float64{}, Config: map[string]string{}}
+	for _, k := range sortedKeys(doc) {
+		if metaKeys[k] {
+			continue
+		}
+		r.flatten(k, doc[k])
+	}
+	return r, nil
+}
+
+// flatten dispatches one JSON value under the given key prefix.
+func (r *Run) flatten(key string, v any) {
+	switch t := v.(type) {
+	case float64:
+		r.Metrics[key] = t
+	case bool:
+		r.Config[key] = fmt.Sprintf("%v", t)
+	case string:
+		r.Config[key] = t
+	case nil:
+		// absent value: nothing to record
+	case map[string]any:
+		for _, k := range sortedKeys(t) {
+			r.flatten(key+"."+k, t[k])
+		}
+	case []any:
+		r.flattenArray(key, t)
+	}
+}
+
+// flattenArray handles the two array shapes BENCH reports use: arrays
+// of objects (measurement variants) and arrays of scalars (config
+// lists like mix_walkers).
+func (r *Run) flattenArray(key string, arr []any) {
+	allObjects := len(arr) > 0
+	for _, e := range arr {
+		if _, ok := e.(map[string]any); !ok {
+			allObjects = false
+			break
+		}
+	}
+	if !allObjects {
+		parts := make([]string, len(arr))
+		for i, e := range arr {
+			parts[i] = fmt.Sprintf("%v", e)
+		}
+		r.Config[key] = strings.Join(parts, "/")
+		return
+	}
+	for i, e := range arr {
+		obj := e.(map[string]any)
+		r.flatten(fmt.Sprintf("%s[%d:%s]", key, i, elementLabel(obj)), obj)
+	}
+}
+
+// elementLabel derives a human-readable identity for one array element
+// from its string-valued fields, sorted by field name for stability.
+func elementLabel(obj map[string]any) string {
+	var parts []string
+	for _, k := range sortedKeys(obj) {
+		if s, ok := obj[k].(string); ok {
+			parts = append(parts, sanitizeLabel(s))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "/")
+}
+
+// sanitizeLabel keeps labels free of the characters the key syntax uses.
+func sanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '[', ']', '.', ' ', ':':
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

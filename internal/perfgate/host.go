@@ -1,0 +1,103 @@
+package perfgate
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Host fingerprints the machine a benchmark ran on. Numbers are only
+// comparable against a baseline recorded on a like host; the gate
+// reports (but does not fail on) fingerprint drift, since CI runners
+// legitimately rotate hardware.
+type Host struct {
+	// OS is runtime.GOOS.
+	OS string `json:"os"`
+	// Arch is runtime.GOARCH.
+	Arch string `json:"arch"`
+	// CPUs is runtime.NumCPU at stamp time.
+	CPUs int `json:"cpus"`
+	// GoVersion is the toolchain that built the harness.
+	GoVersion string `json:"go_version"`
+	// Hostname is best-effort ("" when unavailable).
+	Hostname string `json:"hostname,omitempty"`
+	// CPUModel is the /proc/cpuinfo model name on Linux, best-effort.
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// Meta is the provenance header stamped into every benchmark artifact:
+// raw per-run reports (cmd/fmbench) and aggregated grid reports
+// (cmd/fmgrid) both carry it.
+type Meta struct {
+	// SchemaVersion is ReportSchemaVersion at write time.
+	SchemaVersion int `json:"schema_version"`
+	// GitSHA is the commit the harness ran from ("unknown" outside a
+	// git checkout).
+	GitSHA string `json:"git_sha"`
+	// GeneratedUnix is the wall-clock stamp time in Unix seconds.
+	GeneratedUnix int64 `json:"generated_unix"`
+	// Host fingerprints the machine.
+	Host Host `json:"host"`
+}
+
+// ReportSchemaVersion versions both BENCH report schemas (raw and
+// grid); bump it when either changes incompatibly, and the gate will
+// refuse to compare across versions.
+const ReportSchemaVersion = 2
+
+// NewMeta stamps the current commit, time, and host.
+func NewMeta() Meta {
+	return Meta{
+		SchemaVersion: ReportSchemaVersion,
+		GitSHA:        GitSHA(),
+		GeneratedUnix: time.Now().Unix(),
+		Host:          HostFingerprint(),
+	}
+}
+
+// HostFingerprint collects the current machine's fingerprint.
+func HostFingerprint() Host {
+	h := Host{
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	if name, err := os.Hostname(); err == nil {
+		h.Hostname = name
+	}
+	h.CPUModel = cpuModel()
+	return h
+}
+
+// cpuModel reads the first "model name" line of /proc/cpuinfo
+// (best-effort, Linux-only; "" elsewhere).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// GitSHA returns the current HEAD commit (short form), or "unknown"
+// when git or a checkout is unavailable — artifacts must still be
+// writable from exported tarballs and temp dirs.
+func GitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	sha := strings.TrimSpace(string(out))
+	if sha == "" {
+		return "unknown"
+	}
+	return sha
+}

@@ -1,0 +1,189 @@
+// Package perfgate turns the repo's one-shot BENCH_*.json snapshots into
+// a gated benchmark trajectory. It provides the four pieces the grid
+// runner (cmd/fmgrid) composes:
+//
+//   - a declarative manifest (experiments.json): experiment name ×
+//     parameter grid × repeat count, plus the gate's noise policy;
+//   - a runner that shells into cmd/fmbench once per (cell, repeat) and
+//     collects the raw BENCH_*.json each run writes;
+//   - aggregation: every numeric leaf of the raw reports becomes a
+//     metric, folded across repeats into mean/std/min/max;
+//   - the gate: a fresh grid report compared cell-by-cell against a
+//     committed baseline, where a metric regresses only when it moves
+//     past a noise band of k·σ derived from the baseline's recorded
+//     std (floored, so near-zero-variance cells do not gate on dust).
+//
+// The JSON schemas (manifest, grid report, verdicts) are documented
+// field-by-field in docs/BENCHMARKING.md, and a coverage test keeps
+// that file complete.
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ManifestSchemaVersion is the schema_version a manifest must carry;
+// bump it when the manifest format changes incompatibly.
+const ManifestSchemaVersion = 1
+
+// Manifest is the parsed experiments.json: which experiments to run, on
+// what parameter grids, how often, and how to gate the results.
+type Manifest struct {
+	// SchemaVersion must equal ManifestSchemaVersion.
+	SchemaVersion int `json:"schema_version"`
+	// Repeats is the default repeat count for experiments that do not
+	// set their own (defaults to 1 when absent).
+	Repeats int `json:"repeats,omitempty"`
+	// Gate is the noise policy baseline comparisons use.
+	Gate GateConfig `json:"gate"`
+	// Experiments lists the grid, in execution order.
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Experiment is one fmbench experiment plus the parameter grid to sweep.
+type Experiment struct {
+	// Name is the fmbench -exp name (e.g. "shuffle").
+	Name string `json:"name"`
+	// Output is the BENCH file the experiment writes into its -outdir;
+	// empty means "BENCH_<name>.json".
+	Output string `json:"output,omitempty"`
+	// Repeats overrides the manifest-level repeat count when > 0.
+	Repeats int `json:"repeats,omitempty"`
+	// Grid maps an fmbench flag name (without the dash) to the values to
+	// sweep; the experiment runs once per element of the cartesian
+	// product. Single-valued entries are fixed configuration.
+	Grid map[string][]string `json:"grid,omitempty"`
+}
+
+// OutputFile returns the BENCH file name this experiment produces.
+func (e Experiment) OutputFile() string {
+	if e.Output != "" {
+		return e.Output
+	}
+	return "BENCH_" + e.Name + ".json"
+}
+
+// RepeatsOrDefault resolves the effective repeat count against the
+// manifest default, floored at 1.
+func (e Experiment) RepeatsOrDefault(m *Manifest) int {
+	r := e.Repeats
+	if r == 0 {
+		r = m.Repeats
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Cell is one point of an experiment's parameter grid.
+type Cell struct {
+	// Params maps flag name → value for this cell.
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Label renders the cell's parameters as a stable "k=v,k=v" string
+// ("default" for the empty cell), used to match cells across reports.
+func (c Cell) Label() string {
+	if len(c.Params) == 0 {
+		return "default"
+	}
+	keys := make([]string, 0, len(c.Params))
+	for k := range c.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + c.Params[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// Cells expands the experiment's grid into the cartesian product of its
+// flag values, in deterministic (sorted flag name, listed value) order.
+func (e Experiment) Cells() []Cell {
+	flags := make([]string, 0, len(e.Grid))
+	for f := range e.Grid {
+		flags = append(flags, f)
+	}
+	sort.Strings(flags)
+	cells := []Cell{{}}
+	for _, f := range flags {
+		vals := e.Grid[f]
+		if len(vals) == 0 {
+			continue
+		}
+		next := make([]Cell, 0, len(cells)*len(vals))
+		for _, c := range cells {
+			for _, v := range vals {
+				p := make(map[string]string, len(c.Params)+1)
+				for k, pv := range c.Params {
+					p[k] = pv
+				}
+				p[f] = v
+				next = append(next, Cell{Params: p})
+			}
+		}
+		cells = next
+	}
+	return cells
+}
+
+// LoadManifest reads and validates an experiments.json manifest.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Validate checks the manifest's structural invariants: the schema
+// version, at least one experiment, unique experiment names, and sane
+// repeat counts and gate parameters.
+func (m *Manifest) Validate() error {
+	if m.SchemaVersion != ManifestSchemaVersion {
+		return fmt.Errorf("manifest schema_version %d, this tool understands %d",
+			m.SchemaVersion, ManifestSchemaVersion)
+	}
+	if len(m.Experiments) == 0 {
+		return fmt.Errorf("manifest lists no experiments")
+	}
+	if m.Repeats < 0 {
+		return fmt.Errorf("manifest repeats %d: must be >= 0", m.Repeats)
+	}
+	seen := make(map[string]bool, len(m.Experiments))
+	for i, e := range m.Experiments {
+		if e.Name == "" {
+			return fmt.Errorf("experiment %d has no name", i)
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("experiment %q listed twice", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Repeats < 0 {
+			return fmt.Errorf("experiment %q: repeats %d must be >= 0", e.Name, e.Repeats)
+		}
+		for f, vals := range e.Grid {
+			if len(vals) == 0 {
+				return fmt.Errorf("experiment %q: grid flag %q has no values", e.Name, f)
+			}
+			if strings.HasPrefix(f, "-") {
+				return fmt.Errorf("experiment %q: grid flag %q must not carry its dash", e.Name, f)
+			}
+		}
+	}
+	return m.Gate.Validate()
+}

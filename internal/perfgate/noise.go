@@ -1,0 +1,143 @@
+package perfgate
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Direction classifies what movement of a metric counts as a regression.
+type Direction int
+
+// The four metric classes the gate distinguishes. Informational metrics
+// are recorded and reported but never gated: counts, configuration
+// echoes, and anything whose "good" direction the name rules cannot
+// establish.
+const (
+	// Informational metrics are recorded but not gated.
+	Informational Direction = iota
+	// LowerIsBetter gates metrics like ns/step and tail latency.
+	LowerIsBetter
+	// HigherIsBetter gates metrics like goodput and speedups.
+	HigherIsBetter
+	// Ignored metrics are dropped from reports and the gate entirely
+	// (noise-of-noise fields like *_std, provenance echoes).
+	Ignored
+)
+
+// String names the direction for reports.
+func (d Direction) String() string {
+	switch d {
+	case LowerIsBetter:
+		return "lower"
+	case HigherIsBetter:
+		return "higher"
+	case Ignored:
+		return "ignored"
+	default:
+		return "info"
+	}
+}
+
+// Built-in metric-name classification, matched by substring against the
+// full flattened key (manifest-supplied patterns take precedence). The
+// defaults cover every metric the six fmbench experiments emit today;
+// unmatched numeric leaves fall through to Informational, so a new
+// metric is recorded from its first run and only gated once a rule
+// names it.
+var (
+	defaultIgnore = []string{"_std", "schema_version", "generated_unix", "gomaxprocs", "repeats"}
+	defaultLower  = []string{"ns_per", "_ns", "p50_ms", "p99_ms", "mean_run_ms", "wall_seconds", "io_wait_share", "failed"}
+	defaultHigher = []string{"per_sec", "speedup", "_vs_", "mb_per_sec", "goodput"}
+)
+
+// GateConfig is the gate's noise policy: the width of the allowed band
+// around each baseline mean and the metric-name classification rules.
+type GateConfig struct {
+	// Sigma scales the noise band: a metric regresses only when it moves
+	// more than Sigma × noise past the baseline mean (0 means the
+	// default of 3).
+	Sigma float64 `json:"sigma,omitempty"`
+	// RelFloor floors the noise at this fraction of |baseline mean|, so
+	// cells whose recorded std is ~0 (e.g. repeats=1) still tolerate
+	// run-to-run jitter (0 means the default of 0.05).
+	RelFloor float64 `json:"rel_floor,omitempty"`
+	// AbsFloor floors the noise absolutely, protecting near-zero means
+	// where a relative floor vanishes (0 means the default of 1e-9).
+	AbsFloor float64 `json:"abs_floor,omitempty"`
+	// Higher adds higher-is-better key patterns (substring match).
+	Higher []string `json:"higher,omitempty"`
+	// Lower adds lower-is-better key patterns (substring match).
+	Lower []string `json:"lower,omitempty"`
+	// Ignore adds key patterns excluded from gating and reports.
+	Ignore []string `json:"ignore,omitempty"`
+}
+
+// Validate rejects nonsensical noise parameters.
+func (g GateConfig) Validate() error {
+	if g.Sigma < 0 || g.RelFloor < 0 || g.AbsFloor < 0 {
+		return fmt.Errorf("gate: sigma/rel_floor/abs_floor must be >= 0")
+	}
+	return nil
+}
+
+// sigma returns the effective k of the k·σ band.
+func (g GateConfig) sigma() float64 {
+	if g.Sigma == 0 {
+		return 3
+	}
+	return g.Sigma
+}
+
+// relFloor returns the effective relative noise floor.
+func (g GateConfig) relFloor() float64 {
+	if g.RelFloor == 0 {
+		return 0.05
+	}
+	return g.RelFloor
+}
+
+// absFloor returns the effective absolute noise floor.
+func (g GateConfig) absFloor() float64 {
+	if g.AbsFloor == 0 {
+		return 1e-9
+	}
+	return g.AbsFloor
+}
+
+// Band returns the half-width of the allowed interval around a baseline
+// statistic: Sigma × max(recorded std, RelFloor·|mean|, AbsFloor).
+func (g GateConfig) Band(base Stat) float64 {
+	noise := base.Std
+	if f := g.relFloor() * math.Abs(base.Mean); f > noise {
+		noise = f
+	}
+	if f := g.absFloor(); f > noise {
+		noise = f
+	}
+	return g.sigma() * noise
+}
+
+// Direction classifies a metric key: manifest-supplied patterns first
+// (ignore, then lower, then higher), then the built-in defaults in the
+// same order, then Informational.
+func (g GateConfig) Direction(key string) Direction {
+	for _, rules := range []struct {
+		pats []string
+		dir  Direction
+	}{
+		{g.Ignore, Ignored},
+		{g.Lower, LowerIsBetter},
+		{g.Higher, HigherIsBetter},
+		{defaultIgnore, Ignored},
+		{defaultLower, LowerIsBetter},
+		{defaultHigher, HigherIsBetter},
+	} {
+		for _, p := range rules.pats {
+			if p != "" && strings.Contains(key, p) {
+				return rules.dir
+			}
+		}
+	}
+	return Informational
+}

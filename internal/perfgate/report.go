@@ -1,0 +1,140 @@
+package perfgate
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// GridReport is the aggregated, versioned result of one experiment's
+// grid sweep — the schema of every committed BENCH_*.json and of the
+// bench/baseline/ trajectory files.
+type GridReport struct {
+	// Meta is the provenance header (schema_version, git_sha,
+	// generated_unix, host), inlined at the top level.
+	Meta
+	// Experiment is the fmbench -exp name.
+	Experiment string `json:"experiment"`
+	// Repeats is the manifest-resolved repeat count per cell.
+	Repeats int `json:"repeats"`
+	// Cells holds one aggregated result per grid cell, in grid order.
+	Cells []*CellResult `json:"cells"`
+}
+
+// FindCell returns the cell with the given label, or nil.
+func (r *GridReport) FindCell(label string) *CellResult {
+	for _, c := range r.Cells {
+		if c.Label() == label {
+			return c
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON, creating parent
+// directories as needed.
+func (r *GridReport) WriteFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadGridReport parses one aggregated BENCH_*.json.
+func ReadGridReport(path string) (*GridReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r GridReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Experiment == "" {
+		return nil, fmt.Errorf("%s: no experiment name — not a grid report", path)
+	}
+	return &r, nil
+}
+
+// WriteCSV dumps every (experiment, cell, metric) statistic of the
+// given reports as one CSV row — the raw material for plotting a
+// trajectory or diffing two sweeps outside this tool.
+func WriteCSV(w io.Writer, reports []*GridReport) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "cell", "metric", "mean", "std", "min", "max", "n"}); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		for _, c := range r.Cells {
+			for _, key := range c.MetricKeys() {
+				s := c.Metrics[key]
+				rec := []string{
+					r.Experiment, c.Label(), key,
+					formatFloat(s.Mean), formatFloat(s.Std),
+					formatFloat(s.Min), formatFloat(s.Max),
+					strconv.Itoa(s.N),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarkdown renders the gated metrics of the given reports as one
+// markdown table per experiment — the human-facing summary the grid
+// runner drops next to the JSON artifacts.
+func WriteMarkdown(w io.Writer, reports []*GridReport, gc GateConfig) error {
+	fmt.Fprintf(w, "# Benchmark grid summary\n")
+	for _, r := range reports {
+		fmt.Fprintf(w, "\n## %s\n\n", r.Experiment)
+		fmt.Fprintf(w, "commit `%s`, %d repeat(s)/cell, host %s/%s ×%d cpu\n\n",
+			r.GitSHA, r.Repeats, r.Host.OS, r.Host.Arch, r.Host.CPUs)
+		fmt.Fprintf(w, "| cell | metric | mean | std | min | max |\n")
+		fmt.Fprintf(w, "|---|---|---|---|---|---|\n")
+		rows := 0
+		for _, c := range r.Cells {
+			for _, key := range c.MetricKeys() {
+				dir := gc.Direction(key)
+				if dir != LowerIsBetter && dir != HigherIsBetter {
+					continue
+				}
+				s := c.Metrics[key]
+				fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+					c.Label(), key, formatFloat(s.Mean), formatFloat(s.Std),
+					formatFloat(s.Min), formatFloat(s.Max))
+				rows++
+			}
+		}
+		if rows == 0 {
+			fmt.Fprintf(w, "| – | (no gated metrics) | | | | |\n")
+		}
+		fmt.Fprintf(w, "\n(gated metrics only — the full metric set lives in the JSON and CSV)\n")
+	}
+	return nil
+}
+
+// formatFloat renders a statistic compactly without losing the ability
+// to round-trip typical benchmark magnitudes.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}

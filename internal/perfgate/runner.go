@@ -1,0 +1,129 @@
+package perfgate
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Runner shells into the benchmark harness once per (cell, repeat) and
+// folds the raw reports into aggregated GridReports.
+type Runner struct {
+	// BenchCmd is the argv prefix of the harness, e.g.
+	// ["go", "run", "./cmd/fmbench"] or ["/path/to/fmbench"]. The runner
+	// appends "-exp <name> -outdir <tmpdir>" plus the cell's flags.
+	BenchCmd []string
+	// Dir is the working directory for harness invocations (the repo
+	// root; "" means inherit).
+	Dir string
+	// Log receives progress lines (nil silences them).
+	Log io.Writer
+	// Verbose additionally streams the harness's own stdout/stderr to
+	// Log instead of buffering it for error reporting only.
+	Verbose bool
+}
+
+// logf writes one progress line when logging is enabled.
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// RunExperiment executes one experiment's full grid — every cell,
+// repeated — and returns the aggregated, provenance-stamped report.
+func (r *Runner) RunExperiment(m *Manifest, e Experiment) (*GridReport, error) {
+	if len(r.BenchCmd) == 0 {
+		return nil, fmt.Errorf("runner: no bench command configured")
+	}
+	repeats := e.RepeatsOrDefault(m)
+	rep := &GridReport{
+		Meta:       NewMeta(),
+		Experiment: e.Name,
+		Repeats:    repeats,
+	}
+	cells := e.Cells()
+	for ci, cell := range cells {
+		runs := make([]*Run, 0, repeats)
+		for ri := 0; ri < repeats; ri++ {
+			t0 := time.Now()
+			run, err := r.runOnce(e, cell)
+			if err != nil {
+				return nil, fmt.Errorf("%s cell %s repeat %d: %w", e.Name, cell.Label(), ri+1, err)
+			}
+			r.logf("grid %s: cell %d/%d (%s) repeat %d/%d done in %.1fs (%d metrics)",
+				e.Name, ci+1, len(cells), cell.Label(), ri+1, repeats,
+				time.Since(t0).Seconds(), len(run.Metrics))
+			runs = append(runs, run)
+		}
+		folded, err := FoldRuns(cell, runs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		rep.Cells = append(rep.Cells, folded)
+	}
+	return rep, nil
+}
+
+// runOnce executes the harness for one cell and flattens the BENCH file
+// it wrote.
+func (r *Runner) runOnce(e Experiment, cell Cell) (*Run, error) {
+	tmp, err := os.MkdirTemp("", "fmgrid-"+e.Name)
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	args := append([]string{}, r.BenchCmd[1:]...)
+	args = append(args, "-exp", e.Name, "-outdir", tmp)
+	flags := make([]string, 0, len(cell.Params))
+	for f := range cell.Params {
+		flags = append(flags, f)
+	}
+	sort.Strings(flags)
+	for _, f := range flags {
+		args = append(args, "-"+f, cell.Params[f])
+	}
+
+	cmd := exec.Command(r.BenchCmd[0], args...)
+	cmd.Dir = r.Dir
+	var sink io.Writer = io.Discard
+	if r.Verbose && r.Log != nil {
+		sink = r.Log
+	}
+	tail := &tailBuffer{max: 4096}
+	cmd.Stdout = io.MultiWriter(sink, tail)
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("harness failed: %w\n--- harness output tail ---\n%s", err, tail.String())
+	}
+
+	data, err := os.ReadFile(filepath.Join(tmp, e.OutputFile()))
+	if err != nil {
+		return nil, fmt.Errorf("harness wrote no %s: %w", e.OutputFile(), err)
+	}
+	return FlattenJSON(data)
+}
+
+// tailBuffer keeps the last max bytes written to it, so a failing
+// harness run can show its final output without buffering megabytes.
+type tailBuffer struct {
+	max int
+	buf []byte
+}
+
+// Write appends p, trimming the front past the cap.
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.max {
+		t.buf = t.buf[len(t.buf)-t.max:]
+	}
+	return len(p), nil
+}
+
+// String returns the retained tail.
+func (t *tailBuffer) String() string { return string(t.buf) }

@@ -1,0 +1,215 @@
+package perfgate
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stubHarness writes an executable shell script that mimics fmbench's
+// contract: parse -exp/-outdir plus grid flags, write
+// BENCH_<exp>.json into -outdir. A counter file makes successive
+// invocations return slightly different ns_per_step values so the
+// mean/std folding has real variation to chew on.
+func stubHarness(t *testing.T, dir string) string {
+	t.Helper()
+	counter := filepath.Join(dir, "counter")
+	script := filepath.Join(dir, "stub.sh")
+	body := fmt.Sprintf(`#!/bin/sh
+exp=""; out=""; steps=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -exp) exp=$2; shift 2;;
+    -outdir) out=$2; shift 2;;
+    -steps) steps=$2; shift 2;;
+    *) shift;;
+  esac
+done
+c=$(cat %q 2>/dev/null || echo 0)
+c=$((c+1))
+echo $c > %q
+cat > "$out/BENCH_$exp.json" <<EOF
+{"experiment":"$exp","graph":"YT","steps":$steps,"ns_per_step":$((100+c))}
+EOF
+`, counter, counter)
+	if err := os.WriteFile(script, []byte(body), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return script
+}
+
+func TestRunnerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	script := stubHarness(t, dir)
+	m := &Manifest{SchemaVersion: 1, Repeats: 2}
+	e := Experiment{Name: "toy", Grid: map[string][]string{"steps": {"4", "8"}}}
+
+	r := &Runner{BenchCmd: []string{"/bin/sh", script}}
+	rep, err := r.RunExperiment(m, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiment != "toy" || rep.Repeats != 2 || len(rep.Cells) != 2 {
+		t.Fatalf("report shape: exp=%q repeats=%d cells=%d", rep.Experiment, rep.Repeats, len(rep.Cells))
+	}
+	if rep.SchemaVersion != ReportSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, ReportSchemaVersion)
+	}
+	// Invocations 1,2 hit cell steps=4; invocations 3,4 hit steps=8.
+	c0 := rep.Cells[0]
+	if c0.Label() != "steps=4" {
+		t.Fatalf("first cell %q", c0.Label())
+	}
+	s := c0.Metrics["ns_per_step"]
+	almost(t, s.Mean, 101.5, 1e-9, "cell0 folded mean")
+	almost(t, s.Std, 0.5, 1e-9, "cell0 folded std")
+	if s.N != 2 {
+		t.Errorf("cell0 n = %d", s.N)
+	}
+	almost(t, rep.Cells[1].Metrics["ns_per_step"].Mean, 103.5, 1e-9, "cell1 folded mean")
+	// The -steps grid flag reached the harness and round-tripped.
+	almost(t, rep.Cells[1].Metrics["steps"].Mean, 8, 0, "steps flag")
+	if g := c0.Config["graph"]; g != "YT" {
+		t.Errorf("config graph = %q", g)
+	}
+}
+
+func TestRunnerHarnessFailure(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "fail.sh")
+	if err := os.WriteFile(script, []byte("#!/bin/sh\necho boom-diagnostic\nexit 3\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{BenchCmd: []string{"/bin/sh", script}}
+	_, err := r.RunExperiment(&Manifest{SchemaVersion: 1}, Experiment{Name: "toy"})
+	if err == nil {
+		t.Fatal("failing harness must error")
+	}
+	if !strings.Contains(err.Error(), "boom-diagnostic") {
+		t.Errorf("error does not carry the harness output tail: %v", err)
+	}
+}
+
+func TestRunnerMissingOutput(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "noop.sh")
+	if err := os.WriteFile(script, []byte("#!/bin/sh\nexit 0\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{BenchCmd: []string{"/bin/sh", script}}
+	_, err := r.RunExperiment(&Manifest{SchemaVersion: 1}, Experiment{Name: "toy"})
+	if err == nil || !strings.Contains(err.Error(), "BENCH_toy.json") {
+		t.Fatalf("missing output file must name the file: %v", err)
+	}
+}
+
+func TestGridReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep := report("toy", ReportSchemaVersion, map[string]Stat{
+		"ns_per_step": {Mean: 100, Std: 2, Min: 98, Max: 102, N: 3},
+	})
+	path := filepath.Join(dir, "sub", "BENCH_toy.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGridReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != "toy" || len(got.Cells) != 1 {
+		t.Fatalf("round trip lost shape: %+v", got)
+	}
+	almost(t, got.Cells[0].Metrics["ns_per_step"].Std, 2, 0, "std after round trip")
+
+	// A non-grid JSON file (e.g. a raw fmbench report committed by
+	// mistake) must be rejected, not silently treated as empty.
+	raw := filepath.Join(dir, "raw.json")
+	os.WriteFile(raw, []byte(`{"experiment_typo":"x"}`), 0o644)
+	if _, err := ReadGridReport(raw); err == nil {
+		t.Error("non-grid JSON accepted as a baseline")
+	}
+}
+
+// TestGateDoctoredBaseline is the acceptance scenario: run the grid
+// against a committed baseline whose numbers were doctored to be
+// better than reality, and require the gate to fail.
+func TestGateDoctoredBaseline(t *testing.T) {
+	dir := t.TempDir()
+	script := stubHarness(t, dir)
+	m := &Manifest{SchemaVersion: 1, Repeats: 2,
+		Gate: GateConfig{Sigma: 3, RelFloor: 0.01, AbsFloor: 1e-9}}
+	e := Experiment{Name: "toy"}
+
+	r := &Runner{BenchCmd: []string{"/bin/sh", script}}
+	fresh, err := r.RunExperiment(m, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Doctor a baseline claiming ns_per_step used to be 50 with almost
+	// no variance; the stub's ~101 must blow through the band.
+	doctored := &GridReport{
+		Meta:       Meta{SchemaVersion: ReportSchemaVersion, GitSHA: "doctored"},
+		Experiment: "toy",
+		Repeats:    2,
+		Cells: []*CellResult{{
+			Repeats: 2,
+			Config:  fresh.Cells[0].Config,
+			Metrics: map[string]Stat{
+				"ns_per_step": {Mean: 50, Std: 0.1, Min: 49.9, Max: 50.1, N: 2},
+				"steps":       fresh.Cells[0].Metrics["steps"],
+			},
+		}},
+	}
+	basePath := filepath.Join(dir, "baseline", "BENCH_toy.json")
+	if err := doctored.WriteFile(basePath); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadGridReport(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compare(base, fresh, m.Gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions() == 0 {
+		t.Fatal("doctored baseline must trip the gate")
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("render output lacks REGRESSED verdict:\n%s", sb.String())
+	}
+}
+
+func TestWriteCSVAndMarkdown(t *testing.T) {
+	rep := report("toy", ReportSchemaVersion, map[string]Stat{
+		"ns_per_step":  {Mean: 100, Std: 2, Min: 98, Max: 102, N: 3},
+		"speedup_vs_x": {Mean: 1.5, Std: 0.1, Min: 1.4, Max: 1.6, N: 3},
+		"offered_qps":  {Mean: 10, N: 3},
+	})
+	var csv strings.Builder
+	if err := WriteCSV(&csv, []*GridReport{rep}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "experiment,cell,metric,mean,std,min,max,n\n") {
+		t.Errorf("csv header: %q", strings.SplitN(csv.String(), "\n", 2)[0])
+	}
+	if !strings.Contains(csv.String(), "toy,default,ns_per_step,100,2,98,102,3") {
+		t.Errorf("csv row missing:\n%s", csv.String())
+	}
+	var md strings.Builder
+	if err := WriteMarkdown(&md, []*GridReport{rep}, GateConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	out := md.String()
+	if !strings.Contains(out, "ns_per_step") || !strings.Contains(out, "speedup_vs_x") {
+		t.Errorf("markdown missing gated metrics:\n%s", out)
+	}
+	if strings.Contains(out, "offered_qps") {
+		t.Errorf("markdown should only list gated metrics:\n%s", out)
+	}
+}
