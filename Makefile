@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent bench-serve bench-mixed bench-ooc bench-grid bench-baseline perf-gate perf-gate-smoke
+.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent bench-serve bench-mixed bench-ooc bench-shard bench-grid bench-baseline perf-gate perf-gate-smoke
 
 build:
 	$(GO) build ./...
@@ -9,13 +9,13 @@ build:
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/doccheck -strict . -strict ./internal/obs -strict ./internal/serve -strict ./internal/ooc -strict ./internal/perfgate ./internal/... ./cmd/... ./examples/...
+	$(GO) run ./cmd/doccheck -strict . -strict ./internal/obs -strict ./internal/serve -strict ./internal/ooc -strict ./internal/perfgate -strict ./internal/shard ./internal/... ./cmd/... ./examples/...
 
 test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race -shuffle=on . ./internal/pool/ ./internal/walk/ ./internal/core/ ./internal/serve/ ./internal/ooc/
+	$(GO) test -race -shuffle=on . ./internal/pool/ ./internal/walk/ ./internal/core/ ./internal/serve/ ./internal/ooc/ ./internal/shard/
 
 # Go-native component benchmarks (small, cache-resident scales).
 bench:
@@ -67,6 +67,14 @@ bench-mixed:
 bench-ooc:
 	@mkdir -p bench/out
 	$(GO) run ./cmd/fmbench -exp ooc -repeats 5 -outdir bench/out
+
+# Sharded topology sweep: shard count x transport (in-process channel
+# exchange at 1/2/4 shards, a two-shard TCP loopback pair) vs the single
+# engine on bitwise-identical cohorts, mean/std over 5 repeats. Writes a
+# raw BENCH_shard.json under bench/out/ (docs/BENCHMARKING.md).
+bench-shard:
+	@mkdir -p bench/out
+	$(GO) run ./cmd/fmbench -exp shard -repeats 5 -outdir bench/out
 
 # Equivalence + determinism gate for the sample kernels.
 bench-sample-equiv:

@@ -77,6 +77,7 @@ var experiments = []experiment{
 	{"concurrent", "concurrent sessions on one engine build: aggregate walker-steps/s vs session count (writes BENCH_concurrent.json)", expConcurrent},
 	{"serve", "walk-query serving: open-loop load on batch-size-1 vs coalescing windows (writes BENCH_serve.json)", expServe},
 	{"mixed", "mixed-algorithm serving: one mixed-cohort run per wave vs the fragmented per-(algorithm, steps) baseline (writes BENCH_mixed.json)", expMixed},
+	{"shard", "sharded topology sweep: shard count x transport (chan, TCP pair) vs the single engine on identical cohorts (writes BENCH_shard.json)", expShard},
 	{"prep", "pre-processing overhead: counting sort + MCKP planning", expPrep},
 	{"ooc", "out-of-core streaming: prefetch depth / IO workers / parallel sampling / resident tier overlap curve (§4.5 future work)", expOOC},
 	{"ablate", "design-choice ablations: LLC policy, prefetcher, regular DS indexing (simulated)", expAblate},

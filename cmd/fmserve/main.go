@@ -9,6 +9,15 @@
 //
 //	fmserve -preset YT -scalediv 100 -algos deepwalk -addr :8080
 //	fmserve -graph yt.bin -algos deepwalk,node2vec -p 0.5 -q 2 -window 4ms
+//	fmserve -preset YT -shards 2                       # in-process sharded waves
+//	fmserve -preset YT -shard-worker -shard-index 0 \
+//	        -shard-addrs 127.0.0.1:9101,127.0.0.1:9102 # one worker of a TCP pair
+//	fmserve -preset YT -shard-workers 127.0.0.1:9101,127.0.0.1:9102
+//
+// Sharded serving (coordinator mode, docs/SERVING.md): -shards runs each
+// wave on an in-process sharded topology; -shard-workers coordinates
+// external fmserve -shard-worker processes over TCP. Responses are
+// bitwise-identical to unsharded serving either way.
 //
 // With -addr :0 the kernel picks a free port; the chosen address is
 // printed as "fmserve: listening on ADDR" so scripts (the CI smoke leg,
@@ -19,6 +28,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -57,8 +67,21 @@ func main() {
 		executors   = flag.Int("executors", 2, "concurrent batch executions per algorithm")
 		timeout     = flag.Duration("timeout", 2*time.Second, "default request deadline")
 		splitRuns   = flag.Bool("split-cohort-runs", false, "one engine run per (algorithm, steps) cohort instead of one mixed run per wave (benchmark baseline)")
+
+		shards       = flag.Int("shards", 0, "run waves on an in-process sharded topology with this many shards (0 = unsharded)")
+		shardWorkers = flag.String("shard-workers", "", "comma-separated shard-worker addresses: serve as the coordinator of a multi-process sharded topology")
+		shardWorker  = flag.Bool("shard-worker", false, "run as one shard worker of a multi-process topology instead of serving HTTP (requires -shard-index and -shard-addrs)")
+		shardIndex   = flag.Int("shard-index", 0, "this worker's shard index into -shard-addrs")
+		shardAddrs   = flag.String("shard-addrs", "", "comma-separated addresses of every shard worker, in shard order")
 	)
 	flag.Parse()
+
+	if *shardWorker && (*shards > 0 || *shardWorkers != "") {
+		fatal(fmt.Errorf("-shard-worker is exclusive with -shards and -shard-workers"))
+	}
+	if *shards > 0 && *shardWorkers != "" {
+		fatal(fmt.Errorf("-shards and -shard-workers are exclusive: pick one topology"))
+	}
 
 	g, err := loadGraph(*graphPath, *preset, uint32(*scaleDiv), *seed, *undirected)
 	if err != nil {
@@ -97,20 +120,68 @@ func main() {
 	if len(walks) == 0 {
 		fatal(fmt.Errorf("-algos named no algorithms"))
 	}
-	sys, err := flashmob.New(g, flashmob.Options{
+	opt := flashmob.Options{
 		Algorithm:   walks[0].spec,
 		Workers:     *workers,
 		Seed:        *seed,
 		RecordPaths: true,
 		Metrics:     *metrics,
 		PlanWalkers: *planFor,
-	})
+	}
+
+	// Shard-worker mode: no HTTP service — the process builds the same
+	// system every peer builds, meshes with them, and steps its shard of
+	// each coordinator run until SIGINT/SIGTERM drains it.
+	if *shardWorker {
+		addrs := splitAddrs(*shardAddrs)
+		if len(addrs) == 0 {
+			fatal(fmt.Errorf("-shard-worker requires -shard-addrs"))
+		}
+		if *shardIndex < 0 || *shardIndex >= len(addrs) {
+			fatal(fmt.Errorf("-shard-index %d out of range for %d -shard-addrs", *shardIndex, len(addrs)))
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		// Parseable by scripts; keep the exact "shard worker " prefix.
+		fmt.Printf("fmserve: shard worker %d/%d listening on %s\n", *shardIndex, len(addrs), addrs[*shardIndex])
+		if err := flashmob.ServeShardWorker(ctx, g, opt, *shardIndex, addrs); err != nil && !errors.Is(err, context.Canceled) {
+			fatal(err)
+		}
+		fmt.Println("fmserve: shard worker drained, bye")
+		return
+	}
+
+	sys, err := flashmob.New(g, opt)
 	if err != nil {
 		fatal(fmt.Errorf("build: %w", err))
 	}
+
+	// Coordinator topologies: waves still admit, batch, and shed exactly
+	// as unsharded serving does — only walkMixed's execution target
+	// changes, and responses stay bitwise-identical.
+	var sharded *flashmob.ShardedSystem
+	switch {
+	case *shardWorkers != "":
+		addrs := splitAddrs(*shardWorkers)
+		if err := waitForWorkers(addrs, 15*time.Second); err != nil {
+			fatal(err)
+		}
+		sharded, err = flashmob.NewShardedRemote(sys, addrs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fmserve: coordinating %d shard workers over TCP (%s)\n", len(addrs), *shardWorkers)
+	case *shards > 0:
+		sharded, err = flashmob.NewSharded(sys, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fmserve: sharded x%d (in-process exchange)\n", *shards)
+	}
+
 	var backends []serve.Backend
 	for _, w := range walks {
-		backends = append(backends, serve.Backend{Name: w.name, Sys: sys, Spec: w.spec})
+		backends = append(backends, serve.Backend{Name: w.name, Sys: sys, Spec: w.spec, Sharded: sharded})
 		fmt.Printf("fmserve: serving %s (%d VPs, shared build)\n", w.name, sys.Plan().NumVPs)
 	}
 
@@ -155,6 +226,38 @@ func main() {
 	cancel()
 	srv.Close()
 	fmt.Println("fmserve: drained, bye")
+}
+
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// waitForWorkers polls each shard worker's listener so the coordinator
+// can be started alongside (or before) its workers without a races-y
+// sleep in the launcher script.
+func waitForWorkers(addrs []string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, a := range addrs {
+		for {
+			c, err := net.DialTimeout("tcp", a, time.Second)
+			if err == nil {
+				c.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("shard worker %s not reachable after %v: %w", a, timeout, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
 }
 
 func loadGraph(path, preset string, scaleDiv uint32, seed uint64, undirected bool) (*flashmob.Graph, error) {

@@ -149,6 +149,48 @@ func (cs *cohortState) bind(e *Engine, spec *algo.Spec) {
 		weighted: ws, class: classifySpec(spec)}
 }
 
+// ResolveCohorts validates cohorts against the build and resolves their
+// defaults (Walkers 0 → |V|, Steps 0 → Spec.Steps), returning the
+// resolved copy and the widest cohort's aux channel count. Exported
+// because the sharded topology (internal/shard) must admit cohorts under
+// exactly RunMixed's rules — a request a single engine would reject must
+// not sneak through a sharded one.
+func (e *Engine) ResolveCohorts(cohorts []Cohort) ([]Cohort, int, error) {
+	if len(cohorts) == 0 {
+		return nil, 0, fmt.Errorf("core: mixed run needs at least one cohort")
+	}
+	resolved := make([]Cohort, len(cohorts))
+	copy(resolved, cohorts)
+	channels := 0
+	for i := range resolved {
+		c := &resolved[i]
+		if err := c.Spec.Validate(); err != nil {
+			return nil, 0, fmt.Errorf("core: cohort %d: %w", i, err)
+		}
+		if c.Spec.Weighted {
+			if c.Spec.Order == 2 {
+				return nil, 0, fmt.Errorf("core: cohort %d: weighted second-order walks are not supported", i)
+			}
+			if e.weighted == nil {
+				return nil, 0, fmt.Errorf("core: cohort %d is weighted but the engine was built without weighted sampling (build with a weighted primary spec)", i)
+			}
+		}
+		if c.Walkers == 0 {
+			c.Walkers = uint64(e.g.NumVertices())
+		}
+		if c.Steps == 0 {
+			c.Steps = c.Spec.Steps
+		}
+		if c.Steps < 0 {
+			return nil, 0, fmt.Errorf("core: cohort %d: negative step count", i)
+		}
+		if ch := auxChannelsFor(&c.Spec); ch > channels {
+			channels = ch
+		}
+	}
+	return resolved, channels, nil
+}
+
 // cohortSlots grows the session's pooled cohort state to n slots and
 // returns it.
 func (s *Session) cohortSlots(n int) []*cohortState {
@@ -190,41 +232,13 @@ func (s *Session) RunMixed(cohorts []Cohort) (*MixedResult, error) {
 		return nil, ErrClosed
 	}
 	e := s.e
-	if len(cohorts) == 0 {
-		return nil, fmt.Errorf("core: mixed run needs at least one cohort")
+	resolved, channels, err := e.ResolveCohorts(cohorts)
+	if err != nil {
+		return nil, err
 	}
-
-	// Resolve defaults and validate each cohort against the build.
-	resolved := make([]Cohort, len(cohorts))
-	copy(resolved, cohorts)
-	channels := 0
 	var totalWalkers uint64
 	for i := range resolved {
-		c := &resolved[i]
-		if err := c.Spec.Validate(); err != nil {
-			return nil, fmt.Errorf("core: cohort %d: %w", i, err)
-		}
-		if c.Spec.Weighted {
-			if c.Spec.Order == 2 {
-				return nil, fmt.Errorf("core: cohort %d: weighted second-order walks are not supported", i)
-			}
-			if e.weighted == nil {
-				return nil, fmt.Errorf("core: cohort %d is weighted but the engine was built without weighted sampling (build with a weighted primary spec)", i)
-			}
-		}
-		if c.Walkers == 0 {
-			c.Walkers = uint64(e.g.NumVertices())
-		}
-		if c.Steps == 0 {
-			c.Steps = c.Spec.Steps
-		}
-		if c.Steps < 0 {
-			return nil, fmt.Errorf("core: cohort %d: negative step count", i)
-		}
-		if ch := auxChannelsFor(&c.Spec); ch > channels {
-			channels = ch
-		}
-		totalWalkers += c.Walkers
+		totalWalkers += resolved[i].Walkers
 	}
 	if e.cfg.MemoryBudget != 0 {
 		if need := totalWalkers * (12 + 12*uint64(channels)); need > e.cfg.MemoryBudget {

@@ -331,10 +331,23 @@ func (t *sampleTask) RunShard(_, worker, _ int) {
 	}
 }
 
-// sampleAll runs the sample stage on the persistent pool: build the work
-// item list — splitting oversized DS chunks into sub-shards — then let
-// workers claim items off the shared counter.
+// sampleAll runs the sample stage of a solo run: one cohort — the
+// session's primary context — occupying the whole walker array.
 func (s *Session) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID, auxSW [][]graph.VID, vpSteps []uint64) {
+	s.sampleCohort(SampleSeedPrefix(s.runSeed, episode, step), &s.cx, vpStart, sw, auxSW, vpSteps)
+}
+
+// sampleCohort runs the sample stage for one cohort occupying the whole
+// walker array: build the work item list — splitting oversized DS chunks
+// into sub-shards — then let pool workers claim items off the shared
+// counter. The caller picks the sampling context and the folded per-step
+// seed prefix, which is what makes the stage reusable beyond solo runs:
+// the sharded topology's per-step driver (Stepper) samples each cohort's
+// local walkers under the cohort's own context and seed schedule, and
+// because sub-shard boundaries are cut from the chunk-local offsets, a
+// shard's (partition, sub) items — and therefore its seeds — match the
+// single-engine run's exactly.
+func (s *Session) sampleCohort(prefix uint64, cx *cohortCtx, vpStart []uint64, sw []graph.VID, auxSW [][]graph.VID, vpSteps []uint64) {
 	e := s.e
 	t := &s.sample
 	items := t.items[:0]
@@ -342,16 +355,15 @@ func (s *Session) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID,
 	// Only stateless first-order chunks can split: PS partitions share
 	// mutable buffer state across the whole chunk, and higher-order paths
 	// batch over the full chunk.
-	shardable := e.spec.Order == 1 && e.spec.History == nil
-	prefix := SampleSeedPrefix(s.runSeed, episode, step)
+	shardable := cx.spec.Order == 1 && cx.spec.History == nil
 	for vp := 0; vp < e.plan.NumVPs(); vp++ {
 		lo, hi := vpStart[vp], vpStart[vp+1]
 		if lo == hi {
 			continue
 		}
-		if !shardable || hi-lo < 2*SubShardSize || s.kern[vp].st != nil {
+		if !shardable || hi-lo < 2*SubShardSize || cx.kern[vp].st != nil {
 			items = append(items, sampleItem{vp: int32(vp), lo: lo, hi: hi,
-				seed: SampleSeedAt(prefix, vp, 0), cx: &s.cx})
+				seed: SampleSeedAt(prefix, vp, 0), cx: cx})
 			continue
 		}
 		a := lo
@@ -361,7 +373,7 @@ func (s *Session) sampleAll(episode, step int, vpStart []uint64, sw []graph.VID,
 				b = hi // absorb the ragged tail into the last piece
 			}
 			items = append(items, sampleItem{vp: int32(vp), lo: a, hi: b,
-				seed: SampleSeedAt(prefix, vp, sub), cx: &s.cx})
+				seed: SampleSeedAt(prefix, vp, sub), cx: cx})
 			a = b
 			subShards++
 		}

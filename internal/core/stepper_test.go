@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/graph"
+	"flashmob/internal/part"
+)
+
+// stepperWalk drives a full walker population through the per-step
+// Stepper API — the way the sharded topology does, minus the exchange —
+// and records the per-step positions.
+func stepperWalk(t *testing.T, e *Engine, spec *algo.Spec, seed uint64, walkers, steps int) [][]graph.VID {
+	t.Helper()
+	s, err := e.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.NewStepper(walkers, AuxChannelsFor(spec), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindCohort(0, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	w := make([]graph.VID, walkers)
+	wNext := make([]graph.VID, walkers)
+	e.InitWalkersSeeded(seed, w)
+	channels := AuxChannelsFor(spec)
+	aux := make([][]graph.VID, channels)
+	auxNext := make([][]graph.VID, channels)
+	for c := 0; c < channels; c++ {
+		aux[c] = make([]graph.VID, walkers)
+		auxNext[c] = make([]graph.VID, walkers)
+		copy(aux[c], w)
+	}
+
+	rows := make([][]graph.VID, 0, steps+1)
+	rows = append(rows, append([]graph.VID(nil), w...))
+	for step := 0; step < steps; step++ {
+		if err := st.Step(0, seed, step, w, wNext, aux, auxNext); err != nil {
+			t.Fatal(err)
+		}
+		w, wNext = wNext, w
+		aux, auxNext = auxNext, aux
+		rows = append(rows, append([]graph.VID(nil), w...))
+	}
+	return rows
+}
+
+// TestStepperMatchesRunSeeded pins the Stepper's contract: stepping a
+// cohort one step at a time reproduces the closed RunSeeded loop
+// bitwise, across kernel families (DS, node2vec aux channels, stop-prob
+// restarts) and with sub-sharding forced on.
+func TestStepperMatchesRunSeeded(t *testing.T) {
+	defer func(old uint64) { SubShardSize = old }(SubShardSize)
+	SubShardSize = 32
+
+	g := undirectedTestGraph(t, 600, 9)
+	cfg := Config{
+		Workers: 4, Seed: 11, Planner: PlannerMCKP, RecordHistory: true,
+		Part: part.Config{TargetGroups: 2, MinVPSizeLog: 1},
+	}
+	for _, tc := range []struct {
+		name string
+		spec algo.Spec
+	}{
+		{"deepwalk", algo.DeepWalk()},
+		{"node2vec", algo.Node2Vec(0.5, 2)},
+		{"pagerank", algo.PageRankWalk(0.85)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newEngine(t, g, tc.spec, cfg)
+			defer e.Close()
+			const (
+				seed    = 4242
+				walkers = 300
+				steps   = 6
+			)
+			ref := seededRun(t, e, seed, walkers, steps)
+			rows := stepperWalk(t, e, &tc.spec, seed, walkers, steps)
+			if len(rows) != ref.History.NumSteps() {
+				t.Fatalf("stepper recorded %d rows, reference %d", len(rows), ref.History.NumSteps())
+			}
+			for i, row := range rows {
+				for j, v := range row {
+					if want := ref.History.At(i, j); v != want {
+						t.Fatalf("step %d walker %d: stepper %d, RunSeeded %d", i, j, v, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStepperResize steps a shrinking then regrowing walker prefix —
+// the shard runtime's fluctuating local population — and checks each
+// step still advances along graph edges.
+func TestStepperResize(t *testing.T) {
+	g := undirectedTestGraph(t, 400, 2)
+	e := newEngine(t, g, algo.DeepWalk(), Config{
+		Workers: 2, Seed: 5, Planner: PlannerMCKP,
+		Part: part.Config{TargetGroups: 2, MinVPSizeLog: 1},
+	})
+	defer e.Close()
+	s, err := e.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.NewStepper(200, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := algo.DeepWalk()
+	if err := st.BindCohort(0, &spec); err != nil {
+		t.Fatal(err)
+	}
+	w := make([]graph.VID, 201)
+	wNext := make([]graph.VID, 201)
+	e.InitWalkersSeeded(7, w)
+	for step, n := range []int{200, 120, 37, 0, 120, 200} {
+		if err := st.Step(0, 7, step, w[:n], wNext[:n], nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			u, v := w[j], wNext[j]
+			ok := u == v && g.Degree(u) == 0
+			for _, nb := range g.Neighbors(uint32(u)) {
+				if graph.VID(nb) == v {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("step %d walker %d: %d → %d is not an edge", step, j, u, v)
+			}
+		}
+		copy(w[:n], wNext[:n])
+	}
+
+	if err := st.Step(0, 7, 0, w[:201], wNext[:201], nil, nil); err == nil {
+		t.Fatal("stepping past capacity accepted")
+	}
+	if err := st.Step(1, 7, 0, w[:10], wNext[:10], nil, nil); err == nil {
+		t.Fatal("stepping an unbound slot accepted")
+	}
+}

@@ -20,6 +20,8 @@ import (
 
 	"flashmob/internal/algo"
 	"flashmob/internal/graph"
+	"flashmob/internal/obs"
+	"flashmob/internal/part"
 	"flashmob/internal/rng"
 )
 
@@ -27,6 +29,13 @@ import (
 type Config struct {
 	// Partitions is the number of graph partitions ("nodes"). Default 4.
 	Partitions int
+	// Bounds overrides the even range partitioning with explicit
+	// boundaries: partition o owns [Bounds[o], Bounds[o+1]), Bounds[0]
+	// must be 0 and the last entry |V|. Set it to a shard topology's
+	// RangeMap starts to put this engine and internal/shard on identical
+	// cuts (the message-parity test rests on this). When set, Partitions
+	// is ignored in favor of len(Bounds)-1.
+	Bounds []graph.VID
 	// Seed drives sampling.
 	Seed uint64
 	// RecordPaths keeps each walker's full path.
@@ -35,6 +44,36 @@ type Config struct {
 	// optimization: every step then costs one message when the walker is
 	// remote-bound, and supersteps advance one step at a time.
 	DisableLocalChaining bool
+	// Metrics, when non-nil, registers the engine's counters —
+	// dist_messages_total, dist_local_moves_total, dist_supersteps_total
+	// — on the given registry and adds each run's totals to them, so
+	// distributed-baseline runs report through the same observability
+	// layer as everything else instead of ad-hoc result fields alone.
+	Metrics *obs.Registry
+}
+
+// distMetrics is the engine's obs counter set (Config.Metrics).
+type distMetrics struct {
+	messages   *obs.Counter
+	localMoves *obs.Counter
+	supersteps *obs.Counter
+}
+
+func newDistMetrics(reg *obs.Registry) *distMetrics {
+	return &distMetrics{
+		messages: reg.Counter(obs.Desc{
+			Name: "dist_messages_total", Unit: "count", Stage: "dist",
+			Help: "walker migrations between partitions",
+		}),
+		localMoves: reg.Counter(obs.Desc{
+			Name: "dist_local_moves_total", Unit: "count", Stage: "dist",
+			Help: "steps taken without leaving the partition",
+		}),
+		supersteps: reg.Counter(obs.Desc{
+			Name: "dist_supersteps_total", Unit: "count", Stage: "dist",
+			Help: "BSP rounds executed",
+		}),
+	}
 }
 
 // Result reports a distributed run.
@@ -88,11 +127,14 @@ type Engine struct {
 	spec  algo.Spec
 	cfg   Config
 	nodes []*node
-	// partOf maps a vertex to its owning partition by range arithmetic.
-	perPart uint32
+	// rm maps a vertex to its owning partition (shared with
+	// internal/part so dist and the shard runtime agree on cuts).
+	rm *part.RangeMap
+	m  *distMetrics
 }
 
-// New builds the engine, range-partitioning the vertex space evenly.
+// New builds the engine, range-partitioning the vertex space evenly
+// (or on cfg.Bounds when given).
 func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -107,27 +149,43 @@ func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("dist: empty graph")
 	}
-	if cfg.Partitions <= 0 {
-		cfg.Partitions = 4
-	}
-	if uint32(cfg.Partitions) > n {
-		cfg.Partitions = int(n)
-	}
 	e := &Engine{g: g, spec: spec, cfg: cfg}
-	e.perPart = (n + uint32(cfg.Partitions) - 1) / uint32(cfg.Partitions)
-	for i := 0; i < cfg.Partitions; i++ {
-		start := graph.VID(i) * e.perPart
-		end := start + e.perPart
-		if end > n {
-			end = n
+	if len(cfg.Bounds) > 0 {
+		rm, err := part.NewRangeMap(cfg.Bounds)
+		if err != nil {
+			return nil, fmt.Errorf("dist: bad Bounds: %w", err)
 		}
+		if rm.Starts()[rm.NumOwners()] != n {
+			return nil, fmt.Errorf("dist: Bounds end at %d, graph has %d vertices", rm.Starts()[rm.NumOwners()], n)
+		}
+		e.rm = rm
+		e.cfg.Partitions = rm.NumOwners()
+	} else {
+		if cfg.Partitions <= 0 {
+			cfg.Partitions = 4
+		}
+		if uint32(cfg.Partitions) > n {
+			cfg.Partitions = int(n)
+		}
+		e.cfg.Partitions = cfg.Partitions
+		rm, err := part.NewEvenRangeMap(n, cfg.Partitions)
+		if err != nil {
+			return nil, fmt.Errorf("dist: %w", err)
+		}
+		e.rm = rm
+	}
+	if cfg.Metrics != nil {
+		e.m = newDistMetrics(cfg.Metrics)
+	}
+	for i := 0; i < e.cfg.Partitions; i++ {
+		start, end := e.rm.Range(i)
 		nd := &node{
 			index: i,
 			start: start,
 			end:   end,
 			src:   rng.NewXorShift1024Star(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 11),
 		}
-		nd.outboxes = make([][]walkerMsg, cfg.Partitions)
+		nd.outboxes = make([][]walkerMsg, e.cfg.Partitions)
 		e.nodes = append(e.nodes, nd)
 	}
 	return e, nil
@@ -135,11 +193,7 @@ func New(g *graph.CSR, spec algo.Spec, cfg Config) (*Engine, error) {
 
 // partOf returns the owning partition of v.
 func (e *Engine) partOf(v graph.VID) int {
-	p := int(v / e.perPart)
-	if p >= len(e.nodes) {
-		p = len(e.nodes) - 1
-	}
-	return p
+	return e.rm.OwnerOf(v)
 }
 
 // Run walks totalWalkers walkers (0 = |V|) for steps steps (0 = spec
@@ -218,6 +272,11 @@ func (e *Engine) Run(totalWalkers uint64, steps int) (*Result, error) {
 		res.LocalMoves += nd.localMoves
 	}
 	res.Paths = paths
+	if e.m != nil {
+		e.m.messages.Add(res.Messages)
+		e.m.localMoves.Add(res.LocalMoves)
+		e.m.supersteps.Add(uint64(res.Supersteps))
+	}
 	return res, nil
 }
 

@@ -1,12 +1,17 @@
 package dist
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"flashmob/internal/algo"
+	"flashmob/internal/core"
 	"flashmob/internal/gen"
 	"flashmob/internal/graph"
+	"flashmob/internal/obs"
+	"flashmob/internal/part"
+	"flashmob/internal/shard"
 )
 
 func testGraph(t *testing.T, n uint32, seed uint64) *graph.CSR {
@@ -196,6 +201,138 @@ func TestDistErrors(t *testing.T) {
 	}
 	if _, err := e.Run(10, 1<<17); err == nil {
 		t.Error("oversized step count accepted")
+	}
+}
+
+// TestDistMessagesMatchShardEmigrants cross-validates the two engines'
+// crossing accounting: on an out-degree-1 ring every walker's trajectory
+// is v, v+1, v+2, ... regardless of RNG draws, and both engines place
+// walker j at vertex j — so with the distributed engine sitting on the
+// shard topology's exact cuts (Config.Bounds = the topology's range
+// starts) and local chaining disabled (one step per superstep, like the
+// shard runtime's BSP lockstep), dist's Messages must equal the shard
+// exchange's emigrant total. Both skip the crossing on a walker's final
+// step: dist retires the walker instead of messaging it, the shard
+// runtime skips the exchange after a cohort's last step.
+func TestDistMessagesMatchShardEmigrants(t *testing.T) {
+	const n = 4096
+	offs := make([]uint64, n+1)
+	tgts := make([]graph.VID, n)
+	for v := uint32(0); v < n; v++ {
+		offs[v+1] = uint64(v + 1)
+		tgts[v] = graph.VID((v + 1) % n)
+	}
+	g := &graph.CSR{Offsets: offs, Targets: tgts}
+
+	eng, err := core.New(g, algo.DeepWalk(), core.Config{
+		Workers: 2, Seed: 11, Planner: core.PlannerMCKP,
+		Part: part.Config{TargetGroups: 2, MinVPSizeLog: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	topo, err := shard.New(eng, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const walkers, steps = 1500, 9
+	if _, err := topo.RunMixed(context.Background(), []core.Cohort{
+		{Spec: algo.DeepWalk(), Walkers: walkers, Steps: steps, Seed: 77},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vs, ok := topo.MetricsReport().Vector("shard_emigrants_total")
+	if !ok {
+		t.Fatal("shard topology reports no shard_emigrants_total vector")
+	}
+	emigrants := vs.Total()
+	if emigrants == 0 {
+		t.Fatal("no emigrants: the ring should cross every shard boundary")
+	}
+
+	reg := obs.NewRegistry()
+	de, err := New(g, algo.DeepWalk(), Config{
+		Bounds:               topo.Map().Ranges().Starts(),
+		DisableLocalChaining: true,
+		Seed:                 99, // trajectories are RNG-free on the ring
+		Metrics:              reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de.cfg.Partitions != topo.NumShards() {
+		t.Fatalf("Bounds produced %d partitions, topology has %d shards", de.cfg.Partitions, topo.NumShards())
+	}
+	res, err := de.Run(walkers, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != emigrants {
+		t.Fatalf("dist Messages = %d, shard emigrants = %d", res.Messages, emigrants)
+	}
+
+	// The obs counters are the same totals through the metrics layer.
+	rep := reg.Snapshot()
+	for _, want := range []struct {
+		name string
+		v    uint64
+	}{
+		{"dist_messages_total", res.Messages},
+		{"dist_local_moves_total", res.LocalMoves},
+		{"dist_supersteps_total", uint64(res.Supersteps)},
+	} {
+		c, ok := rep.Counter(want.name)
+		if !ok {
+			t.Fatalf("counter %s not reported", want.name)
+		}
+		if c.Value != want.v {
+			t.Fatalf("%s = %d, want %d", want.name, c.Value, want.v)
+		}
+	}
+}
+
+// TestDistBoundsMatchEvenPartitioning pins that the RangeMap-backed
+// partOf reproduces the historical ceil-div arithmetic exactly: the same
+// run on the same seed yields identical results whether the cuts come
+// from the default even split or from explicit Bounds spelling it out.
+func TestDistBoundsMatchEvenPartitioning(t *testing.T) {
+	g := testGraph(t, 700, 21)
+	n := g.NumVertices()
+	const parts = 5
+	per := (n + parts - 1) / parts
+	bounds := make([]graph.VID, parts+1)
+	for i := 1; i <= parts; i++ {
+		s := graph.VID(i) * graph.VID(per)
+		if s > n {
+			s = n
+		}
+		bounds[i] = s
+	}
+	run := func(cfg Config) *Result {
+		e, err := New(g, algo.DeepWalk(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(400, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	even := run(Config{Partitions: parts, Seed: 33, RecordPaths: true})
+	explicit := run(Config{Bounds: bounds, Seed: 33, RecordPaths: true})
+	if even.Messages != explicit.Messages || even.LocalMoves != explicit.LocalMoves ||
+		even.Supersteps != explicit.Supersteps {
+		t.Fatalf("even %+v vs explicit bounds %+v diverge", even, explicit)
+	}
+	for id := range even.Paths {
+		for i := range even.Paths[id] {
+			if even.Paths[id][i] != explicit.Paths[id][i] {
+				t.Fatalf("walker %d step %d: %d vs %d", id, i, even.Paths[id][i], explicit.Paths[id][i])
+			}
+		}
 	}
 }
 

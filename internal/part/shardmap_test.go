@@ -1,0 +1,179 @@
+package part
+
+import (
+	"testing"
+
+	"flashmob/internal/graph"
+)
+
+// TestRangeMapOwnership checks both lookup forms — the small-graph
+// direct table and the binary search — against the range boundaries.
+func TestRangeMapOwnership(t *testing.T) {
+	starts := []graph.VID{0, 10, 10, 25, 40}
+	m, err := NewRangeMap(starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumOwners() != 4 {
+		t.Fatalf("owners = %d, want 4", m.NumOwners())
+	}
+	// Reference scan against Range.
+	for o := 0; o < m.NumOwners(); o++ {
+		lo, hi := m.Range(o)
+		for v := lo; v < hi; v++ {
+			if got := m.OwnerOf(v); got != o {
+				t.Fatalf("OwnerOf(%d) = %d, want %d", v, got, o)
+			}
+		}
+	}
+	// Force the search path with a graph past the direct-table cap.
+	big := []graph.VID{0, 1 << 18, 1<<18 + 7, 1 << 20}
+	bm, err := NewRangeMap(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.direct != nil {
+		t.Fatal("expected search form past rangeMapDirectMax")
+	}
+	for _, v := range []graph.VID{0, 1<<18 - 1, 1 << 18, 1<<18 + 6, 1<<18 + 7, 1<<20 - 1} {
+		want := 0
+		for o := 0; o < bm.NumOwners(); o++ {
+			if lo, hi := bm.Range(o); v >= lo && v < hi {
+				want = o
+			}
+		}
+		if got := bm.OwnerOf(v); got != want {
+			t.Fatalf("OwnerOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// TestEvenRangeMapMatchesCeilDiv pins NewEvenRangeMap to the ceil-div
+// semantics the distributed engine historically used: owner =
+// min(v/ceil(n/p), p-1).
+func TestEvenRangeMapMatchesCeilDiv(t *testing.T) {
+	for _, tc := range []struct {
+		n      uint32
+		owners int
+	}{{10, 4}, {10, 3}, {7, 7}, {5, 8}, {1000, 6}, {1, 1}} {
+		m, err := NewEvenRangeMap(tc.n, tc.owners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := (tc.n + uint32(tc.owners) - 1) / uint32(tc.owners)
+		for v := graph.VID(0); v < graph.VID(tc.n); v++ {
+			want := int(v / graph.VID(per))
+			if want >= tc.owners {
+				want = tc.owners - 1
+			}
+			if got := m.OwnerOf(v); got != want {
+				t.Fatalf("n=%d p=%d: OwnerOf(%d) = %d, want %d", tc.n, tc.owners, v, got, want)
+			}
+		}
+	}
+}
+
+// TestRangeMapValidation rejects malformed boundaries.
+func TestRangeMapValidation(t *testing.T) {
+	for _, bad := range [][]graph.VID{
+		{},
+		{0},
+		{1, 5},
+		{0, 5, 3},
+	} {
+		if _, err := NewRangeMap(bad); err == nil {
+			t.Fatalf("NewRangeMap(%v) accepted", bad)
+		}
+	}
+}
+
+// shardTestPlan builds a small finalized plan: one group of 2^vpsLog
+// partitions over n vertices.
+func shardTestPlan(t *testing.T, n uint32, groupLog, vpLog uint) *Plan {
+	t.Helper()
+	p := &Plan{V: n, GroupSizeLog: groupLog}
+	for start := graph.VID(0); start < graph.VID(n); start += 1 << groupLog {
+		end := start + 1<<groupLog
+		if end > graph.VID(n) {
+			end = graph.VID(n)
+		}
+		p.Groups = append(p.Groups, GroupPlan{Start: start, End: end, VPSizeLog: vpLog})
+	}
+	if err := Finalize(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestShardMapInvariants checks the two-level map: shards tile the
+// partitions contiguously, both lookup levels agree, the vertex ranges
+// match the partition runs, and the vertex balance is even-ish.
+func TestShardMapInvariants(t *testing.T) {
+	p := shardTestPlan(t, 1000, 8, 5) // 4 groups, 8 VPs each → 32 VPs
+	for _, shards := range []int{1, 2, 3, 4, 7, 32} {
+		m, err := NewShardMap(p, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if m.NumShards() != shards {
+			t.Fatalf("NumShards = %d, want %d", m.NumShards(), shards)
+		}
+		prevHi := 0
+		for s := 0; s < shards; s++ {
+			lo, hi := m.VPRange(s)
+			if lo != prevHi || hi <= lo {
+				t.Fatalf("shards=%d: shard %d VP range [%d,%d) does not tile (prev hi %d)", shards, s, lo, hi, prevHi)
+			}
+			prevHi = hi
+			vlo, vhi := m.Ranges().Range(s)
+			if vlo != p.VPs[lo].Start || vhi != p.VPs[hi-1].End {
+				t.Fatalf("shards=%d: shard %d vertex range [%d,%d) vs VP run [%d,%d)",
+					shards, s, vlo, vhi, p.VPs[lo].Start, p.VPs[hi-1].End)
+			}
+			for vp := lo; vp < hi; vp++ {
+				if m.ShardOfVP(vp) != s {
+					t.Fatalf("ShardOfVP(%d) = %d, want %d", vp, m.ShardOfVP(vp), s)
+				}
+			}
+		}
+		if prevHi != p.NumVPs() {
+			t.Fatalf("shards=%d: VP runs cover %d of %d", shards, prevHi, p.NumVPs())
+		}
+		for v := graph.VID(0); v < graph.VID(p.V); v++ {
+			s, vp := m.Locate(v)
+			if vp != p.Lookup().VPOf(v) {
+				t.Fatalf("Locate(%d) vp = %d, want %d", v, vp, p.Lookup().VPOf(v))
+			}
+			if s != m.ShardOf(v) || s != m.Ranges().OwnerOf(v) {
+				t.Fatalf("Locate(%d) shard = %d, ShardOf = %d, range owner = %d",
+					v, s, m.ShardOf(v), m.Ranges().OwnerOf(v))
+			}
+		}
+	}
+	if _, err := NewShardMap(p, p.NumVPs()+1); err == nil {
+		t.Fatal("shard count past the partition count accepted")
+	}
+	if _, err := NewShardMap(p, 0); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}
+
+// TestShardMapBalance checks the vertex-mass balance stays within one
+// partition of even.
+func TestShardMapBalance(t *testing.T) {
+	p := shardTestPlan(t, 4096, 10, 6) // 4 groups, 16 VPs each, 64 VPs of 64 vertices
+	for _, shards := range []int{2, 4, 8} {
+		m, err := NewShardMap(p, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		even := uint64(p.V) / uint64(shards)
+		for s := 0; s < shards; s++ {
+			lo, hi := m.Ranges().Range(s)
+			mass := uint64(hi - lo)
+			if mass < even-64 || mass > even+64 {
+				t.Fatalf("shards=%d: shard %d holds %d vertices, want %d±64", shards, s, mass, even)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"flashmob"
+	"flashmob/internal/obs"
 	"flashmob/internal/rng"
 )
 
@@ -57,8 +58,12 @@ type engineGroup struct {
 	s        *Server
 	sys      *flashmob.System
 	backends []*backend
-	queue    chan *pending
-	batches  chan []*pending
+	// sharded, when non-nil, makes the group a shard coordinator: waves
+	// execute across the topology's shard engines instead of on pooled
+	// local sessions (Backend.Sharded).
+	sharded *flashmob.ShardedSystem
+	queue   chan *pending
+	batches chan []*pending
 	// free recycles batch slices between executors and the dispatcher so
 	// the steady-state dispatch path allocates nothing per batch.
 	free chan []*pending
@@ -97,11 +102,15 @@ func (b *backend) enqueue(p *pending) error {
 	}
 }
 
-// expired reports whether p's deadline has passed.
-func (p *pending) expired() bool { return time.Now().After(p.deadline) }
+// expiredAt reports whether p's deadline had passed at instant t. The
+// instant is read once per dispatch or execution wave (Server.now), not
+// once per pending request — deadline granularity is milliseconds, so a
+// wave-grained clock sheds identically while keeping clock reads off the
+// per-request path.
+func (p *pending) expiredAt(t time.Time) bool { return t.After(p.deadline) }
 
 // shed answers p with a load-shedding 503 and charges the given counter.
-func (g *engineGroup) shed(p *pending, why string, counter interface{ Inc() }) {
+func (g *engineGroup) shed(p *pending, why string, counter *obs.Counter) {
 	counter.Inc()
 	p.resp <- outcome{status: 503, errMsg: why, retry: true}
 }
@@ -149,7 +158,9 @@ func (g *engineGroup) dispatch() {
 			}
 			g.s.m.queueDepth.Add(-1)
 		}
-		if first.expired() {
+		// One clock read covers the whole wave's deadline checks.
+		now := g.s.now()
+		if first.expiredAt(now) {
 			g.shed(first, "deadline expired while queued", g.s.m.shedExpired)
 			continue
 		}
@@ -165,7 +176,7 @@ func (g *engineGroup) dispatch() {
 					break collect
 				}
 				g.s.m.queueDepth.Add(-1)
-				if p.expired() {
+				if p.expiredAt(now) {
 					g.shed(p, "deadline expired while queued", g.s.m.shedExpired)
 					continue
 				}
@@ -285,9 +296,12 @@ func (ws *waveScratch) assemble(s *Server, live []*pending) {
 // set, each cohort instead gets its own engine run (the fragmented
 // pre-mixed behavior, kept as the benchmark baseline).
 func (g *engineGroup) execute(ws *waveScratch, batch []*pending) {
+	// One clock read covers the wave's shed filter and its queue-latency
+	// accounting (outcome.execStart).
+	execStart := g.s.now()
 	live := batch[:0]
 	for _, p := range batch {
-		if p.expired() {
+		if p.expiredAt(execStart) {
 			g.shed(p, "deadline expired before execution", g.s.m.shedExpired)
 			continue
 		}
@@ -296,7 +310,6 @@ func (g *engineGroup) execute(ws *waveScratch, batch []*pending) {
 	if len(live) == 0 {
 		return
 	}
-	execStart := time.Now()
 	ws.assemble(g.s, live)
 
 	if g.s.cfg.SplitCohortRuns {
@@ -335,6 +348,13 @@ func (g *engineGroup) execute(ws *waveScratch, batch []*pending) {
 // exactly as on a fresh session. A session whose run failed is closed
 // rather than pooled; a healthy one goes back unless the pool is full.
 func (g *engineGroup) walkMixed(cohorts []flashmob.CohortSpec) (*flashmob.MixedResult, error) {
+	if g.sharded != nil {
+		// Coordinator mode: the wave runs across the shard engines. The
+		// sharded run is bitwise-identical to a local session run, so
+		// everything downstream — per-cohort Paths, per-request demux —
+		// is unchanged.
+		return g.sharded.WalkMixed(context.Background(), cohorts)
+	}
 	var sess *flashmob.Session
 	select {
 	case sess = <-g.sessions:

@@ -1,9 +1,30 @@
 package serve
 
 import (
+	"sync"
 	"testing"
 	"time"
+
+	"flashmob"
 )
+
+// fakeClock is a hand-advanced clock standing in for Server.now.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
 
 // TestAssembleAllocatesNothing pins the steady-state cost of batch
 // assembly: once a waveScratch has warmed to a wave's shape, splitting a
@@ -53,5 +74,98 @@ func TestAssembleAllocatesNothing(t *testing.T) {
 	}
 	if coalesced == nil || len(coalesced.reqs) != 2 || coalesced.walkers != 8+16 {
 		t.Fatalf("deepwalk unseeded group misassembled: %+v", coalesced)
+	}
+}
+
+// TestShedAndLatencyFakeClock pins the deadline and latency accounting
+// to the server's injectable clock: the dispatcher and the executor each
+// read it once per wave, shed against that instant, and stamp it as the
+// wave's execution start — so what lands in the shed counters and the
+// queue-latency math is fully determined by the clock, not by wall time
+// leaking in per request.
+func TestShedAndLatencyFakeClock(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	sys, spec := testSystem(t)
+	defer sys.Close()
+	s := &Server{cfg: Config{MaxWait: time.Millisecond}.withDefaults(), m: newServeMetrics(), now: clk.Now}
+	g := &engineGroup{
+		s:        s,
+		sys:      sys,
+		queue:    make(chan *pending, 8),
+		batches:  make(chan []*pending, 8),
+		free:     make(chan []*pending, 2),
+		sessions: make(chan *flashmob.Session, 1),
+	}
+	b := &backend{name: "deepwalk", sys: sys, spec: spec, g: g}
+	mk := func(timeout time.Duration) *pending {
+		now := clk.Now()
+		return &pending{b: b, walkers: 2, steps: 3, enq: now,
+			deadline: now.Add(timeout), resp: make(chan outcome, 1)}
+	}
+
+	// Dispatcher-level shedding: a request whose deadline has already
+	// passed on the fake clock is shed at dequeue, before it can occupy
+	// batch budget.
+	s.wg.Add(1)
+	go g.dispatch()
+	dead := mk(-time.Second)
+	s.m.queueDepth.Add(1)
+	g.queue <- dead
+	if out := <-dead.resp; out.status != 503 || !out.retry {
+		t.Fatalf("expired-in-queue outcome = %+v, want retryable 503", out)
+	}
+	if got := s.m.shedExpired.Value(); got != 1 {
+		t.Fatalf("shedExpired = %d after queue shed, want 1", got)
+	}
+
+	// A live request forms a batch; advancing the clock past its deadline
+	// before execution sheds it at the executor's single wave-clock read.
+	lateShed := mk(time.Minute)
+	s.m.queueDepth.Add(1)
+	g.queue <- lateShed
+	batch := <-g.batches
+	if len(batch) != 1 {
+		t.Fatalf("batch carries %d requests, want 1", len(batch))
+	}
+	clk.Advance(2 * time.Minute)
+	var ws waveScratch
+	g.execute(&ws, batch)
+	if out := <-lateShed.resp; out.status != 503 {
+		t.Fatalf("expired-before-execution outcome = %+v, want 503", out)
+	}
+	if got := s.m.shedExpired.Value(); got != 2 {
+		t.Fatalf("shedExpired = %d after execute shed, want 2", got)
+	}
+
+	// A request that survives to execution gets the wave's clock read as
+	// its execStart: queue latency is exactly the fake queueing delay.
+	served := mk(time.Hour)
+	queued := 3 * time.Second
+	clk.Advance(queued)
+	g.execute(&ws, []*pending{served})
+	out := <-served.resp
+	if out.status != 200 {
+		t.Fatalf("served outcome = %+v, want 200", out)
+	}
+	if !out.execStart.Equal(served.enq.Add(queued)) {
+		t.Fatalf("execStart %v is not the wave's clock read", out.execStart)
+	}
+	if got := out.execStart.Sub(served.enq); got != queued {
+		t.Fatalf("queue latency accounted %v, want %v", got, queued)
+	}
+
+	close(g.queue)
+	s.wg.Wait()
+	for {
+		select {
+		case sess := <-g.sessions:
+			sess.Close()
+			continue
+		default:
+		}
+		break
+	}
+	if got := s.m.queueDepth.Value(); got != 0 {
+		t.Fatalf("queueDepth = %d after drain, want 0", got)
 	}
 }

@@ -154,7 +154,7 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 			timeout = s.cfg.MaxTimeout
 		}
 	}
-	now := time.Now()
+	now := s.now()
 	p := &pending{
 		b:        b,
 		walkers:  req.Walkers,
@@ -183,7 +183,7 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.served.Inc()
 	s.m.queueNS.Observe(uint64(out.execStart.Sub(p.enq)))
-	s.m.latencyNS.Observe(uint64(time.Since(p.enq)))
+	s.m.latencyNS.Observe(uint64(s.now().Sub(p.enq)))
 	resp := WalkResponse{
 		SchemaVersion: SchemaVersion,
 		Algorithm:     b.name,
@@ -256,6 +256,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, b := range s.backends {
 		if rep := b.sys.MetricsReport(); rep != nil {
 			resp.Engines = append(resp.Engines, EngineReport{Algorithm: b.name, Report: rep})
+		}
+	}
+	for _, g := range s.groups {
+		if g.sharded != nil {
+			resp.Shards = append(resp.Shards, EngineReport{
+				Algorithm: g.backends[0].name, Report: g.sharded.MetricsReport(),
+			})
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -64,6 +64,15 @@ type Backend struct {
 	// Spec is the algorithm the system was built with; its Steps field
 	// resolves requests that leave steps at 0.
 	Spec flashmob.Algorithm
+	// Sharded, when non-nil, turns the backend's engine group into a
+	// shard coordinator: each wave's mixed-cohort run is scattered across
+	// the topology's shard engines and the trajectories gathered back,
+	// instead of executing on a local engine session. The handle must
+	// wrap the same Sys (NewSharded / NewShardedRemote on it); admission,
+	// batching, deadlines, and drain semantics are unchanged, and
+	// responses are bitwise-identical to unsharded serving. Backends
+	// sharing one system must agree on this handle.
+	Sharded *flashmob.ShardedSystem
 }
 
 // Config tunes the server's batching and admission control. Zero values
@@ -148,6 +157,12 @@ type Server struct {
 	start    time.Time
 	runSeq   atomic.Uint64
 
+	// now is the server's clock, read once per dispatch wave and once per
+	// execution wave for deadline checks and latency accounting (not per
+	// pending request). Overridden by tests to pin shed and latency
+	// behavior to a fake clock.
+	now func() time.Time
+
 	// mu guards closed against concurrent enqueues: enqueue holds the
 	// read side so Close cannot close a queue mid-send.
 	mu     sync.RWMutex
@@ -171,6 +186,7 @@ func New(backends []Backend, cfg Config) (*Server, error) {
 		m:      newServeMetrics(),
 		byName: make(map[string]*backend, len(backends)),
 		start:  time.Now(),
+		now:    time.Now,
 	}
 	bySys := make(map[*flashmob.System]*engineGroup)
 	for _, bk := range backends {
@@ -195,6 +211,12 @@ func New(backends []Backend, cfg Config) (*Server, error) {
 			}
 			bySys[bk.Sys] = g
 			s.groups = append(s.groups, g)
+		}
+		if bk.Sharded != nil {
+			if g.sharded != nil && g.sharded != bk.Sharded {
+				return nil, fmt.Errorf("serve: backend %q: backends sharing one system must share one sharded handle", bk.Name)
+			}
+			g.sharded = bk.Sharded
 		}
 		b := &backend{name: bk.Name, sys: bk.Sys, spec: bk.Spec, g: g}
 		g.backends = append(g.backends, b)

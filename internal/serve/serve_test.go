@@ -284,3 +284,71 @@ func TestSeededDeterminism(t *testing.T) {
 		t.Fatal("served trajectories differ from direct WalkSeeded on an identical build")
 	}
 }
+
+// TestShardedCoordinatorServing pins coordinator mode: a server whose
+// backend carries a Sharded handle answers seeded requests with
+// byte-identical trajectories to an unsharded server over the same
+// build — the shard count is invisible to clients.
+func TestShardedCoordinatorServing(t *testing.T) {
+	seed := uint64(4711)
+	req := WalkRequest{Walkers: 24, Steps: 12, Seed: &seed}
+
+	_, plain := newTestServer(t, Config{})
+	status, body := postWalk(t, plain.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("unsharded walk: %d %s", status, body)
+	}
+	var want WalkResponse
+	if err := json.Unmarshal(body, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, spec := testSystem(t)
+	sharded, err := flashmob.NewSharded(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New([]Backend{{Name: "deepwalk", Sys: sys, Spec: spec, Sharded: sharded}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer func() { hs.Close(); s.Close() }()
+
+	status, body = postWalk(t, hs.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("sharded walk: %d %s", status, body)
+	}
+	var got WalkResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Paths) != len(want.Paths) {
+		t.Fatalf("path counts differ: %d vs %d", len(got.Paths), len(want.Paths))
+	}
+	for j := range want.Paths {
+		for i := range want.Paths[j] {
+			if got.Paths[j][i] != want.Paths[j][i] {
+				t.Fatalf("walker %d step %d: sharded %d, unsharded %d",
+					j, i, got.Paths[j][i], want.Paths[j][i])
+			}
+		}
+	}
+
+	// The exchange counters surface on /metrics under "shards".
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mr MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Shards) != 1 || mr.Shards[0].Algorithm != "deepwalk" {
+		t.Fatalf("metrics shards = %+v, want one deepwalk entry", mr.Shards)
+	}
+	if _, ok := mr.Shards[0].Report.Vector("shard_emigrants_total"); !ok {
+		t.Fatal("shard_emigrants_total missing from shard report")
+	}
+}

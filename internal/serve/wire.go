@@ -136,6 +136,12 @@ type MetricsResponse struct {
 	// Engines holds each system's engine-lifetime aggregate, in served
 	// order; omitted when engine metrics are off.
 	Engines []EngineReport `json:"engines,omitempty"`
+	// Shards holds one exchange report per shard-coordinating engine
+	// group — emigrant/immigrant walker counts, exchange frames and frame
+	// words per shard, superstep and run totals (internal/shard) —
+	// labelled by the group's first backend. Omitted when no backend is
+	// sharded.
+	Shards []EngineReport `json:"shards,omitempty"`
 }
 
 // HealthResponse is the body of GET /healthz.

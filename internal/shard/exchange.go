@@ -1,0 +1,227 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"flashmob/internal/graph"
+	"flashmob/internal/part"
+	"flashmob/internal/walk"
+)
+
+// Exchange is the cross-shard walk.Exchange: records route to the shard
+// owning their new vertex. Emigrants stage through the same
+// write-combining LineStage geometry as the in-process shuffle — one
+// line of whole records per destination shard, flushed to that peer's
+// outbox as it fills — and ship as one bulk frame per peer per round.
+// A record on the wire is words=2+channels VIDs: [walker id, vertex,
+// aux...], the aux channels riding with the walker exactly as they ride
+// through the shuffle.
+//
+// Move is one BSP exchange round: stage+send to every peer (empty frames
+// included — they are the barrier), then receive from every peer and
+// merge survivors with immigrants, ascending by walker id. The ascending
+// order is what keeps sharded runs bitwise-identical: each shard's local
+// walker array is always the id-ordered subsequence of the global
+// array, so every partition chunk it feeds the sampler matches the
+// single-engine chunk.
+type Exchange struct {
+	self  int
+	smap  *part.ShardMap
+	tr    Transport
+	m     *Metrics
+	words int
+	stage walk.LineStage[graph.VID]
+	// outbox ping-pongs two generations of per-peer frames: a frame's
+	// backing is reused two rounds after it was sent, by which time BSP
+	// lockstep guarantees the receiver consumed it (it cannot have
+	// advanced a round without it).
+	outbox [2][][]graph.VID
+	parity int
+	// Survivor compaction scratch (records staying local this round).
+	survIDs []uint32
+	survW   []graph.VID
+	survAux [][]graph.VID
+	// in[s] is the frame received from peer s this round; offs[s] the
+	// merge cursor into it.
+	in   [][]graph.VID
+	offs []int
+}
+
+// NewExchange builds shard self's exchange over the given transport.
+func NewExchange(self int, smap *part.ShardMap, tr Transport, m *Metrics) *Exchange {
+	ex := &Exchange{self: self, smap: smap, tr: tr, m: m, words: -1,
+		in: make([][]graph.VID, smap.NumShards())}
+	ex.outbox[0] = make([][]graph.VID, smap.NumShards())
+	ex.outbox[1] = make([][]graph.VID, smap.NumShards())
+	return ex
+}
+
+// NumDests returns the shard count.
+func (ex *Exchange) NumDests() int { return ex.smap.NumShards() }
+
+// Compile-time check: the cross-shard exchange implements walk.Exchange.
+var _ walk.Exchange = (*Exchange)(nil)
+
+// Move implements walk.Exchange for one exchange round. b.IDs/b.W/b.Aux
+// hold the shard's post-step local records, ascending by id; on return
+// b.OutIDs/b.Out/b.OutAux (re-sliced to the new local count) hold the
+// post-exchange set — survivors plus immigrants, ascending by id. The
+// Out slices must have capacity for the cohort's whole walker
+// population (the worst case: everyone walks into one shard).
+func (ex *Exchange) Move(ctx context.Context, b *walk.Batch) error {
+	S := ex.smap.NumShards()
+	channels := len(b.Aux)
+	words := 2 + channels
+	if words != ex.words {
+		ex.stage.Resize(S, words)
+		ex.words = words
+		for len(ex.survAux) < channels {
+			ex.survAux = append(ex.survAux, nil)
+		}
+		ex.survAux = ex.survAux[:channels]
+	}
+	out := ex.outbox[ex.parity]
+	ex.parity ^= 1
+	for d := range out {
+		out[d] = out[d][:0]
+	}
+	ex.survIDs = ex.survIDs[:0]
+	ex.survW = ex.survW[:0]
+	for c := range ex.survAux {
+		ex.survAux[c] = ex.survAux[c][:0]
+	}
+
+	// Route: survivors compact in order; emigrants stage through the
+	// write-combining lines and flush whole lines into the peer outbox.
+	buf, fill, stride := ex.stage.Buf, ex.stage.Fill, ex.stage.Stride
+	for j, v := range b.W {
+		d := ex.smap.ShardOf(v)
+		if d == ex.self {
+			ex.survIDs = append(ex.survIDs, b.IDs[j])
+			ex.survW = append(ex.survW, v)
+			for c := range b.Aux {
+				ex.survAux[c] = append(ex.survAux[c], b.Aux[c][j])
+			}
+			continue
+		}
+		base := d*stride + int(fill[d])*words
+		buf[base] = graph.VID(b.IDs[j])
+		buf[base+1] = v
+		for c := 0; c < channels; c++ {
+			buf[base+2+c] = b.Aux[c][j]
+		}
+		if fill[d]++; int(fill[d]) == walk.WCEntries {
+			out[d] = append(out[d], buf[d*stride:d*stride+walk.WCEntries*words]...)
+			fill[d] = 0
+		}
+	}
+	for d := 0; d < S; d++ {
+		if f := int(fill[d]); f > 0 {
+			out[d] = append(out[d], buf[d*stride:d*stride+f*words]...)
+			fill[d] = 0
+		}
+	}
+
+	// Send to every peer in fixed order — empty frames are the barrier.
+	for d := 0; d < S; d++ {
+		if d == ex.self {
+			continue
+		}
+		if err := ex.tr.Send(ctx, d, out[d]); err != nil {
+			return err
+		}
+		if m := ex.m; m != nil {
+			m.Emigrants.Add(ex.self, uint64(len(out[d])/words))
+			m.Frames.Add(ex.self, 1)
+			m.FrameWords.Add(ex.self, uint64(len(out[d])))
+		}
+	}
+
+	// Receive one frame from every peer, fixed order.
+	newN := len(ex.survW)
+	for s := 0; s < S; s++ {
+		if s == ex.self {
+			ex.in[s] = nil
+			continue
+		}
+		f, err := ex.tr.Recv(ctx, s)
+		if err != nil {
+			return err
+		}
+		if len(f)%words != 0 {
+			return fmt.Errorf("shard: frame from shard %d is %d words, not a multiple of %d", s, len(f), words)
+		}
+		ex.in[s] = f
+		newN += len(f) / words
+		if m := ex.m; m != nil {
+			m.Immigrants.Add(ex.self, uint64(len(f)/words))
+		}
+	}
+
+	if cap(b.Out) < newN || cap(b.OutIDs) < newN {
+		return fmt.Errorf("shard: exchange output capacity %d/%d short of %d records", cap(b.OutIDs), cap(b.Out), newN)
+	}
+	b.OutIDs = b.OutIDs[:newN]
+	b.Out = b.Out[:newN]
+	for c := range b.OutAux {
+		if cap(b.OutAux[c]) < newN {
+			return fmt.Errorf("shard: exchange aux output capacity %d short of %d records", cap(b.OutAux[c]), newN)
+		}
+		b.OutAux[c] = b.OutAux[c][:newN]
+	}
+
+	// S-way merge ascending by id: survivors and each peer frame are
+	// already id-sorted (every shard scans its id-ordered array), and ids
+	// are globally unique, so a linear min-pick reconstructs the global
+	// subsequence order.
+	si := 0
+	offs := ex.inOffsets()
+	for i := 0; i < newN; i++ {
+		best := -1 // -1 = survivors, else peer index
+		bestID := uint32(math.MaxUint32)
+		haveBest := false
+		if si < len(ex.survIDs) {
+			bestID = ex.survIDs[si]
+			haveBest = true
+		}
+		for s := 0; s < S; s++ {
+			f := ex.in[s]
+			if offs[s] >= len(f) {
+				continue
+			}
+			if id := uint32(f[offs[s]]); !haveBest || id < bestID {
+				best, bestID, haveBest = s, id, true
+			}
+		}
+		if best < 0 {
+			b.OutIDs[i] = ex.survIDs[si]
+			b.Out[i] = ex.survW[si]
+			for c := range b.OutAux {
+				b.OutAux[c][i] = ex.survAux[c][si]
+			}
+			si++
+			continue
+		}
+		f := ex.in[best]
+		o := offs[best]
+		b.OutIDs[i] = uint32(f[o])
+		b.Out[i] = f[o+1]
+		for c := range b.OutAux {
+			b.OutAux[c][i] = f[o+2+c]
+		}
+		offs[best] = o + words
+	}
+	return nil
+}
+
+// inOffsets returns the zeroed per-peer merge cursor array.
+func (ex *Exchange) inOffsets() []int {
+	if ex.offs == nil || len(ex.offs) != len(ex.in) {
+		ex.offs = make([]int, len(ex.in))
+	} else {
+		clear(ex.offs)
+	}
+	return ex.offs
+}

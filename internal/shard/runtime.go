@@ -1,0 +1,218 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"flashmob/internal/core"
+	"flashmob/internal/graph"
+	"flashmob/internal/part"
+	"flashmob/internal/walk"
+)
+
+// shardCohort is one cohort's per-shard walker state. Three generations
+// of each channel rotate through a superstep: cur (pre-step), next (the
+// stepper's output scratch), and ex (the exchange's merged output, which
+// becomes cur). All are full-capacity — sized for the cohort's whole
+// walker population, the worst case of everyone walking into one shard —
+// with n tracking the live prefix.
+type shardCohort struct {
+	n                   int
+	ids, idsEx          []uint32
+	w, wNext, wEx       []graph.VID
+	aux, auxNext, auxEx [][]graph.VID
+	views, viewsNext    [][]graph.VID // per-step channel views, reused
+}
+
+// newShardCohort sizes a cohort's buffers for total walkers and the
+// spec's channel count, seeding the local set from (ids, w) — the
+// id-ordered members whose start vertex this shard owns. Aux channels
+// start as the walker's own start vertex, exactly as the engine
+// initializes them.
+func newShardCohort(total int, channels int, ids []uint32, w []graph.VID) *shardCohort {
+	co := &shardCohort{
+		n:         len(ids),
+		ids:       make([]uint32, total),
+		idsEx:     make([]uint32, total),
+		w:         make([]graph.VID, total),
+		wNext:     make([]graph.VID, total),
+		wEx:       make([]graph.VID, total),
+		views:     make([][]graph.VID, channels),
+		viewsNext: make([][]graph.VID, channels),
+	}
+	copy(co.ids, ids)
+	copy(co.w, w)
+	for c := 0; c < channels; c++ {
+		co.aux = append(co.aux, make([]graph.VID, total))
+		co.auxNext = append(co.auxNext, make([]graph.VID, total))
+		co.auxEx = append(co.auxEx, make([]graph.VID, total))
+		copy(co.aux[c], w)
+	}
+	return co
+}
+
+// shardRun executes one shard's side of a sharded mixed run: the
+// superstep loop every shard (in-process goroutine or TCP worker
+// process) runs in lockstep.
+type shardRun struct {
+	self     int
+	eng      *core.Engine
+	smap     *part.ShardMap
+	tr       Transport
+	m        *Metrics
+	resolved []core.Cohort
+	channels int
+	coh      []*shardCohort
+	// record observes cohort k's local walkers after step `step`
+	// (1-based; step 0 is the init row the placer already knows).
+	// In-process shards write disjoint rows of shared position matrices;
+	// TCP workers accumulate (step, id, v) fragments for the coordinator.
+	record func(k, step int, ids []uint32, w []graph.VID) error
+	// vpSteps receives the shard's per-partition walker-step counts.
+	vpSteps []uint64
+}
+
+// run executes the superstep loop. Every shard iterates supersteps and
+// cohorts in the same order, so the per-(superstep, cohort) exchange
+// rounds pair up across the mesh; a cohort past its last step is skipped
+// identically everywhere. The exchange is skipped after a cohort's final
+// step — a walker crossing shards as it finishes is a finished walker,
+// not a message (matching internal/dist's accounting).
+func (r *shardRun) run(ctx context.Context) error {
+	sess, err := r.eng.NewSession(ctx)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	maxWalkers, maxSteps := 0, 0
+	for _, c := range r.resolved {
+		if int(c.Walkers) > maxWalkers {
+			maxWalkers = int(c.Walkers)
+		}
+		if c.Steps > maxSteps {
+			maxSteps = c.Steps
+		}
+	}
+	st, err := sess.NewStepper(maxWalkers, r.channels, len(r.resolved))
+	if err != nil {
+		return err
+	}
+	for k := range r.resolved {
+		if err := st.BindCohort(k, &r.resolved[k].Spec); err != nil {
+			return err
+		}
+	}
+	ex := NewExchange(r.self, r.smap, r.tr, r.m)
+
+	for t := 0; t < maxSteps; t++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if r.m != nil {
+			r.m.Supersteps.Inc()
+		}
+		for k := range r.resolved {
+			c := &r.resolved[k]
+			if t >= c.Steps {
+				continue
+			}
+			co := r.coh[k]
+			n := co.n
+			channels := core.AuxChannelsFor(&c.Spec)
+			views, viewsNext := co.views[:0], co.viewsNext[:0]
+			for ch := 0; ch < channels; ch++ {
+				views = append(views, co.aux[ch][:n])
+				viewsNext = append(viewsNext, co.auxNext[ch][:n])
+			}
+			co.views, co.viewsNext = views, viewsNext
+			if err := st.Step(k, c.Seed, t, co.w[:n], co.wNext[:n], views, viewsNext); err != nil {
+				return err
+			}
+			if err := r.record(k, t+1, co.ids[:n], co.wNext[:n]); err != nil {
+				return err
+			}
+			if t+1 >= c.Steps {
+				continue // final step: walkers finish where they stand
+			}
+			b := walk.Batch{
+				IDs: co.ids[:n], W: co.wNext[:n], Aux: viewsNext,
+				OutIDs: co.idsEx[:0], Out: co.wEx[:0], OutAux: co.auxOutViews(channels),
+			}
+			if err := ex.Move(ctx, &b); err != nil {
+				return err
+			}
+			co.n = len(b.Out)
+			co.ids, co.idsEx = co.idsEx, co.ids
+			co.w, co.wEx = co.wEx, co.w
+			for ch := 0; ch < channels; ch++ {
+				co.aux[ch], co.auxEx[ch] = co.auxEx[ch], co.aux[ch]
+			}
+		}
+	}
+	copy(r.vpSteps, st.VPSteps())
+	return nil
+}
+
+// auxOutViews returns the exchange-output aux slices, zero-length with
+// full capacity, one per channel.
+func (co *shardCohort) auxOutViews(channels int) [][]graph.VID {
+	if channels == 0 {
+		return nil
+	}
+	views := make([][]graph.VID, channels)
+	for c := 0; c < channels; c++ {
+		views[c] = co.auxEx[c][:0]
+	}
+	return views
+}
+
+// placement is the deterministic global init of one run: per cohort, the
+// full start-vertex array (row 0 of its history) and the id-ordered
+// scatter of (id, vertex) onto owning shards.
+type placement struct {
+	resolved []core.Cohort
+	channels int
+	// row0[k] is cohort k's global start positions.
+	row0 [][]graph.VID
+	// ids[s][k] / w[s][k] are shard s's members of cohort k, ascending.
+	ids [][][]uint32
+	w   [][][]graph.VID
+}
+
+// place computes the single-engine init (core.InitWalkersSeeded — the
+// same placement RunMixed draws) and scatters each cohort's walkers to
+// the shard owning their start vertex. The ascending-id scan keeps every
+// shard's local array the id-ordered subsequence of the global one.
+func place(eng *core.Engine, smap *part.ShardMap, cohorts []core.Cohort) (*placement, error) {
+	resolved, channels, err := eng.ResolveCohorts(cohorts)
+	if err != nil {
+		return nil, err
+	}
+	S := smap.NumShards()
+	p := &placement{
+		resolved: resolved,
+		channels: channels,
+		row0:     make([][]graph.VID, len(resolved)),
+		ids:      make([][][]uint32, S),
+		w:        make([][][]graph.VID, S),
+	}
+	for s := 0; s < S; s++ {
+		p.ids[s] = make([][]uint32, len(resolved))
+		p.w[s] = make([][]graph.VID, len(resolved))
+	}
+	for k, c := range resolved {
+		if c.Walkers > math.MaxUint32 {
+			return nil, fmt.Errorf("shard: cohort %d's %d walkers exceed the 32-bit id space", k, c.Walkers)
+		}
+		wAll := make([]graph.VID, c.Walkers)
+		eng.InitWalkersSeeded(c.Seed, wAll)
+		p.row0[k] = wAll
+		for j, v := range wAll {
+			s := smap.ShardOf(v)
+			p.ids[s][k] = append(p.ids[s][k], uint32(j))
+			p.w[s][k] = append(p.w[s][k], v)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"flashmob/internal/graph"
+)
+
+// tcpMsg is one received exchange frame (or the reader's terminal error).
+type tcpMsg struct {
+	f   []graph.VID
+	err error
+}
+
+// tcpPeer is one mesh connection: a locked buffered writer for sends and
+// a reader goroutine pumping walker frames into in.
+type tcpPeer struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	in   chan tcpMsg
+}
+
+// TCPTransport is the multi-process exchange transport: one established
+// connection per peer shard, length-prefixed frames (wire.go), a reader
+// goroutine per peer. The BSP lockstep bounds frames in flight, so the
+// small per-peer inbox never grows with run size.
+type TCPTransport struct {
+	self  int
+	peers []*tcpPeer
+	done  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewTCPTransport wraps established mesh connections: conns[i] connects
+// to shard i (nil at self). Takes ownership of the conns.
+func NewTCPTransport(self int, conns []net.Conn) *TCPTransport {
+	t := &TCPTransport{self: self, peers: make([]*tcpPeer, len(conns)), done: make(chan struct{})}
+	for i, c := range conns {
+		if c == nil {
+			continue
+		}
+		p := &tcpPeer{conn: c, bw: bufio.NewWriter(c), in: make(chan tcpMsg, chanMeshCap*2)}
+		t.peers[i] = p
+		t.wg.Add(1)
+		go t.read(p)
+	}
+	return t
+}
+
+// read pumps one peer's walker frames until the connection or the
+// transport closes.
+func (t *TCPTransport) read(p *tcpPeer) {
+	defer t.wg.Done()
+	for {
+		typ, payload, err := readFrame(p.conn)
+		var msg tcpMsg
+		switch {
+		case err != nil:
+			msg.err = err
+		case typ != frameWalkers:
+			msg.err = fmt.Errorf("shard: unexpected frame 0x%02x on exchange connection", typ)
+		default:
+			msg.f, msg.err = bytesToVIDs(payload)
+		}
+		select {
+		case p.in <- msg:
+		case <-t.done:
+			return
+		}
+		if msg.err != nil {
+			return
+		}
+	}
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(_ context.Context, dest int, frame []graph.VID) error {
+	p := t.peers[dest]
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if err := writeFrame(p.bw, frameWalkers, vidsToBytes(frame)); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(ctx context.Context, src int) ([]graph.VID, error) {
+	select {
+	case msg := <-t.peers[src].in:
+		return msg.f, msg.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.done:
+		return nil, fmt.Errorf("shard: transport closed")
+	}
+}
+
+// Close tears the mesh down: connections close (unblocking readers and
+// any peer mid-Recv on the other side) and the readers drain.
+func (t *TCPTransport) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		for _, p := range t.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+	})
+	t.wg.Wait()
+	return nil
+}
+
+// dialPeer dials addr with retry until ctx cancels (workers boot in any
+// order) and opens the connection with a hello frame naming self.
+func dialPeer(ctx context.Context, addr string, self int) (net.Conn, error) {
+	d := net.Dialer{}
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			if werr := writeFrame(conn, frameHello, vidsToBytes([]graph.VID{graph.VID(self)})); werr != nil {
+				conn.Close()
+				return nil, werr
+			}
+			return conn, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package shard
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/core"
+	"flashmob/internal/gen"
+	"flashmob/internal/graph"
+	"flashmob/internal/part"
+)
+
+// testGraph builds a degree-sorted undirected power-law graph — the
+// engine's production layout, which is what makes shard ranges
+// contiguous in the degree-sorted vertex space.
+func testGraph(t testing.TB, n uint32, seed uint64) *graph.CSR {
+	t.Helper()
+	dir, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: n, AvgDegree: 6, Alpha: 0.7, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []graph.Edge
+	for v := uint32(0); v < dir.NumVertices(); v++ {
+		for _, w := range dir.Neighbors(v) {
+			if v != w {
+				edges = append(edges, graph.Edge{Src: v, Dst: w})
+			}
+		}
+	}
+	res, err := graph.Build(edges, graph.BuildOptions{Undirected: true, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.SortByDegreeDesc(res.Graph).Graph
+}
+
+func testEngine(t testing.TB, g *graph.CSR, spec algo.Spec) *core.Engine {
+	t.Helper()
+	e, err := core.New(g, spec, core.Config{
+		Workers: 2, Seed: 11, Planner: core.PlannerMCKP, RecordHistory: true,
+		Part: part.Config{TargetGroups: 2, MinVPSizeLog: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func historiesMatch(t *testing.T, tag string, a, b interface {
+	NumSteps() int
+	NumWalkers() int
+	At(i, j int) graph.VID
+}) {
+	t.Helper()
+	if a.NumSteps() != b.NumSteps() || a.NumWalkers() != b.NumWalkers() {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", tag, a.NumSteps(), a.NumWalkers(), b.NumSteps(), b.NumWalkers())
+	}
+	for i := 0; i < a.NumSteps(); i++ {
+		for j := 0; j < a.NumWalkers(); j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("%s: step %d walker %d: %d vs %d", tag, i, j, a.At(i, j), b.At(i, j))
+			}
+		}
+	}
+}
+
+// TestTopologyBitwiseIdentical is the tentpole's core claim: sharded
+// trajectories are bitwise-identical to the single-engine RunMixed for
+// shard counts {1, 2, 4}, across a mixed cohort batch (first-order,
+// node2vec aux channels, stop-prob restarts, ragged step counts). Shard
+// count 1 is the degenerate topology — still exercising the exchange
+// barrier machinery with zero peers.
+func TestTopologyBitwiseIdentical(t *testing.T) {
+	g := testGraph(t, 800, 3)
+	e := testEngine(t, g, algo.DeepWalk())
+	defer e.Close()
+
+	cohorts := []core.Cohort{
+		{Spec: algo.DeepWalk(), Walkers: 500, Steps: 8, Seed: 41},
+		{Spec: algo.Node2Vec(0.5, 2), Walkers: 300, Steps: 5, Seed: 42},
+		{Spec: algo.PageRankWalk(0.85), Walkers: 200, Steps: 8, Seed: 43},
+	}
+	ref, err := e.RunMixed(cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		topo, err := New(e, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		res, err := topo.RunMixed(context.Background(), cohorts)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for k := range cohorts {
+			historiesMatch(t, "", ref.Cohorts[k].History, res.Cohorts[k].History)
+		}
+		// The per-partition walker-step weights must match too: shards
+		// sampled exactly the partition chunks the single engine did.
+		for vp := range ref.VPSteps {
+			if ref.VPSteps[vp] != res.VPSteps[vp] {
+				t.Fatalf("shards=%d: VPSteps[%d] = %d, single-engine %d", shards, vp, res.VPSteps[vp], ref.VPSteps[vp])
+			}
+		}
+		rep := topo.MetricsReport()
+		if shards > 1 {
+			var emi, imm uint64
+			for _, v := range rep.Vectors {
+				for _, x := range v.Values {
+					switch v.Desc.Name {
+					case "shard_emigrants_total":
+						emi += x
+					case "shard_immigrants_total":
+						imm += x
+					}
+				}
+			}
+			if emi == 0 {
+				t.Fatalf("shards=%d: no emigrants on a power-law graph", shards)
+			}
+			if emi != imm {
+				t.Fatalf("shards=%d: emigrants %d != immigrants %d", shards, emi, imm)
+			}
+		}
+	}
+}
+
+// TestTopologyRepeatedRunsAndConcurrency pins that one Topology serves
+// repeated and concurrent RunMixed calls with identical results — the
+// serving layer's usage pattern.
+func TestTopologyRepeatedRunsAndConcurrency(t *testing.T) {
+	g := testGraph(t, 400, 7)
+	e := testEngine(t, g, algo.DeepWalk())
+	defer e.Close()
+	topo, err := New(e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohorts := []core.Cohort{{Spec: algo.DeepWalk(), Walkers: 200, Steps: 6, Seed: 5}}
+	first, err := topo.RunMixed(context.Background(), cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const par = 3
+	results := make([]*core.MixedResult, par)
+	errs := make([]error, par)
+	done := make(chan int, par)
+	for i := 0; i < par; i++ {
+		go func(i int) {
+			results[i], errs[i] = topo.RunMixed(context.Background(), cohorts)
+			done <- i
+		}(i)
+	}
+	for i := 0; i < par; i++ {
+		<-done
+	}
+	for i := 0; i < par; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		historiesMatch(t, "concurrent", first.Cohorts[0].History, results[i].Cohorts[0].History)
+	}
+}
+
+// TestTopologyCancellation cancels mid-run and demands a clean error
+// with no goroutine leaks — the chan-transport half of the drain
+// guarantee (the TCP half lives in worker_test.go).
+func TestTopologyCancellation(t *testing.T) {
+	g := testGraph(t, 400, 9)
+	e := testEngine(t, g, algo.DeepWalk())
+	defer e.Close()
+	topo, err := New(e, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := topo.RunMixed(ctx, []core.Cohort{{Spec: algo.DeepWalk(), Walkers: 300, Steps: 50, Seed: 1}}); err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	// A mid-run cancel: let some supersteps happen, then pull the plug.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel2()
+	}()
+	_, err = topo.RunMixed(ctx2, []core.Cohort{{Spec: algo.DeepWalk(), Walkers: 2000, Steps: 5000, Seed: 1}})
+	if err == nil {
+		t.Log("run finished before cancel; still checking for leaks")
+	}
+	for i := 0; i < 50 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, after)
+	}
+}

@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"context"
+
+	"flashmob/internal/graph"
+)
+
+// Transport delivers exchange frames between shards. One Transport
+// instance is one shard's port onto the mesh: dest/src are peer shard
+// indices. The exchange protocol is strict BSP lockstep — every shard
+// sends one (possibly empty) frame to every peer per round, then
+// receives one from every peer — so Send/Recv need no framing beyond the
+// frame itself, and per-pair FIFO order is the only delivery guarantee a
+// Transport must provide.
+//
+// Ownership: a sent frame must stay untouched by the receiver's side
+// until its Recv round completes; the sender may reuse the frame's
+// backing two rounds later (the exchange ping-pongs two outbox
+// generations, which the BSP lockstep makes safe — see Exchange).
+type Transport interface {
+	// Send delivers frame to peer dest. Blocks only under transient
+	// backpressure; ctx cancellation aborts with its error.
+	Send(ctx context.Context, dest int, frame []graph.VID) error
+	// Recv returns the next frame from peer src, blocking until one
+	// arrives or ctx cancels.
+	Recv(ctx context.Context, src int) ([]graph.VID, error)
+	// Close releases the port. Safe to call on every shard's port; a
+	// blocked peer unblocks with an error.
+	Close() error
+}
+
+// chanMeshCap bounds outstanding frames per directed pair. BSP lockstep
+// keeps at most two in flight (a peer can run at most one exchange round
+// ahead before it needs our frame), so 4 leaves slack without buffering
+// whole waves.
+const chanMeshCap = 4
+
+// ChanMesh is the in-process transport: an S×S matrix of buffered
+// channels carrying frame slices by reference (the lockstep ownership
+// rule above makes the zero-copy handoff safe).
+type ChanMesh struct {
+	chans [][]chan []graph.VID
+}
+
+// NewChanMesh builds the channel matrix for shards peers.
+func NewChanMesh(shards int) *ChanMesh {
+	m := &ChanMesh{chans: make([][]chan []graph.VID, shards)}
+	for i := range m.chans {
+		m.chans[i] = make([]chan []graph.VID, shards)
+		for j := range m.chans[i] {
+			if i != j {
+				m.chans[i][j] = make(chan []graph.VID, chanMeshCap)
+			}
+		}
+	}
+	return m
+}
+
+// Bind returns shard self's port onto the mesh.
+func (m *ChanMesh) Bind(self int) Transport { return &chanPort{m: m, self: self} }
+
+type chanPort struct {
+	m    *ChanMesh
+	self int
+}
+
+func (p *chanPort) Send(ctx context.Context, dest int, frame []graph.VID) error {
+	select {
+	case p.m.chans[p.self][dest] <- frame:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *chanPort) Recv(ctx context.Context, src int) ([]graph.VID, error) {
+	select {
+	case f := <-p.m.chans[src][p.self]:
+		return f, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close is a no-op: the mesh holds no resources beyond its channels, and
+// cancellation (not closing) is how a stuck peer unblocks.
+func (p *chanPort) Close() error { return nil }

@@ -1,0 +1,303 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/core"
+	"flashmob/internal/graph"
+	"flashmob/internal/part"
+)
+
+// wireSpec is the JSON shape of a walk spec on the run protocol. Custom
+// and History transitions carry function values, so they cannot cross a
+// process boundary; the coordinator rejects them up front.
+type wireSpec struct {
+	Name     string  `json:"name"`
+	Order    int     `json:"order"`
+	Steps    int     `json:"steps"`
+	P        float64 `json:"p,omitempty"`
+	Q        float64 `json:"q,omitempty"`
+	Weighted bool    `json:"weighted,omitempty"`
+	StopProb float64 `json:"stop_prob,omitempty"`
+}
+
+func toWireSpec(sp *algo.Spec) wireSpec {
+	return wireSpec{Name: sp.Name, Order: sp.Order, Steps: sp.Steps,
+		P: sp.P, Q: sp.Q, Weighted: sp.Weighted, StopProb: sp.StopProb}
+}
+
+func (ws wireSpec) spec() algo.Spec {
+	return algo.Spec{Name: ws.Name, Order: ws.Order, Steps: ws.Steps,
+		P: ws.P, Q: ws.Q, Weighted: ws.Weighted, StopProb: ws.StopProb}
+}
+
+// runHeader opens one run on a worker: the resolved cohorts (defaults
+// already applied by the coordinator, so every worker steps the same
+// schedule without consulting its own defaults).
+type runHeader struct {
+	Cohorts []wireCohort `json:"cohorts"`
+}
+
+type wireCohort struct {
+	Walkers uint64   `json:"walkers"`
+	Steps   int      `json:"steps"`
+	Seed    uint64   `json:"seed"`
+	Spec    wireSpec `json:"spec"`
+}
+
+// doneTrailer closes a worker's run: the shard's exchange-counter deltas
+// for this run and its per-partition walker-step counts.
+type doneTrailer struct {
+	Emigrants  uint64   `json:"emigrants"`
+	Immigrants uint64   `json:"immigrants"`
+	Frames     uint64   `json:"frames"`
+	FrameWords uint64   `json:"frame_words"`
+	VPSteps    []uint64 `json:"vp_steps"`
+}
+
+// pathChunkWords caps one framePaths payload: triples of words, well
+// under maxFramePayload.
+const pathChunkWords = 3 * (1 << 16)
+
+type coordConn struct {
+	conn   net.Conn
+	header []byte
+}
+
+// ServeWorker hosts shard self of a len(addrs)-shard topology: it
+// establishes the exchange mesh with its peers (dialing lower indices,
+// accepting hellos from higher ones), then serves coordinator runs off
+// ln one at a time until ctx ends. The engine must be built identically
+// on every worker and the coordinator — same graph, same config — since
+// the shard map and the seed schedule derive from the plan. Returns
+// ctx.Err() on a clean drain.
+func ServeWorker(ctx context.Context, ln net.Listener, eng *core.Engine, self int, addrs []string) error {
+	S := len(addrs)
+	if self < 0 || self >= S {
+		return fmt.Errorf("shard: worker index %d out of range [0, %d)", self, S)
+	}
+	smap, err := part.NewShardMap(eng.Plan(), S)
+	if err != nil {
+		return err
+	}
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+
+	type peerConn struct {
+		idx  int
+		conn net.Conn
+	}
+	peerCh := make(chan peerConn, S)
+	coordCh := make(chan coordConn)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			go func(conn net.Conn) {
+				typ, payload, err := readFrame(conn)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				switch typ {
+				case frameHello:
+					vs, err := bytesToVIDs(payload)
+					if err != nil || len(vs) != 1 {
+						conn.Close()
+						return
+					}
+					peerCh <- peerConn{idx: int(vs[0]), conn: conn}
+				case frameRun:
+					select {
+					case coordCh <- coordConn{conn: conn, header: payload}:
+					case <-ctx.Done():
+						conn.Close()
+					}
+				default:
+					conn.Close()
+				}
+			}(conn)
+		}
+	}()
+
+	type dialRes struct {
+		j    int
+		conn net.Conn
+		err  error
+	}
+	dialed := make(chan dialRes, self)
+	for j := 0; j < self; j++ {
+		go func(j int) {
+			c, err := dialPeer(ctx, addrs[j], self)
+			dialed <- dialRes{j: j, conn: c, err: err}
+		}(j)
+	}
+	conns := make([]net.Conn, S)
+	for need := S - 1; need > 0; {
+		select {
+		case p := <-peerCh:
+			if p.idx <= self || p.idx >= S || conns[p.idx] != nil {
+				p.conn.Close()
+				continue
+			}
+			conns[p.idx] = p.conn
+			need--
+		case d := <-dialed:
+			if d.err != nil {
+				return d.err
+			}
+			conns[d.j] = d.conn
+			need--
+		case err := <-acceptErr:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	tr := NewTCPTransport(self, conns)
+	defer tr.Close()
+	m := newMetrics(S)
+
+	for {
+		select {
+		case cc := <-coordCh:
+			// Per-run failures are reported on the coordinator connection;
+			// the worker stays up for the next run.
+			serveRun(ctx, cc, eng, smap, tr, m, self)
+			cc.conn.Close()
+		case err := <-acceptErr:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// serveRun executes one coordinator run on the worker's shard.
+func serveRun(ctx context.Context, cc coordConn, eng *core.Engine, smap *part.ShardMap, tr Transport, m *Metrics, self int) {
+	fail := func(err error) {
+		_ = writeFrame(cc.conn, frameErr, []byte(err.Error()))
+	}
+	var hdr runHeader
+	if err := json.Unmarshal(cc.header, &hdr); err != nil {
+		fail(fmt.Errorf("shard: bad run header: %w", err))
+		return
+	}
+	if len(hdr.Cohorts) == 0 {
+		fail(fmt.Errorf("shard: run header has no cohorts"))
+		return
+	}
+	resolved := make([]core.Cohort, len(hdr.Cohorts))
+	channels := 0
+	for i, wc := range hdr.Cohorts {
+		resolved[i] = core.Cohort{Spec: wc.Spec.spec(), Walkers: wc.Walkers, Steps: wc.Steps, Seed: wc.Seed}
+		if ch := core.AuxChannelsFor(&resolved[i].Spec); ch > channels {
+			channels = ch
+		}
+	}
+
+	// Collect init frames until GO.
+	ids := make([][]uint32, len(resolved))
+	ws := make([][]graph.VID, len(resolved))
+	for {
+		typ, payload, err := readFrame(cc.conn)
+		if err != nil {
+			return // coordinator gone; nothing to report to
+		}
+		if typ == frameGo {
+			break
+		}
+		if typ != frameInit {
+			fail(fmt.Errorf("shard: unexpected frame 0x%02x during init", typ))
+			return
+		}
+		vs, err := bytesToVIDs(payload)
+		if err != nil || len(vs) < 1 || len(vs[1:])%2 != 0 {
+			fail(fmt.Errorf("shard: malformed init frame"))
+			return
+		}
+		k := int(vs[0])
+		if k < 0 || k >= len(resolved) {
+			fail(fmt.Errorf("shard: init frame for cohort %d of %d", k, len(resolved)))
+			return
+		}
+		for i := 1; i < len(vs); i += 2 {
+			ids[k] = append(ids[k], uint32(vs[i]))
+			ws[k] = append(ws[k], vs[i+1])
+		}
+	}
+
+	frags := make([][]graph.VID, len(resolved))
+	r := &shardRun{
+		self: self, eng: eng, smap: smap, tr: tr, m: m,
+		resolved: resolved, channels: channels,
+		coh:     make([]*shardCohort, len(resolved)),
+		vpSteps: make([]uint64, eng.Plan().NumVPs()),
+		record: func(k, step int, ids []uint32, w []graph.VID) error {
+			f := frags[k]
+			for j, id := range ids {
+				f = append(f, graph.VID(step), graph.VID(id), w[j])
+			}
+			frags[k] = f
+			return nil
+		},
+	}
+	for k, c := range resolved {
+		r.coh[k] = newShardCohort(int(c.Walkers), core.AuxChannelsFor(&c.Spec), ids[k], ws[k])
+	}
+	before := doneTrailer{
+		Emigrants: m.Emigrants.Value(self), Immigrants: m.Immigrants.Value(self),
+		Frames: m.Frames.Value(self), FrameWords: m.FrameWords.Value(self),
+	}
+	if err := r.run(ctx); err != nil {
+		fail(err)
+		return
+	}
+
+	bw := bufio.NewWriter(cc.conn)
+	scratch := make([]graph.VID, 0, pathChunkWords+1)
+	for k := range frags {
+		for off := 0; off < len(frags[k]); off += pathChunkWords {
+			end := off + pathChunkWords
+			if end > len(frags[k]) {
+				end = len(frags[k])
+			}
+			scratch = append(scratch[:0], graph.VID(k))
+			scratch = append(scratch, frags[k][off:end]...)
+			if err := writeFrame(bw, framePaths, vidsToBytes(scratch)); err != nil {
+				return
+			}
+		}
+	}
+	trailer := doneTrailer{
+		Emigrants:  m.Emigrants.Value(self) - before.Emigrants,
+		Immigrants: m.Immigrants.Value(self) - before.Immigrants,
+		Frames:     m.Frames.Value(self) - before.Frames,
+		FrameWords: m.FrameWords.Value(self) - before.FrameWords,
+		VPSteps:    r.vpSteps,
+	}
+	b, err := json.Marshal(trailer)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := writeFrame(bw, frameDone, b); err != nil {
+		return
+	}
+	bw.Flush()
+}

@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"flashmob/internal/algo"
+	"flashmob/internal/core"
+	"flashmob/internal/graph"
+	"flashmob/internal/obs"
+)
+
+// startWorkers boots S worker shards on loopback listeners, each with
+// its own engine build (the multi-process arrangement, minus the
+// processes), and returns the addresses plus a shutdown func.
+func startWorkers(t *testing.T, g *graph.CSR, spec algo.Spec, S int) ([]string, context.CancelFunc, chan error) {
+	t.Helper()
+	lns := make([]net.Listener, S)
+	addrs := make([]string, S)
+	for i := 0; i < S; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, S)
+	for i := 0; i < S; i++ {
+		eng := testEngine(t, g, spec)
+		go func(i int, eng *core.Engine) {
+			defer eng.Close()
+			errCh <- ServeWorker(ctx, lns[i], eng, i, addrs)
+		}(i, eng)
+	}
+	return addrs, cancel, errCh
+}
+
+// TestRemoteBitwiseIdentical runs a mixed batch over a 2-worker TCP
+// mesh and demands trajectories bitwise-identical to the single-engine
+// run — the multi-process half of the tentpole claim — across two
+// consecutive runs on the same mesh (frames of successive runs must not
+// bleed into each other).
+func TestRemoteBitwiseIdentical(t *testing.T) {
+	g := testGraph(t, 600, 3)
+	e := testEngine(t, g, algo.DeepWalk())
+	defer e.Close()
+	cohorts := []core.Cohort{
+		{Spec: algo.DeepWalk(), Walkers: 300, Steps: 7, Seed: 21},
+		{Spec: algo.Node2Vec(0.5, 2), Walkers: 150, Steps: 4, Seed: 22},
+	}
+	ref, err := e.RunMixed(cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs, cancel, errCh := startWorkers(t, g, algo.DeepWalk(), 2)
+	defer cancel()
+	rt, err := NewRemote(e, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		res, err := rt.RunMixed(context.Background(), cohorts)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for k := range cohorts {
+			historiesMatch(t, "remote", ref.Cohorts[k].History, res.Cohorts[k].History)
+		}
+		for vp := range ref.VPSteps {
+			if ref.VPSteps[vp] != res.VPSteps[vp] {
+				t.Fatalf("round %d: VPSteps[%d] = %d, single-engine %d", round, vp, res.VPSteps[vp], ref.VPSteps[vp])
+			}
+		}
+	}
+
+	// The coordinator's aggregate must balance and match the chan-mesh
+	// topology's counts on the same run (same trajectories, same
+	// crossings, whatever the transport).
+	topo, err := New(e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.RunMixed(context.Background(), cohorts); err != nil {
+		t.Fatal(err)
+	}
+	chanEmi := vecTotal(t, topo.MetricsReport(), "shard_emigrants_total")
+	tcpEmi := vecTotal(t, rt.MetricsReport(), "shard_emigrants_total") / 2 // two rounds
+	if chanEmi != tcpEmi {
+		t.Fatalf("emigrants: chan mesh %d, tcp mesh %d", chanEmi, tcpEmi)
+	}
+
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errCh:
+			if err != context.Canceled {
+				t.Fatalf("worker exit: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker did not drain after cancel")
+		}
+	}
+}
+
+func vecTotal(t *testing.T, rep *obs.Report, name string) uint64 {
+	t.Helper()
+	vs, ok := rep.Vector(name)
+	if !ok {
+		t.Fatalf("metric %q missing", name)
+	}
+	var sum uint64
+	for _, v := range vs.Values {
+		sum += v
+	}
+	return sum
+}
+
+// TestRemoteRejectsCustomSpec pins the wire rule: function-valued
+// transitions cannot cross a process boundary.
+func TestRemoteRejectsCustomSpec(t *testing.T) {
+	g := testGraph(t, 300, 1)
+	e := testEngine(t, g, algo.DeepWalk())
+	defer e.Close()
+	rt, err := NewRemote(e, []string{"127.0.0.1:1", "127.0.0.1:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := algo.DeepWalk()
+	spec.Order = 2
+	spec.Custom = &algo.Transition{Weight: func(g *graph.CSR, s, u, x graph.VID) float64 { return 1 }, MaxWeight: 1}
+	if _, err := rt.RunMixed(context.Background(), []core.Cohort{{Spec: spec, Walkers: 10, Steps: 2, Seed: 1}}); err == nil {
+		t.Fatal("custom spec crossed the wire")
+	}
+}
+
+// TestWorkerCancellationDrains cancels the workers mid-run and demands
+// every goroutine drains — the TCP half of the transport-drain
+// guarantee (the chan half lives in topology_test.go).
+func TestWorkerCancellationDrains(t *testing.T) {
+	g := testGraph(t, 500, 5)
+	e := testEngine(t, g, algo.DeepWalk())
+	defer e.Close()
+
+	before := runtime.NumGoroutine()
+	addrs, cancel, errCh := startWorkers(t, g, algo.DeepWalk(), 2)
+	rt, err := NewRemote(e, addrs)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := rt.RunMixed(context.Background(), []core.Cohort{
+			{Spec: algo.DeepWalk(), Walkers: 3000, Steps: 5000, Seed: 9}})
+		runDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the run get into its supersteps
+	cancel()
+	select {
+	case err := <-runDone:
+		if err == nil {
+			t.Fatal("canceled run returned nil error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not abort after worker cancel")
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-errCh:
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker did not exit after cancel")
+		}
+	}
+	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, after)
+	}
+}

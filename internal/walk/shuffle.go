@@ -31,10 +31,10 @@ import (
 	"flashmob/internal/pool"
 )
 
-// wcEntries is the write-combining depth per bin and channel: 16 VIDs is
-// one 64-byte cache line, so a full flush moves whole lines into the
-// destination stream.
-const wcEntries = 16
+// wcEntries aliases WCEntries (exchange.go) — the write-combining depth
+// per bin and channel — so the hot-loop index math below reads at its
+// historical width.
+const wcEntries = WCEntries
 
 // Shuffle pass phases, dispatched through the worker pool (or the spawn
 // fallback) as pool.Task phases.
@@ -77,17 +77,17 @@ type Shuffler struct {
 	innerScratch [][]uint64
 	maxInnerVPs  int
 
-	// Write-combining state. wcBuf[w] stages values for the forward
-	// scatter, laid out bin-major: bin b's walker line at [b*stride,
-	// b*stride+wcEntries) and aux channel c's line wcEntries*(c+1) further.
-	// wcIdx[w] stages walker indices for the reverse gather; wcFill[w] is
-	// the per-bin fill level shared by both directions.
-	wcScatter  bool
-	wcGather   bool
-	wcBuf      [][]graph.VID
-	wcIdx      [][]uint32
-	wcFill     [][]uint8
-	wcChannels int // channel count wcBuf is sized for (-1: unsized)
+	// Write-combining state, one LineStage per worker and direction (the
+	// staging core shared with internal/shard's cross-shard exchange).
+	// scatterStage[w] stages walker+aux values for the forward scatter,
+	// bin-major: bin b's walker line at [b*stride, b*stride+wcEntries)
+	// and aux channel c's line wcEntries*(c+1) further. gatherStage[w]
+	// stages walker indices for the reverse gather.
+	wcScatter    bool
+	wcGather     bool
+	scatterStage []LineStage[graph.VID]
+	gatherStage  []LineStage[uint32]
+	wcChannels   int // channel count scatterStage is sized for (-1: unsized)
 
 	// pprof label contexts applied to workers while a pass runs (nil: no
 	// labels). The forward context covers count/scatter/inner phases, the
@@ -177,13 +177,11 @@ func newShuffler(plan *part.Plan, numWalkers, workers int, p *pool.Pool) (*Shuff
 			s.innerScratch[w] = make([]uint64, 2*s.maxInnerVPs)
 		}
 	}
-	s.wcIdx = make([][]uint32, workers)
-	s.wcFill = make([][]uint8, workers)
+	s.gatherStage = make([]LineStage[uint32], workers)
 	for w := 0; w < workers; w++ {
-		s.wcIdx[w] = make([]uint32, len(bins)*wcEntries)
-		s.wcFill[w] = make([]uint8, len(bins))
+		s.gatherStage[w] = NewLineStage[uint32](len(bins), 1)
 	}
-	s.wcBuf = make([][]graph.VID, workers)
+	s.scatterStage = make([]LineStage[graph.VID], workers)
 	return s, nil
 }
 
@@ -234,9 +232,8 @@ func (s *Shuffler) ensureWC(channels int) {
 	if !s.wcScatter || s.wcChannels == channels {
 		return
 	}
-	stride := (1 + channels) * wcEntries
 	for w := 0; w < s.workers; w++ {
-		s.wcBuf[w] = make([]graph.VID, len(s.plan.Bins())*stride)
+		s.scatterStage[w].Resize(len(s.plan.Bins()), 1+channels)
 	}
 	s.wcChannels = channels
 }
@@ -488,7 +485,7 @@ func (s *Shuffler) scatterScalar(worker, lo, hi int) {
 func (s *Shuffler) scatterWC(worker, lo, hi int) {
 	lk := s.lk
 	cursors := s.cursors[worker]
-	buf, fill := s.wcBuf[worker], s.wcFill[worker]
+	buf, fill := s.scatterStage[worker].Buf, s.scatterStage[worker].Fill
 	w, sw, aux, auxSW := s.curW, s.curSW, s.curAux, s.curAuxSW
 	channels := len(aux)
 	stride := (1 + channels) * wcEntries
@@ -558,7 +555,7 @@ func (s *Shuffler) gatherScalar(worker, lo, hi int) {
 func (s *Shuffler) gatherWC(worker, lo, hi int) {
 	lk := s.lk
 	cursors := s.cursors[worker]
-	idx, fill := s.wcIdx[worker], s.wcFill[worker]
+	idx, fill := s.gatherStage[worker].Buf, s.gatherStage[worker].Fill
 	wOld, swNew, wNext := s.curW, s.curSW, s.curWNext
 	auxSW, auxNext := s.curAuxSW, s.curAuxNext
 	for j := lo; j < hi; j++ {

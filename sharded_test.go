@@ -1,0 +1,112 @@
+package flashmob
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestShardedMatchesSystem pins the public sharded surface: both
+// topologies produce the exact paths System.WalkMixed produces, in
+// original vertex IDs.
+func TestShardedMatchesSystem(t *testing.T) {
+	g, err := Generate("YT", 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Algorithm: Node2Vec(0.5, 2), RecordPaths: true, Seed: 3, Workers: 2}
+	sys, err := New(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cohorts := []CohortSpec{
+		{Algorithm: DeepWalk(), Walkers: 400, Steps: 6, Seed: 51},
+		{Algorithm: Node2Vec(0.5, 2), Walkers: 200, Steps: 4, Seed: 52},
+	}
+	ref, err := sys.WalkMixed(cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, res *MixedResult) {
+		t.Helper()
+		for k := range cohorts {
+			want, err := ref.Paths(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := res.Paths(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				for i := range want[j] {
+					if want[j][i] != got[j][i] {
+						t.Fatalf("%s: cohort %d walker %d step %d: %d != %d",
+							name, k, j, i, got[j][i], want[j][i])
+					}
+				}
+			}
+		}
+	}
+
+	ss, err := NewSharded(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.NumShards() != 2 {
+		t.Fatalf("NumShards = %d", ss.NumShards())
+	}
+	res, err := ss.WalkMixed(context.Background(), cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("in-process", res)
+	if rep := ss.MetricsReport(); rep == nil {
+		t.Fatal("no metrics report")
+	}
+
+	// Multi-process: two workers as goroutines on loopback.
+	addrs := []string{"127.0.0.1:17841", "127.0.0.1:17842"}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerErr := make(chan error, 2)
+	for i := range addrs {
+		go func(i int) { workerErr <- ServeShardWorker(ctx, g, opt, i, addrs) }(i)
+	}
+	for _, a := range addrs { // wait for the workers to bind
+		for i := 0; ; i++ {
+			c, err := net.Dial("tcp", a)
+			if err == nil {
+				c.Close()
+				break
+			}
+			if i > 200 {
+				t.Fatalf("worker at %s never came up: %v", a, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	rem, err := NewShardedRemote(sys, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = rem.WalkMixed(context.Background(), cohorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("remote", res)
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workerErr:
+			if err != context.Canceled {
+				t.Fatalf("worker exit: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker did not drain")
+		}
+	}
+}
