@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent bench-serve bench-mixed bench-ooc bench-shard bench-grid bench-baseline perf-gate perf-gate-smoke
+.PHONY: build test race lint bench bench-shuffle bench-sample bench-concurrent bench-serve bench-mixed bench-ooc bench-shard bench-dynamic bench-grid bench-baseline perf-gate perf-gate-smoke
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ build:
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/doccheck -strict . -strict ./internal/obs -strict ./internal/serve -strict ./internal/ooc -strict ./internal/perfgate -strict ./internal/shard ./internal/... ./cmd/... ./examples/...
+	$(GO) run ./cmd/doccheck -strict . -strict ./internal/obs -strict ./internal/serve -strict ./internal/ooc -strict ./internal/perfgate -strict ./internal/shard -strict ./internal/dyn ./internal/... ./cmd/... ./examples/...
 
 test:
 	$(GO) test -shuffle=on ./...
@@ -75,6 +75,14 @@ bench-ooc:
 bench-shard:
 	@mkdir -p bench/out
 	$(GO) run ./cmd/fmbench -exp shard -repeats 5 -outdir bench/out
+
+# The dynamic server under churn: the same open-loop walk load against
+# a quiescent dynamic server, one absorbing a freeze-per-batch edge
+# stream, and one compacting under load, mean/std over 3 repeats.
+# Writes a raw BENCH_dynamic.json under bench/out/ (docs/SERVING.md).
+bench-dynamic:
+	@mkdir -p bench/out
+	$(GO) run ./cmd/fmbench -exp dynamic -repeats 3 -outdir bench/out
 
 # Equivalence + determinism gate for the sample kernels.
 bench-sample-equiv:

@@ -78,6 +78,7 @@ var experiments = []experiment{
 	{"serve", "walk-query serving: open-loop load on batch-size-1 vs coalescing windows (writes BENCH_serve.json)", expServe},
 	{"mixed", "mixed-algorithm serving: one mixed-cohort run per wave vs the fragmented per-(algorithm, steps) baseline (writes BENCH_mixed.json)", expMixed},
 	{"shard", "sharded topology sweep: shard count x transport (chan, TCP pair) vs the single engine on identical cohorts (writes BENCH_shard.json)", expShard},
+	{"dynamic", "ingest-under-load: walk goodput and tail latency while an edge stream freezes epochs and compactions swap the engine (writes BENCH_dynamic.json)", expDynamic},
 	{"prep", "pre-processing overhead: counting sort + MCKP planning", expPrep},
 	{"ooc", "out-of-core streaming: prefetch depth / IO workers / parallel sampling / resident tier overlap curve (§4.5 future work)", expOOC},
 	{"ablate", "design-choice ablations: LLC policy, prefetcher, regular DS indexing (simulated)", expAblate},

@@ -7,15 +7,35 @@
 //	fmgen -preset YT -scalediv 100 -o yt.bin
 //	fmgen -rmat 18 -o rmat18.bin
 //	fmgen -uniform 100000 -degree 16 -o uni.txt -text
+//	fmgen -preset YT -stream 10 -o stream.jsonl   # edge stream for fmserve -dynamic
+//
+// Stream mode (-stream N) emits N timestamped edge batches as JSON lines
+// instead of a graph file. Every line is a valid POST /v1/ingest body for
+// a dynamic fmserve over the same -preset/-seed graph:
+//
+//	{"edges":[[u,v],...],"freeze":true,"ts_ms":100}
+//
+// so a stream replays with nothing but a shell loop:
+//
+//	while read b; do curl -s -d "$b" "$URL/v1/ingest"; done < stream.jsonl
+//
+// The stream is deterministic per (-seed, stream flags): batch K of the
+// same invocation is always the same edges. Edge endpoints are drawn over
+// the base graph's vertex space plus -stream-growth new vertices, so
+// compactions have vertex growth to absorb; ts_ms advances by
+// -stream-interval per batch (pacing data for replay tools, carried
+// inline).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"flashmob/internal/gen"
 	"flashmob/internal/graph"
+	"flashmob/internal/rng"
 )
 
 func main() {
@@ -28,6 +48,12 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "generator seed")
 		out      = flag.String("o", "", "output path (required)")
 		text     = flag.Bool("text", false, "write a text edge list instead of binary CSR")
+
+		stream         = flag.Uint("stream", 0, "emit this many ingest batches as JSON lines instead of a graph file")
+		streamEdges    = flag.Uint("stream-edges", 64, "edges per stream batch")
+		streamFreeze   = flag.Uint("stream-freeze", 1, "set freeze on every Nth batch (0 = never)")
+		streamGrowth   = flag.Float64("stream-growth", 0.05, "fraction of new vertices the stream's endpoint space adds over the base graph")
+		streamInterval = flag.Float64("stream-interval", 100, "ts_ms spacing between batches")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -64,6 +90,18 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if *stream > 0 {
+		n, err := writeStream(f, g, *seed, *stream, *streamEdges, *streamFreeze, *streamGrowth, *streamInterval)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fmgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d batches × %d edges over |V|≤%d (freeze every %d, %.0fms apart)\n",
+			*out, *stream, *streamEdges, n, *streamFreeze, *streamInterval)
+		return
+	}
+
 	if *text {
 		err = graph.WriteEdgeList(f, g)
 	} else {
@@ -76,4 +114,39 @@ func main() {
 	fmt.Printf("wrote %s: |V|=%d |E|=%d CSR=%.1fMB maxDeg=%d avgDeg=%.2f top1%%=%.1f%%\n",
 		*out, g.NumVertices(), g.NumEdges(), float64(g.SizeBytes())/(1<<20),
 		g.MaxDegree(), g.AvgDegree(), 100*gen.TopShare(g, 0.01))
+}
+
+// writeStream emits `batches` JSON lines of ingest bodies, deterministic
+// per seed: the stream RNG is seeded independently of the generator's so
+// the same base graph and the same stream reproduce together. Self-loops
+// are re-drawn (the server would drop them and skew the accepted counts).
+// Returns the endpoint space the stream drew over.
+func writeStream(f *os.File, g *graph.CSR, seed uint64, batches, edgesPer, freezeEvery uint, growth, intervalMS float64) (uint32, error) {
+	maxV := g.NumVertices() + uint32(growth*float64(g.NumVertices()))
+	if maxV < 2 {
+		maxV = 2
+	}
+	src := rng.NewXorShift1024Star(rng.Mix64(seed ^ 0xed6e_57a3))
+	w := bufio.NewWriter(f)
+	for b := uint(0); b < batches; b++ {
+		w.WriteString(`{"edges":[`)
+		for i := uint(0); i < edgesPer; i++ {
+			u := rng.Uint32n(src, maxV)
+			v := rng.Uint32n(src, maxV)
+			for v == u {
+				v = rng.Uint32n(src, maxV)
+			}
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, "[%d,%d]", u, v)
+		}
+		w.WriteByte(']')
+		if freezeEvery > 0 && (b+1)%freezeEvery == 0 {
+			w.WriteString(`,"freeze":true`)
+		}
+		fmt.Fprintf(w, `,"ts_ms":%g}`, float64(b)*intervalMS)
+		w.WriteByte('\n')
+	}
+	return maxV, w.Flush()
 }

@@ -9,6 +9,7 @@
 //
 //	fmserve -preset YT -scalediv 100 -algos deepwalk -addr :8080
 //	fmserve -graph yt.bin -algos deepwalk,node2vec -p 0.5 -q 2 -window 4ms
+//	fmserve -preset YT -dynamic -compact-every 4       # POST /v1/ingest appends edges
 //	fmserve -preset YT -shards 2                       # in-process sharded waves
 //	fmserve -preset YT -shard-worker -shard-index 0 \
 //	        -shard-addrs 127.0.0.1:9101,127.0.0.1:9102 # one worker of a TCP pair
@@ -68,6 +69,10 @@ func main() {
 		timeout     = flag.Duration("timeout", 2*time.Second, "default request deadline")
 		splitRuns   = flag.Bool("split-cohort-runs", false, "one engine run per (algorithm, steps) cohort instead of one mixed run per wave (benchmark baseline)")
 
+		dynamic        = flag.Bool("dynamic", false, "serve a dynamic graph: POST /v1/ingest appends edges, walks run on epoch snapshots (first-order algorithms only)")
+		compactEvery   = flag.Int("compact-every", 4, "dynamic mode: background-compact after this many freezes (0 = explicit only)")
+		driftThreshold = flag.Float64("drift-threshold", 0, "dynamic mode: relative drift before a vertex group's partition decision is re-solved at compaction (0 = always, the deterministic default)")
+
 		shards       = flag.Int("shards", 0, "run waves on an in-process sharded topology with this many shards (0 = unsharded)")
 		shardWorkers = flag.String("shard-workers", "", "comma-separated shard-worker addresses: serve as the coordinator of a multi-process sharded topology")
 		shardWorker  = flag.Bool("shard-worker", false, "run as one shard worker of a multi-process topology instead of serving HTTP (requires -shard-index and -shard-addrs)")
@@ -81,6 +86,9 @@ func main() {
 	}
 	if *shards > 0 && *shardWorkers != "" {
 		fatal(fmt.Errorf("-shards and -shard-workers are exclusive: pick one topology"))
+	}
+	if *dynamic && (*shards > 0 || *shardWorkers != "" || *shardWorker) {
+		fatal(fmt.Errorf("-dynamic is exclusive with sharded serving"))
 	}
 
 	g, err := loadGraph(*graphPath, *preset, uint32(*scaleDiv), *seed, *undirected)
@@ -114,6 +122,11 @@ func main() {
 			spec = flashmob.PageRankWalk(*damping)
 		default:
 			fatal(fmt.Errorf("unknown algorithm %q", name))
+		}
+		if *dynamic && (spec.Order != 1 || spec.History != nil) {
+			// Overlay epochs admit only first-order history-free walks
+			// (core.BuildOverlay); reject at startup, not per request.
+			fatal(fmt.Errorf("-dynamic cannot serve %q: overlay epochs restrict walks to first-order history-free algorithms", name))
 		}
 		walks = append(walks, served{name: name, spec: spec})
 	}
@@ -151,6 +164,37 @@ func main() {
 		return
 	}
 
+	// Dynamic mode: the serving system is a DynamicSystem — walks pin
+	// epoch snapshots, POST /v1/ingest appends edges, and compactions
+	// rebuild the engine in the background. Everything else (batching,
+	// admission, mixed-cohort waves) is unchanged.
+	if *dynamic {
+		d, err := flashmob.NewDynamic(g, flashmob.DynamicOptions{
+			Algorithm:      walks[0].spec,
+			Workers:        *workers,
+			Seed:           *seed,
+			Undirected:     true,
+			RecordPaths:    true,
+			Metrics:        *metrics,
+			PlanWalkers:    *planFor,
+			CompactEvery:   *compactEvery,
+			DriftThreshold: *driftThreshold,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("build: %w", err))
+		}
+		var backends []serve.Backend
+		for _, w := range walks {
+			backends = append(backends, serve.Backend{Name: w.name, Dyn: d, Spec: w.spec})
+			fmt.Printf("fmserve: serving %s (dynamic, shared build)\n", w.name)
+		}
+		fmt.Printf("fmserve: dynamic mode (compact every %d freezes, drift threshold %g)\n",
+			*compactEvery, *driftThreshold)
+		runServer(backends, serveConfig(*maxWalkers, *maxRequests, *window, *queueDepth,
+			*executors, *timeout, *seed, *splitRuns), *addr)
+		return
+	}
+
 	sys, err := flashmob.New(g, opt)
 	if err != nil {
 		fatal(fmt.Errorf("build: %w", err))
@@ -185,21 +229,33 @@ func main() {
 		fmt.Printf("fmserve: serving %s (%d VPs, shared build)\n", w.name, sys.Plan().NumVPs)
 	}
 
-	srv, err := serve.New(backends, serve.Config{
-		MaxBatchWalkers:  *maxWalkers,
-		MaxBatchRequests: *maxRequests,
-		MaxWait:          *window,
-		QueueDepth:       *queueDepth,
-		Executors:        *executors,
-		DefaultTimeout:   *timeout,
-		Seed:             *seed,
-		SplitCohortRuns:  *splitRuns,
-	})
+	runServer(backends, serveConfig(*maxWalkers, *maxRequests, *window, *queueDepth,
+		*executors, *timeout, *seed, *splitRuns), *addr)
+}
+
+// serveConfig assembles the serve.Config both serving modes share.
+func serveConfig(maxWalkers, maxRequests int, window time.Duration, queueDepth, executors int,
+	timeout time.Duration, seed uint64, splitRuns bool) serve.Config {
+	return serve.Config{
+		MaxBatchWalkers:  maxWalkers,
+		MaxBatchRequests: maxRequests,
+		MaxWait:          window,
+		QueueDepth:       queueDepth,
+		Executors:        executors,
+		DefaultTimeout:   timeout,
+		Seed:             seed,
+		SplitCohortRuns:  splitRuns,
+	}
+}
+
+// runServer builds the Server, listens, and drains on SIGINT/SIGTERM.
+func runServer(backends []serve.Backend, cfg serve.Config, addr string) {
+	srv, err := serve.New(backends, cfg)
 	if err != nil {
 		fatal(err)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,161 @@
+package flashmob
+
+import (
+	"testing"
+)
+
+// TestDynamicCompactedMatchesStatic is the facade-level determinism claim:
+// after ingesting a delta and compacting, walks — and the paths they
+// produce in ORIGINAL vertex IDs — are identical to a static New over the
+// full edge set.
+func TestDynamicCompactedMatchesStatic(t *testing.T) {
+	base := make([]Edge, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		base = append(base, Edge{Src: VID(i*7919) % 500, Dst: VID(i*104729) % 500})
+	}
+	delta := make([]Edge, 0, 200)
+	for i := 0; i < 200; i++ {
+		delta = append(delta, Edge{Src: VID(i*31) % 520, Dst: VID(i*97) % 520})
+	}
+
+	g, err := BuildGraph(base, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynSys, err := NewDynamic(g, DynamicOptions{
+		Seed: 3, Undirected: true, RecordPaths: true, TargetGroups: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dynSys.Close()
+	if _, err := dynSys.Ingest(delta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dynSys.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	union, err := BuildGraph(append(append([]Edge{}, base...), delta...), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := New(union, Options{Seed: 3, RecordPaths: true, TargetGroups: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer static.Close()
+
+	snap, err := dynSys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	if !snap.Compacted() {
+		t.Fatal("post-compaction snapshot still carries an overlay")
+	}
+	resDyn, err := snap.WalkSeeded(41, 800, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := static.NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	resStatic, err := sess.WalkSeeded(41, 800, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pd, err := resDyn.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := resStatic.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd) != len(ps) {
+		t.Fatalf("path counts differ: %d vs %d", len(pd), len(ps))
+	}
+	for w := range pd {
+		if len(pd[w]) != len(ps[w]) {
+			t.Fatalf("walker %d path lengths differ", w)
+		}
+		for i := range pd[w] {
+			if pd[w][i] != ps[w][i] {
+				t.Fatalf("walker %d step %d: dynamic %d vs static %d",
+					w, i, pd[w][i], ps[w][i])
+			}
+		}
+	}
+}
+
+// TestDynamicFreezeThenWalk exercises the overlay epoch through the
+// facade: frozen edges are walkable, paths are valid walks over the
+// union, and Stats reports the lifecycle.
+func TestDynamicFreezeThenWalk(t *testing.T) {
+	g := smallGraph(t)
+	d, err := NewDynamic(g, DynamicOptions{
+		Seed: 5, Undirected: true, RecordPaths: true, TargetGroups: 8, Metrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	n := g.NumVertices()
+	pairs := make([][2]VID, 50)
+	for i := range pairs {
+		pairs[i] = [2]VID{VID(i) % n, (VID(i)*13 + 7) % n}
+	}
+	if _, err := d.IngestPairs(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	if snap.Compacted() {
+		t.Fatal("overlay snapshot claims to be compacted")
+	}
+	res, err := snap.WalkSeeded(9, 500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := res.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaEdge := func(a, b VID) bool {
+		for _, p := range pairs {
+			if (p[0] == a && p[1] == b) || (p[0] == b && p[1] == a) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range paths[:100] {
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] == p[i+1] && g.Degree(p[i]) == 0 {
+				continue
+			}
+			if !g.HasEdge(p[i], p[i+1]) && !deltaEdge(p[i], p[i+1]) {
+				t.Fatalf("transition %d→%d is neither a base nor a delta edge", p[i], p[i+1])
+			}
+		}
+	}
+	st := d.Stats()
+	if st.Epoch != 2 || st.Freezes != 1 || st.DeltaEdges == 0 {
+		t.Fatalf("stats after freeze: %+v", st)
+	}
+	if d.MetricsReport() == nil {
+		t.Fatal("MetricsReport nil with Metrics enabled")
+	}
+}

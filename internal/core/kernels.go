@@ -111,6 +111,13 @@ func (e *Engine) buildKernels() {
 // kernel. Draw-for-draw identical to the scalar sampleFirst loop.
 func (c *cohortCtx) runChunkKernel(vpIdx int, chunk []graph.VID, src *rng.XorShift1024Star) {
 	e := c.e
+	// Delta-overlay sessions: partitions holding delta edges (one mask
+	// test on overlay sessions, one nil check on plain ones) sample over
+	// base ∪ delta through the overlay path instead of their kernel.
+	if ov := c.ov; ov != nil && ov.touched(vpIdx) {
+		c.sampleChunkOverlay(ov.ext[vpIdx], chunk, src)
+		return
+	}
 	switch k := &c.kern[vpIdx]; k.kind {
 	case kernEmpty:
 	case kernPS:

@@ -236,6 +236,13 @@ func (s *Session) RunMixed(cohorts []Cohort) (*MixedResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.ov != nil {
+		for i := range resolved {
+			if err := checkOverlaySpec(&resolved[i].Spec); err != nil {
+				return nil, fmt.Errorf("cohort %d: %w", i, err)
+			}
+		}
+	}
 	var totalWalkers uint64
 	for i := range resolved {
 		totalWalkers += resolved[i].Walkers
@@ -266,6 +273,7 @@ func (s *Session) RunMixed(cohorts []Cohort) (*MixedResult, error) {
 	slots := s.cohortSlots(len(order))
 	for k, i := range order {
 		slots[k].bind(e, &resolved[i].Spec)
+		slots[k].cx.ov = s.ov
 	}
 
 	res := &MixedResult{

@@ -88,8 +88,13 @@ func (s *Session) RunSeeded(seed uint64, totalWalkers uint64, steps int) (*Resul
 	if s.closed {
 		return nil, ErrClosed
 	}
-	s.runSeed = seed
 	e := s.e
+	if s.ov != nil {
+		if err := checkOverlaySpec(&e.spec); err != nil {
+			return nil, err
+		}
+	}
+	s.runSeed = seed
 	if totalWalkers == 0 {
 		totalWalkers = uint64(e.g.NumVertices())
 	}

@@ -30,6 +30,10 @@ type cohortCtx struct {
 	// nil otherwise — a cohort with a uniform spec on a weighted build
 	// must not draw by weight.
 	weighted *algo.WeightedSampler
+	// ov is the session's frozen delta overlay (nil on plain sessions):
+	// chunk dispatch consults it for partitions whose mask bit is set and
+	// samples those over base ∪ delta adjacency instead of the kernel.
+	ov *Overlay
 	// class indexes cohortClassNames for the per-walk-shape metrics.
 	class int
 }
@@ -81,6 +85,9 @@ func (c *cohortCtx) nextPS(st *psState, v graph.VID, src rng.Source) graph.VID {
 // sampleFirst advances a first-order walker at v within partition vpIdx.
 func (c *cohortCtx) sampleFirst(vpIdx int, v graph.VID, src rng.Source) graph.VID {
 	e := c.e
+	if ov := c.ov; ov != nil && ov.touched(vpIdx) {
+		return c.sampleFirstOverlay(ov.ext[vpIdx], v, src)
+	}
 	if st := c.ps[vpIdx]; st != nil {
 		if e.g.Degree(v) == 0 {
 			return v

@@ -66,6 +66,11 @@ type Session struct {
 	// second-order buffers), stable across the session's episodes.
 	scratches []*sampleScratch
 
+	// ov is the session's delta overlay (nil for plain sessions): set at
+	// acquisition by NewSessionOverlay and propagated into every sampling
+	// context the session's runs build, never mutated mid-run.
+	ov *Overlay
+
 	// m is the session's metric set (nil unless Config.Metrics): a fresh
 	// registry per acquisition sharing the engine's pprof label contexts.
 	m *engineMetrics
@@ -84,6 +89,15 @@ type Session struct {
 // returns the PS buffers and scratches for reuse. Returns ErrClosed after
 // Engine.Close.
 func (e *Engine) NewSession(ctx context.Context) (*Session, error) {
+	return e.NewSessionOverlay(ctx, nil)
+}
+
+// NewSessionOverlay is NewSession with a frozen delta overlay bound to the
+// session: every run samples partitions the overlay touches over base ∪
+// delta adjacency, all other partitions through the unmodified kernels.
+// A non-empty overlay restricts the session's runs to first-order
+// history-free specs (see Overlay). A nil overlay is exactly NewSession.
+func (e *Engine) NewSessionOverlay(ctx context.Context, ov *Overlay) (*Session, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -99,6 +113,8 @@ func (e *Engine) NewSession(ctx context.Context) (*Session, error) {
 		s = e.newSessionState()
 	}
 	s.rebind()
+	s.ov = ov
+	s.cx.ov = ov
 	s.ctx = ctx
 	s.closed = false
 	if e.cfg.Metrics {

@@ -1,0 +1,207 @@
+package part
+
+import (
+	"fmt"
+	"math"
+
+	"flashmob/internal/graph"
+)
+
+// GroupEdgeMass returns the per-group edge counts of a degree-sorted graph
+// under the given group geometry — the baseline PlanIncremental compares
+// against to decide which groups drifted. Callers record it alongside the
+// plan they solved so the next replan can diff without the old graph.
+func GroupEdgeMass(g *graph.CSR, groupSizeLog uint) []uint64 {
+	n := g.NumVertices()
+	groupSize := uint32(1) << groupSizeLog
+	numGroups := int((uint64(n) + uint64(groupSize) - 1) >> groupSizeLog)
+	mass := make([]uint64, numGroups)
+	for gi := 0; gi < numGroups; gi++ {
+		start := graph.VID(gi) << groupSizeLog
+		end := start + groupSize
+		if end > n {
+			end = n
+		}
+		mass[gi] = edgesIn(g, start, end)
+	}
+	return mass
+}
+
+// PlanIncremental re-solves the MCKP only for vertex groups whose inputs
+// drifted since prev was planned, reusing prev's (VP size, extra-shuffle)
+// decision everywhere else. A group is dirty when its edge mass moved by at
+// least threshold relative to prevMass (the GroupEdgeMass recorded when prev
+// was solved), or when its observed walker-step share (obsSteps, one entry
+// per VP of prev) diverged from its edge-mass share by at least threshold —
+// the paper's walker-density input is an estimate, and live counters beat
+// re-estimating. Clean groups keep their decision with policies re-priced
+// against the new graph (policy choice is per-VP and costs nothing to
+// refresh); dirty groups re-enter the knapsack under the bin budget left by
+// the clean ones. threshold 0 marks every group dirty, making the solve
+// exactly PlanMCKP — the identity dynamic-graph compaction leans on for its
+// determinism guarantee. Falls back to a full solve when the group geometry
+// changed (grown vertex space) or the residual budget is infeasible.
+//
+// Returns the plan and the number of groups re-solved. prevMass and
+// obsSteps may be nil (unknown), which dirties every group.
+func PlanIncremental(g *graph.CSR, cfg Config, prev *Plan, prevMass []uint64, obsSteps []uint64, threshold float64) (*Plan, int, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Model == nil {
+		return nil, 0, fmt.Errorf("part: config needs a cost model")
+	}
+	if !graph.IsDegreeSorted(g) {
+		return nil, 0, fmt.Errorf("part: graph must be sorted by descending degree")
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, 0, fmt.Errorf("part: empty graph")
+	}
+
+	groupLog := GroupSizeLogFor(n, cfg.TargetGroups)
+	groupSize := uint32(1) << groupLog
+	numGroups := int((uint64(n) + uint64(groupSize) - 1) >> groupLog)
+	if prev == nil || prev.GroupSizeLog != groupLog || len(prev.Groups) != numGroups || prev.V != n {
+		// Geometry moved under the plan: every group's vertex range is
+		// different, so there is nothing to reuse.
+		p, err := PlanMCKP(g, cfg)
+		return p, numGroups, err
+	}
+
+	dirty := dirtyGroups(g, prev, prevMass, obsSteps, groupLog, numGroups, threshold)
+
+	if cfg.Walkers == 0 {
+		cfg.Walkers = uint64(n)
+	}
+	density := float64(cfg.Walkers) / float64(g.NumEdges())
+
+	// Clean groups keep prev's (size, extra) decision; their policies are
+	// re-priced per-VP against the new graph (same szLog ⇒ same weight).
+	// Dirty groups enumerate the full candidate set, exactly as PlanMCKP.
+	plan := &Plan{V: n, GroupSizeLog: groupLog, Groups: make([]GroupPlan, numGroups)}
+	var dirtyItems [][]item
+	var dirtyIdx []int
+	cleanWeight := 0
+	replanned := 0
+	for gi := 0; gi < numGroups; gi++ {
+		start := graph.VID(gi) << groupLog
+		end := start + groupSize
+		if end > n {
+			end = n
+		}
+		if !dirty[gi] {
+			pg := &prev.Groups[gi]
+			_, weight, policies := priceGroup(g, start, end, pg.VPSizeLog, density, cfg.Model)
+			plan.Groups[gi] = GroupPlan{Start: start, End: end,
+				VPSizeLog: pg.VPSizeLog, ExtraShuffle: pg.ExtraShuffle, Policies: policies}
+			if pg.ExtraShuffle {
+				cleanWeight++
+			} else {
+				cleanWeight += weight
+			}
+			continue
+		}
+		replanned++
+		plan.Groups[gi] = GroupPlan{Start: start, End: end}
+		dirtyItems = append(dirtyItems, groupItems(g, start, end, groupLog, density, cfg))
+		dirtyIdx = append(dirtyIdx, gi)
+	}
+
+	if replanned > 0 {
+		budget := cfg.MaxBins - cleanWeight
+		if budget < replanned { // each dirty group needs weight ≥ 1
+			p, err := PlanMCKP(g, cfg)
+			return p, numGroups, err
+		}
+		choice, err := solveMCKP(dirtyItems, budget)
+		if err != nil {
+			// Residual budget infeasible for the dirty set: the clean
+			// decisions are stale enough to pin us — full solve.
+			p, ferr := PlanMCKP(g, cfg)
+			return p, numGroups, ferr
+		}
+		for k, gi := range dirtyIdx {
+			it := dirtyItems[k][choice[k]]
+			plan.Groups[gi].VPSizeLog = it.vpSizeLog
+			plan.Groups[gi].ExtraShuffle = it.extra
+			plan.Groups[gi].Policies = it.policies
+		}
+	}
+	plan.finalize()
+	if err := plan.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return plan, replanned, nil
+}
+
+// dirtyGroups applies the drift criteria. threshold 0 dirties everything
+// (drift ≥ 0 always holds), as does missing baseline data.
+func dirtyGroups(g *graph.CSR, prev *Plan, prevMass, obsSteps []uint64, groupLog uint, numGroups int, threshold float64) []bool {
+	dirty := make([]bool, numGroups)
+	mass := GroupEdgeMass(g, groupLog)
+	if len(prevMass) != numGroups {
+		prevMass = nil
+	}
+	var prevTotal, obsTotal uint64
+	for _, m := range prevMass {
+		prevTotal += m
+	}
+	stepMass := make([]uint64, numGroups)
+	if obsSteps != nil && len(obsSteps) == len(prev.VPs) {
+		for i, vp := range prev.VPs {
+			stepMass[vp.Group] += obsSteps[i]
+			obsTotal += obsSteps[i]
+		}
+	}
+	for gi := 0; gi < numGroups; gi++ {
+		if prevMass == nil {
+			dirty[gi] = true
+			continue
+		}
+		drift := relDrift(float64(mass[gi]), float64(prevMass[gi]))
+		if obsTotal > 0 && prevTotal > 0 {
+			massShare := float64(prevMass[gi]) / float64(prevTotal)
+			stepShare := float64(stepMass[gi]) / float64(obsTotal)
+			if d := relDrift(stepShare, massShare); d > drift {
+				drift = d
+			}
+		}
+		dirty[gi] = drift >= threshold
+	}
+	return dirty
+}
+
+// relDrift is |a−b| relative to b (absolute when b is zero).
+func relDrift(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if b == 0 {
+		return d
+	}
+	return d / b
+}
+
+// groupItems enumerates one group's MCKP candidates, identically to
+// PlanMCKP's inner loop.
+func groupItems(g *graph.CSR, start, end graph.VID, groupLog uint, density float64, cfg Config) []item {
+	var items []item
+	lo := int(groupLog) - int(cfg.MaxSplitLog)
+	if lo < int(cfg.MinVPSizeLog) {
+		lo = int(cfg.MinVPSizeLog)
+	}
+	if lo > int(groupLog) {
+		lo = int(groupLog)
+	}
+	for szLog := uint(lo); szLog <= groupLog; szLog++ {
+		cost, weight, policies := priceGroup(g, start, end, szLog, density, cfg.Model)
+		items = append(items,
+			item{vpSizeLog: szLog, weight: weight, costNS: cost, policies: policies})
+		if weight > 1 {
+			walkers := float64(edgesIn(g, start, end)) * density
+			items = append(items, item{
+				vpSizeLog: szLog, extra: true, weight: 1,
+				costNS:   cost + walkers*cfg.Model.ShuffleStepNS(),
+				policies: policies,
+			})
+		}
+	}
+	return items
+}

@@ -1,0 +1,162 @@
+package part
+
+import (
+	"reflect"
+	"testing"
+)
+
+// groupsEqual compares the planner decisions group by group.
+func groupsEqual(t *testing.T, a, b *Plan) {
+	t.Helper()
+	if a.GroupSizeLog != b.GroupSizeLog || len(a.Groups) != len(b.Groups) {
+		t.Fatalf("geometry differs: 2^%d×%d vs 2^%d×%d",
+			a.GroupSizeLog, len(a.Groups), b.GroupSizeLog, len(b.Groups))
+	}
+	for gi := range a.Groups {
+		if !reflect.DeepEqual(a.Groups[gi], b.Groups[gi]) {
+			t.Fatalf("group %d differs:\n  %+v\n  %+v", gi, a.Groups[gi], b.Groups[gi])
+		}
+	}
+}
+
+// TestPlanIncrementalZeroThresholdIsFullSolve pins the identity dynamic
+// compaction depends on: threshold 0 dirties every group, so the
+// incremental solve IS PlanMCKP, decision for decision.
+func TestPlanIncrementalZeroThresholdIsFullSolve(t *testing.T) {
+	g := testGraph(t, 50000, 8)
+	cfg := Config{Walkers: 50000, Model: testModel()}
+	prev, err := PlanMCKP(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := GroupEdgeMass(g, prev.GroupSizeLog)
+
+	inc, replanned, err := PlanIncremental(g, cfg, prev, mass, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replanned != len(prev.Groups) {
+		t.Fatalf("threshold 0 replanned %d of %d groups", replanned, len(prev.Groups))
+	}
+	full, err := PlanMCKP(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupsEqual(t, inc, full)
+}
+
+// TestPlanIncrementalReusesCleanGroups: an unchanged graph under a positive
+// threshold replans nothing and keeps every decision, and a delta
+// concentrated in the low-degree tail replans only the drifted groups.
+func TestPlanIncrementalReusesCleanGroups(t *testing.T) {
+	g := testGraph(t, 50000, 8)
+	cfg := Config{Walkers: 50000, Model: testModel()}
+	prev, err := PlanMCKP(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := GroupEdgeMass(g, prev.GroupSizeLog)
+
+	same, replanned, err := PlanIncremental(g, cfg, prev, mass, nil, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replanned != 0 {
+		t.Fatalf("unchanged graph replanned %d groups", replanned)
+	}
+	for gi := range prev.Groups {
+		if same.Groups[gi].VPSizeLog != prev.Groups[gi].VPSizeLog ||
+			same.Groups[gi].ExtraShuffle != prev.Groups[gi].ExtraShuffle {
+			t.Fatalf("clean group %d changed decision", gi)
+		}
+	}
+	if err := same.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate drift concentrated in two groups by recording a stale
+	// baseline for them: against the doctored prevMass, exactly those
+	// groups read as having gained mass past the threshold.
+	stale := append([]uint64{}, mass...)
+	stale[1] = stale[1] * 2 / 3
+	stale[4] = stale[4] * 1 / 2
+	inc, replanned, err := PlanIncremental(g, cfg, prev, stale, nil, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replanned != 2 {
+		t.Fatalf("doctored baseline replanned %d groups, want exactly 2", replanned)
+	}
+	for gi := range prev.Groups {
+		if gi == 1 || gi == 4 {
+			continue
+		}
+		if inc.Groups[gi].VPSizeLog != prev.Groups[gi].VPSizeLog ||
+			inc.Groups[gi].ExtraShuffle != prev.Groups[gi].ExtraShuffle {
+			t.Fatalf("clean group %d changed decision under partial replan", gi)
+		}
+	}
+	if err := inc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanIncrementalObservedStepsDirty: a group whose live walker-step
+// share diverges from its edge share gets replanned even with unchanged
+// mass — the counters override the density estimate.
+func TestPlanIncrementalObservedStepsDirty(t *testing.T) {
+	g := testGraph(t, 50000, 8)
+	cfg := Config{Walkers: 50000, Model: testModel()}
+	prev, err := PlanMCKP(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := GroupEdgeMass(g, prev.GroupSizeLog)
+
+	// Fabricate counters proportional to edge mass everywhere except group
+	// 0, whose observed load is tripled: only the skewed group (and the
+	// mild dilution it causes elsewhere, below threshold) should dirty.
+	obs := make([]uint64, len(prev.VPs))
+	for i, vp := range prev.VPs {
+		obs[i] = edgesIn(g, vp.Start, vp.End)
+		if vp.Group == 0 {
+			obs[i] *= 3
+		}
+	}
+	_, replanned, err := PlanIncremental(g, cfg, prev, mass, obs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replanned == 0 {
+		t.Fatal("skewed step counters dirtied no group")
+	}
+	if replanned == len(prev.Groups) {
+		t.Fatal("skewed step counters dirtied every group; want only the divergent ones")
+	}
+}
+
+// TestPlanIncrementalGeometryChangeFallsBack: a grown vertex space shifts
+// every group boundary, so the whole plan re-solves.
+func TestPlanIncrementalGeometryChangeFallsBack(t *testing.T) {
+	g := testGraph(t, 50000, 8)
+	cfg := Config{Walkers: 50000, Model: testModel()}
+	prev, err := PlanMCKP(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := GroupEdgeMass(g, prev.GroupSizeLog)
+
+	big := testGraph(t, 120000, 8)
+	inc, replanned, err := PlanIncremental(big, cfg, prev, mass, nil, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replanned != len(inc.Groups) {
+		t.Fatalf("geometry change replanned %d of %d groups", replanned, len(inc.Groups))
+	}
+	full, err := PlanMCKP(big, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupsEqual(t, inc, full)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"flashmob"
+	"flashmob/internal/dyn"
 	"flashmob/internal/obs"
 	"flashmob/internal/rng"
 )
@@ -34,6 +35,7 @@ type outcome struct {
 	runWalkers    int
 	runCohorts    int
 	paths         [][]flashmob.VID
+	epoch         uint64 // snapshot the run sampled (dynamic groups only)
 	execStart     time.Time
 	runDur        time.Duration
 }
@@ -62,6 +64,12 @@ type engineGroup struct {
 	// execute across the topology's shard engines instead of on pooled
 	// local sessions (Backend.Sharded).
 	sharded *flashmob.ShardedSystem
+	// dyn, when non-nil, makes the group dynamic: each wave pins the
+	// current epoch snapshot for its run (walk-on-snapshot), so a wave is
+	// never invalidated by a concurrent freeze or compaction and never
+	// mixes epochs. Sessions are per-wave — epoch builds come and go, so
+	// there is no pool to amortize into (sys and sessions are nil).
+	dyn     *flashmob.DynamicSystem
 	queue   chan *pending
 	batches chan []*pending
 	// free recycles batch slices between executors and the dispatcher so
@@ -320,7 +328,7 @@ func (g *engineGroup) execute(ws *waveScratch, batch []*pending) {
 	}
 
 	t0 := time.Now()
-	res, err := g.walkMixed(ws.cohorts)
+	res, epoch, err := g.walkMixed(ws.cohorts)
 	runDur := time.Since(t0)
 	g.s.m.runs.Inc()
 	g.s.m.runNS.Observe(uint64(runDur))
@@ -336,7 +344,7 @@ func (g *engineGroup) execute(ws *waveScratch, batch []*pending) {
 			g.failGroup(grp, perr)
 			continue
 		}
-		g.deliver(len(live), len(ws.groups), execStart, runDur, grp, paths)
+		g.deliver(len(live), len(ws.groups), execStart, runDur, epoch, grp, paths)
 	}
 }
 
@@ -347,13 +355,30 @@ func (g *engineGroup) execute(ws *waveScratch, batch []*pending) {
 // trajectories depend only on (build, algorithm, seed, walkers, steps),
 // exactly as on a fresh session. A session whose run failed is closed
 // rather than pooled; a healthy one goes back unless the pool is full.
-func (g *engineGroup) walkMixed(cohorts []flashmob.CohortSpec) (*flashmob.MixedResult, error) {
+func (g *engineGroup) walkMixed(cohorts []flashmob.CohortSpec) (*flashmob.MixedResult, uint64, error) {
+	if g.dyn != nil {
+		// Dynamic mode: pin the current epoch for the whole wave. The
+		// snapshot keeps its engine build alive however many freezes or
+		// compactions land while the run executes; the epoch ID rides the
+		// responses so clients can correlate walks with ingests.
+		snap, err := g.dyn.Snapshot()
+		if err != nil {
+			return nil, 0, err
+		}
+		defer snap.Release()
+		res, err := snap.WalkMixed(cohorts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, snap.Epoch(), nil
+	}
 	if g.sharded != nil {
 		// Coordinator mode: the wave runs across the shard engines. The
 		// sharded run is bitwise-identical to a local session run, so
 		// everything downstream — per-cohort Paths, per-request demux —
 		// is unchanged.
-		return g.sharded.WalkMixed(context.Background(), cohorts)
+		res, err := g.sharded.WalkMixed(context.Background(), cohorts)
+		return res, 0, err
 	}
 	var sess *flashmob.Session
 	select {
@@ -362,20 +387,20 @@ func (g *engineGroup) walkMixed(cohorts []flashmob.CohortSpec) (*flashmob.MixedR
 		var err error
 		sess, err = g.sys.NewSession(context.Background())
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	res, err := sess.WalkMixed(cohorts)
 	if err != nil {
 		sess.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	select {
 	case g.sessions <- sess:
 	default:
 		sess.Close()
 	}
-	return res, nil
+	return res, 0, nil
 }
 
 // fail answers every request of every group with the mapped engine
@@ -390,7 +415,7 @@ func (g *engineGroup) fail(groups []runGroup, err error) {
 // ErrClosed becomes the shutdown 503, anything else a 500.
 func (g *engineGroup) failGroup(grp *runGroup, err error) {
 	status, msg := 500, err.Error()
-	if errors.Is(err, flashmob.ErrClosed) {
+	if errors.Is(err, flashmob.ErrClosed) || errors.Is(err, dyn.ErrClosed) {
 		status, msg = 503, "server closed"
 		g.s.m.shedClosed.Add(uint64(len(grp.reqs)))
 	} else {
@@ -404,7 +429,7 @@ func (g *engineGroup) failGroup(grp *runGroup, err error) {
 // deliver demuxes one cohort's trajectories to its requests: each
 // request's walkers are a contiguous slice of the cohort's walker array,
 // in enqueue order.
-func (g *engineGroup) deliver(batchRequests, runCohorts int, execStart time.Time, runDur time.Duration, grp *runGroup, paths [][]flashmob.VID) {
+func (g *engineGroup) deliver(batchRequests, runCohorts int, execStart time.Time, runDur time.Duration, epoch uint64, grp *runGroup, paths [][]flashmob.VID) {
 	off := 0
 	for _, p := range grp.reqs {
 		p.resp <- outcome{
@@ -414,6 +439,7 @@ func (g *engineGroup) deliver(batchRequests, runCohorts int, execStart time.Time
 			runWalkers:    grp.walkers,
 			runCohorts:    runCohorts,
 			paths:         paths[off : off+p.walkers],
+			epoch:         epoch,
 			execStart:     execStart,
 			runDur:        runDur,
 		}
@@ -429,7 +455,7 @@ func (g *engineGroup) deliver(batchRequests, runCohorts int, execStart time.Time
 // measures run fragmentation alone, nothing else.
 func (g *engineGroup) runSolo(batchRequests int, execStart time.Time, grp *runGroup) {
 	t0 := time.Now()
-	res, err := g.walkMixed([]flashmob.CohortSpec{{
+	res, epoch, err := g.walkMixed([]flashmob.CohortSpec{{
 		Algorithm: grp.b.spec,
 		Walkers:   uint64(grp.walkers),
 		Steps:     grp.steps,
@@ -448,5 +474,5 @@ func (g *engineGroup) runSolo(batchRequests int, execStart time.Time, grp *runGr
 		g.failGroup(grp, err)
 		return
 	}
-	g.deliver(batchRequests, 1, execStart, runDur, grp, paths)
+	g.deliver(batchRequests, 1, execStart, runDur, epoch, grp, paths)
 }

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"flashmob"
+)
+
+// testDynamic builds a small dynamic system suitable for serving.
+func testDynamic(t testing.TB) *flashmob.DynamicSystem {
+	t.Helper()
+	g, err := flashmob.Generate("YT", 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := flashmob.NewDynamic(g, flashmob.DynamicOptions{
+		Seed: 7, Workers: 2, Undirected: true, RecordPaths: true,
+		TargetGroups: 8, Metrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// newDynamicServer stands up a Server over a dynamic backend.
+func newDynamicServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	d := testDynamic(t)
+	s, err := New([]Backend{{Name: "deepwalk", Dyn: d, Spec: flashmob.DeepWalk()}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { hs.Close(); s.Close() })
+	return s, hs
+}
+
+// postIngest issues one ingest request and returns status + decoded body.
+func postIngest(t *testing.T, base string, req IngestRequest) (int, IngestResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ir IngestResponse
+	if resp.StatusCode == 200 {
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, ir
+}
+
+// TestDynamicServeEndToEnd drives a dynamic server through its lifecycle:
+// walks carry the epoch they sampled, ingest+freeze advances it, and
+// later walks observe the newer epoch (walk-on-snapshot with
+// read-your-freeze ordering).
+func TestDynamicServeEndToEnd(t *testing.T) {
+	_, hs := newDynamicServer(t, Config{MaxWait: time.Millisecond})
+
+	status, data := postWalk(t, hs.URL, WalkRequest{Walkers: 5, Steps: 3})
+	if status != 200 {
+		t.Fatalf("walk: status %d body %s", status, data)
+	}
+	wr := decodeWalk(t, data)
+	if wr.Epoch != 1 {
+		t.Fatalf("first walk sampled epoch %d, want 1", wr.Epoch)
+	}
+	if len(wr.Paths) != 5 || len(wr.Paths[0]) != 4 {
+		t.Fatalf("paths shape: %d × %d", len(wr.Paths), len(wr.Paths[0]))
+	}
+
+	status, ir := postIngest(t, hs.URL, IngestRequest{
+		Edges: [][2]flashmob.VID{{1, 200}, {2, 201}}, Freeze: true,
+	})
+	if status != 200 {
+		t.Fatalf("ingest: status %d", status)
+	}
+	if ir.Accepted != 2 || ir.Epoch != 2 || ir.DeltaEdges == 0 || ir.PendingEdges != 0 {
+		t.Fatalf("ingest response: %+v", ir)
+	}
+
+	status, data = postWalk(t, hs.URL, WalkRequest{Walkers: 5, Steps: 3})
+	if status != 200 {
+		t.Fatalf("walk after freeze: status %d body %s", status, data)
+	}
+	if wr = decodeWalk(t, data); wr.Epoch < ir.Epoch {
+		t.Fatalf("walk after freeze sampled epoch %d, want ≥ %d", wr.Epoch, ir.Epoch)
+	}
+
+	// Seeded determinism holds per epoch: two identical seeded requests
+	// against the same (now quiescent) epoch answer identically.
+	seed := uint64(99)
+	_, d1 := postWalk(t, hs.URL, WalkRequest{Walkers: 4, Steps: 5, Seed: &seed})
+	_, d2 := postWalk(t, hs.URL, WalkRequest{Walkers: 4, Steps: 5, Seed: &seed})
+	if p1, p2 := decodeWalk(t, d1).Paths, decodeWalk(t, d2).Paths; !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("seeded replay diverged on a quiescent epoch:\n%v\n%v", p1, p2)
+	}
+
+	// Metrics carry the dyn report.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if mr.Dyn == nil {
+		t.Fatal("GET /metrics on a dynamic server has no dyn report")
+	}
+}
+
+// TestIngestOnStaticServer pins the 404 for non-dynamic servers.
+func TestIngestOnStaticServer(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxWait: time.Millisecond})
+	status, _ := postIngest(t, hs.URL, IngestRequest{Edges: [][2]flashmob.VID{{0, 1}}})
+	if status != http.StatusNotFound {
+		t.Fatalf("ingest on static server: status %d, want 404", status)
+	}
+}
+
+// TestDynamicServeUnderChurn streams walks while ingests, freezes, and
+// compactions land: zero failed requests across ≥ 3 epoch swaps, and the
+// epochs observed by one serial client never go backwards.
+func TestDynamicServeUnderChurn(t *testing.T) {
+	s, hs := newDynamicServer(t, Config{MaxWait: time.Millisecond, Executors: 2})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			status, data := postWalk(t, hs.URL, WalkRequest{Walkers: 8, Steps: 4})
+			if status != 200 {
+				t.Errorf("walk under churn: status %d body %s", status, data)
+				return
+			}
+			wr := decodeWalk(t, data)
+			if wr.Epoch < last {
+				t.Errorf("epoch went backwards: %d after %d", wr.Epoch, last)
+				return
+			}
+			last = wr.Epoch
+		}
+	}()
+
+	for round := 0; round < 4; round++ {
+		edges := make([][2]flashmob.VID, 10)
+		for i := range edges {
+			edges[i] = [2]flashmob.VID{flashmob.VID(round*10 + i), flashmob.VID(300 + i)}
+		}
+		status, _ := postIngest(t, hs.URL, IngestRequest{Edges: edges, Freeze: true})
+		if status != 200 {
+			t.Fatalf("ingest round %d: status %d", round, status)
+		}
+		if round%2 == 1 {
+			if _, err := s.dyn.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := s.dyn.Stats()
+	if st.Epoch < 4 {
+		t.Fatalf("only reached epoch %d, want ≥ 4 swaps", st.Epoch)
+	}
+	if st.Compactions < 2 {
+		t.Fatalf("only %d compactions, want ≥ 2", st.Compactions)
+	}
+}

@@ -194,6 +194,7 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 		BatchRequests: out.batchRequests,
 		RunWalkers:    out.runWalkers,
 		RunCohorts:    out.runCohorts,
+		Epoch:         out.epoch,
 		Paths:         out.paths,
 		QueueMS:       float64(out.execStart.Sub(p.enq)) / float64(time.Millisecond),
 		RunMS:         float64(out.runDur) / float64(time.Millisecond),
@@ -204,8 +205,50 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 	writeWalkResponse(w, &resp)
 }
 
+// handleIngest is POST /v1/ingest (dynamic servers only): buffer a batch
+// of edges and optionally freeze them into a new epoch.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, "POST only", false)
+		return
+	}
+	if s.dyn == nil {
+		s.writeErr(w, http.StatusNotFound, "server has no dynamic backend (start with a dynamic system to ingest)", false)
+		return
+	}
+	var req IngestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error(), false)
+		return
+	}
+	accepted, err := s.dyn.IngestPairs(req.Edges)
+	if err != nil {
+		s.writeErr(w, http.StatusServiceUnavailable, err.Error(), false)
+		return
+	}
+	if req.Freeze {
+		if _, err := s.dyn.Freeze(); err != nil {
+			s.writeErr(w, http.StatusServiceUnavailable, err.Error(), false)
+			return
+		}
+	}
+	st := s.dyn.Stats()
+	writeJSON(w, http.StatusOK, IngestResponse{
+		SchemaVersion: SchemaVersion,
+		Accepted:      accepted,
+		Epoch:         st.Epoch,
+		PendingEdges:  st.PendingEdges,
+		DeltaEdges:    st.DeltaEdges,
+		DeferredEdges: st.DeferredEdges,
+		Compactions:   st.Compactions,
+	})
+}
+
 // handlePlan is GET /v1/plan: every served algorithm's partitioning
-// summary.
+// summary. Dynamic backends are skipped — their plan is per-epoch-build
+// and changes with every compaction.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeErr(w, http.StatusMethodNotAllowed, "GET only", false)
@@ -213,6 +256,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := PlanResponse{SchemaVersion: SchemaVersion}
 	for _, b := range s.backends {
+		if b.sys == nil {
+			continue
+		}
 		p := b.sys.Plan()
 		resp.Algorithms = append(resp.Algorithms, PlanEntry{
 			Algorithm:  b.name,
@@ -254,9 +300,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := MetricsResponse{SchemaVersion: SchemaVersion, Server: s.Metrics()}
 	for _, b := range s.backends {
+		if b.sys == nil {
+			continue
+		}
 		if rep := b.sys.MetricsReport(); rep != nil {
 			resp.Engines = append(resp.Engines, EngineReport{Algorithm: b.name, Report: rep})
 		}
+	}
+	if s.dyn != nil {
+		resp.Dyn = s.dyn.MetricsReport()
 	}
 	for _, g := range s.groups {
 		if g.sharded != nil {

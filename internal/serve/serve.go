@@ -73,6 +73,18 @@ type Backend struct {
 	// responses are bitwise-identical to unsharded serving. Backends
 	// sharing one system must agree on this handle.
 	Sharded *flashmob.ShardedSystem
+	// Dyn, when non-nil, makes this a dynamic backend: Sys must be nil
+	// (the dynamic system owns its engine builds), Sharded is not
+	// supported, and every wave executes against an epoch snapshot pinned
+	// when the batch starts (walk-on-snapshot consistency — in-flight
+	// batches are never invalidated by ingests, freezes, or compactions;
+	// see docs/SERVING.md). The server additionally exposes POST
+	// /v1/ingest routed to this system, which it owns from New on and
+	// closes in Close. Backends sharing one dynamic system share one
+	// queue, exactly as Sys-backed backends do. Must be built with
+	// RecordPaths; overlay epochs restrict served algorithms to
+	// first-order history-free walks.
+	Dyn *flashmob.DynamicSystem
 }
 
 // Config tunes the server's batching and admission control. Zero values
@@ -154,8 +166,11 @@ type Server struct {
 	backends []*backend
 	byName   map[string]*backend
 	groups   []*engineGroup
-	start    time.Time
-	runSeq   atomic.Uint64
+	// dyn is the dynamic system ingest routes to (the server supports at
+	// most one); nil on static servers.
+	dyn    *flashmob.DynamicSystem
+	start  time.Time
+	runSeq atomic.Uint64
 
 	// now is the server's clock, read once per dispatch wave and once per
 	// execution wave for deadline checks and latency accounting (not per
@@ -189,15 +204,42 @@ func New(backends []Backend, cfg Config) (*Server, error) {
 		now:    time.Now,
 	}
 	bySys := make(map[*flashmob.System]*engineGroup)
+	byDyn := make(map[*flashmob.DynamicSystem]*engineGroup)
 	for _, bk := range backends {
-		if bk.Name == "" || bk.Sys == nil {
+		if bk.Name == "" || (bk.Sys == nil && bk.Dyn == nil) {
 			return nil, fmt.Errorf("serve: backend needs a name and a system")
+		}
+		if bk.Dyn != nil && bk.Sys != nil {
+			return nil, fmt.Errorf("serve: backend %q: Sys and Dyn are exclusive", bk.Name)
+		}
+		if bk.Dyn != nil && bk.Sharded != nil {
+			return nil, fmt.Errorf("serve: backend %q: dynamic backends cannot be sharded", bk.Name)
 		}
 		if _, dup := s.byName[bk.Name]; dup {
 			return nil, fmt.Errorf("serve: duplicate backend %q", bk.Name)
 		}
-		g := bySys[bk.Sys]
-		if g == nil {
+		var g *engineGroup
+		if bk.Dyn != nil {
+			if s.dyn != nil && s.dyn != bk.Dyn {
+				return nil, fmt.Errorf("serve: backend %q: at most one dynamic system per server", bk.Name)
+			}
+			s.dyn = bk.Dyn
+			g = byDyn[bk.Dyn]
+			if g == nil {
+				if err := probeDyn(bk.Dyn); err != nil {
+					return nil, fmt.Errorf("serve: backend %q: %w", bk.Name, err)
+				}
+				g = &engineGroup{
+					s:       s,
+					dyn:     bk.Dyn,
+					queue:   make(chan *pending, s.cfg.QueueDepth),
+					batches: make(chan []*pending),
+					free:    make(chan []*pending, s.cfg.Executors+1),
+				}
+				byDyn[bk.Dyn] = g
+				s.groups = append(s.groups, g)
+			}
+		} else if g = bySys[bk.Sys]; g == nil {
 			if err := probe(bk.Sys); err != nil {
 				return nil, fmt.Errorf("serve: backend %q: %w", bk.Name, err)
 			}
@@ -247,11 +289,29 @@ func probe(sys *flashmob.System) error {
 	return nil
 }
 
+// probeDyn is probe for a dynamic backend, walking an epoch snapshot.
+func probeDyn(d *flashmob.DynamicSystem) error {
+	snap, err := d.Snapshot()
+	if err != nil {
+		return err
+	}
+	defer snap.Release()
+	res, err := snap.WalkSeeded(0, 1, 1)
+	if err != nil {
+		return err
+	}
+	if _, err := res.Paths(); err != nil {
+		return fmt.Errorf("system cannot produce trajectories (build it with RecordPaths): %w", err)
+	}
+	return nil
+}
+
 // Handler returns the server's HTTP handler: POST /v1/walk, GET /v1/plan,
 // GET /healthz, GET /metrics (see docs/SERVING.md).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/walk", s.handleWalk)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -276,6 +336,10 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.wg.Wait()
 	for _, g := range s.groups {
+		if g.dyn != nil {
+			g.dyn.Close()
+			continue
+		}
 		// Drain the session pool before closing the system: System.Close
 		// blocks until every open session closes.
 		for {

@@ -64,6 +64,11 @@ type WalkResponse struct {
 	// more when the wave mixed algorithms or step counts into one shared
 	// run.
 	RunCohorts int `json:"run_cohorts"`
+	// Epoch identifies the graph snapshot the walk ran against on a
+	// dynamic server (walk-on-snapshot consistency: the whole run sampled
+	// one epoch, resolved when the batch started executing). Omitted on
+	// static servers.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Paths holds one trajectory per requested walker, each steps+1
 	// vertices long (start included), in the caller's original vertex
 	// IDs.
@@ -142,6 +147,53 @@ type MetricsResponse struct {
 	// labelled by the group's first backend. Omitted when no backend is
 	// sharded.
 	Shards []EngineReport `json:"shards,omitempty"`
+	// Dyn holds the dynamic-graph subsystem's dyn_* report (ingest, epoch
+	// turnover, compaction — see docs/OBSERVABILITY.md) when the server
+	// has a dynamic backend with metrics enabled. Omitted otherwise.
+	Dyn *flashmob.Report `json:"dyn,omitempty"`
+}
+
+// IngestRequest is the body of POST /v1/ingest (dynamic servers only):
+// a batch of edges to append to the served graph.
+type IngestRequest struct {
+	// Edges lists [src, dst] pairs in the caller's original vertex IDs.
+	// Endpoints beyond the current vertex space are accepted and become
+	// walkable after the next compaction; self-loops are dropped.
+	Edges [][2]flashmob.VID `json:"edges"`
+	// Freeze, when true, publishes every pending edge as a new epoch
+	// before the response is written: walks admitted afterwards observe an
+	// epoch at least as new as the response's. Without it edges buffer
+	// invisibly until a later freeze (the batching mode for high-rate
+	// streams).
+	Freeze bool `json:"freeze,omitempty"`
+	// TSMS is the client's timestamp for the batch (milliseconds since its
+	// stream began). The server ignores it — it exists so edge-stream
+	// files (fmgen -stream) carry their pacing inline and every line is
+	// still a valid request body.
+	TSMS float64 `json:"ts_ms,omitempty"`
+}
+
+// IngestResponse is the 200 body of POST /v1/ingest.
+type IngestResponse struct {
+	// SchemaVersion is SchemaVersion at encode time.
+	SchemaVersion int `json:"schema_version"`
+	// Accepted counts the request's edges that were buffered (self-loops
+	// are dropped silently).
+	Accepted int `json:"accepted"`
+	// Epoch is the current epoch after the request (the newly published
+	// one when Freeze was set).
+	Epoch uint64 `json:"epoch"`
+	// PendingEdges counts buffered edges not yet frozen into any epoch
+	// (after undirected expansion).
+	PendingEdges uint64 `json:"pending_edges"`
+	// DeltaEdges counts the current epoch's overlay edges (0 right after a
+	// compaction).
+	DeltaEdges uint64 `json:"delta_edges"`
+	// DeferredEdges counts frozen edges awaiting compaction to become
+	// walkable (new-vertex endpoints).
+	DeferredEdges uint64 `json:"deferred_edges"`
+	// Compactions counts compactions completed since the server started.
+	Compactions uint64 `json:"compactions"`
 }
 
 // HealthResponse is the body of GET /healthz.

@@ -127,6 +127,7 @@ func TestWalkResponseFastEncoderMatchesJSON(t *testing.T) {
 var wireStructs = []any{
 	WalkRequest{}, WalkResponse{}, ErrorResponse{},
 	PlanResponse{}, PlanEntry{}, MetricsResponse{}, EngineReport{}, HealthResponse{},
+	IngestRequest{}, IngestResponse{},
 }
 
 // jsonFields extracts the json tag names of a struct.
